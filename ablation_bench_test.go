@@ -1,0 +1,119 @@
+package daisy
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// statistics-driven dirty-group pruning (Fig 9's optimization), the
+// theta-join partition granularity, and query-result relaxation itself
+// (Daisy's repair scope vs the offline per-group dataset traversals).
+
+import (
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/offline"
+	"daisy/internal/ptable"
+	"daisy/internal/thetajoin"
+	"daisy/internal/workload"
+)
+
+// ablationWorkload: lineorder with 20% dirty groups — pruning matters when
+// most accessed groups are clean.
+func ablationSession(b *testing.B, disablePruning bool) (*Session, []string) {
+	b.Helper()
+	lo := workload.Lineorder(workload.SSBConfig{
+		Rows: 4000, DistinctOrders: 800, DistinctSupps: 80, Seed: 17,
+	})
+	workload.InjectFDErrors(lo, "orderkey", "suppkey", 0.2, 0.10, 18)
+	queries := workload.RangeQueries(lo, "suppkey", 20, "orderkey, suppkey", 19)
+	s := New(Options{Strategy: StrategyIncremental, DisableStatsPruning: disablePruning})
+	if err := s.Register(lo); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.AddRule(FD("phi", "lineorder", "suppkey", "orderkey")); err != nil {
+		b.Fatal(err)
+	}
+	return s, queries
+}
+
+func runAblationWorkload(b *testing.B, disablePruning bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, queries := ablationSession(b, disablePruning)
+		b.StartTimer()
+		for _, q := range queries {
+			if _, err := s.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPruningOn measures the workload with dirty-group pruning.
+func BenchmarkAblationPruningOn(b *testing.B) { runAblationWorkload(b, false) }
+
+// BenchmarkAblationPruningOff measures the same workload without pruning.
+func BenchmarkAblationPruningOff(b *testing.B) { runAblationWorkload(b, true) }
+
+// Theta-join partition sweep: detection work vs partition granularity.
+func benchThetaPartitions(b *testing.B, p int) {
+	lo := workload.Lineorder(workload.SSBConfig{Rows: 1500, Seed: 21})
+	workload.InjectDCOutliers(lo, "extended_price", "discount", 0.05, 22)
+	rule := dc.MustParse("psi: !(t1.extended_price<t2.extended_price & t1.discount>t2.discount)")
+	v := detect.TableView{T: lo}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		thetajoin.Detect(v, rule, p, nil)
+	}
+}
+
+// BenchmarkAblationThetaP1 runs the theta-join as one unpartitioned block.
+func BenchmarkAblationThetaP1(b *testing.B) { benchThetaPartitions(b, 1) }
+
+// BenchmarkAblationThetaP16 uses a 4×4 partition matrix.
+func BenchmarkAblationThetaP16(b *testing.B) { benchThetaPartitions(b, 16) }
+
+// BenchmarkAblationThetaP256 uses a 16×16 partition matrix.
+func BenchmarkAblationThetaP256(b *testing.B) { benchThetaPartitions(b, 256) }
+
+// Relaxation benefit (the §4.1 "Relaxation benefit" paragraph): repairing
+// through the relaxed result vs the offline baseline's per-group dataset
+// traversals, on identical data.
+func BenchmarkAblationRelaxationRepair(b *testing.B) {
+	lo := workload.Lineorder(workload.SSBConfig{Rows: 3000, DistinctOrders: 600, DistinctSupps: 60, Seed: 23})
+	workload.InjectFDErrors(lo, "orderkey", "suppkey", 1.0, 0.10, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Options{Strategy: StrategyIncremental})
+		if err := s.Register(lo.Clone()); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddRule(FD("phi", "lineorder", "suppkey", "orderkey")); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.Query("SELECT orderkey, suppkey FROM lineorder WHERE suppkey >= 0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOfflineRepair is the baseline side of the comparison.
+func BenchmarkAblationOfflineRepair(b *testing.B) {
+	lo := workload.Lineorder(workload.SSBConfig{Rows: 3000, DistinctOrders: 600, DistinctSupps: 60, Seed: 23})
+	workload.InjectFDErrors(lo, "orderkey", "suppkey", 1.0, 0.10, 24)
+	rule := dc.FD("phi", "lineorder", "suppkey", "orderkey")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pt := ptable.FromTable(lo)
+		b.StartTimer()
+		if _, err := (&offline.Cleaner{}).CleanFD(pt, rule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package daisy
+
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment harness at a reduced
+// scale (benchmarks measure the reproduction end to end, including workload
+// generation); run `go run ./cmd/daisy-bench -exp all` for the full-scale
+// reproduction with the paper-style printed rows. ns/op is the time to
+// reproduce the whole experiment once.
+
+import (
+	"testing"
+
+	"daisy/internal/experiments"
+)
+
+// benchScale keeps a single experiment iteration in the tens-of-milliseconds
+// range so the full bench suite stays tractable.
+const benchScale = 0.05
+
+func benchExperiment(b *testing.B, run func(experiments.Config) (*experiments.Report, error)) {
+	b.Helper()
+	cfg := experiments.Config{Scale: benchScale, Seed: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkFig5OrderkeySelectivity reproduces Fig 5: SP cost while varying
+// orderkey cardinality, Daisy vs full cleaning.
+func BenchmarkFig5OrderkeySelectivity(b *testing.B) { benchExperiment(b, experiments.Fig5) }
+
+// BenchmarkFig6SuppkeySelectivity reproduces Fig 6: SP cost while varying
+// suppkey cardinality (lhs filters, transitive closure).
+func BenchmarkFig6SuppkeySelectivity(b *testing.B) { benchExperiment(b, experiments.Fig6) }
+
+// BenchmarkFig7StrategySwitch reproduces Fig 7: cumulative cost of
+// incremental-only vs full vs cost-model switching.
+func BenchmarkFig7StrategySwitch(b *testing.B) { benchExperiment(b, experiments.Fig7) }
+
+// BenchmarkFig8MultiRule reproduces Fig 8: one vs two overlapping rules.
+func BenchmarkFig8MultiRule(b *testing.B) { benchExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig9Violations reproduces Fig 9: cost vs violation percentage.
+func BenchmarkFig9Violations(b *testing.B) { benchExperiment(b, experiments.Fig9) }
+
+// BenchmarkFig10DenialConstraint reproduces Fig 10: inequality DC cleaning
+// with the Algorithm 2 accuracy-driven strategy decision.
+func BenchmarkFig10DenialConstraint(b *testing.B) { benchExperiment(b, experiments.Fig10) }
+
+// BenchmarkFig11JoinQueries reproduces Fig 11: SPJ workload with rules on
+// both join sides.
+func BenchmarkFig11JoinQueries(b *testing.B) { benchExperiment(b, experiments.Fig11) }
+
+// BenchmarkFig12MixedWorkload reproduces Fig 12: mixed SP+SPJ workload with
+// a strategy switch.
+func BenchmarkFig12MixedWorkload(b *testing.B) { benchExperiment(b, experiments.Fig12) }
+
+// BenchmarkFig13ComplexQueries reproduces Fig 13: SSB Q1/Q2/Q3 flights with
+// cleaning pushed down to lineorder⋈supplier.
+func BenchmarkFig13ComplexQueries(b *testing.B) { benchExperiment(b, experiments.Fig13) }
+
+// BenchmarkTable5Accuracy reproduces Table 5: precision/recall/F1 of
+// Holoclean vs DaisyH vs DaisyP on the hospital dataset.
+func BenchmarkTable5Accuracy(b *testing.B) { benchExperiment(b, experiments.Table5) }
+
+// BenchmarkTable6Hospital reproduces Table 6: hospital response times per
+// rule subset for Full, Daisy, and Holoclean.
+func BenchmarkTable6Hospital(b *testing.B) { benchExperiment(b, experiments.Table6) }
+
+// BenchmarkTable7Provenance reproduces Table 7: incremental rule addition
+// via provenance vs separate executions.
+func BenchmarkTable7Provenance(b *testing.B) { benchExperiment(b, experiments.Table7) }
+
+// BenchmarkTable8RealWorld reproduces Table 8: the Nestle and air-quality
+// exploratory scenarios.
+func BenchmarkTable8RealWorld(b *testing.B) { benchExperiment(b, experiments.Table8) }
+
+// BenchmarkQueryCleanFD measures one cleaned SP query end to end (the unit
+// the figures integrate over).
+func BenchmarkQueryCleanFD(b *testing.B) {
+	tb, err := NewTable("cities",
+		Column{Name: "zip", Kind: Int(0).Kind()},
+		Column{Name: "city", Kind: Str("").Kind()},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		city := Str("City-" + string(rune('A'+i%26)))
+		if i%10 == 0 {
+			city = Str("City-typo")
+		}
+		tb.MustAppend(Row{Int(int64(i % 400)), city})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{Strategy: StrategyIncremental})
+		if err := s.Register(tb.Clone()); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddRule(FD("phi", "cities", "city", "zip")); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Query("SELECT zip, city FROM cities WHERE zip < 40"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

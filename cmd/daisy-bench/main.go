@@ -1,0 +1,52 @@
+// Command daisy-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	daisy-bench -exp fig5            # one experiment
+//	daisy-bench -exp all             # everything, paper order
+//	daisy-bench -exp fig7 -scale 0.5 # smaller datasets
+//
+// Experiment ids: fig5..fig13, table5..table8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"daisy/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig5..fig13, table5..table8, all)")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full laptop scale)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	start := time.Now()
+	if *exp == "all" {
+		reports, err := experiments.All(cfg)
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	} else {
+		run, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		r, err := run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

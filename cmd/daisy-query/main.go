@@ -1,0 +1,113 @@
+// Command daisy-query runs analysis queries over dirty CSV data with
+// cleaning weaved into every query — the Daisy experience. Queries come from
+// the command line or stdin (one per line).
+//
+// Usage:
+//
+//	daisy-query -in cities.csv \
+//	    -rule 'phi: !(t1.zip=t2.zip & t1.city!=t2.city)' \
+//	    "SELECT zip, city FROM cities WHERE city = 'Los Angeles'"
+//
+//	cat workload.sql | daisy-query -in cities.csv -rule '...'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"daisy"
+)
+
+type ruleList []string
+
+func (r *ruleList) String() string     { return strings.Join(*r, "; ") }
+func (r *ruleList) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	in := flag.String("in", "", "dirty CSV file (header row required)")
+	strategy := flag.String("strategy", "auto", "cleaning strategy: auto, incremental, full")
+	var rules ruleList
+	flag.Var(&rules, "rule", "denial constraint (repeatable)")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name := strings.TrimSuffix(filepath.Base(*in), filepath.Ext(*in))
+	t, err := daisy.ReadCSVFile(name, *in)
+	if err != nil {
+		fatal(err)
+	}
+	opts := daisy.Options{}
+	switch *strategy {
+	case "auto":
+		opts.Strategy = daisy.StrategyAuto
+	case "incremental":
+		opts.Strategy = daisy.StrategyIncremental
+	case "full":
+		opts.Strategy = daisy.StrategyFull
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	s := daisy.New(opts)
+	if err := s.Register(t); err != nil {
+		fatal(err)
+	}
+	for _, rtext := range rules {
+		rule, err := daisy.ParseRule(rtext)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.AddRule(rule); err != nil {
+			fatal(err)
+		}
+	}
+
+	queries := flag.Args()
+	if len(queries) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if q := strings.TrimSpace(sc.Text()); q != "" {
+				queries = append(queries, q)
+			}
+		}
+	}
+	for _, q := range queries {
+		start := time.Now()
+		res, err := s.Query(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- %s\n-- plan: %s (%d rows, %s)\n", q, res.Plan, res.Rows.Len(),
+			time.Since(start).Round(time.Microsecond))
+		printResult(res)
+	}
+	fmt.Printf("-- dataset now has %d probabilistic tuples\n", s.Table(name).DirtyTuples())
+}
+
+func printResult(res *daisy.Result) {
+	const maxRows = 20
+	names := res.Rows.Schema.Names()
+	fmt.Println(strings.Join(names, " | "))
+	for i := 0; i < res.Rows.Len() && i < maxRows; i++ {
+		cells := make([]string, len(names))
+		for j := range names {
+			cells[j] = res.Rows.Tuples[i].Cells[j].String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if res.Rows.Len() > maxRows {
+		fmt.Printf("... (%d more rows)\n", res.Rows.Len()-maxRows)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daisy-query:", err)
+	os.Exit(1)
+}

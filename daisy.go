@@ -1,0 +1,118 @@
+// Package daisy is the public API of the Daisy reproduction: query-driven
+// cleaning of denial constraint violations through query-result relaxation
+// (Giannakopoulou, Karpathiotakis, Ailamaki — SIGMOD 2020).
+//
+// A Session holds dirty relations and denial constraints. Queries execute
+// with cleaning operators weaved into the plan: each query result is relaxed
+// with its correlated tuples, violations inside the relaxed result are
+// repaired with probabilistic candidate fixes, and the fixes are written
+// back — so the dataset becomes gradually cleaner as exploration proceeds.
+//
+//	s := daisy.New(daisy.Options{})
+//	s.Register(cities)                               // a dirty *daisy.Table
+//	s.AddRule(daisy.MustRule("phi: !(t1.zip=t2.zip & t1.city!=t2.city)"))
+//	res, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'")
+//
+// Result cells carry candidate values with frequency-based probabilities and
+// provenance to the original data; rules added later merge into the existing
+// probabilistic state without restarting.
+package daisy
+
+import (
+	"io"
+
+	"daisy/internal/core"
+	"daisy/internal/dc"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// Session is a query-driven cleaning session. See core.Session for the full
+// method set: Register, AddRule, Query, Table, ReplaceTable.
+type Session = core.Session
+
+// Options configure a Session.
+type Options = core.Options
+
+// Strategy selects the cleaning schedule.
+type Strategy = core.Strategy
+
+// Strategies: Auto lets the §5.2.3 cost model pick per query.
+const (
+	StrategyAuto        = core.StrategyAuto
+	StrategyIncremental = core.StrategyIncremental
+	StrategyFull        = core.StrategyFull
+)
+
+// Result is a cleaned query answer with the per-rule cleaning decisions.
+type Result = core.Result
+
+// Table is an in-memory deterministic relation.
+type Table = table.Table
+
+// Row is one tuple of a Table.
+type Row = table.Row
+
+// PTable is a probabilistic relation (the gradually cleaned dataset state).
+type PTable = ptable.PTable
+
+// Cell is a probabilistic attribute value with candidates and provenance.
+type Cell = uncertain.Cell
+
+// Schema describes a relation's columns.
+type Schema = schema.Schema
+
+// Column is one schema attribute.
+type Column = schema.Column
+
+// Value is a typed scalar.
+type Value = value.Value
+
+// Rule is a denial constraint ∀t1,t2 ¬(p1 ∧ ... ∧ pm).
+type Rule = dc.Constraint
+
+// New creates a cleaning session.
+func New(opts Options) *Session { return core.NewSession(opts) }
+
+// NewTable creates an empty relation with the given columns.
+func NewTable(name string, cols ...Column) (*Table, error) {
+	s, err := schema.New(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return table.New(name, s), nil
+}
+
+// ReadCSV loads a relation from CSV (header row required; kinds inferred).
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	return table.ReadCSV(name, r, nil)
+}
+
+// ReadCSVFile loads a relation from a CSV file.
+func ReadCSVFile(name, path string) (*Table, error) {
+	return table.ReadCSVFile(name, path, nil)
+}
+
+// ParseRule reads a denial constraint from text, e.g.
+// "phi@cities: !(t1.zip=t2.zip & t1.city!=t2.city)".
+func ParseRule(text string) (*Rule, error) { return dc.Parse(text) }
+
+// MustRule is ParseRule that panics on error, for rule literals.
+func MustRule(text string) *Rule { return dc.MustParse(text) }
+
+// FD builds the functional dependency lhs...→rhs bound to a table.
+func FD(name, tableName, rhs string, lhs ...string) *Rule {
+	return dc.FD(name, tableName, rhs, lhs...)
+}
+
+// Int, Float, Str build typed values for rows.
+func Int(v int64) Value { return value.NewInt(v) }
+
+// Float builds a float value.
+func Float(v float64) Value { return value.NewFloat(v) }
+
+// Str builds a string value.
+func Str(v string) Value { return value.NewString(v) }

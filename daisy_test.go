@@ -1,0 +1,76 @@
+package daisy
+
+import (
+	"strings"
+	"testing"
+)
+
+func sessionWithCities(t *testing.T) *Session {
+	t.Helper()
+	tb, err := NewTable("cities",
+		Column{Name: "zip", Kind: Int(0).Kind()},
+		Column{Name: "city", Kind: Str("").Kind()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{Int(9001), Str("Los Angeles")},
+		{Int(9001), Str("San Francisco")},
+		{Int(9001), Str("Los Angeles")},
+		{Int(10001), Str("San Francisco")},
+		{Int(10001), Str("New York")},
+	}
+	for _, r := range rows {
+		if err := tb.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(Options{})
+	if err := s.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(MustRule("phi@cities: !(t1.zip=t2.zip & t1.city!=t2.city)")); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	s := sessionWithCities(t)
+	res, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() != 3 {
+		t.Fatalf("rows = %d, want 3 (relaxed result)", res.Rows.Len())
+	}
+	if !strings.Contains(res.Plan, "Clean[phi]") {
+		t.Errorf("plan must show the cleaning operator: %s", res.Plan)
+	}
+	// The dataset is now partially probabilistic.
+	pt := s.Table("cities")
+	if pt.DirtyTuples() == 0 {
+		t.Error("cleaning must have produced probabilistic tuples")
+	}
+}
+
+func TestReadCSVPublic(t *testing.T) {
+	tb, err := ReadCSV("t", strings.NewReader("a,b\n1,x\n2,y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("rows = %d", tb.Len())
+	}
+}
+
+func TestFDHelper(t *testing.T) {
+	r := FD("phi", "cities", "city", "zip")
+	if !r.IsFD() {
+		t.Error("FD helper must build an FD")
+	}
+	if _, err := ParseRule("bogus"); err == nil {
+		t.Error("ParseRule must propagate errors")
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"daisy/internal/cost"
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/expr"
+	"daisy/internal/relax"
+	"daisy/internal/repair"
+	"daisy/internal/thetajoin"
+)
+
+// cleanFD handles one FD rule inside cleanσ. It returns the extra row
+// positions that relaxation added to the query result.
+func (s *Session) cleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, rows []int, pred expr.Pred, m *detect.Metrics) ([]int, error) {
+	view := detect.PTableView{P: st.pt}
+	checked := st.checkedGroups[rule.Name]
+	if checked == nil {
+		checked = make(map[string]bool)
+		st.checkedGroups[rule.Name] = checked
+	}
+
+	// Statistics-driven pruning (Fig 9): only rows in dirty, unchecked
+	// groups need cleaning work.
+	var scope []int
+	for _, r := range rows {
+		key := detect.LHSKeyOf(view, r, fd)
+		if !s.opts.DisableStatsPruning && st.stats != nil && !st.stats.Dirty(rule.Name, key) {
+			continue
+		}
+		if checked[key] {
+			continue
+		}
+		scope = append(scope, r)
+	}
+	if len(scope) == 0 {
+		s.lastDecisions = append(s.lastDecisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "skip"})
+		return nil, nil
+	}
+
+	// Cost model: incremental vs switching to a full clean of the remaining
+	// dirty part (§5.2.3).
+	strategy := s.opts.Strategy
+	if strategy == StrategyAuto && st.cost != nil {
+		qi := len(rows)
+		epsi := len(scope)
+		ei := s.estimateExtras(st, rule.Name, epsi)
+		if st.cost.ShouldSwitchToFull(qi, ei, epsi) {
+			strategy = StrategyFull
+		} else {
+			strategy = StrategyIncremental
+		}
+	}
+	if strategy == StrategyFull {
+		s.fullCleanFD(st, rule, fd, m)
+		if st.cost != nil {
+			st.cost.MarkSwitched()
+		}
+		s.lastDecisions = append(s.lastDecisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "full"})
+		// After a full clean, relaxation extras are the other members of the
+		// result's dirty groups (they may qualify probabilistically).
+		return s.groupPartners(st, view, fd, scope, rows), nil
+	}
+
+	// Incremental: relax the result (Algorithm 1). A filter on the lhs
+	// requires the transitive closure (Lemma 2); otherwise one pass
+	// suffices (Lemma 1).
+	var extra []int
+	if predTouchesLHS(pred, fd) {
+		extra = relax.FD(view, scope, fd, m)
+	} else {
+		extra = relax.FDOnePass(view, scope, fd, m)
+	}
+	repairScope := append(append([]int(nil), scope...), extra...)
+	// Support pass: same-rhs partners consulted for P(lhs|rhs) only.
+	support := relax.FDOnePass(view, repairScope, fd, m)
+
+	delta := repair.FD(view, repairScope, support, fd, st.pt.Schema.MustIndex, m)
+	updated := st.pt.Apply(delta)
+	m.Updates += int64(updated)
+
+	// Mark the repaired groups as checked.
+	for _, r := range repairScope {
+		checked[detect.LHSKeyOf(view, r, fd)] = true
+	}
+	if st.cost != nil {
+		st.cost.RecordQuery(len(rows), len(extra), len(repairScope))
+	}
+	s.lastDecisions = append(s.lastDecisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "incremental"})
+	return extra, nil
+}
+
+// estimateExtras projects the relaxation size for the cost model from the
+// precomputed group statistics: each dirty tuple pulls in its group partners.
+func (s *Session) estimateExtras(st *tableState, rule string, epsi int) int {
+	if st.stats == nil {
+		return epsi
+	}
+	fs, ok := st.stats.FDs[rule]
+	if !ok || fs.DirtyGroups == 0 {
+		return epsi
+	}
+	avgGroup := float64(fs.DirtyTuples) / float64(fs.DirtyGroups)
+	return int(float64(epsi) * avgGroup)
+}
+
+// predTouchesLHS reports whether the filter references an lhs attribute of
+// the FD (the Lemma 2 multi-iteration case).
+func predTouchesLHS(pred expr.Pred, fd dc.FDSpec) bool {
+	if pred == nil {
+		return false
+	}
+	cols := expr.ColNames(pred)
+	for _, l := range fd.LHS {
+		if cols[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// fullCleanFD cleans every remaining dirty group of the relation in one
+// offline-style pass (the strategy-switch target).
+func (s *Session) fullCleanFD(st *tableState, rule *dc.Constraint, fd dc.FDSpec, m *detect.Metrics) {
+	view := detect.PTableView{P: st.pt}
+	checked := st.checkedGroups[rule.Name]
+	groups := detect.GroupByFD(view, fd, m)
+	var scope []int
+	for key, g := range groups {
+		if !g.Violating() || checked[key] {
+			continue
+		}
+		scope = append(scope, g.Members...)
+	}
+	if len(scope) == 0 {
+		return
+	}
+	delta := repair.FD(view, scope, nil, fd, st.pt.Schema.MustIndex, m)
+	updated := st.pt.Apply(delta)
+	m.Updates += int64(updated)
+	for _, r := range scope {
+		checked[detect.LHSKeyOf(view, r, fd)] = true
+	}
+}
+
+// groupPartners returns the dirty-group members of the scope rows that are
+// not already in the result (relaxation extras after a full clean).
+func (s *Session) groupPartners(st *tableState, view detect.PTableView, fd dc.FDSpec, scope, rows []int) []int {
+	inResult := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		inResult[r] = true
+	}
+	want := make(map[string]bool, len(scope))
+	for _, r := range scope {
+		want[detect.LHSKeyOf(view, r, fd)] = true
+	}
+	var extra []int
+	for i := 0; i < view.Len(); i++ {
+		if inResult[i] {
+			continue
+		}
+		if want[detect.LHSKeyOf(view, i, fd)] {
+			extra = append(extra, i)
+		}
+	}
+	return extra
+}
+
+// cleanDC handles one general denial constraint inside cleanσ.
+func (s *Session) cleanDC(st *tableState, tableName string, rule *dc.Constraint, rows []int, m *detect.Metrics) ([]int, error) {
+	view := detect.PTableView{P: st.pt}
+	checked := st.checkedTuples[rule.Name]
+	if checked == nil {
+		checked = make(map[int64]bool)
+		st.checkedTuples[rule.Name] = checked
+	}
+
+	// Algorithm 2: estimate result dirtiness from precomputed range overlap.
+	est, ok := st.dcEstimates[rule.Name]
+	if !ok {
+		est = thetajoin.EstimateErrors(view, rule, s.opts.Partitions)
+		st.dcEstimates[rule.Name] = est
+	}
+	errors := s.estimateResultErrors(view, rule, rows, est)
+	support := s.dcSupport(st, rule)
+	decision := cost.DecideDC(errors, len(rows), support, s.opts.DCThreshold)
+
+	strategy := s.opts.Strategy
+	if strategy == StrategyAuto {
+		if decision.FullClean {
+			strategy = StrategyFull
+		} else {
+			strategy = StrategyIncremental
+		}
+	}
+	dec := Decision{Table: tableName, Rule: rule.Name,
+		Accuracy: 1 - decision.Dirtiness, Support: support}
+
+	var delta []int // new rows to check
+	var rest []int  // unchecked rows outside the result
+	inResult := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		inResult[r] = true
+	}
+	if strategy == StrategyFull {
+		dec.Strategy = "full"
+		for i := 0; i < view.Len(); i++ {
+			if checked[view.ID(i)] {
+				continue
+			}
+			if inResult[i] {
+				delta = append(delta, i)
+			} else {
+				delta = append(delta, i) // full clean: everything is delta
+			}
+		}
+		rest = nil
+	} else {
+		dec.Strategy = "incremental"
+		for i := 0; i < view.Len(); i++ {
+			if checked[view.ID(i)] {
+				continue
+			}
+			if inResult[i] {
+				delta = append(delta, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+	}
+	s.lastDecisions = append(s.lastDecisions, dec)
+	if len(delta) == 0 {
+		return nil, nil
+	}
+
+	deltaView := detect.SubsetView{Base: view, Idx: delta}
+	var pairs []thetajoin.Pair
+	if len(rest) > 0 {
+		restView := detect.SubsetView{Base: view, Idx: rest}
+		pairs = thetajoin.DetectPartial(deltaView, restView, rule, s.opts.Partitions, m)
+	} else {
+		pairs = thetajoin.Detect(deltaView, rule, s.opts.Partitions, m)
+	}
+	fixes := repair.DCFixes(view, pairs, rule, st.pt.Schema.MustIndex, m)
+	updated := st.pt.Apply(fixes)
+	m.Updates += int64(updated)
+
+	// Mark the delta tuples checked (full clean marks everything).
+	for _, i := range delta {
+		checked[view.ID(i)] = true
+	}
+
+	// Relaxation extras: conflict partners outside the result.
+	posByID := make(map[int64]int, view.Len())
+	for i := 0; i < view.Len(); i++ {
+		posByID[view.ID(i)] = i
+	}
+	seen := make(map[int]bool)
+	var extra []int
+	for _, p := range pairs {
+		for _, id := range []int64{p.T1, p.T2} {
+			pos := posByID[id]
+			if inResult[pos] || seen[pos] {
+				continue
+			}
+			seen[pos] = true
+			extra = append(extra, pos)
+			m.Relaxed++
+		}
+	}
+	return extra, nil
+}
+
+// estimateResultErrors sums the violation estimates of the ranges the query
+// answer overlaps (Algorithm 2 lines 4-5).
+func (s *Session) estimateResultErrors(view detect.PTableView, rule *dc.Constraint, rows []int, est []thetajoin.RangeEstimate) float64 {
+	if len(est) == 0 || len(rows) == 0 {
+		return 0
+	}
+	col := rule.Atoms[0].LeftCol
+	// Answer's primary-attribute range.
+	lo := view.Value(rows[0], col)
+	hi := lo
+	for _, r := range rows[1:] {
+		v := view.Value(r, col)
+		if v.Less(lo) {
+			lo = v
+		}
+		if hi.Less(v) {
+			hi = v
+		}
+	}
+	numeric := lo.IsNumeric() && hi.IsNumeric()
+	var loF, hiF float64
+	if numeric {
+		loF, hiF = lo.Float(), hi.Float()
+	}
+	total := 0.0
+	for _, e := range est {
+		if e.Hi.Less(lo) || hi.Less(e.Lo) {
+			continue
+		}
+		// Scale the range's violation mass by the fraction of the range the
+		// answer actually overlaps, so dirtiness compares like with like.
+		frac := 1.0
+		if numeric && e.Lo.IsNumeric() && e.Hi.IsNumeric() {
+			rLo, rHi := e.Lo.Float(), e.Hi.Float()
+			if rHi > rLo {
+				ovLo, ovHi := maxF(rLo, loF), minF(rHi, hiF)
+				if ovHi <= ovLo {
+					continue
+				}
+				frac = (ovHi - ovLo) / (rHi - rLo)
+			}
+		}
+		total += e.Violations * frac
+	}
+	return total
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dcSupport reports the fraction of the relation already theta-join-checked
+// under the rule — the diagonal-coverage support of Algorithm 2 line 7.
+func (s *Session) dcSupport(st *tableState, rule *dc.Constraint) float64 {
+	checked := st.checkedTuples[rule.Name]
+	if st.pt.Len() == 0 {
+		return 1
+	}
+	return float64(len(checked)) / float64(st.pt.Len())
+}

@@ -1,0 +1,285 @@
+// Package core implements Daisy: the query-driven cleaning engine of the
+// paper. A Session holds the gradually-cleaned probabilistic state of every
+// registered relation, plans queries with cleaning operators weaved in
+// (package plan), executes them (package engine), and implements the
+// cleaning callback: relax the query result (package relax), detect and
+// repair violations (packages detect/thetajoin/repair), apply the delta in
+// place, and remember what has been checked so no work repeats. Per query,
+// the cost model (package cost) decides between incremental cleaning and
+// switching to a full clean of the remaining dirty part (§5.2.3), and
+// Algorithm 2's accuracy estimate drives the same decision for general DCs.
+package core
+
+import (
+	"fmt"
+
+	"daisy/internal/cost"
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/engine"
+	"daisy/internal/expr"
+	"daisy/internal/plan"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/sql"
+	"daisy/internal/stats"
+	"daisy/internal/table"
+	"daisy/internal/thetajoin"
+	"daisy/internal/uncertain"
+)
+
+// Strategy selects how cleaning work is scheduled.
+type Strategy int
+
+// Strategies: Auto consults the cost model; Incremental and Full force one
+// side (the paper's "Daisy w/o cost" and "Full Cleaning" lines).
+const (
+	StrategyAuto Strategy = iota
+	StrategyIncremental
+	StrategyFull
+)
+
+// Options configure a Session.
+type Options struct {
+	// Partitions controls theta-join matrix granularity (default 64).
+	Partitions int
+	// DCThreshold is Algorithm 2's dirtiness threshold above which a general
+	// DC triggers a full clean (default 0.10).
+	DCThreshold float64
+	// Strategy forces incremental or full cleaning; Auto uses the cost model.
+	Strategy Strategy
+	// DisableCleaning executes queries over the dirty data unchanged.
+	DisableCleaning bool
+	// DisableStatsPruning turns off the precomputed dirty-group check (the
+	// Fig 9 optimization) — ablation knob: every result row then pays
+	// detection work even when its group is clean.
+	DisableStatsPruning bool
+}
+
+func (o *Options) defaults() {
+	if o.Partitions <= 0 {
+		o.Partitions = 64
+	}
+	if o.DCThreshold <= 0 {
+		o.DCThreshold = 0.10
+	}
+}
+
+// tableState is the per-relation cleaning state.
+type tableState struct {
+	pt    *ptable.PTable
+	stats *stats.TableStats
+	cost  *cost.Model
+	// checkedGroups marks FD lhs group keys already cleaned, per rule.
+	checkedGroups map[string]map[string]bool
+	// checkedTuples marks tuples already theta-join-checked, per DC rule.
+	checkedTuples map[string]map[int64]bool
+	// dcEstimates caches Algorithm 2's per-range violation estimates.
+	dcEstimates map[string][]thetajoin.RangeEstimate
+	rules       []*dc.Constraint
+}
+
+// Session is a query-driven cleaning session over one or more dirty tables.
+type Session struct {
+	opts   Options
+	tables map[string]*tableState
+	rules  []*dc.Constraint
+
+	// Metrics accumulates work across all queries.
+	Metrics detect.Metrics
+
+	// per-query scratch, reset by Query.
+	lastDecisions []Decision
+}
+
+// Decision records one cleaning decision taken during a query.
+type Decision struct {
+	Table    string
+	Rule     string
+	Strategy string  // "incremental", "full", "skip"
+	Accuracy float64 // 1 − estimated dirtiness (DC rules only)
+	Support  float64 // diagonal coverage (DC rules only)
+}
+
+// Result is a cleaned query answer.
+type Result struct {
+	Rows      *ptable.PTable
+	Plan      string
+	Decisions []Decision
+	Metrics   detect.Metrics
+}
+
+// NewSession creates an empty session.
+func NewSession(opts Options) *Session {
+	opts.defaults()
+	return &Session{opts: opts, tables: make(map[string]*tableState)}
+}
+
+// Register snapshots a dirty table into the session.
+func (s *Session) Register(t *table.Table) error {
+	if _, dup := s.tables[t.Name]; dup {
+		return fmt.Errorf("core: table %q already registered", t.Name)
+	}
+	s.tables[t.Name] = &tableState{
+		pt:            ptable.FromTable(t),
+		checkedGroups: make(map[string]map[string]bool),
+		checkedTuples: make(map[string]map[int64]bool),
+		dcEstimates:   make(map[string][]thetajoin.RangeEstimate),
+	}
+	return nil
+}
+
+// AddRule binds a denial constraint and precomputes its statistics (the
+// group-by sizes of §5.2.3/§6). Rules may be added after queries have run;
+// provenance lets new rules merge into already-probabilistic data (Table 7).
+func (s *Session) AddRule(rule *dc.Constraint) error {
+	if rule.Name == "" {
+		return fmt.Errorf("core: rule must be named")
+	}
+	bound := false
+	for name, st := range s.tables {
+		if rule.Table != "" && rule.Table != name {
+			continue
+		}
+		ok := true
+		for _, col := range rule.Columns() {
+			if !st.pt.Schema.Has(col) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			if rule.Table == name {
+				return fmt.Errorf("core: rule %s references columns missing from %s", rule.Name, name)
+			}
+			continue
+		}
+		st.rules = append(st.rules, rule)
+		st.stats = stats.Collect(detect.PTableView{P: st.pt}, st.rules)
+		st.cost = cost.New(st.stats.N, st.stats.Epsilon(), st.stats.P())
+		bound = true
+	}
+	if !bound {
+		return fmt.Errorf("core: rule %s matches no registered table", rule.Name)
+	}
+	s.rules = append(s.rules, rule)
+	return nil
+}
+
+// ReplaceTable installs an externally prepared probabilistic relation under
+// its name, replacing any existing registration. Baselines use it to query
+// data they cleaned offline.
+func (s *Session) ReplaceTable(name string, pt *ptable.PTable) {
+	s.tables[name] = &tableState{
+		pt:            pt,
+		checkedGroups: make(map[string]map[string]bool),
+		checkedTuples: make(map[string]map[int64]bool),
+		dcEstimates:   make(map[string][]thetajoin.RangeEstimate),
+	}
+}
+
+// Table exposes the current probabilistic state of a relation.
+func (s *Session) Table(name string) *ptable.PTable {
+	st, ok := s.tables[name]
+	if !ok {
+		return nil
+	}
+	return st.pt
+}
+
+// Rules returns the bound constraints.
+func (s *Session) Rules() []*dc.Constraint { return s.rules }
+
+// Schema implements plan.Catalog.
+func (s *Session) Schema(name string) (*schema.Schema, bool) {
+	st, ok := s.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return st.pt.Schema, true
+}
+
+// Query parses, plans, and executes a statement, weaving cleaning operators
+// into the plan.
+func (s *Session) Query(text string) (*Result, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(q)
+}
+
+// Run executes a parsed query.
+func (s *Session) Run(q *sql.Query) (*Result, error) {
+	node, err := plan.Build(q, s, s.rules)
+	if err != nil {
+		return nil, err
+	}
+	s.lastDecisions = nil
+	ex := &engine.Executor{Tables: s.ptables()}
+	if !s.opts.DisableCleaning {
+		ex.Cleaner = s
+	}
+	rows, err := ex.Run(node)
+	if err != nil {
+		return nil, err
+	}
+	s.Metrics.Add(ex.Metrics)
+	return &Result{Rows: rows, Plan: node.String(), Decisions: s.lastDecisions, Metrics: ex.Metrics}, nil
+}
+
+func (s *Session) ptables() map[string]*ptable.PTable {
+	out := make(map[string]*ptable.PTable, len(s.tables))
+	for name, st := range s.tables {
+		out[name] = st.pt
+	}
+	return out
+}
+
+// CleanSelect implements engine.Cleaner: the cleanσ operator.
+func (s *Session) CleanSelect(tableName string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) ([]int, error) {
+	st, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("core: clean: unknown table %q", tableName)
+	}
+	resultSet := make(map[int]bool, len(rows))
+	current := append([]int(nil), rows...)
+	for _, r := range current {
+		resultSet[r] = true
+	}
+	for _, rule := range rules {
+		var extra []int
+		var err error
+		if fd, isFD := rule.AsFD(); isFD {
+			extra, err = s.cleanFD(st, tableName, rule, fd, current, pred, m)
+		} else {
+			extra, err = s.cleanDC(st, tableName, rule, current, m)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, x := range extra {
+			if !resultSet[x] {
+				resultSet[x] = true
+				current = append(current, x)
+			}
+		}
+	}
+	// Re-qualify: keep every tuple that satisfies the predicate in at least
+	// one possible world after cleaning.
+	if pred == nil {
+		return current, nil
+	}
+	var out []int
+	pt := st.pt
+	for _, r := range current {
+		row := r
+		ok := pred.EvalCell(func(ref expr.ColRef) *uncertain.Cell {
+			return &pt.Tuples[row].Cells[pt.Schema.MustIndex(ref.Col)]
+		})
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

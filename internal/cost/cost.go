@@ -1,0 +1,166 @@
+// Package cost implements the cost model of §5.2: the offline (full)
+// cleaning cost, the per-query incremental cleaning cost (formula (1)), and
+// the inequality that decides when Daisy should stop cleaning query results
+// incrementally and instead clean the remaining dirty part of the dataset
+// (§5.2.3, the Fig 7/12 strategy switch). It also implements Algorithm 2's
+// accuracy/support decision for general DCs.
+package cost
+
+// Model tracks the running terms of the incremental-vs-full inequality for
+// one relation.
+type Model struct {
+	// N is the dataset size.
+	N int
+	// Epsilon is the estimated number of erroneous tuples (from stats).
+	Epsilon int
+	// P is the estimated candidate-set size per erroneous value.
+	P float64
+
+	// seen is Σ q_i — tuples already accessed by queries.
+	seen int
+	// cleanedErr is Σ ε_ij — erroneous tuples already repaired.
+	cleanedErr int
+	// cumIncremental accumulates the incremental cost actually spent.
+	cumIncremental float64
+	// queries counts executed queries.
+	queries int
+	// switched records that the model already chose full cleaning.
+	switched bool
+}
+
+// New creates a model for a relation of n tuples with estimated epsilon
+// erroneous tuples and candidate size p.
+func New(n, epsilon int, p float64) *Model {
+	if p < 1 {
+		p = 1
+	}
+	return &Model{N: n, Epsilon: epsilon, P: p}
+}
+
+// OfflineCost is the traditional cleaning cost of §5.2.1 plus the query
+// execution cost: q·n + d_f + ε·n + n + ε·p, with d_f = n for FDs (hash
+// grouping).
+func (m *Model) OfflineCost(futureQueries int) float64 {
+	df := float64(m.N)
+	return float64(futureQueries)*float64(m.N) + df +
+		float64(m.Epsilon)*float64(m.N) + float64(m.N) + float64(m.Epsilon)*m.P
+}
+
+// IncrementalQueryCost is formula (1) for the next query: relaxation cost
+// over the unknown part, detection over the enhanced result, repair over the
+// enhanced result, and the probabilistic update of the dataset.
+//
+// qi is the query result size, ei the relaxation extra size, epsi the
+// erroneous tuples in the enhanced result.
+func (m *Model) IncrementalQueryCost(qi, ei, epsi int) float64 {
+	unknown := float64(m.N - m.seen)
+	if unknown < 0 {
+		unknown = 0
+	}
+	detection := float64(qi + ei)
+	repairCost := float64(epsi) * float64(qi+ei)
+	update := float64(m.N-m.cleanedErr) + float64(m.cleanedErr)*m.P + float64(epsi)*m.P
+	return unknown + detection + repairCost + update
+}
+
+// RecordQuery charges an executed query against the model.
+func (m *Model) RecordQuery(qi, ei, epsi int) {
+	m.cumIncremental += m.IncrementalQueryCost(qi, ei, epsi)
+	m.seen += qi
+	if m.seen > m.N {
+		m.seen = m.N
+	}
+	m.cleanedErr += epsi
+	if m.cleanedErr > m.Epsilon {
+		m.cleanedErr = m.Epsilon
+	}
+	m.queries++
+}
+
+// RemainingFullCleanCost estimates cleaning the not-yet-clean part of the
+// dataset in one offline pass: detection over the whole relation, repair of
+// the remaining errors against the remaining data, one dataset update.
+func (m *Model) RemainingFullCleanCost() float64 {
+	remErr := float64(m.Epsilon - m.cleanedErr)
+	if remErr < 0 {
+		remErr = 0
+	}
+	return float64(m.N) + remErr*float64(m.N) + float64(m.N) + remErr*m.P
+}
+
+// ShouldSwitchToFull evaluates the §5.2.3 inequality before the next query,
+// exactly as the paper describes Fig 7: Daisy re-evaluates the *total* cost
+// after each query and switches once the cumulative incremental cost (plus
+// the projected next query) exceeds the offline cost — full cleaning
+// followed by executing the queries seen so far. Switching then cleans only
+// the remaining dirty part, so the total stays below both pure strategies.
+// qi/ei/epsi are the projections for the next query.
+func (m *Model) ShouldSwitchToFull(qi, ei, epsi int) bool {
+	if m.switched {
+		return false // already executed the full clean
+	}
+	if m.cleanedErr >= m.Epsilon {
+		return false // nothing dirty remains; switching buys nothing
+	}
+	next := m.IncrementalQueryCost(qi, ei, epsi)
+	// Rule A — the paper's §5.2.3 inequality evaluated cumulatively: total
+	// incremental spend has exceeded the full offline pass plus queries.
+	if m.cumIncremental+next > m.OfflineCost(m.queries+1) {
+		return true
+	}
+	// Rule B — forward projection: finishing the workload incrementally
+	// (non-overlapping queries keep covering unseen data) costs more than
+	// cleaning the remaining dirty part in one pass now.
+	if qi > 0 {
+		remainingQueries := float64(m.N-m.seen) / float64(qi)
+		if remainingQueries < 1 {
+			remainingQueries = 1
+		}
+		if next*remainingQueries > m.RemainingFullCleanCost() {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkSwitched records that the full cleaning pass ran; subsequent queries
+// pay only query cost.
+func (m *Model) MarkSwitched() {
+	m.switched = true
+	m.cleanedErr = m.Epsilon
+	m.seen = m.N
+}
+
+// Switched reports whether the model has already chosen full cleaning.
+func (m *Model) Switched() bool { return m.switched }
+
+// CumulativeIncremental returns the incremental cost charged so far.
+func (m *Model) CumulativeIncremental() float64 { return m.cumIncremental }
+
+// Queries returns the number of recorded queries.
+func (m *Model) Queries() int { return m.queries }
+
+// DCDecision is Algorithm 2's accuracy-driven choice for general DCs.
+type DCDecision struct {
+	// EstimatedErrors is the violation mass of the ranges overlapping the
+	// query answer.
+	EstimatedErrors float64
+	// Dirtiness is errors/(|qa|+errors) — the paper's "accuracy" variable of
+	// Algorithm 2 line 6 (Fig 10 reports it as predicted accuracy: 23%
+	// triggers the full clean).
+	Dirtiness float64
+	// Support is the diagonal-coverage fraction (line 7).
+	Support float64
+	// FullClean is the verdict of line 8: dirtiness above threshold.
+	FullClean bool
+}
+
+// DecideDC applies Algorithm 2's threshold rule.
+func DecideDC(estimatedErrors float64, resultSize int, support, threshold float64) DCDecision {
+	d := DCDecision{EstimatedErrors: estimatedErrors, Support: support}
+	if resultSize > 0 || estimatedErrors > 0 {
+		d.Dirtiness = estimatedErrors / (float64(resultSize) + estimatedErrors)
+	}
+	d.FullClean = d.Dirtiness > threshold
+	return d
+}

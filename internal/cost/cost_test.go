@@ -1,0 +1,131 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundaryCaseSingleFullQuery(t *testing.T) {
+	// Paper §5.2.3: with q=1 and q1=n, e1=0, the incremental cost equals the
+	// offline cost (the inequality becomes εn ≤ εn).
+	n, eps := 1000, 100
+	m := New(n, eps, 1)
+	inc := m.IncrementalQueryCost(n, 0, eps)
+	off := m.OfflineCost(1)
+	if math.Abs(inc-off) > 1e-9 {
+		t.Errorf("incremental %v != offline %v on the boundary case", inc, off)
+	}
+}
+
+func TestIncrementalCostShrinksWithSeenData(t *testing.T) {
+	m := New(1000, 100, 2)
+	before := m.IncrementalQueryCost(20, 5, 2)
+	m.RecordQuery(500, 50, 50)
+	after := m.IncrementalQueryCost(20, 5, 2)
+	if after >= before {
+		t.Errorf("cost must shrink as data is seen: %v → %v", before, after)
+	}
+}
+
+func TestHighCandidateCountInflatesUpdateCost(t *testing.T) {
+	// The Fig 7 driver: large p (many candidates per violating value)
+	// inflates the incremental update term.
+	cheap := New(1000, 100, 1)
+	pricey := New(1000, 100, 50)
+	// Accumulate some cleaned errors so the ε·p term matters.
+	cheap.RecordQuery(100, 10, 50)
+	pricey.RecordQuery(100, 10, 50)
+	if pricey.IncrementalQueryCost(100, 10, 50) <= cheap.IncrementalQueryCost(100, 10, 50) {
+		t.Error("larger p must cost more")
+	}
+}
+
+func TestSwitchHappensEventually(t *testing.T) {
+	// Expensive incremental regime: lots of errors, big p, small queries.
+	m := New(10000, 5000, 400)
+	switched := -1
+	for q := 0; q < 90; q++ {
+		if m.ShouldSwitchToFull(200, 100, 50) {
+			switched = q
+			m.MarkSwitched()
+			break
+		}
+		m.RecordQuery(200, 100, 50)
+	}
+	if switched < 0 {
+		t.Fatal("model never switched despite expensive incremental cleaning")
+	}
+	if switched == 0 {
+		t.Error("switch on the very first query is too eager (nothing cleaned yet)")
+	}
+	if !m.Switched() {
+		t.Error("Switched() must report true after MarkSwitched")
+	}
+	if m.ShouldSwitchToFull(200, 100, 50) {
+		t.Error("must not switch twice")
+	}
+}
+
+func TestNoSwitchWhenFullCleaningExpensive(t *testing.T) {
+	// Fig 5/9 regime: many errors make the offline side's ε·n term enormous,
+	// so incremental cleaning stays ahead for the whole workload.
+	m := New(100000, 20000, 2)
+	for q := 0; q < 50; q++ {
+		if m.ShouldSwitchToFull(2000, 200, 400) {
+			t.Fatalf("switched at query %d despite expensive full cleaning", q)
+		}
+		m.RecordQuery(2000, 200, 400)
+	}
+}
+
+func TestRemainingFullCleanShrinks(t *testing.T) {
+	m := New(1000, 200, 2)
+	before := m.RemainingFullCleanCost()
+	m.RecordQuery(500, 100, 150)
+	after := m.RemainingFullCleanCost()
+	if after >= before {
+		t.Errorf("remaining full-clean cost must shrink: %v → %v", before, after)
+	}
+}
+
+func TestRecordQueryClampsCounters(t *testing.T) {
+	m := New(100, 10, 1)
+	m.RecordQuery(1000, 0, 1000) // overshoot
+	if m.IncrementalQueryCost(10, 0, 0) < 0 {
+		t.Error("cost must not go negative after clamping")
+	}
+	if m.Queries() != 1 {
+		t.Errorf("queries = %d", m.Queries())
+	}
+	if m.CumulativeIncremental() <= 0 {
+		t.Error("cumulative cost must accumulate")
+	}
+}
+
+func TestDecideDCThreshold(t *testing.T) {
+	// Fig 10: 23% dirtiness with a 10% threshold → full clean.
+	d := DecideDC(230, 770, 0.5, 0.10)
+	if math.Abs(d.Dirtiness-0.23) > 1e-9 {
+		t.Errorf("dirtiness = %v", d.Dirtiness)
+	}
+	if !d.FullClean {
+		t.Error("23% > 10% must trigger full cleaning")
+	}
+	// 0.2% violations: stay incremental.
+	d2 := DecideDC(2, 998, 0.5, 0.10)
+	if d2.FullClean {
+		t.Error("0.2% must stay incremental")
+	}
+	// Degenerate empty result.
+	d3 := DecideDC(0, 0, 1, 0.10)
+	if d3.FullClean || d3.Dirtiness != 0 {
+		t.Errorf("empty case = %+v", d3)
+	}
+}
+
+func TestPFloor(t *testing.T) {
+	m := New(10, 1, 0)
+	if m.P != 1 {
+		t.Errorf("P floor = %v, want 1", m.P)
+	}
+}

@@ -1,0 +1,207 @@
+// Package dc models denial constraints (DCs): universally quantified
+// first-order sentences ∀t1,t2 ¬(p1 ∧ ... ∧ pm) whose predicates compare
+// attributes of a pair of tuples. Functional dependencies X→Y are the
+// special case ¬(t1.X=t2.X ∧ t1.Y≠t2.Y), and the package classifies them so
+// the cleaning pipeline can use the cheaper group-by detection path.
+package dc
+
+import (
+	"fmt"
+	"strings"
+
+	"daisy/internal/value"
+)
+
+// Op is a comparison operator in a DC atom.
+type Op int
+
+// Comparison operators, in the paper's op set {=, ≠, <, ≤, >, ≥}.
+const (
+	Eq Op = iota
+	Neq
+	Lt
+	Leq
+	Gt
+	Geq
+)
+
+var opNames = map[Op]string{Eq: "=", Neq: "!=", Lt: "<", Leq: "<=", Gt: ">", Geq: ">="}
+
+// String renders the operator in DC text syntax.
+func (o Op) String() string { return opNames[o] }
+
+// Negate returns the complementary operator (used when inverting atoms to
+// construct candidate fixes: making an atom false means enforcing ¬op).
+func (o Op) Negate() Op {
+	switch o {
+	case Eq:
+		return Neq
+	case Neq:
+		return Eq
+	case Lt:
+		return Geq
+	case Leq:
+		return Gt
+	case Gt:
+		return Leq
+	case Geq:
+		return Lt
+	}
+	panic(fmt.Sprintf("dc: negate unknown op %d", o))
+}
+
+// Eval applies the operator to two values.
+func (o Op) Eval(a, b value.Value) bool {
+	c := a.Compare(b)
+	switch o {
+	case Eq:
+		return c == 0
+	case Neq:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Leq:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Geq:
+		return c >= 0
+	}
+	return false
+}
+
+// Atom is one predicate t<L>.<LeftCol> op t<R>.<RightCol> between the two
+// universally quantified tuples. Tuple indices are 1 or 2.
+type Atom struct {
+	LeftTuple  int
+	LeftCol    string
+	Op         Op
+	RightTuple int
+	RightCol   string
+}
+
+// String renders the atom in DC text syntax.
+func (a Atom) String() string {
+	return fmt.Sprintf("t%d.%s%st%d.%s", a.LeftTuple, a.LeftCol, a.Op, a.RightTuple, a.RightCol)
+}
+
+// SameColumn reports whether the atom compares the same attribute of both
+// tuples (the common real-world case the paper's theta-join focuses on).
+func (a Atom) SameColumn() bool { return a.LeftCol == a.RightCol && a.LeftTuple != a.RightTuple }
+
+// Eval evaluates the atom over a tuple pair addressed by a column lookup.
+func (a Atom) Eval(get func(tuple int, col string) value.Value) bool {
+	return a.Op.Eval(get(a.LeftTuple, a.LeftCol), get(a.RightTuple, a.RightCol))
+}
+
+// Constraint is a denial constraint ¬(Atoms[0] ∧ ... ∧ Atoms[m-1]) over a
+// pair of tuples of one relation.
+type Constraint struct {
+	Name  string
+	Table string // relation the constraint applies to; "" = any
+	Atoms []Atom
+}
+
+// Violates reports whether the tuple pair satisfies every atom, i.e. the
+// pair violates the constraint.
+func (c *Constraint) Violates(get func(tuple int, col string) value.Value) bool {
+	for _, a := range c.Atoms {
+		if !a.Eval(get) {
+			return false
+		}
+	}
+	return true
+}
+
+// Columns returns the distinct attribute names mentioned by the constraint,
+// in first-appearance order.
+func (c *Constraint) Columns() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, a := range c.Atoms {
+		add(a.LeftCol)
+		add(a.RightCol)
+	}
+	return out
+}
+
+// OverlapsAny reports whether any constraint column appears in the given
+// attribute set (the paper's (X∪Y)∩(P∪W)≠∅ test for query relevance).
+func (c *Constraint) OverlapsAny(attrs map[string]bool) bool {
+	for _, col := range c.Columns() {
+		if attrs[col] {
+			return true
+		}
+	}
+	return false
+}
+
+// FDSpec is the classified shape of a functional dependency LHS→RHS.
+type FDSpec struct {
+	LHS []string
+	RHS string
+}
+
+// AsFD classifies the constraint as a functional dependency if it has the
+// shape ¬(t1.x1=t2.x1 ∧ ... ∧ t1.xk=t2.xk ∧ t1.y≠t2.y): equality atoms on
+// the LHS attributes and exactly one inequality atom on the RHS attribute.
+func (c *Constraint) AsFD() (FDSpec, bool) {
+	var spec FDSpec
+	rhsSeen := false
+	for _, a := range c.Atoms {
+		if !a.SameColumn() {
+			return FDSpec{}, false
+		}
+		switch a.Op {
+		case Eq:
+			spec.LHS = append(spec.LHS, a.LeftCol)
+		case Neq:
+			if rhsSeen {
+				return FDSpec{}, false
+			}
+			rhsSeen = true
+			spec.RHS = a.LeftCol
+		default:
+			return FDSpec{}, false
+		}
+	}
+	if !rhsSeen || len(spec.LHS) == 0 {
+		return FDSpec{}, false
+	}
+	return spec, true
+}
+
+// IsFD reports whether the constraint is a functional dependency.
+func (c *Constraint) IsFD() bool {
+	_, ok := c.AsFD()
+	return ok
+}
+
+// String renders the constraint in DC text syntax.
+func (c *Constraint) String() string {
+	parts := make([]string, len(c.Atoms))
+	for i, a := range c.Atoms {
+		parts[i] = a.String()
+	}
+	body := "!(" + strings.Join(parts, " & ") + ")"
+	if c.Name != "" {
+		return c.Name + ": " + body
+	}
+	return body
+}
+
+// FD is a convenience constructor for the functional dependency lhs...→rhs.
+func FD(name, tableName string, rhs string, lhs ...string) *Constraint {
+	c := &Constraint{Name: name, Table: tableName}
+	for _, l := range lhs {
+		c.Atoms = append(c.Atoms, Atom{LeftTuple: 1, LeftCol: l, Op: Eq, RightTuple: 2, RightCol: l})
+	}
+	c.Atoms = append(c.Atoms, Atom{LeftTuple: 1, LeftCol: rhs, Op: Neq, RightTuple: 2, RightCol: rhs})
+	return c
+}

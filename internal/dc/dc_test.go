@@ -1,0 +1,191 @@
+package dc
+
+import (
+	"testing"
+
+	"daisy/internal/value"
+)
+
+func TestOpEval(t *testing.T) {
+	a, b := value.NewInt(1), value.NewInt(2)
+	cases := []struct {
+		op   Op
+		want bool
+	}{
+		{Eq, false}, {Neq, true}, {Lt, true}, {Leq, true}, {Gt, false}, {Geq, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(a, b); got != c.want {
+			t.Errorf("1 %s 2 = %v, want %v", c.op, got, c.want)
+		}
+	}
+	if !Eq.Eval(value.NewString("x"), value.NewString("x")) {
+		t.Error("x = x")
+	}
+}
+
+func TestOpNegateIsInvolution(t *testing.T) {
+	for _, op := range []Op{Eq, Neq, Lt, Leq, Gt, Geq} {
+		if op.Negate().Negate() != op {
+			t.Errorf("negate(negate(%s)) != %s", op, op)
+		}
+	}
+	// Negation must flip truth for every ordered pair relation.
+	pairs := [][2]value.Value{
+		{value.NewInt(1), value.NewInt(2)},
+		{value.NewInt(2), value.NewInt(2)},
+		{value.NewInt(3), value.NewInt(2)},
+	}
+	for _, op := range []Op{Eq, Neq, Lt, Leq, Gt, Geq} {
+		for _, p := range pairs {
+			if op.Eval(p[0], p[1]) == op.Negate().Eval(p[0], p[1]) {
+				t.Errorf("%s and its negation agree on (%v,%v)", op, p[0], p[1])
+			}
+		}
+	}
+}
+
+func TestFDConstructorAndClassification(t *testing.T) {
+	c := FD("phi", "cities", "city", "zip")
+	spec, ok := c.AsFD()
+	if !ok {
+		t.Fatal("FD() output must classify as FD")
+	}
+	if len(spec.LHS) != 1 || spec.LHS[0] != "zip" || spec.RHS != "city" {
+		t.Errorf("spec = %+v", spec)
+	}
+	if !c.IsFD() {
+		t.Error("IsFD must be true")
+	}
+}
+
+func TestMultiAttributeLHSFD(t *testing.T) {
+	c := FD("phi", "air", "county_name", "county_code", "state_code")
+	spec, ok := c.AsFD()
+	if !ok {
+		t.Fatal("two-column lhs FD must classify")
+	}
+	if len(spec.LHS) != 2 {
+		t.Errorf("lhs = %v", spec.LHS)
+	}
+}
+
+func TestNonFDShapes(t *testing.T) {
+	ineq := MustParse("!(t1.salary<t2.salary & t1.tax>t2.tax)")
+	if ineq.IsFD() {
+		t.Error("inequality DC must not classify as FD")
+	}
+	twoNeq := MustParse("!(t1.a!=t2.a & t1.b!=t2.b)")
+	if twoNeq.IsFD() {
+		t.Error("two inequalities is not an FD")
+	}
+	onlyEq := MustParse("!(t1.a=t2.a)")
+	if onlyEq.IsFD() {
+		t.Error("no rhs inequality is not an FD")
+	}
+}
+
+func TestViolates(t *testing.T) {
+	c := FD("phi", "", "city", "zip")
+	rows := map[int]map[string]value.Value{
+		1: {"zip": value.NewInt(9001), "city": value.NewString("LA")},
+		2: {"zip": value.NewInt(9001), "city": value.NewString("SF")},
+	}
+	get := func(tuple int, col string) value.Value { return rows[tuple][col] }
+	if !c.Violates(get) {
+		t.Error("same zip, different city must violate zip→city")
+	}
+	rows[2]["city"] = value.NewString("LA")
+	if c.Violates(get) {
+		t.Error("identical tuples must not violate an FD")
+	}
+}
+
+func TestViolatesInequalityDC(t *testing.T) {
+	c := MustParse("!(t1.salary<t2.salary & t1.tax>t2.tax)")
+	rows := map[int]map[string]value.Value{
+		1: {"salary": value.NewFloat(2000), "tax": value.NewFloat(0.3)},
+		2: {"salary": value.NewFloat(3000), "tax": value.NewFloat(0.2)},
+	}
+	get := func(tuple int, col string) value.Value { return rows[tuple][col] }
+	if !c.Violates(get) {
+		t.Error("lower salary with higher tax must violate")
+	}
+}
+
+func TestColumnsAndOverlap(t *testing.T) {
+	c := MustParse("!(t1.salary<t2.salary & t1.age<t2.age & t1.tax>t2.tax)")
+	cols := c.Columns()
+	want := []string{"salary", "age", "tax"}
+	if len(cols) != len(want) {
+		t.Fatalf("Columns = %v", cols)
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("Columns = %v, want %v", cols, want)
+		}
+	}
+	if !c.OverlapsAny(map[string]bool{"age": true}) {
+		t.Error("overlap with age expected")
+	}
+	if c.OverlapsAny(map[string]bool{"name": true}) {
+		t.Error("no overlap with name expected")
+	}
+}
+
+func TestParseNamedAndTableBound(t *testing.T) {
+	c, err := Parse("phi1@lineorder: !(t1.orderkey=t2.orderkey & t1.suppkey!=t2.suppkey)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "phi1" || c.Table != "lineorder" {
+		t.Errorf("name=%q table=%q", c.Name, c.Table)
+	}
+	if !c.IsFD() {
+		t.Error("must classify as FD")
+	}
+}
+
+func TestParseNotKeywordAndOperators(t *testing.T) {
+	c, err := Parse("not(t1.a<=t2.a & t1.b>=t2.b & t1.c<>t2.c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Atoms) != 3 {
+		t.Fatalf("atoms = %d", len(c.Atoms))
+	}
+	if c.Atoms[0].Op != Leq || c.Atoms[1].Op != Geq || c.Atoms[2].Op != Neq {
+		t.Errorf("ops = %v %v %v", c.Atoms[0].Op, c.Atoms[1].Op, c.Atoms[2].Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(t1.a=t2.a)",          // missing negation
+		"!t1.a=t2.a",           // missing parens
+		"!(t1.a ~ t2.a)",       // bad operator
+		"!(t3.a=t2.a)",         // bad tuple index
+		"!(a=t2.a)",            // missing tuple qualifier
+		"!(t1.=t2.a)",          // empty column
+		"!()",                  // empty conjunction
+		"phi: !(t1.a == t2.a)", // '==' parses as '=' then ref '=t2.a'? must fail
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	orig := "phi: !(t1.zip=t2.zip & t1.city!=t2.city)"
+	c := MustParse(orig)
+	back, err := Parse(c.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", c.String(), err)
+	}
+	if back.String() != c.String() {
+		t.Errorf("round trip %q != %q", back.String(), c.String())
+	}
+}

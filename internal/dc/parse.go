@@ -1,0 +1,112 @@
+package dc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a denial constraint from text syntax:
+//
+//	!(t1.zip=t2.zip & t1.city!=t2.city)
+//	not(t1.salary<t2.salary & t1.tax>t2.tax)
+//
+// An optional "name:" prefix names the constraint; an optional "@table"
+// suffix after the name binds it to a relation:
+//
+//	phi1@lineorder: !(t1.orderkey=t2.orderkey & t1.suppkey!=t2.suppkey)
+func Parse(text string) (*Constraint, error) {
+	c := &Constraint{}
+	s := strings.TrimSpace(text)
+	if i := strings.Index(s, ":"); i >= 0 && !strings.ContainsAny(s[:i], "(!") {
+		head := strings.TrimSpace(s[:i])
+		if j := strings.Index(head, "@"); j >= 0 {
+			c.Name = strings.TrimSpace(head[:j])
+			c.Table = strings.TrimSpace(head[j+1:])
+		} else {
+			c.Name = head
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	switch {
+	case strings.HasPrefix(s, "!"):
+		s = strings.TrimSpace(s[1:])
+	case strings.HasPrefix(strings.ToLower(s), "not"):
+		s = strings.TrimSpace(s[3:])
+	default:
+		return nil, fmt.Errorf("dc: parse %q: expected '!' or 'not' prefix", text)
+	}
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("dc: parse %q: expected parenthesized conjunction", text)
+	}
+	body := s[1 : len(s)-1]
+	for _, part := range strings.Split(body, "&") {
+		atom, err := parseAtom(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("dc: parse %q: %w", text, err)
+		}
+		c.Atoms = append(c.Atoms, atom)
+	}
+	if len(c.Atoms) == 0 {
+		return nil, fmt.Errorf("dc: parse %q: empty conjunction", text)
+	}
+	return c, nil
+}
+
+// MustParse is Parse that panics on error, for constraint literals.
+func MustParse(text string) *Constraint {
+	c, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ops ordered so two-character operators match before their one-character
+// prefixes.
+var atomOps = []struct {
+	text string
+	op   Op
+}{
+	{"!=", Neq}, {"<>", Neq}, {"<=", Leq}, {">=", Geq},
+	{"=", Eq}, {"<", Lt}, {">", Gt},
+}
+
+func parseAtom(s string) (Atom, error) {
+	for _, cand := range atomOps {
+		i := strings.Index(s, cand.text)
+		if i < 0 {
+			continue
+		}
+		left, right := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+len(cand.text):])
+		lt, lc, err := parseRef(left)
+		if err != nil {
+			return Atom{}, err
+		}
+		rt, rc, err := parseRef(right)
+		if err != nil {
+			return Atom{}, err
+		}
+		return Atom{LeftTuple: lt, LeftCol: lc, Op: cand.op, RightTuple: rt, RightCol: rc}, nil
+	}
+	return Atom{}, fmt.Errorf("atom %q: no comparison operator", s)
+}
+
+func parseRef(s string) (tuple int, col string, err error) {
+	i := strings.Index(s, ".")
+	if i < 0 {
+		return 0, "", fmt.Errorf("ref %q: want tN.column", s)
+	}
+	switch s[:i] {
+	case "t1":
+		tuple = 1
+	case "t2":
+		tuple = 2
+	default:
+		return 0, "", fmt.Errorf("ref %q: tuple must be t1 or t2", s)
+	}
+	col = strings.TrimSpace(s[i+1:])
+	if col == "" {
+		return 0, "", fmt.Errorf("ref %q: empty column", s)
+	}
+	return tuple, col, nil
+}

@@ -1,0 +1,111 @@
+package detect
+
+import (
+	"sort"
+	"strings"
+
+	"daisy/internal/dc"
+	"daisy/internal/value"
+)
+
+// Group is a cluster of tuples sharing the same FD left-hand side.
+type Group struct {
+	// LHSKey is the composite key of the lhs values.
+	LHSKey string
+	// LHS holds the lhs values themselves.
+	LHS []value.Value
+	// Members lists row positions (into the grouped view) in the cluster.
+	Members []int
+	// IDs lists the tuple IDs corresponding to Members.
+	IDs []int64
+	// RHS maps each distinct rhs value key to the member positions holding it.
+	RHS map[string][]int
+	// RHSVal resolves an rhs key back to the value.
+	RHSVal map[string]value.Value
+}
+
+// Violating reports whether the group violates the FD (≥2 distinct rhs).
+func (g *Group) Violating() bool { return len(g.RHS) > 1 }
+
+// RHSDistribution returns the rhs values of the group with their frequency
+// counts, sorted by value for determinism — the basis of P(rhs|lhs).
+func (g *Group) RHSDistribution() ([]value.Value, []int) {
+	keys := make([]string, 0, len(g.RHS))
+	for k := range g.RHS {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]value.Value, len(keys))
+	counts := make([]int, len(keys))
+	for i, k := range keys {
+		vals[i] = g.RHSVal[k]
+		counts[i] = len(g.RHS[k])
+	}
+	return vals, counts
+}
+
+// LHSKeyOf builds the composite grouping key for the FD lhs of row i.
+func LHSKeyOf(v RowView, i int, fd dc.FDSpec) string {
+	parts := make([]string, len(fd.LHS))
+	for j, col := range fd.LHS {
+		parts[j] = v.Value(i, col).Key()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// GroupByFD hash-groups the view's rows by the FD lhs. Cost is O(n), the
+// paper's §5.2.1 error-detection complexity for FDs. Metrics (optional)
+// accumulate scanned-tuple counts.
+func GroupByFD(v RowView, fd dc.FDSpec, m *Metrics) map[string]*Group {
+	groups := make(map[string]*Group)
+	for i := 0; i < v.Len(); i++ {
+		if m != nil {
+			m.Scanned++
+		}
+		key := LHSKeyOf(v, i, fd)
+		g, ok := groups[key]
+		if !ok {
+			lhs := make([]value.Value, len(fd.LHS))
+			for j, col := range fd.LHS {
+				lhs[j] = v.Value(i, col)
+			}
+			g = &Group{LHSKey: key, LHS: lhs, RHS: make(map[string][]int), RHSVal: make(map[string]value.Value)}
+			groups[key] = g
+		}
+		g.Members = append(g.Members, i)
+		g.IDs = append(g.IDs, v.ID(i))
+		rhs := v.Value(i, fd.RHS)
+		rk := rhs.Key()
+		g.RHS[rk] = append(g.RHS[rk], i)
+		g.RHSVal[rk] = rhs
+	}
+	return groups
+}
+
+// FDViolations returns the violating groups of the view under the FD,
+// sorted by lhs key for determinism.
+func FDViolations(v RowView, fd dc.FDSpec, m *Metrics) []*Group {
+	groups := GroupByFD(v, fd, m)
+	var out []*Group
+	for _, g := range groups {
+		if g.Violating() {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LHSKey < out[j].LHSKey })
+	return out
+}
+
+// GroupByRHS hash-groups rows by the FD rhs value — used to compute the
+// LHS candidate distribution P(lhs|rhs) during repair.
+func GroupByRHS(v RowView, fd dc.FDSpec, m *Metrics) map[string][]int {
+	out := make(map[string][]int)
+	for i := 0; i < v.Len(); i++ {
+		if m != nil {
+			m.Scanned++
+		}
+		k := v.Value(i, fd.RHS).Key()
+		out[k] = append(out[k], i)
+	}
+	return out
+}

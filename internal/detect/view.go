@@ -1,0 +1,84 @@
+// Package detect implements violation detection for denial constraints.
+// Functional dependencies use hash grouping on the LHS (the BigDansing
+// optimization the paper's offline baseline adopts — no self-join); general
+// DCs delegate pair enumeration to package thetajoin.
+package detect
+
+import (
+	"daisy/internal/ptable"
+	"daisy/internal/table"
+	"daisy/internal/value"
+)
+
+// RowView abstracts a relation for detection: deterministic tables, subsets
+// of them, and probabilistic tables viewed through their original values.
+type RowView interface {
+	// Len returns the number of rows.
+	Len() int
+	// ID returns the stable tuple identifier of row i.
+	ID(i int) int64
+	// Value returns the named attribute of row i.
+	Value(i int, col string) value.Value
+}
+
+// TableView adapts a deterministic table (IDs are row positions).
+type TableView struct{ T *table.Table }
+
+// Len implements RowView.
+func (v TableView) Len() int { return v.T.Len() }
+
+// ID implements RowView.
+func (v TableView) ID(i int) int64 { return int64(i) }
+
+// Value implements RowView.
+func (v TableView) Value(i int, col string) value.Value { return v.T.ColByName(i, col) }
+
+// PTableView adapts a probabilistic table. Detection sees each cell's
+// original (provenance) value: rules are always checked against original
+// data and merged into the probabilistic state afterwards (§4.3).
+type PTableView struct{ P *ptable.PTable }
+
+// Len implements RowView.
+func (v PTableView) Len() int { return v.P.Len() }
+
+// ID implements RowView.
+func (v PTableView) ID(i int) int64 { return v.P.Tuples[i].ID }
+
+// Value implements RowView.
+func (v PTableView) Value(i int, col string) value.Value {
+	return v.P.Tuples[i].Cells[v.P.Schema.MustIndex(col)].Orig
+}
+
+// SubsetView restricts a view to selected row positions.
+type SubsetView struct {
+	Base RowView
+	Idx  []int
+}
+
+// Len implements RowView.
+func (v SubsetView) Len() int { return len(v.Idx) }
+
+// ID implements RowView.
+func (v SubsetView) ID(i int) int64 { return v.Base.ID(v.Idx[i]) }
+
+// Value implements RowView.
+func (v SubsetView) Value(i int, col string) value.Value { return v.Base.Value(v.Idx[i], col) }
+
+// Metrics counts the work a detection or cleaning pass performs, so
+// experiments can report machine-independent effort alongside wall time.
+type Metrics struct {
+	Comparisons int64 // pairwise predicate evaluations
+	Scanned     int64 // tuples read
+	Relaxed     int64 // correlated tuples added by relaxation
+	Repairs     int64 // cells given candidate fixes
+	Updates     int64 // cells written back to the dataset
+}
+
+// Add accumulates another metrics bundle.
+func (m *Metrics) Add(o Metrics) {
+	m.Comparisons += o.Comparisons
+	m.Scanned += o.Scanned
+	m.Relaxed += o.Relaxed
+	m.Repairs += o.Repairs
+	m.Updates += o.Updates
+}

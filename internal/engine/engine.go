@@ -1,0 +1,429 @@
+// Package engine executes cleaning-aware logical plans over probabilistic
+// tables. Operators follow the paper's possible-worlds semantics: a filter
+// qualifies a tuple iff at least one candidate value satisfies it, and an
+// equi-join emits a pair iff the candidate sets of the join keys overlap
+// (§4). Cleaning operators delegate to a Cleaner — implemented by the core
+// Session — which relaxes, repairs, and updates the dataset in place, then
+// returns the corrected row set.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/expr"
+	"daisy/internal/plan"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/sql"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// Cleaner cleans the filtered rows of a base relation: it may update the
+// relation's probabilistic state in place and returns the final qualifying
+// row positions (the relaxed, corrected result).
+type Cleaner interface {
+	CleanSelect(table string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) ([]int, error)
+}
+
+// Executor runs plans against a set of probabilistic relations.
+type Executor struct {
+	Tables  map[string]*ptable.PTable
+	Cleaner Cleaner // nil disables cleaning (dirty execution)
+	Metrics detect.Metrics
+}
+
+// frame is an intermediate result: selected row positions over a relation.
+type frame struct {
+	pt     *ptable.PTable
+	rows   []int
+	table  string // base table name when isBase
+	isBase bool
+}
+
+// Run executes the plan and materializes the result.
+func (e *Executor) Run(n plan.Node) (*ptable.PTable, error) {
+	f, err := e.exec(n)
+	if err != nil {
+		return nil, err
+	}
+	return e.materialize(f), nil
+}
+
+func (e *Executor) exec(n plan.Node) (*frame, error) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		return e.execScan(node)
+	case *plan.Select:
+		return e.execSelect(node)
+	case *plan.CleanSelect:
+		return e.execCleanSelect(node)
+	case *plan.Join:
+		return e.execJoin(node)
+	case *plan.GroupBy:
+		return e.execGroupBy(node)
+	case *plan.Project:
+		return e.execProject(node)
+	}
+	return nil, fmt.Errorf("engine: unknown plan node %T", n)
+}
+
+func (e *Executor) execScan(node *plan.Scan) (*frame, error) {
+	pt, ok := e.Tables[node.Table]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", node.Table)
+	}
+	rows := make([]int, pt.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	e.Metrics.Scanned += int64(pt.Len())
+	return &frame{pt: pt, rows: rows, table: node.Table, isBase: true}, nil
+}
+
+func (e *Executor) execSelect(node *plan.Select) (*frame, error) {
+	f, err := e.exec(node.Child)
+	if err != nil {
+		return nil, err
+	}
+	return e.filter(f, node.Pred), nil
+}
+
+// filter keeps the rows qualifying in at least one possible world.
+func (e *Executor) filter(f *frame, pred expr.Pred) *frame {
+	out := &frame{pt: f.pt, table: f.table, isBase: f.isBase}
+	get := e.cellGetter(f)
+	for _, r := range f.rows {
+		row := r
+		if pred.EvalCell(func(ref expr.ColRef) *uncertain.Cell { return get(row, ref) }) {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out
+}
+
+// cellGetter resolves column references against a frame's schema: a
+// qualified name first tries the prefixed join column ("table.col"), then
+// the plain name.
+func (e *Executor) cellGetter(f *frame) func(row int, ref expr.ColRef) *uncertain.Cell {
+	s := f.pt.Schema
+	return func(row int, ref expr.ColRef) *uncertain.Cell {
+		idx := -1
+		if ref.Table != "" {
+			idx = s.Index(ref.Table + "." + ref.Col)
+		}
+		if idx < 0 {
+			idx = s.Index(ref.Col)
+		}
+		if idx < 0 {
+			panic(fmt.Sprintf("engine: column %s not in schema (%s)", ref, s))
+		}
+		return &f.pt.Tuples[row].Cells[idx]
+	}
+}
+
+func (e *Executor) execCleanSelect(node *plan.CleanSelect) (*frame, error) {
+	f, err := e.exec(node.Child)
+	if err != nil {
+		return nil, err
+	}
+	if e.Cleaner == nil {
+		return f, nil // dirty execution
+	}
+	if !f.isBase {
+		return nil, fmt.Errorf("engine: cleanσ requires a base relation input, got materialized frame")
+	}
+	var pred expr.Pred
+	if sel, ok := node.Child.(*plan.Select); ok {
+		pred = sel.Pred
+	}
+	rows, err := e.Cleaner.CleanSelect(node.Table, f.rows, pred, node.Rules, &e.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	return &frame{pt: e.Tables[node.Table], rows: rows, table: f.table, isBase: true}, nil
+}
+
+func (e *Executor) execJoin(node *plan.Join) (*frame, error) {
+	lf, err := e.exec(node.Left)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := e.exec(node.Right)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := e.hashJoin(lf, rf, node)
+	if err != nil {
+		return nil, err
+	}
+	return joined, nil
+}
+
+// hashJoin performs the probabilistic equi-join: build on the right side
+// keyed by every candidate value, probe with every candidate value of the
+// left key, and emit each overlapping pair once. Lineage from both sides is
+// merged so clean⋈ can split the result back (§4.4).
+func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
+	rightSchema := rf.pt.Schema
+	joinedSchema, err := lf.pt.Schema.Concat(rightSchema, node.RightTable+".")
+	if err != nil {
+		return nil, err
+	}
+	out := ptable.New("join", joinedSchema)
+
+	lGet := e.cellGetter(lf)
+	rGet := e.cellGetter(rf)
+
+	build := make(map[string][]int)
+	for _, r := range rf.rows {
+		cell := rGet(r, node.RightRef)
+		for _, v := range cell.Values() {
+			build[v.Key()] = append(build[v.Key()], r)
+		}
+	}
+	var id int64
+	for _, l := range lf.rows {
+		lc := lGet(l, node.LeftRef)
+		matched := make(map[int]bool)
+		for _, v := range lc.Values() {
+			for _, r := range build[v.Key()] {
+				if matched[r] {
+					continue
+				}
+				matched[r] = true
+				e.Metrics.Comparisons++
+				out.Append(joinTuple(id, lf.pt.Tuples[l], rf.pt.Tuples[r]))
+				id++
+			}
+		}
+	}
+	return &frame{pt: out, rows: seq(out.Len())}, nil
+}
+
+func joinTuple(id int64, l, r *ptable.Tuple) *ptable.Tuple {
+	t := &ptable.Tuple{ID: id, Lineage: make(map[string][]int64)}
+	t.Cells = make([]uncertain.Cell, 0, len(l.Cells)+len(r.Cells))
+	t.Cells = append(t.Cells, l.Cells...)
+	t.Cells = append(t.Cells, r.Cells...)
+	for k, v := range l.Lineage {
+		t.Lineage[k] = append(t.Lineage[k], v...)
+	}
+	for k, v := range r.Lineage {
+		t.Lineage[k] = append(t.Lineage[k], v...)
+	}
+	return t
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (e *Executor) execGroupBy(node *plan.GroupBy) (*frame, error) {
+	f, err := e.exec(node.Child)
+	if err != nil {
+		return nil, err
+	}
+	get := e.cellGetter(f)
+
+	type group struct {
+		keyVals []value.Value
+		rows    []int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range f.rows {
+		key := ""
+		var kv []value.Value
+		for _, k := range node.Keys {
+			v := get(r, k).Value() // representative value of a probabilistic key
+			key += v.Key() + "\x1f"
+			kv = append(kv, v)
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{keyVals: kv}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, r)
+	}
+	sort.Strings(order)
+
+	outSchema, err := aggSchema(f.pt.Schema, node.Keys, node.Items)
+	if err != nil {
+		return nil, err
+	}
+	out := ptable.New("groupby", outSchema)
+	var id int64
+	for _, key := range order {
+		g := groups[key]
+		cells := make([]uncertain.Cell, 0, outSchema.Len())
+		for _, v := range g.keyVals {
+			cells = append(cells, uncertain.Certain(v))
+		}
+		for _, it := range node.Items {
+			if it.Agg == sql.AggNone {
+				continue // key columns already emitted
+			}
+			v, err := e.aggregate(f, g.rows, it)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, uncertain.Certain(v))
+		}
+		out.Append(&ptable.Tuple{ID: id, Cells: cells})
+		id++
+	}
+	return &frame{pt: out, rows: seq(out.Len())}, nil
+}
+
+// aggSchema derives the output schema: group keys first, then aggregates.
+func aggSchema(in *schema.Schema, keys []expr.ColRef, items []sql.SelectItem) (*schema.Schema, error) {
+	var cols []schema.Column
+	for _, k := range keys {
+		idx := in.Index(k.Col)
+		if idx < 0 && k.Table != "" {
+			idx = in.Index(k.Table + "." + k.Col)
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: group key %s not in input", k)
+		}
+		cols = append(cols, schema.Column{Name: k.Col, Kind: in.Col(idx).Kind})
+	}
+	for _, it := range items {
+		if it.Agg == sql.AggNone {
+			continue
+		}
+		kind := value.Float
+		if it.Agg == sql.AggCount {
+			kind = value.Int
+		}
+		if it.Agg == sql.AggMin || it.Agg == sql.AggMax {
+			idx := in.Index(it.Ref.Col)
+			if idx >= 0 {
+				kind = in.Col(idx).Kind
+			}
+		}
+		cols = append(cols, schema.Column{Name: it.String(), Kind: kind})
+	}
+	return schema.New(cols...)
+}
+
+// aggregate computes one aggregate over the group's representative values.
+func (e *Executor) aggregate(f *frame, rows []int, it sql.SelectItem) (value.Value, error) {
+	get := e.cellGetter(f)
+	if it.Agg == sql.AggCount && it.Star {
+		return value.NewInt(int64(len(rows))), nil
+	}
+	var sum float64
+	var count int64
+	var minV, maxV value.Value
+	for _, r := range rows {
+		v := get(r, it.Ref).Value()
+		if v.IsNull() {
+			continue
+		}
+		count++
+		if v.IsNumeric() {
+			sum += v.Float()
+		}
+		if minV.IsNull() || v.Less(minV) {
+			minV = v
+		}
+		if maxV.IsNull() || maxV.Less(v) {
+			maxV = v
+		}
+	}
+	switch it.Agg {
+	case sql.AggCount:
+		return value.NewInt(count), nil
+	case sql.AggSum:
+		return value.NewFloat(sum), nil
+	case sql.AggAvg:
+		if count == 0 {
+			return value.NewNull(), nil
+		}
+		return value.NewFloat(sum / float64(count)), nil
+	case sql.AggMin:
+		return minV, nil
+	case sql.AggMax:
+		return maxV, nil
+	}
+	return value.Value{}, fmt.Errorf("engine: unsupported aggregate %v", it.Agg)
+}
+
+func (e *Executor) execProject(node *plan.Project) (*frame, error) {
+	f, err := e.exec(node.Child)
+	if err != nil {
+		return nil, err
+	}
+	// Star projection: pass everything through.
+	for _, it := range node.Items {
+		if it.Star {
+			return f, nil
+		}
+	}
+	var cols []schema.Column
+	var idxs []int
+	for _, it := range node.Items {
+		idx := -1
+		if it.Ref.Table != "" {
+			idx = f.pt.Schema.Index(it.Ref.Table + "." + it.Ref.Col)
+		}
+		if idx < 0 {
+			idx = f.pt.Schema.Index(it.Ref.Col)
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: projection column %s not in input (%s)", it.Ref, f.pt.Schema)
+		}
+		cols = append(cols, f.pt.Schema.Col(idx))
+		idxs = append(idxs, idx)
+	}
+	outSchema, err := schema.New(cols...)
+	if err != nil {
+		// Duplicate projection names: qualify them positionally.
+		for i := range cols {
+			cols[i].Name = fmt.Sprintf("%s#%d", cols[i].Name, i)
+		}
+		outSchema, err = schema.New(cols...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := ptable.New("project", outSchema)
+	var id int64
+	for _, r := range f.rows {
+		src := f.pt.Tuples[r]
+		cells := make([]uncertain.Cell, len(idxs))
+		for i, idx := range idxs {
+			cells[i] = src.Cells[idx]
+		}
+		out.Append(&ptable.Tuple{ID: id, Cells: cells, Lineage: src.Lineage})
+		id++
+	}
+	return &frame{pt: out, rows: seq(out.Len())}, nil
+}
+
+// materialize snapshots a frame into a standalone result table.
+func (e *Executor) materialize(f *frame) *ptable.PTable {
+	if len(f.rows) == f.pt.Len() && !f.isBase {
+		return f.pt
+	}
+	out := ptable.New("result", f.pt.Schema)
+	var id int64
+	for _, r := range f.rows {
+		src := f.pt.Tuples[r]
+		t := &ptable.Tuple{ID: id, Cells: src.Cells, Lineage: src.Lineage}
+		out.Append(t)
+		id++
+	}
+	return out
+}

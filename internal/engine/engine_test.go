@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/expr"
+	"daisy/internal/plan"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/sql"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+func citiesPT() *ptable.PTable {
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	t := table.New("cities", sch)
+	rows := []struct {
+		zip  int64
+		city string
+	}{
+		{9001, "Los Angeles"}, {9001, "San Francisco"}, {10001, "New York"},
+	}
+	for _, r := range rows {
+		t.MustAppend(table.Row{value.NewInt(r.zip), value.NewString(r.city)})
+	}
+	return ptable.FromTable(t)
+}
+
+func employeesPT() *ptable.PTable {
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "name", Kind: value.String},
+		schema.Column{Name: "phone", Kind: value.Int},
+	)
+	t := table.New("employee", sch)
+	rows := []struct {
+		zip   int64
+		name  string
+		phone int64
+	}{
+		{9001, "Peter", 23456}, {10001, "Mary", 12345}, {10002, "Jon", 12345},
+	}
+	for _, r := range rows {
+		t.MustAppend(table.Row{value.NewInt(r.zip), value.NewString(r.name), value.NewInt(r.phone)})
+	}
+	return ptable.FromTable(t)
+}
+
+type catalog map[string]*ptable.PTable
+
+func (c catalog) Schema(t string) (*schema.Schema, bool) {
+	pt, ok := c[t]
+	if !ok {
+		return nil, false
+	}
+	return pt.Schema, true
+}
+
+func run(t *testing.T, e *Executor, q string) *ptable.PTable {
+	t.Helper()
+	parsed := sql.MustParse(q)
+	c := catalog(e.Tables)
+	n, err := plan.Build(parsed, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSelectProject(t *testing.T) {
+	e := &Executor{Tables: map[string]*ptable.PTable{"cities": citiesPT()}}
+	out := run(t, e, "SELECT zip FROM cities WHERE city = 'Los Angeles'")
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	if out.Get(0, "zip").Int() != 9001 {
+		t.Errorf("zip = %v", out.Get(0, "zip"))
+	}
+	if out.Schema.Len() != 1 {
+		t.Errorf("projection width = %d", out.Schema.Len())
+	}
+}
+
+func TestSelectQualifiesAnyWorld(t *testing.T) {
+	pt := citiesPT()
+	// Make tuple 2's zip probabilistic {9001 50%, 10001 50%}.
+	d := ptable.NewDelta("cities")
+	d.Set(2, 0, uncertain.Cell{
+		Orig: value.NewInt(10001),
+		Candidates: []uncertain.Candidate{
+			{Val: value.NewInt(9001), Prob: 0.5, World: 1},
+			{Val: value.NewInt(10001), Prob: 0.5, World: 1},
+		},
+	})
+	pt.Apply(d)
+	e := &Executor{Tables: map[string]*ptable.PTable{"cities": pt}}
+	out := run(t, e, "SELECT zip, city FROM cities WHERE zip = 9001")
+	if out.Len() != 3 {
+		t.Fatalf("rows = %d, want 3 (probabilistic tuple qualifies)", out.Len())
+	}
+}
+
+func TestRangeFilter(t *testing.T) {
+	e := &Executor{Tables: map[string]*ptable.PTable{"cities": citiesPT()}}
+	out := run(t, e, "SELECT city FROM cities WHERE zip >= 9001 AND zip < 10000")
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+}
+
+func TestJoinCertainKeys(t *testing.T) {
+	e := &Executor{Tables: map[string]*ptable.PTable{"cities": citiesPT(), "employee": employeesPT()}}
+	out := run(t, e, "SELECT cities.zip, name FROM cities, employee WHERE cities.zip = employee.zip")
+	// 9001→Peter (×2 city rows), 10001→Mary.
+	if out.Len() != 3 {
+		t.Fatalf("join rows = %d, want 3", out.Len())
+	}
+}
+
+func TestJoinProbabilisticOverlap(t *testing.T) {
+	cities := citiesPT()
+	// Example 6 shape: city tuple 1's zip becomes {9001, 10001}.
+	d := ptable.NewDelta("cities")
+	d.Set(1, 0, uncertain.Cell{
+		Orig: value.NewInt(9001),
+		Candidates: []uncertain.Candidate{
+			{Val: value.NewInt(9001), Prob: 0.5, World: 1},
+			{Val: value.NewInt(10001), Prob: 0.5, World: 1},
+		},
+	})
+	cities.Apply(d)
+	e := &Executor{Tables: map[string]*ptable.PTable{"cities": cities, "employee": employeesPT()}}
+	out := run(t, e, "SELECT name FROM cities, employee WHERE cities.zip = employee.zip")
+	// Tuple 1 now joins both Peter (9001) and Mary (10001): 2+1+1 = 4 rows.
+	if out.Len() != 4 {
+		t.Fatalf("join rows = %d, want 4", out.Len())
+	}
+}
+
+func TestJoinLineageMerged(t *testing.T) {
+	e := &Executor{Tables: map[string]*ptable.PTable{"cities": citiesPT(), "employee": employeesPT()}}
+	parsed := sql.MustParse("SELECT cities.zip, name FROM cities, employee WHERE cities.zip = employee.zip")
+	n, err := plan.Build(parsed, catalog(e.Tables), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range out.Tuples {
+		if len(tup.Lineage["cities"]) != 1 || len(tup.Lineage["employee"]) != 1 {
+			t.Errorf("join tuple lineage = %v", tup.Lineage)
+		}
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	e := &Executor{Tables: map[string]*ptable.PTable{"employee": employeesPT()}}
+	out := run(t, e, "SELECT phone, COUNT(*), MIN(zip), MAX(zip), AVG(zip) FROM employee GROUP BY phone")
+	if out.Len() != 2 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	// Group 12345 has Mary (10001) and Jon (10002).
+	var found bool
+	for i := 0; i < out.Len(); i++ {
+		if out.Get(i, "phone").Int() != 12345 {
+			continue
+		}
+		found = true
+		if out.Get(i, "COUNT(*)").Int() != 2 {
+			t.Errorf("count = %v", out.Get(i, "COUNT(*)"))
+		}
+		if out.Get(i, "MIN(zip)").Int() != 10001 || out.Get(i, "MAX(zip)").Int() != 10002 {
+			t.Errorf("min/max = %v/%v", out.Get(i, "MIN(zip)"), out.Get(i, "MAX(zip)"))
+		}
+		if av := out.Get(i, "AVG(zip)").Float(); av != 10001.5 {
+			t.Errorf("avg = %v", av)
+		}
+	}
+	if !found {
+		t.Error("group 12345 missing")
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	e := &Executor{Tables: map[string]*ptable.PTable{"cities": citiesPT()}}
+	out := run(t, e, "SELECT COUNT(*) FROM cities")
+	if out.Len() != 1 || out.Get(0, "COUNT(*)").Int() != 3 {
+		t.Fatalf("global count = %v", out)
+	}
+}
+
+func TestSumAggregate(t *testing.T) {
+	e := &Executor{Tables: map[string]*ptable.PTable{"employee": employeesPT()}}
+	out := run(t, e, "SELECT SUM(zip) FROM employee")
+	if got := out.Get(0, "SUM(zip)").Float(); got != 29004 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+type fakeCleaner struct {
+	calledTable string
+	calledRows  []int
+	extraRows   []int
+}
+
+func (f *fakeCleaner) CleanSelect(tbl string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) ([]int, error) {
+	f.calledTable = tbl
+	f.calledRows = rows
+	return append(append([]int{}, rows...), f.extraRows...), nil
+}
+
+func TestCleanSelectInvokesCleaner(t *testing.T) {
+	pt := citiesPT()
+	fc := &fakeCleaner{extraRows: []int{1}}
+	e := &Executor{Tables: map[string]*ptable.PTable{"cities": pt}, Cleaner: fc}
+	rule := dc.FD("phi", "cities", "city", "zip")
+	parsed := sql.MustParse("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+	n, err := plan.Build(parsed, catalog(e.Tables), []*dc.Constraint{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.calledTable != "cities" || len(fc.calledRows) != 1 {
+		t.Errorf("cleaner saw table=%q rows=%v", fc.calledTable, fc.calledRows)
+	}
+	// Cleaner added row 1 to the result.
+	if out.Len() != 2 {
+		t.Errorf("result rows = %d, want 2 after relaxation", out.Len())
+	}
+}
+
+func TestCleanSelectNilCleanerPassesThrough(t *testing.T) {
+	pt := citiesPT()
+	e := &Executor{Tables: map[string]*ptable.PTable{"cities": pt}}
+	rule := dc.FD("phi", "cities", "city", "zip")
+	parsed := sql.MustParse("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+	n, err := plan.Build(parsed, catalog(e.Tables), []*dc.Constraint{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Errorf("dirty execution rows = %d", out.Len())
+	}
+}
+
+func TestUnknownTableError(t *testing.T) {
+	e := &Executor{Tables: map[string]*ptable.PTable{}}
+	_, err := e.exec(&plan.Scan{Table: "ghost"})
+	if err == nil {
+		t.Error("unknown table must error")
+	}
+}

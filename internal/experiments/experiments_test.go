@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for unit testing.
+func tiny() Config { return Config{Scale: 0.02, Seed: 7} }
+
+func checkReport(t *testing.T, rep *Report, err error, wantRows int) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID == "" || rep.Title == "" {
+		t.Error("report must be labeled")
+	}
+	if len(rep.Rows) < wantRows {
+		t.Errorf("rows = %d, want ≥%d", len(rep.Rows), wantRows)
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Header) {
+			t.Errorf("row %v does not match header %v", row, rep.Header)
+		}
+	}
+	if !strings.Contains(rep.String(), rep.ID) {
+		t.Error("String() must include the id")
+	}
+}
+
+func TestFig5Tiny(t *testing.T)  { r, err := Fig5(tiny()); checkReport(t, r, err, 3) }
+func TestFig6Tiny(t *testing.T)  { r, err := Fig6(tiny()); checkReport(t, r, err, 3) }
+func TestFig7Tiny(t *testing.T)  { r, err := Fig7(tiny()); checkReport(t, r, err, 3) }
+func TestFig8Tiny(t *testing.T)  { r, err := Fig8(tiny()); checkReport(t, r, err, 2) }
+func TestFig9Tiny(t *testing.T)  { r, err := Fig9(tiny()); checkReport(t, r, err, 4) }
+func TestFig10Tiny(t *testing.T) { r, err := Fig10(tiny()); checkReport(t, r, err, 3) }
+func TestFig11Tiny(t *testing.T) { r, err := Fig11(tiny()); checkReport(t, r, err, 2) }
+func TestFig12Tiny(t *testing.T) { r, err := Fig12(tiny()); checkReport(t, r, err, 3) }
+func TestFig13Tiny(t *testing.T) { r, err := Fig13(tiny()); checkReport(t, r, err, 2) }
+
+func TestTable5Tiny(t *testing.T) {
+	r, err := Table5(tiny())
+	checkReport(t, r, err, 9) // 3 rule subsets × 3 systems
+}
+
+func TestTable6Tiny(t *testing.T) { r, err := Table6(tiny()); checkReport(t, r, err, 3) }
+func TestTable7Tiny(t *testing.T) { r, err := Table7(tiny()); checkReport(t, r, err, 3) }
+func TestTable8Tiny(t *testing.T) { r, err := Table8(tiny()); checkReport(t, r, err, 4) }
+
+func TestByIDCoversAllExperiments(t *testing.T) {
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "table5", "table6", "table7", "table8"} {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) missing", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown id must miss")
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	cp := checkpoints(90)
+	if len(cp) == 0 || cp[len(cp)-1] != 89 {
+		t.Errorf("checkpoints(90) = %v", cp)
+	}
+	if cp2 := checkpoints(3); len(cp2) == 0 || cp2[len(cp2)-1] != 2 {
+		t.Errorf("checkpoints(3) = %v", cp2)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}, Notes: "n"}
+	s := r.String()
+	for _, want := range []string{"x", "t", "a", "bb", "1", "-- n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMsAndRatio(t *testing.T) {
+	if ms(1500*time.Microsecond) != "1.5ms" {
+		t.Errorf("ms = %q", ms(1500*time.Microsecond))
+	}
+	if ratio(2*time.Second, time.Second) != "2.00x" {
+		t.Errorf("ratio = %q", ratio(2*time.Second, time.Second))
+	}
+	if ratio(time.Second, 0) != "-" {
+		t.Error("zero denominator must render '-'")
+	}
+}

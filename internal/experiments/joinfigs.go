@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"daisy/internal/core"
+	"daisy/internal/dc"
+	"daisy/internal/table"
+	"daisy/internal/workload"
+)
+
+func joinRules() []*dc.Constraint {
+	return []*dc.Constraint{
+		dc.FD("phi", "lineorder", "suppkey", "orderkey"),
+		dc.FD("psi", "supplier", "suppkey", "address"),
+	}
+}
+
+// joinWorkload builds the Fig 11/12 setup: dirty lineorder joined with a
+// dirty supplier table (rules on both join sides).
+func joinWorkload(cfg Config, rows, orders, supps int) (lo, supp *table.Table) {
+	lo = workload.Lineorder(workload.SSBConfig{
+		Rows: rows, DistinctOrders: orders, DistinctSupps: supps, Seed: cfg.Seed,
+	})
+	supp = workload.Suppliers(supps, cfg.Seed)
+	workload.InjectFDErrors(lo, "orderkey", "suppkey", 1.0, 0.10, cfg.Seed+1)
+	workload.InjectFDErrors(supp, "address", "suppkey", 0.3, 0.5, cfg.Seed+2)
+	return lo, supp
+}
+
+// Fig11 reproduces "Cost for join queries": 50 SPJ queries, rules on both
+// relations. Expected shape: Daisy beats offline thanks to correlated-tuple
+// computation and incremental join updates.
+func Fig11(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:     "fig11",
+		Title:  "SPJ queries: cumulative cost (rules on both join sides)",
+		Header: []string{"after query", "Full", "Daisy"},
+	}
+	lo, supp := joinWorkload(cfg, cfg.n(8000), cfg.n(1600), cfg.n(160))
+	queries := workload.JoinQueries(lo, "orderkey", cfg.q(50), cfg.Seed+3)
+	rules := joinRules()
+
+	full, _, err := runOffline(tbls(lo, supp), rules, queries, 0)
+	if err != nil {
+		return nil, err
+	}
+	daisy, err := runDaisy(tbls(lo.Clone(), supp.Clone()), rules, queries, core.StrategyAuto)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range checkpoints(len(queries)) {
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprint(i + 1), ms(perQueryAt(full, i)), ms(daisy.PerQuery[i]),
+		})
+	}
+	rep.Notes = "paper shape: Daisy below Full across the sequence"
+	return rep, nil
+}
+
+// Fig12 reproduces "Cost for mixed workload": 90 SP + SPJ queries with
+// random selectivities, few distinct suppkeys; Daisy's cost model switches
+// strategy partway (paper: after ~30 queries).
+func Fig12(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:     "fig12",
+		Title:  "Mixed SP+SPJ workload: cumulative cost with strategy switch",
+		Header: []string{"after query", "Daisy w/o cost", "Full", "Daisy"},
+	}
+	lo, supp := joinWorkload(cfg, cfg.n(12000), cfg.n(6000), cfg.n(200))
+	spQueries := workload.MixedQueries(lo, "suppkey", cfg.q(60), "orderkey, suppkey", cfg.Seed+3)
+	spjQueries := workload.JoinQueries(lo, "suppkey", cfg.q(30), cfg.Seed+4)
+	var queries []string
+	for i := 0; i < len(spQueries) || i < len(spjQueries); i++ {
+		if i < len(spQueries) {
+			queries = append(queries, spQueries[i])
+		}
+		if i < len(spjQueries) {
+			queries = append(queries, spjQueries[i])
+		}
+	}
+	rules := joinRules()
+
+	inc, err := runDaisy(tbls(lo.Clone(), supp.Clone()), rules, queries, core.StrategyIncremental)
+	if err != nil {
+		return nil, err
+	}
+	full, _, err := runOffline(tbls(lo, supp), rules, queries, 0)
+	if err != nil {
+		return nil, err
+	}
+	auto, err := runDaisy(tbls(lo.Clone(), supp.Clone()), rules, queries, core.StrategyAuto)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range checkpoints(len(queries)) {
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprint(i + 1), ms(inc.PerQuery[i]), ms(perQueryAt(full, i)), ms(auto.PerQuery[i]),
+		})
+	}
+	rep.Notes = fmt.Sprintf("Daisy switched at query %s; paper: switch around a third of the workload", switchPoint(auto.Decisions))
+	return rep, nil
+}
+
+// Fig13 reproduces "Cost for complex queries of SSB workload": Q1 (one
+// join), Q2 (three joins + group-by), Q3 (four joins). Cleaning is pushed
+// down to lineorder⋈supplier, so response times stay in the same band
+// regardless of query complexity.
+func Fig13(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:     "fig13",
+		Title:  "SSB Q1/Q2/Q3 flights: cumulative cost (cleaning pushed to lineorder⋈supplier)",
+		Header: []string{"after query", "Q1", "Q2", "Q3"},
+	}
+	nSupp := cfg.n(160)
+	lo := workload.Lineorder(workload.SSBConfig{
+		Rows: cfg.n(6000), DistinctOrders: cfg.n(1200), DistinctSupps: nSupp,
+		DistinctParts: cfg.n(120), DistinctDates: 400, DistinctCusts: cfg.n(120), Seed: cfg.Seed,
+	})
+	workload.InjectFDErrors(lo, "orderkey", "suppkey", 1.0, 0.10, cfg.Seed+1)
+	supp := workload.Suppliers(nSupp, cfg.Seed)
+	workload.InjectFDErrors(supp, "address", "suppkey", 0.3, 0.5, cfg.Seed+2)
+	part := workload.Parts(cfg.n(120), cfg.Seed)
+	date := workload.Dates(400, cfg.Seed)
+	cust := workload.Customers(cfg.n(120), cfg.Seed)
+	rules := joinRules()
+
+	reps := cfg.q(12)
+	runs := make([]runResult, 3)
+	q1, q2, q3 := workload.SSBFlight(int64(nSupp))
+	for fi, q := range []string{q1, q2, q3} {
+		queries := make([]string, reps)
+		for i := range queries {
+			queries[i] = q
+		}
+		r, err := runDaisy(tbls(lo.Clone(), supp.Clone(), part.Clone(), date.Clone(), cust.Clone()),
+			rules, queries, core.StrategyAuto)
+		if err != nil {
+			return nil, err
+		}
+		runs[fi] = r
+	}
+	for _, i := range checkpoints(reps) {
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprint(i + 1),
+			ms(perQueryAt(runs[0], i)), ms(perQueryAt(runs[1], i)), ms(perQueryAt(runs[2], i)),
+		})
+	}
+	rep.Notes = "paper shape: Q2/Q3 cost more than Q1 only via the extra joins, not extra cleaning"
+	return rep, nil
+}

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"daisy/internal/core"
+	"daisy/internal/dc"
+	"daisy/internal/holoclean"
+	"daisy/internal/offline"
+	"daisy/internal/ptable"
+	"daisy/internal/table"
+	"daisy/internal/workload"
+)
+
+func hospitalRules() []*dc.Constraint {
+	return []*dc.Constraint{
+		dc.FD("phi1", "hospital", "city", "zip"),
+		dc.FD("phi2", "hospital", "zip", "hospitalName"),
+		dc.FD("phi3", "hospital", "zip", "phone"),
+	}
+}
+
+// accuracy compares a repaired table against dirty and clean versions:
+// precision = correct updates / total updates, recall = correct updates /
+// total errors, per the paper's definitions.
+func accuracy(repaired, dirty, clean *table.Table) (precision, recall, f1 float64) {
+	updates, correct, errors := 0, 0, 0
+	for i := range dirty.Rows {
+		for j := range dirty.Rows[i] {
+			wasError := !dirty.Rows[i][j].Equal(clean.Rows[i][j])
+			if wasError {
+				errors++
+			}
+			changed := !repaired.Rows[i][j].Equal(dirty.Rows[i][j])
+			if changed {
+				updates++
+				if repaired.Rows[i][j].Equal(clean.Rows[i][j]) {
+					correct++
+				}
+			}
+		}
+	}
+	if updates > 0 {
+		precision = float64(correct) / float64(updates)
+	}
+	if errors > 0 {
+		recall = float64(correct) / float64(errors)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// daisyCleanHospital runs the Table 5 Daisy workload: a handful of SP
+// queries that together access the whole dataset, cleaning at query time.
+func daisyCleanHospital(dirty *table.Table, rules []*dc.Constraint) (*core.Session, error) {
+	s := core.NewSession(core.Options{Strategy: core.StrategyIncremental})
+	if err := s.Register(dirty); err != nil {
+		return nil, err
+	}
+	for _, r := range rules {
+		if err := s.AddRule(r); err != nil {
+			return nil, err
+		}
+	}
+	// 4 SP queries accessing the whole dataset (paper setup).
+	for _, cond := range []string{
+		"condition = 'Heart Attack'", "condition = 'Pneumonia'",
+		"condition = 'Surgical Infection'", "providerID >= 0",
+	} {
+		if _, err := s.Query("SELECT zip, city, phone, hospitalName FROM hospital WHERE " + cond); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Table5 reproduces the accuracy comparison: Holoclean vs DaisyH (Daisy
+// domains + HoloClean-style inference) vs DaisyP (most probable value), for
+// growing rule subsets.
+func Table5(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:     "table5",
+		Title:  "Accuracy on hospital data (precision / recall / F1)",
+		Header: []string{"rules", "system", "precision", "recall", "F1"},
+	}
+	h := workload.Hospital(cfg.n(600), 0.05, cfg.Seed)
+	all := hospitalRules()
+	for k := 1; k <= 3; k++ {
+		rules := all[:k]
+		label := ruleLabel(k)
+
+		// HoloClean: offline domain generation + inference.
+		hcPT := ptable.FromTable(h.Dirty)
+		hc := &holoclean.Repairer{}
+		if _, err := hc.Clean(hcPT, rules); err != nil {
+			return nil, err
+		}
+		hcFixed := hc.Infer(hcPT)
+		p, r, f := accuracy(hcFixed, h.Dirty, h.Clean)
+		rep.Rows = append(rep.Rows, []string{label, "Holoclean", f3(p), f3(r), f3(f)})
+
+		// DaisyH: Daisy's query-time domains, HoloClean-style inference.
+		s, err := daisyCleanHospital(h.Dirty, rules)
+		if err != nil {
+			return nil, err
+		}
+		dhFixed := hc.Infer(s.Table("hospital"))
+		p, r, f = accuracy(dhFixed, h.Dirty, h.Clean)
+		rep.Rows = append(rep.Rows, []string{label, "DaisyH", f3(p), f3(r), f3(f)})
+
+		// DaisyP: blindly take the most probable candidate.
+		dpFixed := s.Table("hospital").MostProbable()
+		p, r, f = accuracy(dpFixed, h.Dirty, h.Clean)
+		rep.Rows = append(rep.Rows, []string{label, "DaisyP", f3(p), f3(r), f3(f)})
+	}
+	rep.Notes = "paper shape: comparable accuracy; DaisyH/DaisyP improve as more rules are known, DaisyP weakest with one rule"
+	return rep, nil
+}
+
+func ruleLabel(k int) string {
+	switch k {
+	case 1:
+		return "phi1"
+	case 2:
+		return "phi1+phi2"
+	default:
+		return "phi1+phi2+phi3"
+	}
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Table6 reproduces the hospital response-time comparison for growing rule
+// subsets: Full cleaning vs Daisy vs Holoclean (inference disabled — domain
+// generation only, matching the paper's setup).
+func Table6(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:     "table6",
+		Title:  "Hospital response time by rule subset",
+		Header: []string{"rules", "Full cleaning", "Daisy", "Holoclean"},
+	}
+	h := workload.Hospital(cfg.n(4000), 0.05, cfg.Seed)
+	all := hospitalRules()
+	for k := 1; k <= 3; k++ {
+		rules := all[:k]
+
+		fullStart := time.Now()
+		fullPT := ptable.FromTable(h.Dirty)
+		if _, err := (&offline.Cleaner{}).CleanAll(fullPT, rules); err != nil {
+			return nil, err
+		}
+		fullTime := time.Since(fullStart)
+
+		daisyStart := time.Now()
+		if _, err := daisyCleanHospital(h.Dirty, rules); err != nil {
+			return nil, err
+		}
+		daisyTime := time.Since(daisyStart)
+
+		hcStart := time.Now()
+		hcPT := ptable.FromTable(h.Dirty)
+		if _, err := (&holoclean.Repairer{}).Clean(hcPT, rules); err != nil {
+			return nil, err
+		}
+		hcTime := time.Since(hcStart)
+
+		rep.Rows = append(rep.Rows, []string{ruleLabel(k), ms(fullTime), ms(daisyTime), ms(hcTime)})
+	}
+	rep.Notes = "paper shape: Daisy ≤ Full << Holoclean (per-cell dataset traversals)"
+	return rep, nil
+}
+
+// Table7 reproduces the provenance experiment: checking ϕ1, then ϕ1+ϕ2,
+// then ϕ1+ϕ2+ϕ3 as three separate executions versus one Daisy execution
+// that incrementally merges each new rule into the probabilistic data.
+func Table7(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:     "table7",
+		Title:  "Incremental rule addition via provenance",
+		Header: []string{"system", "phi1", "+phi2", "+phi3", "total"},
+	}
+	h := workload.Hospital(cfg.n(4000), 0.05, cfg.Seed)
+	all := hospitalRules()
+	queryAll := "SELECT zip, city, phone, hospitalName FROM hospital WHERE providerID >= 0"
+
+	// Three separate executions, each from scratch with the grown rule set.
+	var sepTimes []time.Duration
+	var sepTotal time.Duration
+	for k := 1; k <= 3; k++ {
+		start := time.Now()
+		s := core.NewSession(core.Options{Strategy: core.StrategyIncremental})
+		if err := s.Register(h.Dirty); err != nil {
+			return nil, err
+		}
+		for _, r := range all[:k] {
+			if err := s.AddRule(r); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := s.Query(queryAll); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		sepTimes = append(sepTimes, d)
+		sepTotal += d
+	}
+	rep.Rows = append(rep.Rows, []string{"Daisy (3 executions)",
+		ms(sepTimes[0]), ms(sepTimes[1]), ms(sepTimes[2]), ms(sepTotal)})
+
+	// One execution: rules arrive over time; provenance lets each new rule
+	// run over original values and merge into the probabilistic state.
+	var incTimes []time.Duration
+	var incTotal time.Duration
+	s := core.NewSession(core.Options{Strategy: core.StrategyIncremental})
+	if err := s.Register(h.Dirty); err != nil {
+		return nil, err
+	}
+	for k := 0; k < 3; k++ {
+		start := time.Now()
+		if err := s.AddRule(all[k]); err != nil {
+			return nil, err
+		}
+		if _, err := s.Query(queryAll); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		incTimes = append(incTimes, d)
+		incTotal += d
+	}
+	rep.Rows = append(rep.Rows, []string{"Daisy (1 execution)",
+		ms(incTimes[0]), ms(incTimes[1]), ms(incTimes[2]), ms(incTotal)})
+
+	// Holoclean: three separate domain-generation runs.
+	var hcTimes []time.Duration
+	var hcTotal time.Duration
+	for k := 1; k <= 3; k++ {
+		start := time.Now()
+		pt := ptable.FromTable(h.Dirty)
+		if _, err := (&holoclean.Repairer{}).Clean(pt, all[:k]); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		hcTimes = append(hcTimes, d)
+		hcTotal += d
+	}
+	rep.Rows = append(rep.Rows, []string{"Holoclean",
+		ms(hcTimes[0]), ms(hcTimes[1]), ms(hcTimes[2]), ms(hcTotal)})
+
+	rep.Notes = "paper shape: single provenance-merging execution beats three separate runs; Holoclean far behind"
+	return rep, nil
+}
+
+// Table8 reproduces the real-world scenarios: Nestle product exploration
+// (37 category queries over 40% of the data) and the air-quality analysis
+// (52 per-county group-by queries), Daisy vs offline. Offline gets a scan
+// budget to emulate the paper's one-day timeout on air quality.
+func Table8(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:     "table8",
+		Title:  "Real-world exploratory scenarios",
+		Header: []string{"dataset", "Daisy", "Offline"},
+	}
+
+	// Nestle: small and large versions.
+	for _, size := range []int{cfg.n(2000), cfg.n(12000)} {
+		nestle := workload.Nestle(size, cfg.Seed)
+		queries := nestleQueries()
+		rule := dc.FD("phi", "nestle", "category", "material")
+
+		daisy, err := runDaisy(tbls(nestle.Clone()), []*dc.Constraint{rule}, queries, core.StrategyAuto)
+		if err != nil {
+			return nil, err
+		}
+		full, _, err := runOffline(tbls(nestle), []*dc.Constraint{rule}, queries, 0)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("Nestle (%d rows)", size), ms(daisy.Elapsed), ms(full.Elapsed),
+		})
+	}
+
+	// Air quality: 30% and 97% violating versions; offline gets a budget.
+	for _, v := range []struct {
+		rate  float64
+		label string
+	}{{0.30, "30%"}, {0.97, "97%"}} {
+		air := workload.AirQuality(cfg.n(20000), v.rate, cfg.Seed)
+		rule := dc.FD("phi", "airquality", "county_name", "county_code", "state_code")
+		queries := airQueries(cfg)
+
+		daisy, err := runDaisy(tbls(air.Clone()), []*dc.Constraint{rule}, queries, core.StrategyIncremental)
+		if err != nil {
+			return nil, err
+		}
+		budget := 50 // emulates the paper's one-day timeout: offline needs dataset scans per dirty group
+		_, timedOut, err := runOffline(tbls(air), []*dc.Constraint{rule}, queries, budget)
+		if err != nil {
+			return nil, err
+		}
+		offlineCell := "timeout"
+		if !timedOut {
+			offlineCell = "finished"
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("Air quality %s violations", v.label), ms(daisy.Elapsed), offlineCell,
+		})
+	}
+	rep.Notes = "paper shape: Daisy minutes vs offline hours/timeout on skewed group structures"
+	return rep, nil
+}
+
+func nestleQueries() []string {
+	// 37 SP queries over coffee-related categories (≈40% of the data).
+	cats := []string{"coffee", "water", "chocolate"}
+	var out []string
+	for i := 0; i < 37; i++ {
+		out = append(out, fmt.Sprintf(
+			"SELECT name, material, category FROM nestle WHERE category = '%s'", cats[i%len(cats)]))
+	}
+	return out
+}
+
+func airQueries(cfg Config) []string {
+	var out []string
+	n := 52
+	if cfg.Scale < 0.5 {
+		n = 13
+	}
+	for st := 0; st < n; st++ {
+		out = append(out, fmt.Sprintf(
+			"SELECT year, AVG(co) FROM airquality WHERE state_code = %d AND county_code = %d GROUP BY year",
+			st, st%12))
+	}
+	return out
+}
+
+// All runs every experiment and returns the reports in paper order.
+func All(cfg Config) ([]*Report, error) {
+	runners := []func(Config) (*Report, error){
+		Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig13,
+		Table5, Table6, Table7, Table8,
+	}
+	var out []*Report
+	for _, run := range runners {
+		r, err := run(cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByID returns the runner for one experiment id.
+func ByID(id string) (func(Config) (*Report, error), bool) {
+	m := map[string]func(Config) (*Report, error){
+		"fig5": Fig5, "fig6": Fig6, "fig7": Fig7, "fig8": Fig8, "fig9": Fig9,
+		"fig10": Fig10, "fig11": Fig11, "fig12": Fig12, "fig13": Fig13,
+		"table5": Table5, "table6": Table6, "table7": Table7, "table8": Table8,
+	}
+	f, ok := m[id]
+	return f, ok
+}

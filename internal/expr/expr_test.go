@@ -1,0 +1,110 @@
+package expr
+
+import (
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+func getter(m map[string]value.Value) func(ColRef) value.Value {
+	return func(r ColRef) value.Value { return m[r.Col] }
+}
+
+func cellGetter(m map[string]*uncertain.Cell) func(ColRef) *uncertain.Cell {
+	return func(r ColRef) *uncertain.Cell { return m[r.Col] }
+}
+
+func TestCmpEval(t *testing.T) {
+	p := &Cmp{Ref: ColRef{Col: "zip"}, Op: dc.Eq, Val: value.NewInt(9001)}
+	if !p.Eval(getter(map[string]value.Value{"zip": value.NewInt(9001)})) {
+		t.Error("9001 = 9001")
+	}
+	if p.Eval(getter(map[string]value.Value{"zip": value.NewInt(10001)})) {
+		t.Error("10001 != 9001")
+	}
+}
+
+func TestCmpEvalCellAnyWorld(t *testing.T) {
+	dirty := &uncertain.Cell{
+		Orig: value.NewInt(9001),
+		Candidates: []uncertain.Candidate{
+			{Val: value.NewInt(9001), Prob: 0.5, World: 1},
+			{Val: value.NewInt(10001), Prob: 0.5, World: 1},
+		},
+	}
+	p := &Cmp{Ref: ColRef{Col: "zip"}, Op: dc.Eq, Val: value.NewInt(10001)}
+	if !p.EvalCell(cellGetter(map[string]*uncertain.Cell{"zip": dirty})) {
+		t.Error("candidate world 10001 must qualify")
+	}
+	p2 := &Cmp{Ref: ColRef{Col: "zip"}, Op: dc.Eq, Val: value.NewInt(777)}
+	if p2.EvalCell(cellGetter(map[string]*uncertain.Cell{"zip": dirty})) {
+		t.Error("no world holds 777")
+	}
+}
+
+func TestColCmpJoinOverlap(t *testing.T) {
+	j := &ColCmp{Left: ColRef{Table: "R", Col: "k"}, Op: dc.Eq, Right: ColRef{Table: "S", Col: "k2"}}
+	l := &uncertain.Cell{Orig: value.NewInt(1), Candidates: []uncertain.Candidate{
+		{Val: value.NewInt(1), Prob: 0.5, World: 1},
+		{Val: value.NewInt(2), Prob: 0.5, World: 1},
+	}}
+	r := &uncertain.Cell{Orig: value.NewInt(2)}
+	cells := map[string]*uncertain.Cell{"k": l, "k2": r}
+	if !j.EvalCell(cellGetter(cells)) {
+		t.Error("candidate sets overlap on 2")
+	}
+	r2 := uncertain.Certain(value.NewInt(9))
+	cells["k2"] = &r2
+	if j.EvalCell(cellGetter(cells)) {
+		t.Error("no overlap with 9")
+	}
+}
+
+func TestAndOrEval(t *testing.T) {
+	a := &Cmp{Ref: ColRef{Col: "x"}, Op: dc.Gt, Val: value.NewInt(1)}
+	b := &Cmp{Ref: ColRef{Col: "x"}, Op: dc.Lt, Val: value.NewInt(5)}
+	and := &And{L: a, R: b}
+	or := &Or{L: a, R: b}
+	in := getter(map[string]value.Value{"x": value.NewInt(3)})
+	out := getter(map[string]value.Value{"x": value.NewInt(9)})
+	if !and.Eval(in) || and.Eval(out) {
+		t.Error("AND misevaluates")
+	}
+	if !or.Eval(in) || !or.Eval(out) {
+		t.Error("OR misevaluates (9 > 1)")
+	}
+}
+
+func TestConjunctsFlattening(t *testing.T) {
+	a := &Cmp{Ref: ColRef{Col: "a"}, Op: dc.Eq, Val: value.NewInt(1)}
+	b := &Cmp{Ref: ColRef{Col: "b"}, Op: dc.Eq, Val: value.NewInt(2)}
+	c := &Cmp{Ref: ColRef{Col: "c"}, Op: dc.Eq, Val: value.NewInt(3)}
+	p := &And{L: &And{L: a, R: b}, R: c}
+	cj := Conjuncts(p)
+	if len(cj) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cj))
+	}
+	// An OR is a single conjunct.
+	p2 := &Or{L: a, R: b}
+	if len(Conjuncts(p2)) != 1 {
+		t.Error("OR must not flatten")
+	}
+}
+
+func TestColNamesAndString(t *testing.T) {
+	p := &And{
+		L: &Cmp{Ref: ColRef{Table: "R", Col: "zip"}, Op: dc.Eq, Val: value.NewString("a")},
+		R: &ColCmp{Left: ColRef{Col: "x"}, Op: dc.Lt, Right: ColRef{Col: "y"}},
+	}
+	names := ColNames(p)
+	for _, want := range []string{"zip", "x", "y"} {
+		if !names[want] {
+			t.Errorf("ColNames missing %q: %v", want, names)
+		}
+	}
+	if p.String() != "(R.zip='a' AND x<y)" {
+		t.Errorf("String = %q", p.String())
+	}
+}

@@ -1,0 +1,144 @@
+package holoclean
+
+import (
+	"math"
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// Hospital-like toy: zip→city with one typo'd city.
+func hospitalPT() *ptable.PTable {
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+		schema.Column{Name: "phone", Kind: value.Int},
+	)
+	t := table.New("hospital", sch)
+	add := func(z int64, c string, p int64) {
+		t.MustAppend(table.Row{value.NewInt(z), value.NewString(c), value.NewInt(p)})
+	}
+	add(35233, "Birmingham", 100)
+	add(35233, "Birmingham", 101)
+	add(35233, "Birmxngham", 102) // typo
+	add(36301, "Dothan", 200)
+	add(36301, "Dothan", 201)
+	return ptable.FromTable(t)
+}
+
+func rules() []*dc.Constraint {
+	return []*dc.Constraint{dc.FD("phi1", "hospital", "city", "zip")}
+}
+
+func TestCleanGeneratesDomains(t *testing.T) {
+	pt := hospitalPT()
+	r := &Repairer{}
+	rep, err := r.Clean(pt, rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DirtyCells == 0 {
+		t.Fatal("violating group must produce dirty cells")
+	}
+	// The typo'd tuple's city cell must carry Birmingham as a candidate.
+	cell := pt.Cell(2, "city")
+	if cell.IsCertain() {
+		t.Fatal("typo cell must be probabilistic")
+	}
+	foundTrue := false
+	for _, c := range cell.Candidates {
+		if c.Val.Str() == "Birmingham" {
+			foundTrue = true
+		}
+	}
+	if !foundTrue {
+		t.Errorf("domain %v misses the true value", cell)
+	}
+	if s := cell.ProbSum(); math.Abs(s-1) > 1e-9 {
+		t.Errorf("mass = %v", s)
+	}
+}
+
+func TestInferPicksCoOccurringValue(t *testing.T) {
+	pt := hospitalPT()
+	r := &Repairer{}
+	if _, err := r.Clean(pt, rules()); err != nil {
+		t.Fatal(err)
+	}
+	fixed := r.Infer(pt)
+	if got := fixed.ColByName(2, "city").Str(); got != "Birmingham" {
+		t.Errorf("inferred city = %q, want Birmingham", got)
+	}
+	// Clean rows untouched.
+	if got := fixed.ColByName(3, "city").Str(); got != "Dothan" {
+		t.Errorf("clean row altered: %q", got)
+	}
+}
+
+func TestInferFromExternalDomainsDaisyH(t *testing.T) {
+	// DaisyH: domains produced elsewhere (Daisy), inference by co-occurrence.
+	pt := hospitalPT()
+	d := ptable.NewDelta("hospital")
+	d.Set(2, pt.Schema.MustIndex("city"), uncertain.Cell{
+		Orig: value.NewString("Birmxngham"),
+		Candidates: []uncertain.Candidate{
+			{Val: value.NewString("Birmingham"), Prob: 2.0 / 3, World: 2, Support: 2},
+			{Val: value.NewString("Birmxngham"), Prob: 1.0 / 3, World: 2, Support: 1},
+		},
+	})
+	pt.Apply(d)
+	r := &Repairer{}
+	fixed := r.Infer(pt)
+	if got := fixed.ColByName(2, "city").Str(); got != "Birmingham" {
+		t.Errorf("DaisyH inferred %q, want Birmingham", got)
+	}
+}
+
+func TestDomainPruningThreshold(t *testing.T) {
+	pt := hospitalPT()
+	// Aggressive threshold prunes everything but the dominant value.
+	r := &Repairer{Opts: Options{DomainThreshold: 0.6}}
+	rep, err := r.Clean(pt, rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrunedValues == 0 {
+		t.Error("aggressive threshold must prune candidates")
+	}
+}
+
+func TestNonFDRulesIgnored(t *testing.T) {
+	pt := hospitalPT()
+	r := &Repairer{}
+	rep, err := r.Clean(pt, []*dc.Constraint{dc.MustParse("x: !(t1.zip<t2.zip & t1.phone>t2.phone)")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DirtyCells != 0 {
+		t.Error("inequality DCs are out of scope for this baseline")
+	}
+}
+
+func TestCleanDatasetUntouched(t *testing.T) {
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	tb := table.New("t", sch)
+	tb.MustAppend(table.Row{value.NewInt(1), value.NewString("A")})
+	tb.MustAppend(table.Row{value.NewInt(2), value.NewString("B")})
+	pt := ptable.FromTable(tb)
+	r := &Repairer{}
+	rep, err := r.Clean(pt, []*dc.Constraint{dc.FD("phi", "t", "city", "zip")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DirtyCells != 0 || pt.DirtyTuples() != 0 {
+		t.Error("clean data must stay untouched")
+	}
+}

@@ -1,0 +1,184 @@
+// Package offline implements the scale-out offline cleaning baseline the
+// paper compares against (§7): an optimized full-dataset cleaner combining
+// BigDansing's detection optimizations (hash group-by for FDs instead of a
+// self-join, partitioned theta-join for DCs) with probabilistic repairs.
+// Repair follows the offline pattern the paper analyzes in §5.2.1: for each
+// detected erroneous group it traverses the dataset to compute the candidate
+// values — the O(ε·n) term that makes offline cleaning lose to Daisy when
+// errors are plentiful (Fig 9) or groups are skewed (Table 8).
+package offline
+
+import (
+	"fmt"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/ptable"
+	"daisy/internal/repair"
+	"daisy/internal/thetajoin"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// Cleaner is a full-dataset offline cleaner.
+type Cleaner struct {
+	// Partitions controls theta-join granularity (default 64).
+	Partitions int
+	// MaxGroupScans caps the number of per-group dataset traversals; 0 means
+	// unbounded. The air-quality experiment uses it to emulate the paper's
+	// one-day timeout.
+	MaxGroupScans int
+}
+
+// ErrTimeout reports that MaxGroupScans was exhausted before cleaning
+// finished (the Table 8 "offline unable to terminate" case).
+var ErrTimeout = fmt.Errorf("offline: group-scan budget exhausted (timeout)")
+
+// Report summarizes one offline cleaning pass.
+type Report struct {
+	Metrics         detect.Metrics
+	ViolatingGroups int
+	ViolatingPairs  int
+	UpdatedCells    int
+}
+
+func (c *Cleaner) partitions() int {
+	if c.Partitions <= 0 {
+		return 64
+	}
+	return c.Partitions
+}
+
+// CleanFD repairs every violation of an FD rule over the whole relation.
+func (c *Cleaner) CleanFD(pt *ptable.PTable, rule *dc.Constraint) (Report, error) {
+	var rep Report
+	fd, ok := rule.AsFD()
+	if !ok {
+		return rep, fmt.Errorf("offline: rule %s is not an FD", rule.Name)
+	}
+	view := detect.PTableView{P: pt}
+	groups := detect.FDViolations(view, fd, &rep.Metrics)
+	rep.ViolatingGroups = len(groups)
+
+	rhsCol := pt.Schema.MustIndex(fd.RHS)
+	scans := 0
+	for _, g := range groups {
+		scans++
+		if c.MaxGroupScans > 0 && scans > c.MaxGroupScans {
+			return rep, ErrTimeout
+		}
+		// Offline repair: one dataset traversal per erroneous group to
+		// collect the candidate values (the paper's O(ε·n) repair cost).
+		rhsCounts := make(map[string]int)
+		rhsVals := make(map[string]value.Value)
+		lhsByRHS := make(map[string]map[string]int)
+		lhsVals := make(map[string]value.Value)
+		for i := 0; i < view.Len(); i++ {
+			rep.Metrics.Scanned++
+			if detect.LHSKeyOf(view, i, fd) == g.LHSKey {
+				rv := view.Value(i, fd.RHS)
+				rhsCounts[rv.Key()]++
+				rhsVals[rv.Key()] = rv
+			}
+		}
+		// Second traversal: lhs candidates for each distinct rhs of the group.
+		if len(fd.LHS) == 1 {
+			for i := 0; i < view.Len(); i++ {
+				rep.Metrics.Scanned++
+				rv := view.Value(i, fd.RHS)
+				if _, isGroupRHS := rhsCounts[rv.Key()]; !isGroupRHS {
+					continue
+				}
+				lv := view.Value(i, fd.LHS[0])
+				mm, ok := lhsByRHS[rv.Key()]
+				if !ok {
+					mm = make(map[string]int)
+					lhsByRHS[rv.Key()] = mm
+				}
+				mm[lv.Key()]++
+				lhsVals[lv.Key()] = lv
+			}
+		}
+		// Build the delta for the group's members.
+		delta := ptable.NewDelta(pt.Name)
+		total := 0
+		for _, n := range rhsCounts {
+			total += n
+		}
+		for _, member := range g.Members {
+			id := view.ID(member)
+			cell := uncertain.Cell{Orig: view.Value(member, fd.RHS)}
+			for k, n := range rhsCounts {
+				cell.Candidates = append(cell.Candidates, uncertain.Candidate{
+					Val: rhsVals[k], Prob: float64(n) / float64(total),
+					World: repair.WorldFixRHS, Support: n,
+				})
+			}
+			cell.Normalize()
+			delta.Set(id, rhsCol, cell)
+			rep.Metrics.Repairs++
+			if len(fd.LHS) != 1 {
+				continue
+			}
+			rKey := view.Value(member, fd.RHS).Key()
+			lhsCounts := lhsByRHS[rKey]
+			if len(lhsCounts) < 2 {
+				continue
+			}
+			lcell := uncertain.Cell{Orig: view.Value(member, fd.LHS[0])}
+			ltotal := 0
+			for _, n := range lhsCounts {
+				ltotal += n
+			}
+			for k, n := range lhsCounts {
+				lcell.Candidates = append(lcell.Candidates, uncertain.Candidate{
+					Val: lhsVals[k], Prob: float64(n) / float64(ltotal),
+					World: repair.WorldFixLHS, Support: n,
+				})
+			}
+			lcell.Normalize()
+			delta.Set(id, pt.Schema.MustIndex(fd.LHS[0]), lcell)
+			rep.Metrics.Repairs++
+		}
+		rep.UpdatedCells += pt.Apply(delta)
+	}
+	// Final dataset update pass (the O(n+ε) outer join of §5.2.1).
+	rep.Metrics.Updates += int64(view.Len())
+	return rep, nil
+}
+
+// CleanDC repairs every violation of a general DC via the full partitioned
+// theta-join.
+func (c *Cleaner) CleanDC(pt *ptable.PTable, rule *dc.Constraint) (Report, error) {
+	var rep Report
+	view := detect.PTableView{P: pt}
+	pairs := thetajoin.Detect(view, rule, c.partitions(), &rep.Metrics)
+	rep.ViolatingPairs = len(pairs)
+	fixes := repair.DCFixes(view, pairs, rule, pt.Schema.MustIndex, &rep.Metrics)
+	rep.UpdatedCells += pt.Apply(fixes)
+	rep.Metrics.Updates += int64(view.Len())
+	return rep, nil
+}
+
+// CleanAll runs every rule against the relation, merging fixes (Lemma 4
+// semantics apply through ptable deltas).
+func (c *Cleaner) CleanAll(pt *ptable.PTable, rules []*dc.Constraint) (Report, error) {
+	var total Report
+	for _, rule := range rules {
+		var rep Report
+		var err error
+		if rule.IsFD() {
+			rep, err = c.CleanFD(pt, rule)
+		} else {
+			rep, err = c.CleanDC(pt, rule)
+		}
+		total.Metrics.Add(rep.Metrics)
+		total.ViolatingGroups += rep.ViolatingGroups
+		total.ViolatingPairs += rep.ViolatingPairs
+		total.UpdatedCells += rep.UpdatedCells
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,385 @@
+// Package plan builds cleaning-aware logical plans (§5.1). The planner
+// splits WHERE conjuncts into per-relation filters and equi-join conditions,
+// detects which relations' constraints overlap the query's attributes, and
+// injects cleaning operators pushed down next to the corresponding scan or
+// select — early placement avoids propagating errors up the plan. Group-by
+// always sits above cleaning (cleaning is pushed below aggregation to avoid
+// regrouping).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"daisy/internal/dc"
+	"daisy/internal/expr"
+	"daisy/internal/schema"
+	"daisy/internal/sql"
+)
+
+// Node is a logical plan operator.
+type Node interface {
+	String() string
+}
+
+// Scan reads a base relation.
+type Scan struct {
+	Table string
+}
+
+func (s *Scan) String() string { return "Scan(" + s.Table + ")" }
+
+// Select filters a base relation with a table-local predicate.
+type Select struct {
+	Child Node
+	Table string
+	Pred  expr.Pred
+}
+
+func (s *Select) String() string { return fmt.Sprintf("Select[%s](%s)", s.Pred, s.Child) }
+
+// CleanSelect is cleanσ: it relaxes and cleans the child's output against
+// the rules bound to the relation, updates the dataset in place, and emits
+// the corrected (possibly enlarged, probabilistic) result.
+type CleanSelect struct {
+	Child Node
+	Table string
+	Rules []*dc.Constraint
+}
+
+func (c *CleanSelect) String() string {
+	names := make([]string, len(c.Rules))
+	for i, r := range c.Rules {
+		names[i] = r.Name
+	}
+	return fmt.Sprintf("Clean[%s](%s)", strings.Join(names, ","), c.Child)
+}
+
+// Join is a probabilistic equi-join. CleanRecheck marks it as clean⋈: both
+// inputs were cleaned, and the join must be recomputed incrementally for the
+// tuples cleaning added (Fig 3).
+type Join struct {
+	Left, Right  Node
+	LeftTable    string
+	RightTable   string
+	LeftRef      expr.ColRef
+	RightRef     expr.ColRef
+	CleanRecheck bool
+}
+
+func (j *Join) String() string {
+	op := "Join"
+	if j.CleanRecheck {
+		op = "CleanJoin"
+	}
+	return fmt.Sprintf("%s[%s=%s](%s, %s)", op, j.LeftRef, j.RightRef, j.Left, j.Right)
+}
+
+// GroupBy groups and aggregates.
+type GroupBy struct {
+	Child Node
+	Keys  []expr.ColRef
+	Items []sql.SelectItem
+}
+
+func (g *GroupBy) String() string {
+	keys := make([]string, len(g.Keys))
+	for i, k := range g.Keys {
+		keys[i] = k.String()
+	}
+	return fmt.Sprintf("GroupBy[%s](%s)", strings.Join(keys, ","), g.Child)
+}
+
+// Project narrows the output to the select list.
+type Project struct {
+	Child Node
+	Items []sql.SelectItem
+}
+
+func (p *Project) String() string {
+	items := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		items[i] = it.String()
+	}
+	return fmt.Sprintf("Project[%s](%s)", strings.Join(items, ","), p.Child)
+}
+
+// Catalog resolves table schemas for planning.
+type Catalog interface {
+	Schema(table string) (*schema.Schema, bool)
+}
+
+// Build plans a parsed query against the catalog, injecting cleaning
+// operators for every relation whose bound rules overlap the query's
+// attribute set.
+func Build(q *sql.Query, cat Catalog, rules []*dc.Constraint) (Node, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("plan: no FROM tables")
+	}
+	schemas := make(map[string]*schema.Schema, len(q.From))
+	for _, t := range q.From {
+		s, ok := cat.Schema(t)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown table %q", t)
+		}
+		schemas[t] = s
+	}
+
+	filters, joins, err := splitWhere(q.Where, schemas)
+	if err != nil {
+		return nil, err
+	}
+
+	// Validate projection and group-by references against the schemas.
+	for _, it := range q.Select {
+		if it.Star {
+			continue
+		}
+		if _, err := resolveTable(it.Ref, schemas); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if _, err := resolveTable(g, schemas); err != nil {
+			return nil, err
+		}
+	}
+
+	// The query's attribute footprint: projection ∪ where ∪ group-by.
+	attrs := queryAttrs(q)
+
+	// Per-table subplans with pushed-down cleaning.
+	subplans := make(map[string]Node, len(q.From))
+	for _, t := range q.From {
+		var n Node = &Scan{Table: t}
+		if f := filters[t]; f != nil {
+			n = &Select{Child: n, Table: t, Pred: f}
+		}
+		tr := tableRules(t, schemas[t], rules)
+		overlapping := overlappingRules(tr, attrs)
+		if len(overlapping) > 0 {
+			n = &CleanSelect{Child: n, Table: t, Rules: overlapping}
+		}
+		subplans[t] = n
+	}
+
+	// Chain joins left to right in FROM order.
+	root := subplans[q.From[0]]
+	joined := map[string]bool{q.From[0]: true}
+	rootTable := q.From[0]
+	for len(joined) < len(q.From) {
+		progress := false
+		for _, jc := range joins {
+			lt, rt := jc.Left.Table, jc.Right.Table
+			var nextTable string
+			var leftRef, rightRef expr.ColRef
+			switch {
+			case joined[lt] && !joined[rt]:
+				nextTable, leftRef, rightRef = rt, jc.Left, jc.Right
+			case joined[rt] && !joined[lt]:
+				nextTable, leftRef, rightRef = lt, jc.Right, jc.Left
+			default:
+				continue
+			}
+			j := &Join{
+				Left: root, Right: subplans[nextTable],
+				LeftTable: rootTable, RightTable: nextTable,
+				LeftRef: leftRef, RightRef: rightRef,
+			}
+			// clean⋈ when either side's rules touch its join key.
+			j.CleanRecheck = ruleTouches(tableRules(leftRef.Table, schemas[leftRef.Table], rules), leftRef.Col) ||
+				ruleTouches(tableRules(nextTable, schemas[nextTable], rules), rightRef.Col)
+			root = j
+			rootTable = nextTable
+			joined[nextTable] = true
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("plan: tables %v not connected by join conditions", missing(q.From, joined))
+		}
+	}
+
+	if len(q.GroupBy) > 0 {
+		root = &GroupBy{Child: root, Keys: q.GroupBy, Items: q.Select}
+	} else if q.HasAggregate() {
+		root = &GroupBy{Child: root, Items: q.Select} // global aggregate
+	} else {
+		root = &Project{Child: root, Items: q.Select}
+	}
+	return root, nil
+}
+
+func missing(from []string, joined map[string]bool) []string {
+	var out []string
+	for _, t := range from {
+		if !joined[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// splitWhere separates the WHERE tree into per-table filters and cross-table
+// equi-join conditions. OR expressions must be table-local.
+func splitWhere(w expr.Pred, schemas map[string]*schema.Schema) (map[string]expr.Pred, []*expr.ColCmp, error) {
+	filters := make(map[string]expr.Pred)
+	var joins []*expr.ColCmp
+	if w == nil {
+		return filters, joins, nil
+	}
+	for _, c := range expr.Conjuncts(w) {
+		if jc, ok := c.(*expr.ColCmp); ok {
+			lt, err := resolveTable(jc.Left, schemas)
+			if err != nil {
+				return nil, nil, err
+			}
+			rt, err := resolveTable(jc.Right, schemas)
+			if err != nil {
+				return nil, nil, err
+			}
+			if lt != rt {
+				if jc.Op != dc.Eq {
+					return nil, nil, fmt.Errorf("plan: only equi-joins supported, got %s", jc)
+				}
+				j := *jc
+				j.Left.Table, j.Right.Table = lt, rt
+				joins = append(joins, &j)
+				continue
+			}
+			// Same-table column comparison: a filter.
+			addFilter(filters, lt, c)
+			continue
+		}
+		t, err := predTable(c, schemas)
+		if err != nil {
+			return nil, nil, err
+		}
+		addFilter(filters, t, c)
+	}
+	return filters, joins, nil
+}
+
+func addFilter(filters map[string]expr.Pred, t string, p expr.Pred) {
+	if cur, ok := filters[t]; ok {
+		filters[t] = &expr.And{L: cur, R: p}
+	} else {
+		filters[t] = p
+	}
+}
+
+// predTable finds the single table all columns of the predicate belong to.
+func predTable(p expr.Pred, schemas map[string]*schema.Schema) (string, error) {
+	t := ""
+	for _, ref := range p.Cols() {
+		rt, err := resolveTable(ref, schemas)
+		if err != nil {
+			return "", err
+		}
+		if t == "" {
+			t = rt
+		} else if t != rt {
+			return "", fmt.Errorf("plan: predicate %s spans tables %s and %s (only equi-join conditions may)", p, t, rt)
+		}
+	}
+	if t == "" {
+		return "", fmt.Errorf("plan: predicate %s references no columns", p)
+	}
+	return t, nil
+}
+
+// resolveTable maps a column reference to its table, using the qualifier or
+// searching schemas for an unqualified name.
+func resolveTable(ref expr.ColRef, schemas map[string]*schema.Schema) (string, error) {
+	if ref.Table != "" {
+		s, ok := schemas[ref.Table]
+		if !ok {
+			return "", fmt.Errorf("plan: unknown table %q in %s", ref.Table, ref)
+		}
+		if !s.Has(ref.Col) {
+			return "", fmt.Errorf("plan: table %s has no column %q", ref.Table, ref.Col)
+		}
+		return ref.Table, nil
+	}
+	found := ""
+	for t, s := range schemas {
+		if s.Has(ref.Col) {
+			if found != "" {
+				return "", fmt.Errorf("plan: ambiguous column %q (in %s and %s)", ref.Col, found, t)
+			}
+			found = t
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("plan: unknown column %q", ref.Col)
+	}
+	return found, nil
+}
+
+// queryAttrs collects the unqualified attribute names the query touches.
+func queryAttrs(q *sql.Query) map[string]bool {
+	attrs := make(map[string]bool)
+	for _, it := range q.Select {
+		if !it.Star && it.Ref.Col != "" {
+			attrs[it.Ref.Col] = true
+		}
+	}
+	if q.Where != nil {
+		for _, ref := range q.Where.Cols() {
+			attrs[ref.Col] = true
+		}
+	}
+	for _, g := range q.GroupBy {
+		attrs[g.Col] = true
+	}
+	return attrs
+}
+
+// tableRules selects the rules bound to a relation: explicitly by name, or
+// implicitly when the relation's schema has every constraint column.
+func tableRules(t string, s *schema.Schema, rules []*dc.Constraint) []*dc.Constraint {
+	var out []*dc.Constraint
+	for _, r := range rules {
+		if r.Table == t {
+			out = append(out, r)
+			continue
+		}
+		if r.Table == "" && s != nil {
+			all := true
+			for _, col := range r.Columns() {
+				if !s.Has(col) {
+					all = false
+					break
+				}
+			}
+			if all {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// overlappingRules filters rules to those whose attributes intersect the
+// query footprint — the (X∪Y)∩(P∪W)≠∅ correctness test.
+func overlappingRules(rules []*dc.Constraint, attrs map[string]bool) []*dc.Constraint {
+	var out []*dc.Constraint
+	for _, r := range rules {
+		if r.OverlapsAny(attrs) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ruleTouches reports whether any rule mentions the column (join-key check
+// for clean⋈ placement).
+func ruleTouches(rules []*dc.Constraint, col string) bool {
+	for _, r := range rules {
+		for _, c := range r.Columns() {
+			if c == col {
+				return true
+			}
+		}
+	}
+	return false
+}

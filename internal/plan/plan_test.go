@@ -1,0 +1,181 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/schema"
+	"daisy/internal/sql"
+	"daisy/internal/value"
+)
+
+type cat map[string]*schema.Schema
+
+func (c cat) Schema(t string) (*schema.Schema, bool) {
+	s, ok := c[t]
+	return s, ok
+}
+
+func testCatalog() cat {
+	return cat{
+		"lineorder": schema.MustNew(
+			schema.Column{Name: "orderkey", Kind: value.Int},
+			schema.Column{Name: "suppkey", Kind: value.Int},
+			schema.Column{Name: "price", Kind: value.Float},
+		),
+		"supplier": schema.MustNew(
+			schema.Column{Name: "suppkey", Kind: value.Int},
+			schema.Column{Name: "address", Kind: value.String},
+		),
+	}
+}
+
+func loRule() *dc.Constraint {
+	return dc.FD("phi", "lineorder", "suppkey", "orderkey")
+}
+
+func TestBuildSelectWithCleaning(t *testing.T) {
+	q := sql.MustParse("SELECT suppkey FROM lineorder WHERE orderkey < 100")
+	n, err := Build(q, testCatalog(), []*dc.Constraint{loRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.String()
+	if !strings.Contains(s, "Clean[phi]") {
+		t.Errorf("plan must inject cleanσ: %s", s)
+	}
+	if !strings.Contains(s, "Select[orderkey<100]") {
+		t.Errorf("plan must keep the filter: %s", s)
+	}
+	// Cleaning sits above the select (cleans the query result), below project.
+	if !strings.HasPrefix(s, "Project") {
+		t.Errorf("root must be Project: %s", s)
+	}
+}
+
+func TestBuildSkipsCleaningWhenNoOverlap(t *testing.T) {
+	// Query touches only price; the rule covers orderkey/suppkey.
+	q := sql.MustParse("SELECT price FROM lineorder WHERE price > 5")
+	n, err := Build(q, testCatalog(), []*dc.Constraint{loRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(n.String(), "Clean") {
+		t.Errorf("no attribute overlap → no cleaning operator: %s", n)
+	}
+}
+
+func TestBuildJoinWithCleanRecheck(t *testing.T) {
+	rules := []*dc.Constraint{
+		loRule(),
+		dc.FD("psi", "supplier", "suppkey", "address"),
+	}
+	q := sql.MustParse("SELECT lineorder.orderkey, supplier.address FROM lineorder, supplier " +
+		"WHERE lineorder.suppkey = supplier.suppkey AND lineorder.orderkey < 10")
+	n, err := Build(q, testCatalog(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.String()
+	if !strings.Contains(s, "CleanJoin") {
+		t.Errorf("join key in rules → clean⋈: %s", s)
+	}
+	if strings.Count(s, "Clean[") != 2 {
+		t.Errorf("both sides must get pushed-down cleaning: %s", s)
+	}
+}
+
+func TestBuildJoinWithoutRuleOnKey(t *testing.T) {
+	// Rule on lineorder price only — join key untouched.
+	rule := dc.MustParse("phi@lineorder: !(t1.price<t2.price & t1.orderkey>t2.orderkey)")
+	q := sql.MustParse("SELECT address FROM lineorder, supplier WHERE lineorder.suppkey = supplier.suppkey AND price > 3")
+	n, err := Build(q, testCatalog(), []*dc.Constraint{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.String()
+	if strings.Contains(s, "CleanJoin") {
+		t.Errorf("clean join not needed when rules avoid join keys: %s", s)
+	}
+	if !strings.Contains(s, "Clean[phi]") {
+		t.Errorf("lineorder side still needs cleanσ (price overlaps): %s", s)
+	}
+}
+
+func TestBuildGroupByAboveCleaning(t *testing.T) {
+	q := sql.MustParse("SELECT orderkey, SUM(price) FROM lineorder WHERE suppkey = 7 GROUP BY orderkey")
+	n, err := Build(q, testCatalog(), []*dc.Constraint{loRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.String()
+	if !strings.HasPrefix(s, "GroupBy") {
+		t.Errorf("group-by must top the plan: %s", s)
+	}
+	gb := n.(*GroupBy)
+	if _, ok := gb.Child.(*CleanSelect); !ok {
+		t.Errorf("cleaning must sit below aggregation, child is %T", gb.Child)
+	}
+}
+
+func TestBuildGlobalAggregate(t *testing.T) {
+	q := sql.MustParse("SELECT COUNT(*) FROM lineorder")
+	n, err := Build(q, testCatalog(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.(*GroupBy); !ok {
+		t.Errorf("global aggregate should plan as keyless GroupBy, got %T", n)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []string{
+		"SELECT x FROM ghost",
+		"SELECT ghostcol FROM lineorder",
+		"SELECT suppkey FROM lineorder, supplier", // no join condition
+		"SELECT suppkey FROM lineorder WHERE supplier.address = 'x'",
+	}
+	for _, c := range cases {
+		q, err := sql.Parse(c)
+		if err != nil {
+			continue
+		}
+		if _, err := Build(q, testCatalog(), nil); err == nil {
+			t.Errorf("Build(%q) should fail", c)
+		}
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	q := sql.MustParse("SELECT orderkey FROM lineorder, supplier WHERE suppkey = 3 AND lineorder.suppkey = supplier.suppkey")
+	if _, err := Build(q, testCatalog(), nil); err == nil {
+		t.Error("unqualified suppkey is ambiguous across lineorder and supplier")
+	}
+}
+
+func TestUnboundRuleAppliesWhenSchemaCovers(t *testing.T) {
+	// Rule with no table binding applies to lineorder (has both columns)
+	// but not supplier.
+	rule := dc.FD("phi", "", "suppkey", "orderkey")
+	q := sql.MustParse("SELECT suppkey FROM lineorder WHERE orderkey = 5")
+	n, err := Build(q, testCatalog(), []*dc.Constraint{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.String(), "Clean[phi]") {
+		t.Errorf("unbound rule must bind by schema: %s", n)
+	}
+}
+
+func TestOrFilterStaysTableLocal(t *testing.T) {
+	q := sql.MustParse("SELECT suppkey FROM lineorder WHERE orderkey = 1 OR orderkey = 2")
+	n, err := Build(q, testCatalog(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.String(), "OR") {
+		t.Errorf("OR filter must survive planning: %s", n)
+	}
+}

@@ -1,0 +1,233 @@
+// Package ptable implements probabilistic relations: ordered collections of
+// tuples whose cells carry attribute-level uncertainty (package uncertain).
+// A PTable starts as a deterministic snapshot of a dirty table and is
+// gradually transformed into a probabilistic dataset as cleaning applies
+// per-query deltas in place (§4, §6 of the paper). Tuples carry lineage —
+// the originating tuple IDs per base relation — so join results can be split
+// back into their qualifying parts (clean⋈, Definition 3).
+package ptable
+
+import (
+	"fmt"
+	"strings"
+
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// Tuple is one probabilistic row.
+type Tuple struct {
+	// ID is the stable identifier of the tuple within its base relation.
+	ID int64
+	// Cells is positionally aligned with the table schema.
+	Cells []uncertain.Cell
+	// Lineage maps a base relation name to the originating tuple IDs; join
+	// results reference one tuple per side, base tuples reference themselves.
+	Lineage map[string][]int64
+}
+
+// Clone deep-copies the tuple.
+func (t *Tuple) Clone() *Tuple {
+	out := &Tuple{ID: t.ID, Cells: make([]uncertain.Cell, len(t.Cells))}
+	for i := range t.Cells {
+		out.Cells[i] = t.Cells[i].Clone()
+	}
+	if t.Lineage != nil {
+		out.Lineage = make(map[string][]int64, len(t.Lineage))
+		for k, v := range t.Lineage {
+			out.Lineage[k] = append([]int64(nil), v...)
+		}
+	}
+	return out
+}
+
+// Dirty reports whether any cell of the tuple is uncertain.
+func (t *Tuple) Dirty() bool {
+	for i := range t.Cells {
+		if !t.Cells[i].IsCertain() {
+			return true
+		}
+	}
+	return false
+}
+
+// PTable is a probabilistic relation.
+type PTable struct {
+	Name   string
+	Schema *schema.Schema
+	Tuples []*Tuple
+	byID   map[int64]int
+}
+
+// New creates an empty probabilistic relation.
+func New(name string, s *schema.Schema) *PTable {
+	return &PTable{Name: name, Schema: s, byID: make(map[int64]int)}
+}
+
+// FromTable snapshots a deterministic table; tuple IDs are row positions and
+// every tuple's lineage points at itself.
+func FromTable(t *table.Table) *PTable {
+	p := New(t.Name, t.Schema)
+	for i, row := range t.Rows {
+		cells := make([]uncertain.Cell, len(row))
+		for j, v := range row {
+			cells[j] = uncertain.Certain(v)
+		}
+		p.Append(&Tuple{
+			ID:      int64(i),
+			Cells:   cells,
+			Lineage: map[string][]int64{t.Name: {int64(i)}},
+		})
+	}
+	return p
+}
+
+// Append adds a tuple. IDs must be unique within the relation.
+func (p *PTable) Append(t *Tuple) {
+	if p.byID == nil {
+		p.byID = make(map[int64]int)
+	}
+	p.byID[t.ID] = len(p.Tuples)
+	p.Tuples = append(p.Tuples, t)
+}
+
+// Len returns the number of tuples.
+func (p *PTable) Len() int { return len(p.Tuples) }
+
+// ByID returns the tuple with the given ID, or nil.
+func (p *PTable) ByID(id int64) *Tuple {
+	if i, ok := p.byID[id]; ok {
+		return p.Tuples[i]
+	}
+	return nil
+}
+
+// Cell returns the named cell of the tuple at position row.
+func (p *PTable) Cell(row int, col string) *uncertain.Cell {
+	return &p.Tuples[row].Cells[p.Schema.MustIndex(col)]
+}
+
+// Clone deep-copies the relation.
+func (p *PTable) Clone() *PTable {
+	out := New(p.Name, p.Schema)
+	for _, t := range p.Tuples {
+		out.Append(t.Clone())
+	}
+	return out
+}
+
+// Delta is a set of per-tuple cell replacements keyed by tuple ID, the
+// isolated changes a cleaning operator produces for one query.
+type Delta struct {
+	Table string
+	Cells map[int64]map[int]uncertain.Cell // tuple ID → column index → new cell
+}
+
+// NewDelta creates an empty delta for a relation.
+func NewDelta(tableName string) *Delta {
+	return &Delta{Table: tableName, Cells: make(map[int64]map[int]uncertain.Cell)}
+}
+
+// Set records a replacement cell for (tuple, column).
+func (d *Delta) Set(id int64, col int, c uncertain.Cell) {
+	m, ok := d.Cells[id]
+	if !ok {
+		m = make(map[int]uncertain.Cell)
+		d.Cells[id] = m
+	}
+	m[col] = c
+}
+
+// Len returns the number of touched tuples.
+func (d *Delta) Len() int { return len(d.Cells) }
+
+// Apply merges the delta into the relation in place. Cells that were already
+// probabilistic are merged under Lemma 4 union semantics; clean cells are
+// replaced. Returns the number of updated cells.
+func (p *PTable) Apply(d *Delta) int {
+	updated := 0
+	for id, cols := range d.Cells {
+		t := p.ByID(id)
+		if t == nil {
+			continue
+		}
+		for col, cell := range cols {
+			cur := &t.Cells[col]
+			if cur.IsCertain() {
+				*cur = cell.Clone()
+			} else {
+				cur.Merge(cell)
+			}
+			updated++
+		}
+	}
+	return updated
+}
+
+// DirtyTuples returns the count of tuples with at least one uncertain cell.
+func (p *PTable) DirtyTuples() int {
+	n := 0
+	for _, t := range p.Tuples {
+		if t.Dirty() {
+			n++
+		}
+	}
+	return n
+}
+
+// MostProbable materializes the relation by picking every cell's most
+// probable candidate (the DaisyP policy of Table 5).
+func (p *PTable) MostProbable() *table.Table {
+	out := table.New(p.Name, p.Schema)
+	for _, t := range p.Tuples {
+		row := make(table.Row, len(t.Cells))
+		for i := range t.Cells {
+			row[i] = t.Cells[i].Value()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Originals materializes the provenance view: every cell's original value,
+// regardless of cleaning (used when new rules arrive, Table 7).
+func (p *PTable) Originals() *table.Table {
+	out := table.New(p.Name, p.Schema)
+	for _, t := range p.Tuples {
+		row := make(table.Row, len(t.Cells))
+		for i := range t.Cells {
+			row[i] = t.Cells[i].Orig
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// CandidateFootprint sums candidate counts across all uncertain cells — the
+// "p" of the paper's update-cost term (size of probabilistic values).
+func (p *PTable) CandidateFootprint() int {
+	n := 0
+	for _, t := range p.Tuples {
+		for i := range t.Cells {
+			if !t.Cells[i].IsCertain() {
+				n += len(t.Cells[i].Candidates) + len(t.Cells[i].Ranges)
+			}
+		}
+	}
+	return n
+}
+
+// String renders a bounded preview for diagnostics.
+func (p *PTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) [%d tuples, %d dirty]", p.Name, p.Schema, p.Len(), p.DirtyTuples())
+	return b.String()
+}
+
+// Get returns the concrete value of a certain cell or the most probable
+// candidate of an uncertain one (row addressed by position).
+func (p *PTable) Get(row int, col string) value.Value {
+	return p.Tuples[row].Cells[p.Schema.MustIndex(col)].Value()
+}

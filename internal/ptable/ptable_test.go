@@ -1,0 +1,168 @@
+package ptable
+
+import (
+	"testing"
+
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+func citiesTable(t *testing.T) *table.Table {
+	t.Helper()
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	tb := table.New("cities", sch)
+	for _, r := range []table.Row{
+		{value.NewInt(9001), value.NewString("Los Angeles")},
+		{value.NewInt(9001), value.NewString("San Francisco")},
+		{value.NewInt(10001), value.NewString("New York")},
+	} {
+		tb.MustAppend(r)
+	}
+	return tb
+}
+
+func dirtyCell() uncertain.Cell {
+	return uncertain.Cell{
+		Orig: value.NewString("San Francisco"),
+		Candidates: []uncertain.Candidate{
+			{Val: value.NewString("Los Angeles"), Prob: 2.0 / 3, World: 1, Support: 2},
+			{Val: value.NewString("San Francisco"), Prob: 1.0 / 3, World: 1, Support: 1},
+		},
+	}
+}
+
+func TestFromTableSnapshot(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.DirtyTuples() != 0 {
+		t.Errorf("fresh snapshot dirty = %d", p.DirtyTuples())
+	}
+	if p.Get(0, "city").Str() != "Los Angeles" {
+		t.Errorf("Get = %v", p.Get(0, "city"))
+	}
+	if got := p.ByID(2); got == nil || got.Cells[0].Value().Int() != 10001 {
+		t.Errorf("ByID(2) = %v", got)
+	}
+	if p.ByID(99) != nil {
+		t.Error("missing id must return nil")
+	}
+	if lin := p.Tuples[1].Lineage["cities"]; len(lin) != 1 || lin[0] != 1 {
+		t.Errorf("self lineage = %v", p.Tuples[1].Lineage)
+	}
+}
+
+func TestApplyDeltaReplacesCleanCells(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	d := NewDelta("cities")
+	d.Set(1, p.Schema.MustIndex("city"), dirtyCell())
+	if n := p.Apply(d); n != 1 {
+		t.Fatalf("Apply updated %d cells, want 1", n)
+	}
+	if p.DirtyTuples() != 1 {
+		t.Errorf("dirty tuples = %d", p.DirtyTuples())
+	}
+	cell := p.Cell(1, "city")
+	if cell.IsCertain() {
+		t.Fatal("cell must be uncertain after delta")
+	}
+	if cell.Orig.Str() != "San Francisco" {
+		t.Error("provenance must keep original value")
+	}
+}
+
+func TestApplyDeltaMergesDirtyCells(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	col := p.Schema.MustIndex("city")
+	d1 := NewDelta("cities")
+	d1.Set(1, col, dirtyCell())
+	p.Apply(d1)
+
+	d2 := NewDelta("cities")
+	d2.Set(1, col, uncertain.Cell{
+		Orig: value.NewString("San Francisco"),
+		Candidates: []uncertain.Candidate{
+			{Val: value.NewString("Oakland"), Prob: 1, World: 1, Support: 1},
+		},
+	})
+	p.Apply(d2)
+	cell := p.Cell(1, "city")
+	if len(cell.Candidates) != 3 {
+		t.Errorf("merged candidates = %d, want 3", len(cell.Candidates))
+	}
+	if s := cell.ProbSum(); s < 0.999 || s > 1.001 {
+		t.Errorf("ProbSum = %v", s)
+	}
+}
+
+func TestApplyIgnoresUnknownIDs(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	d := NewDelta("cities")
+	d.Set(42, 0, dirtyCell())
+	if n := p.Apply(d); n != 0 {
+		t.Errorf("Apply to missing tuple updated %d", n)
+	}
+}
+
+func TestMostProbableAndOriginals(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	d := NewDelta("cities")
+	d.Set(1, p.Schema.MustIndex("city"), dirtyCell())
+	p.Apply(d)
+
+	mp := p.MostProbable()
+	if mp.ColByName(1, "city").Str() != "Los Angeles" {
+		t.Errorf("most probable = %v", mp.ColByName(1, "city"))
+	}
+	orig := p.Originals()
+	if orig.ColByName(1, "city").Str() != "San Francisco" {
+		t.Errorf("originals = %v", orig.ColByName(1, "city"))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	cp := p.Clone()
+	d := NewDelta("cities")
+	d.Set(0, 1, dirtyCell())
+	cp.Apply(d)
+	if p.DirtyTuples() != 0 {
+		t.Error("Clone must not share cell storage")
+	}
+	if cp.ByID(0) == nil {
+		t.Error("clone must rebuild its id index")
+	}
+}
+
+func TestCandidateFootprint(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	if p.CandidateFootprint() != 0 {
+		t.Error("clean table footprint must be 0")
+	}
+	d := NewDelta("cities")
+	d.Set(0, 1, dirtyCell())
+	p.Apply(d)
+	if p.CandidateFootprint() != 2 {
+		t.Errorf("footprint = %d, want 2", p.CandidateFootprint())
+	}
+}
+
+func TestTupleDirtyAndClone(t *testing.T) {
+	tup := &Tuple{ID: 7, Cells: []uncertain.Cell{uncertain.Certain(value.NewInt(1)), dirtyCell()},
+		Lineage: map[string][]int64{"r": {7}}}
+	if !tup.Dirty() {
+		t.Error("tuple with dirty cell must be Dirty")
+	}
+	cp := tup.Clone()
+	cp.Cells[1].Candidates[0].Prob = 0.01
+	cp.Lineage["r"][0] = 99
+	if tup.Cells[1].Candidates[0].Prob == 0.01 || tup.Lineage["r"][0] == 99 {
+		t.Error("Clone must deep-copy cells and lineage")
+	}
+}

@@ -1,0 +1,303 @@
+// Package repair computes probabilistic candidate fixes for denial
+// constraint violations (§4.1–4.3). For FDs, each erroneous tuple's cells
+// receive frequency-based conditional distributions — P(rhs|lhs) from the
+// tuples sharing its lhs, P(lhs|rhs) from the tuples sharing its rhs — with
+// world (candidate-pair) identifiers distinguishing the two fix directions.
+// For general DCs, violating pairs receive range fixes that invert atoms
+// (holistic-cleaning style), with inversion subsets validated by the SAT
+// encoding of §4.2. Fixes from multiple rules merge under the union
+// semantics of Lemma 4 (implemented in package uncertain).
+package repair
+
+import (
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/ptable"
+	"daisy/internal/sat"
+	"daisy/internal/thetajoin"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// Worlds for FD fixes: world 1 fixes the lhs given the rhs, world 2 fixes
+// the rhs given the lhs (the two candidate instances of §4.1).
+const (
+	WorldKeep   = 0
+	WorldFixLHS = 1
+	WorldFixRHS = 2
+)
+
+// FD computes candidate fixes for the FD violations inside the repair scope.
+//
+// view addresses the dataset, scope lists the row positions to repair (the
+// relaxed query result), and support lists additional rows consulted only
+// for candidate computation (e.g. same-rhs partners outside the relaxed
+// result, per Example 2 / Table 2b). schemaIdx maps attribute name to cell
+// position. The returned delta holds one probabilistic cell per repaired
+// attribute, keyed by tuple ID.
+func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(string) int, m *detect.Metrics) *ptable.Delta {
+	all := append(append([]int{}, scope...), support...)
+	allView := detect.SubsetView{Base: view, Idx: all}
+	groups := detect.GroupByFD(allView, fd, m)
+	byRHS := detect.GroupByRHS(allView, fd, m)
+
+	inScope := make(map[int]bool, len(scope))
+	for _, i := range scope {
+		inScope[i] = true
+	}
+
+	delta := ptable.NewDelta("")
+	rhsCol := schemaIdx(fd.RHS)
+	// Memoized P(lhs|rhs) distributions: one computation per distinct rhs
+	// value instead of one per repaired tuple.
+	lhsDistCache := make(map[string][]uncertain.Candidate)
+	for _, g := range groups {
+		if !g.Violating() {
+			continue
+		}
+		vals, counts := g.RHSDistribution()
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		for _, member := range g.Members {
+			pos := all[member] // position in the base view
+			if !inScope[pos] {
+				continue // support-only tuples are consulted, not repaired
+			}
+			id := view.ID(pos)
+			// RHS fix: P(rhs | lhs) over the group's distribution.
+			rhsCell := uncertain.Cell{Orig: view.Value(pos, fd.RHS)}
+			for k, v := range vals {
+				rhsCell.Candidates = append(rhsCell.Candidates, uncertain.Candidate{
+					Val: v, Prob: float64(counts[k]) / float64(total), World: WorldFixRHS, Support: counts[k],
+				})
+			}
+			delta.Set(id, rhsCol, rhsCell)
+			if m != nil {
+				m.Repairs++
+			}
+			// LHS fix: P(lhs | rhs) over tuples sharing this tuple's rhs.
+			// Only meaningful for single-attribute lhs (multi-attribute lhs
+			// fixes would need a joint distribution; the paper's examples
+			// and workloads fix single lhs attributes).
+			if len(fd.LHS) != 1 {
+				continue
+			}
+			rhsKey := view.Value(pos, fd.RHS).Key()
+			cands, ok := lhsDistCache[rhsKey]
+			if !ok {
+				partners := byRHS[rhsKey]
+				lhsCounts := make(map[string]int)
+				lhsVals := make(map[string]value.Value)
+				for _, p := range partners {
+					lv := allView.Value(p, fd.LHS[0])
+					lhsCounts[lv.Key()]++
+					lhsVals[lv.Key()] = lv
+				}
+				if len(lhsCounts) >= 2 {
+					lhsTotal := 0
+					for _, c := range lhsCounts {
+						lhsTotal += c
+					}
+					for _, k := range sortedKeys(lhsCounts) {
+						cands = append(cands, uncertain.Candidate{
+							Val: lhsVals[k], Prob: float64(lhsCounts[k]) / float64(lhsTotal),
+							World: WorldFixLHS, Support: lhsCounts[k],
+						})
+					}
+				}
+				lhsDistCache[rhsKey] = cands
+			}
+			if len(cands) < 2 {
+				continue // lhs is unambiguous; keep it certain
+			}
+			lhsCell := uncertain.Cell{Orig: view.Value(pos, fd.LHS[0]),
+				Candidates: append([]uncertain.Candidate(nil), cands...)}
+			delta.Set(id, schemaIdx(fd.LHS[0]), lhsCell)
+			if m != nil {
+				m.Repairs++
+			}
+		}
+	}
+	return delta
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// InversionPlans enumerates the sets of atom indices whose inversion
+// satisfies the DC formula for a violating pair, via the SAT encoding: one
+// boolean per atom (true = invert), one clause requiring at least one
+// inversion per violated constraint. For a single constraint the minimal
+// plans are the single-atom inversions.
+func InversionPlans(cs []*dc.Constraint, atomOffset func(ci int) int, totalAtoms int) [][]int {
+	f := sat.NewFormula(totalAtoms)
+	for ci, c := range cs {
+		lits := make([]sat.Literal, len(c.Atoms))
+		for ai := range c.Atoms {
+			lits[ai] = sat.Literal(atomOffset(ci) + ai + 1)
+		}
+		if err := f.AddClause(lits...); err != nil {
+			return nil
+		}
+	}
+	sols := f.SolveAll(0)
+	var plans [][]int
+	seen := make(map[string]bool)
+	for _, s := range sols {
+		var plan []int
+		key := ""
+		for v := 1; v <= totalAtoms; v++ {
+			if s[v] {
+				plan = append(plan, v-1)
+				key += string(rune(v))
+			}
+		}
+		if len(plan) == 0 || seen[key] {
+			continue
+		}
+		seen[key] = true
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// DCFixes computes range fixes for violating pairs of a general DC. For
+// each pair and each atom, the tuple-side attribute receives a candidate
+// range that inverts the atom (t1.v1 < t2.v2 inverts to t1.v1 ≥ t2.v2 by
+// fixing t1.v1, or t2.v2 ≤ t1.v1 by fixing t2.v2). Each affected cell keeps
+// its original value and the inverting range, 1/(#plans+keep) each, per
+// Example 5's 50/50 split with two possible fixes.
+func DCFixes(view detect.RowView, pairs []thetajoin.Pair, c *dc.Constraint, schemaIdx func(string) int, m *detect.Metrics) *ptable.Delta {
+	delta := ptable.NewDelta("")
+	posByID := make(map[int64]int, view.Len())
+	for i := 0; i < view.Len(); i++ {
+		posByID[view.ID(i)] = i
+	}
+	plans := InversionPlans([]*dc.Constraint{c}, func(int) int { return 0 }, len(c.Atoms))
+	if len(plans) == 0 {
+		return delta
+	}
+	for _, pair := range pairs {
+		p1, ok1 := posByID[pair.T1]
+		p2, ok2 := posByID[pair.T2]
+		if !ok1 || !ok2 {
+			continue
+		}
+		rowOf := func(tuple int) int {
+			if tuple == 1 {
+				return p1
+			}
+			return p2
+		}
+		// One world per inversion plan; cells touched by a plan get the
+		// inverting range with probability 1/(1+#plans), originals keep the
+		// remaining mass (Example 5: two atoms → per-cell {orig 50%, range 50%}).
+		for world, plan := range plans {
+			for _, ai := range plan {
+				at := c.Atoms[ai]
+				// Fixing the left side: t_L.leftCol must satisfy ¬op vs the
+				// right side's current value.
+				leftRow := rowOf(at.LeftTuple)
+				rightVal := view.Value(rowOf(at.RightTuple), at.RightCol)
+				addRangeFix(delta, view.ID(leftRow), schemaIdx(at.LeftCol),
+					view.Value(leftRow, at.LeftCol), at.Op.Negate(), rightVal, world+1)
+				// Fixing the right side: t_R.rightCol must satisfy the
+				// mirrored negated comparison vs the left side's value.
+				rightRow := rowOf(at.RightTuple)
+				leftVal := view.Value(rowOf(at.LeftTuple), at.LeftCol)
+				addRangeFix(delta, view.ID(rightRow), schemaIdx(at.RightCol),
+					view.Value(rightRow, at.RightCol), mirror(at.Op.Negate()), leftVal, world+1)
+				if m != nil {
+					m.Repairs += 2
+				}
+			}
+		}
+	}
+	// Weight candidates: each touched cell has 1 keep-candidate and k range
+	// candidates; frequency-based probability 1/(k+1) each.
+	for _, cols := range delta.Cells {
+		for col := range cols {
+			cell := cols[col]
+			k := len(cell.Ranges)
+			p := 1.0 / float64(k+1)
+			for i := range cell.Candidates {
+				cell.Candidates[i].Prob = p
+			}
+			for i := range cell.Ranges {
+				cell.Ranges[i].Prob = p
+			}
+			cols[col] = cell
+		}
+	}
+	return delta
+}
+
+// mirror flips a comparison to the other operand's perspective: a < b ⇔ b > a.
+func mirror(op dc.Op) dc.Op {
+	switch op {
+	case dc.Lt:
+		return dc.Gt
+	case dc.Leq:
+		return dc.Geq
+	case dc.Gt:
+		return dc.Lt
+	case dc.Geq:
+		return dc.Leq
+	}
+	return op // Eq and Neq are symmetric
+}
+
+// addRangeFix appends a range candidate to the delta cell for (id, col),
+// creating the keep-original candidate on first touch.
+func addRangeFix(delta *ptable.Delta, id int64, col int, orig value.Value, op dc.Op, bound value.Value, world int) {
+	cols, ok := delta.Cells[id]
+	var cell uncertain.Cell
+	if ok {
+		if existing, ok2 := cols[col]; ok2 {
+			cell = existing
+		}
+	}
+	if len(cell.Candidates) == 0 {
+		cell.Orig = orig
+		cell.Candidates = []uncertain.Candidate{{Val: orig, Prob: 0.5, World: WorldKeep, Support: 1}}
+	}
+	// Deduplicate identical ranges from repeated pairs.
+	for _, r := range cell.Ranges {
+		if r.Op == op && r.Bound.Equal(bound) {
+			delta.Set(id, col, cell)
+			return
+		}
+	}
+	cell.Ranges = append(cell.Ranges, uncertain.RangeCandidate{
+		RangeBound: uncertain.RangeBound{Op: op, Bound: bound},
+		Prob:       0.5,
+		World:      world,
+	})
+	delta.Set(id, col, cell)
+}
+
+// VerifyPlan checks the DESIGN.md invariant that an inversion plan actually
+// satisfies the constraint: after forcing the planned atoms false and
+// keeping the others true, the conjunction no longer holds.
+func VerifyPlan(c *dc.Constraint, plan []int) bool {
+	inverted := make(map[int]bool, len(plan))
+	for _, ai := range plan {
+		if ai < 0 || ai >= len(c.Atoms) {
+			return false
+		}
+		inverted[ai] = true
+	}
+	return len(inverted) > 0
+}

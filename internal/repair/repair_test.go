@@ -1,0 +1,365 @@
+package repair
+
+import (
+	"math"
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/ptable"
+	"daisy/internal/relax"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/thetajoin"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// Table 2a of the paper.
+func citiesTable() *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	t := table.New("cities", sch)
+	rows := []struct {
+		zip  int64
+		city string
+	}{
+		{9001, "Los Angeles"}, {9001, "San Francisco"}, {9001, "Los Angeles"},
+		{10001, "San Francisco"}, {10001, "New York"},
+	}
+	for _, r := range rows {
+		t.MustAppend(table.Row{value.NewInt(r.zip), value.NewString(r.city)})
+	}
+	return t
+}
+
+func zipCity() dc.FDSpec {
+	spec, _ := dc.FD("phi", "cities", "city", "zip").AsFD()
+	return spec
+}
+
+func idx(t *table.Table) func(string) int {
+	return func(name string) int { return t.Schema.MustIndex(name) }
+}
+
+func findCand(c uncertain.Cell, v string) (uncertain.Candidate, bool) {
+	for _, cand := range c.Candidates {
+		if cand.Val.String() == v {
+			return cand, true
+		}
+	}
+	return uncertain.Candidate{}, false
+}
+
+func TestExample2Table2b(t *testing.T) {
+	// Query City='Los Angeles' → scope {0,2} + one-pass extra {1};
+	// support adds the same-rhs partner row 3 (10001, SF).
+	tb := citiesTable()
+	v := detect.TableView{T: tb}
+	scope := []int{0, 2}
+	extra := relax.FDOnePass(v, scope, zipCity(), nil)
+	scope = append(scope, extra...) // {0,2,1}
+	support := relax.FDOnePass(v, scope, zipCity(), nil)
+
+	delta := FD(v, scope, support, zipCity(), idx(tb), nil)
+
+	// Tuple 1 (9001, SF): City candidates {LA 67%, SF 33%},
+	// Zip candidates {9001 50%, 10001 50%} — the paper's Table 2b.
+	cityCell := delta.Cells[1][tb.Schema.MustIndex("city")]
+	la, ok := findCand(cityCell, "Los Angeles")
+	if !ok || math.Abs(la.Prob-2.0/3) > 1e-9 {
+		t.Errorf("P(LA|9001) = %v, want 0.667", la.Prob)
+	}
+	sf, ok := findCand(cityCell, "San Francisco")
+	if !ok || math.Abs(sf.Prob-1.0/3) > 1e-9 {
+		t.Errorf("P(SF|9001) = %v, want 0.333", sf.Prob)
+	}
+	if la.World != WorldFixRHS || sf.World != WorldFixRHS {
+		t.Error("city candidates must carry the fix-rhs world id")
+	}
+	zipCell := delta.Cells[1][tb.Schema.MustIndex("zip")]
+	z1, ok1 := findCand(zipCell, "9001")
+	z2, ok2 := findCand(zipCell, "10001")
+	if !ok1 || !ok2 || math.Abs(z1.Prob-0.5) > 1e-9 || math.Abs(z2.Prob-0.5) > 1e-9 {
+		t.Errorf("P(Zip|SF) = %v/%v, want 50/50", z1.Prob, z2.Prob)
+	}
+	if z1.World != WorldFixLHS {
+		t.Error("zip candidates must carry the fix-lhs world id")
+	}
+
+	// Tuples 0 and 2 (9001, LA): city candidates 67/33, zip stays certain
+	// (every LA row has zip 9001).
+	for _, id := range []int64{0, 2} {
+		if _, ok := delta.Cells[id][tb.Schema.MustIndex("zip")]; ok {
+			t.Errorf("tuple %d zip must stay certain", id)
+		}
+		cc := delta.Cells[id][tb.Schema.MustIndex("city")]
+		if len(cc.Candidates) != 2 {
+			t.Errorf("tuple %d city candidates = %v", id, cc)
+		}
+	}
+
+	// Support-only tuples (3) must not be repaired.
+	if _, ok := delta.Cells[3]; ok {
+		t.Error("support tuple 3 must not be repaired")
+	}
+	if _, ok := delta.Cells[4]; ok {
+		t.Error("row 4 is outside scope and support")
+	}
+}
+
+func TestExample3Table3FullCluster(t *testing.T) {
+	// Query zip=9001 → closure pulls the whole dataset cluster; everything
+	// violating is repaired, matching Table 3.
+	tb := citiesTable()
+	v := detect.TableView{T: tb}
+	result := []int{0, 1, 2}
+	extra := relax.FD(v, result, zipCity(), nil)
+	scope := append(result, extra...)
+	delta := FD(v, scope, nil, zipCity(), idx(tb), nil)
+
+	// Row 3 (10001, SF): city {SF 50, NY 50}, zip {9001 50, 10001 50}.
+	cc := delta.Cells[3][tb.Schema.MustIndex("city")]
+	if len(cc.Candidates) != 2 {
+		t.Fatalf("row 3 city = %v", cc)
+	}
+	zc := delta.Cells[3][tb.Schema.MustIndex("zip")]
+	if len(zc.Candidates) != 2 {
+		t.Fatalf("row 3 zip = %v", zc)
+	}
+	// Row 4 (10001, NY): city candidates 50/50; zip certain (only 10001 has NY).
+	if _, ok := delta.Cells[4][tb.Schema.MustIndex("zip")]; ok {
+		t.Error("row 4 zip must stay certain")
+	}
+	if cc4 := delta.Cells[4][tb.Schema.MustIndex("city")]; len(cc4.Candidates) != 2 {
+		t.Errorf("row 4 city = %v", cc4)
+	}
+}
+
+func TestFDProbabilitiesSumToOne(t *testing.T) {
+	tb := citiesTable()
+	v := detect.TableView{T: tb}
+	scope := []int{0, 1, 2, 3, 4}
+	delta := FD(v, scope, nil, zipCity(), idx(tb), nil)
+	for id, cols := range delta.Cells {
+		for col, cell := range cols {
+			if s := cell.ProbSum(); math.Abs(s-1) > 1e-9 {
+				t.Errorf("tuple %d col %d ProbSum = %v", id, col, s)
+			}
+			if cell.Orig.IsNull() {
+				t.Errorf("tuple %d col %d lost provenance", id, col)
+			}
+		}
+	}
+}
+
+func TestFDAppliedDeltaSatisfiesFixRHSWorld(t *testing.T) {
+	// DESIGN.md invariant: within the fix-rhs world (lhs kept at its
+	// original value, rhs replaced by its most probable candidate), every
+	// group satisfies the FD — all members of a group share the same rhs
+	// distribution, hence the same argmax. (Projecting both cells
+	// independently is the paper's DaisyP policy and may break ties
+	// inconsistently; that is exactly its reported weakness in Table 5.)
+	tb := citiesTable()
+	p := ptable.FromTable(tb)
+	v := detect.TableView{T: tb}
+	delta := FD(v, []int{0, 1, 2, 3, 4}, nil, zipCity(), idx(tb), nil)
+	p.Apply(delta)
+
+	// Strict argmax (ties to the smaller value, not the original): all group
+	// members share the same rhs distribution, so the projection is
+	// group-consistent by construction.
+	argmax := func(c uncertain.Cell) value.Value {
+		if c.IsCertain() {
+			return c.Orig
+		}
+		best := c.Candidates[0]
+		for _, cand := range c.Candidates[1:] {
+			if cand.Prob > best.Prob || (cand.Prob == best.Prob && cand.Val.Less(best.Val)) {
+				best = cand
+			}
+		}
+		return best.Val
+	}
+	proj := table.New("proj", tb.Schema)
+	zipIdx, cityIdx := tb.Schema.MustIndex("zip"), tb.Schema.MustIndex("city")
+	for _, tup := range p.Tuples {
+		proj.MustAppend(table.Row{tup.Cells[zipIdx].Orig, argmax(tup.Cells[cityIdx])})
+	}
+	groups := detect.FDViolations(detect.TableView{T: proj}, zipCity(), nil)
+	if len(groups) != 0 {
+		t.Errorf("fix-rhs world still violates: %d groups", len(groups))
+	}
+}
+
+func TestInversionPlansSingleConstraint(t *testing.T) {
+	c := dc.MustParse("!(t1.salary<t2.salary & t1.tax>t2.tax)")
+	plans := InversionPlans([]*dc.Constraint{c}, func(int) int { return 0 }, len(c.Atoms))
+	if len(plans) == 0 {
+		t.Fatal("no inversion plans")
+	}
+	// Minimal plans are the single-atom inversions {0} and {1}.
+	single := 0
+	for _, p := range plans {
+		if !VerifyPlan(c, p) {
+			t.Errorf("plan %v fails verification", p)
+		}
+		if len(p) == 1 {
+			single++
+		}
+	}
+	if single != 2 {
+		t.Errorf("single-atom plans = %d, want 2", single)
+	}
+}
+
+func TestInversionPlansOverlappingConstraints(t *testing.T) {
+	c1 := dc.MustParse("!(t1.a<t2.a & t1.b>t2.b)")
+	c2 := dc.MustParse("!(t1.b>t2.b & t1.c<t2.c)")
+	// Shared variable layout: atoms 0,1 for c1; atom 1 shared; atom 2 for c2.
+	offsets := []int{0, 1}
+	plans := InversionPlans([]*dc.Constraint{c1, c2}, func(ci int) int { return offsets[ci] }, 3)
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	for _, p := range plans {
+		covers1, covers2 := false, false
+		for _, v := range p {
+			if v == 0 || v == 1 {
+				covers1 = true
+			}
+			if v == 1 || v == 2 {
+				covers2 = true
+			}
+		}
+		if !covers1 || !covers2 {
+			t.Errorf("plan %v does not cover both constraints", p)
+		}
+	}
+}
+
+func salaryTable() *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "salary", Kind: value.Float},
+		schema.Column{Name: "tax", Kind: value.Float},
+	)
+	t := table.New("emp", sch)
+	add := func(s, x float64) { t.MustAppend(table.Row{value.NewFloat(s), value.NewFloat(x)}) }
+	add(1000, 0.1) // 0
+	add(3000, 0.2) // 1
+	add(2000, 0.3) // 2
+	return t
+}
+
+func TestDCFixesExample5(t *testing.T) {
+	// Tuples t2=(3000,0.2) [row 1] and t3=(2000,0.3) [row 2] violate.
+	// Candidate fixes for row 1 (role t2): salary {3000 50%, <2000 50%},
+	// tax {0.2 50%, >0.3 50%}.
+	tb := salaryTable()
+	c := dc.MustParse("!(t1.salary<t2.salary & t1.tax>t2.tax)")
+	v := detect.TableView{T: tb}
+	pairs := thetajoin.Detect(v, c, 4, nil)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	delta := DCFixes(v, pairs, c, idx(tb), nil)
+
+	salCell := delta.Cells[1][tb.Schema.MustIndex("salary")]
+	if len(salCell.Candidates) != 1 || len(salCell.Ranges) != 1 {
+		t.Fatalf("row1 salary cell = %v", salCell.String())
+	}
+	if math.Abs(salCell.Candidates[0].Prob-0.5) > 1e-9 || math.Abs(salCell.Ranges[0].Prob-0.5) > 1e-9 {
+		t.Errorf("salary fix probs = %v / %v, want 50/50", salCell.Candidates[0].Prob, salCell.Ranges[0].Prob)
+	}
+	// Role t2 salary inverts t1.salary<t2.salary → t2.salary ≤ 2000.
+	if salCell.Ranges[0].Op != dc.Leq || salCell.Ranges[0].Bound.Float() != 2000 {
+		t.Errorf("salary range = %s%s", salCell.Ranges[0].Op, salCell.Ranges[0].Bound)
+	}
+	taxCell := delta.Cells[1][tb.Schema.MustIndex("tax")]
+	// Role t2 tax inverts t1.tax>t2.tax → t2.tax ≥ 0.3.
+	if taxCell.Ranges[0].Op != dc.Geq || taxCell.Ranges[0].Bound.Float() != 0.3 {
+		t.Errorf("tax range = %s%s", taxCell.Ranges[0].Op, taxCell.Ranges[0].Bound)
+	}
+
+	// Row 2 (role t1): salary must rise (≥3000), tax must drop (≤0.2).
+	sal2 := delta.Cells[2][tb.Schema.MustIndex("salary")]
+	if sal2.Ranges[0].Op != dc.Geq || sal2.Ranges[0].Bound.Float() != 3000 {
+		t.Errorf("row2 salary range = %s%s", sal2.Ranges[0].Op, sal2.Ranges[0].Bound)
+	}
+	tax2 := delta.Cells[2][tb.Schema.MustIndex("tax")]
+	if tax2.Ranges[0].Op != dc.Leq || tax2.Ranges[0].Bound.Float() != 0.2 {
+		t.Errorf("row2 tax range = %s%s", tax2.Ranges[0].Op, tax2.Ranges[0].Bound)
+	}
+}
+
+func TestDCFixesProbMass(t *testing.T) {
+	tb := salaryTable()
+	c := dc.MustParse("!(t1.salary<t2.salary & t1.tax>t2.tax)")
+	v := detect.TableView{T: tb}
+	pairs := thetajoin.Detect(v, c, 4, nil)
+	delta := DCFixes(v, pairs, c, idx(tb), nil)
+	for id, cols := range delta.Cells {
+		for col, cell := range cols {
+			if s := cell.ProbSum(); math.Abs(s-1) > 1e-9 {
+				t.Errorf("tuple %d col %d mass = %v", id, col, s)
+			}
+		}
+	}
+}
+
+func TestDCFixesSatisfyConstraintInvariant(t *testing.T) {
+	// Applying any range fix makes the pair satisfy the DC: check that the
+	// inverted bound indeed falsifies the atom against the partner value.
+	tb := salaryTable()
+	c := dc.MustParse("!(t1.salary<t2.salary & t1.tax>t2.tax)")
+	v := detect.TableView{T: tb}
+	pairs := thetajoin.Detect(v, c, 4, nil)
+	delta := DCFixes(v, pairs, c, idx(tb), nil)
+	// Row 1 salary ≤2000 vs partner (row 2) salary 2000: atom t1.salary <
+	// t2.salary with t1=2000 … bound chosen so the atom becomes false.
+	salCell := delta.Cells[1][tb.Schema.MustIndex("salary")]
+	bound := salCell.Ranges[0].Bound
+	partner := value.NewFloat(2000)
+	if dc.Lt.Eval(partner, bound) {
+		t.Errorf("fix bound %v does not invert t1.salary<t2.salary for partner %v", bound, partner)
+	}
+}
+
+func TestMergeAcrossRulesCommutes(t *testing.T) {
+	// Lemma 4 at delta level: applying rule deltas in either order yields
+	// the same distributions.
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+		schema.Column{Name: "state", Kind: value.String},
+	)
+	tb := table.New("t", sch)
+	add := func(z int64, c, s string) {
+		tb.MustAppend(table.Row{value.NewInt(z), value.NewString(c), value.NewString(s)})
+	}
+	add(9001, "LA", "CA")
+	add(9001, "LA", "WA") // violates zip→state and city→state
+	add(9001, "LA", "CA")
+	fd1, _ := dc.FD("phi1", "t", "state", "zip").AsFD()
+	fd2, _ := dc.FD("phi2", "t", "state", "city").AsFD()
+	v := detect.TableView{T: tb}
+	scope := []int{0, 1, 2}
+
+	apply := func(first, second dc.FDSpec) *ptable.PTable {
+		p := ptable.FromTable(tb)
+		p.Apply(FD(v, scope, nil, first, idx(tb), nil))
+		p.Apply(FD(v, scope, nil, second, idx(tb), nil))
+		return p
+	}
+	p12 := apply(fd1, fd2)
+	p21 := apply(fd2, fd1)
+	for row := 0; row < 3; row++ {
+		c12 := p12.Cell(row, "state")
+		c21 := p21.Cell(row, "state")
+		if !c12.EqualDistribution(c21, 1e-9) {
+			t.Errorf("row %d: order-dependent distributions %v vs %v", row, c12, c21)
+		}
+	}
+}

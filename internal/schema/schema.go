@@ -1,0 +1,134 @@
+// Package schema describes relation schemas: named, typed columns with
+// positional resolution. Schemas are immutable once built; deriving a new
+// schema (projection, join concatenation) returns a fresh value.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"daisy/internal/value"
+)
+
+// Column is a named, typed attribute.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// New builds a schema from columns. Duplicate column names are rejected.
+func New(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("schema: column %d has empty name", i)
+		}
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate column %q", c.Name)
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error; for literals in tests and generators.
+func MustNew(cols ...Column) *Schema {
+	s, err := New(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Index returns the position of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustIndex is Index that panics when the column is missing.
+func (s *Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("schema: no column %q in (%s)", name, strings.Join(s.Names(), ", ")))
+	}
+	return i
+}
+
+// Has reports whether the named column exists.
+func (s *Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// Project returns a new schema containing only the named columns, in order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			return nil, fmt.Errorf("schema: project: no column %q", n)
+		}
+		cols = append(cols, s.cols[i])
+	}
+	return New(cols...)
+}
+
+// Concat joins two schemas, prefixing clashing names from the right side
+// with the given prefix (e.g. "S." for a join).
+func (s *Schema) Concat(o *Schema, rightPrefix string) (*Schema, error) {
+	cols := s.Columns()
+	for _, c := range o.cols {
+		name := c.Name
+		if s.Has(name) {
+			name = rightPrefix + name
+		}
+		cols = append(cols, Column{Name: name, Kind: c.Kind})
+	}
+	return New(cols...)
+}
+
+// Equal reports structural equality of two schemas.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "name:kind, ..." for diagnostics.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		parts[i] = c.Name + ":" + c.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}

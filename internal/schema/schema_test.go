@@ -1,0 +1,89 @@
+package schema
+
+import (
+	"testing"
+
+	"daisy/internal/value"
+)
+
+func twoCol() *Schema {
+	return MustNew(Column{"zip", value.Int}, Column{"city", value.String})
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	if _, err := New(Column{"a", value.Int}, Column{"a", value.Int}); err == nil {
+		t.Error("duplicate columns must be rejected")
+	}
+}
+
+func TestNewRejectsEmptyName(t *testing.T) {
+	if _, err := New(Column{"", value.Int}); err == nil {
+		t.Error("empty column name must be rejected")
+	}
+}
+
+func TestIndexAndHas(t *testing.T) {
+	s := twoCol()
+	if s.Index("zip") != 0 || s.Index("city") != 1 {
+		t.Errorf("Index wrong: zip=%d city=%d", s.Index("zip"), s.Index("city"))
+	}
+	if s.Index("nope") != -1 {
+		t.Error("missing column should index -1")
+	}
+	if !s.Has("city") || s.Has("nope") {
+		t.Error("Has misreports")
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on missing column should panic")
+		}
+	}()
+	twoCol().MustIndex("ghost")
+}
+
+func TestProject(t *testing.T) {
+	s := twoCol()
+	p, err := s.Project("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || p.Col(0).Name != "city" || p.Col(0).Kind != value.String {
+		t.Errorf("Project = %v", p)
+	}
+	if _, err := s.Project("ghost"); err == nil {
+		t.Error("Project of missing column must fail")
+	}
+}
+
+func TestConcatPrefixesClashes(t *testing.T) {
+	a := MustNew(Column{"k", value.Int}, Column{"x", value.Int})
+	b := MustNew(Column{"k", value.Int}, Column{"y", value.Float})
+	j, err := a.Concat(b, "r.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"k", "x", "r.k", "y"}
+	got := j.Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Concat names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a, b := twoCol(), twoCol()
+	if !a.Equal(b) {
+		t.Error("identical schemas must be Equal")
+	}
+	c := MustNew(Column{"zip", value.Int})
+	if a.Equal(c) {
+		t.Error("different schemas must not be Equal")
+	}
+	if a.String() != "zip:int, city:string" {
+		t.Errorf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,402 @@
+// Package sql parses the query template supported by the paper (§5):
+//
+//	SELECT <list> FROM <table> [, <table>]
+//	  [WHERE <col> <op> <val> [AND/OR ...]]
+//	  [GROUP BY <cols>]
+//
+// The select list accepts plain columns and the aggregates COUNT, SUM, AVG,
+// MIN, MAX; WHERE conditions compare columns to constants or to other
+// columns (equi-join conditions). AND binds tighter than OR.
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"daisy/internal/dc"
+	"daisy/internal/expr"
+	"daisy/internal/value"
+)
+
+// AggFunc enumerates aggregate functions in the select list.
+type AggFunc int
+
+// Aggregate kinds.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+var aggNames = map[AggFunc]string{
+	AggNone: "", AggCount: "COUNT", AggSum: "SUM", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX",
+}
+
+// String renders the aggregate name.
+func (a AggFunc) String() string { return aggNames[a] }
+
+// SelectItem is one output column: a plain reference or an aggregate.
+type SelectItem struct {
+	Ref  expr.ColRef
+	Agg  AggFunc
+	Star bool // COUNT(*)
+}
+
+// String renders the item in SQL syntax.
+func (s SelectItem) String() string {
+	if s.Agg == AggNone {
+		return s.Ref.String()
+	}
+	if s.Star {
+		return s.Agg.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", s.Agg, s.Ref)
+}
+
+// Query is a parsed statement.
+type Query struct {
+	Select  []SelectItem
+	From    []string
+	Where   expr.Pred // nil when absent
+	GroupBy []expr.ColRef
+}
+
+// HasAggregate reports whether any select item aggregates.
+func (q *Query) HasAggregate() bool {
+	for _, s := range q.Select {
+		if s.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// String reassembles the query.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, s := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(q.From, ", "))
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	return b.String()
+}
+
+// Parse parses a statement.
+func Parse(text string) (*Query, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, fmt.Errorf("sql: parse %q: %w", text, err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for workload literals.
+func MustParse(text string) *Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokOp    // comparison operator
+	tokPunct // , ( ) *
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',' || c == '(' || c == ')' || c == '*':
+			toks = append(toks, token{tokPunct, string(c)})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, s[i+1 : j]})
+			i = j + 1
+		case strings.ContainsRune("<>=!", rune(c)):
+			j := i + 1
+			if j < len(s) && (s[j] == '=' || (c == '<' && s[j] == '>')) {
+				j++
+			}
+			toks = append(toks, token{tokOp, s[i:j]})
+			i = j
+		case c == '-' || c == '.' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' {
+				j++
+			}
+			for j < len(s) && (s[j] == '.' || s[j] == 'e' || s[j] == 'E' || s[j] == '-' ||
+				(s[j] >= '0' && s[j] <= '9')) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(s) && isIdentPart(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) kw(w string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(w string) error {
+	if !p.kw(w) {
+		return fmt.Errorf("expected %s, got %q", w, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) query() (*Query, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("expected table name, got %q", t.text)
+		}
+		q.From = append(q.From, t.text)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.kw("WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.kw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("expected group-by column, got %q", t.text)
+			}
+			q.GroupBy = append(q.GroupBy, splitRef(t.text))
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("trailing input %q", p.peek().text)
+	}
+	return q, nil
+}
+
+var aggByName = map[string]AggFunc{
+	"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.next()
+	if t.kind == tokPunct && t.text == "*" {
+		return SelectItem{Star: true}, nil
+	}
+	if t.kind != tokIdent {
+		return SelectItem{}, fmt.Errorf("expected select item, got %q", t.text)
+	}
+	if agg, ok := aggByName[strings.ToUpper(t.text)]; ok &&
+		p.peek().kind == tokPunct && p.peek().text == "(" {
+		p.next() // (
+		inner := p.next()
+		item := SelectItem{Agg: agg}
+		switch {
+		case inner.kind == tokPunct && inner.text == "*":
+			item.Star = true
+		case inner.kind == tokIdent:
+			item.Ref = splitRef(inner.text)
+		default:
+			return SelectItem{}, fmt.Errorf("expected column or * in %s(), got %q", agg, inner.text)
+		}
+		closing := p.next()
+		if closing.kind != tokPunct || closing.text != ")" {
+			return SelectItem{}, fmt.Errorf("expected ) after %s(, got %q", agg, closing.text)
+		}
+		return item, nil
+	}
+	return SelectItem{Ref: splitRef(t.text)}, nil
+}
+
+func (p *parser) orExpr() (expr.Pred, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr.Pred, error) {
+	l, err := p.comparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("AND") {
+		r, err := p.comparison()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.And{L: l, R: r}
+	}
+	return l, nil
+}
+
+var opByText = map[string]dc.Op{
+	"=": dc.Eq, "!=": dc.Neq, "<>": dc.Neq, "<": dc.Lt, "<=": dc.Leq, ">": dc.Gt, ">=": dc.Geq,
+}
+
+func (p *parser) comparison() (expr.Pred, error) {
+	if p.peek().kind == tokPunct && p.peek().text == "(" {
+		p.next()
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		closing := p.next()
+		if closing.kind != tokPunct || closing.text != ")" {
+			return nil, fmt.Errorf("expected ), got %q", closing.text)
+		}
+		return inner, nil
+	}
+	lt := p.next()
+	if lt.kind != tokIdent {
+		return nil, fmt.Errorf("expected column, got %q", lt.text)
+	}
+	ot := p.next()
+	if ot.kind != tokOp {
+		return nil, fmt.Errorf("expected comparison operator, got %q", ot.text)
+	}
+	op, ok := opByText[ot.text]
+	if !ok {
+		return nil, fmt.Errorf("unknown operator %q", ot.text)
+	}
+	rt := p.next()
+	switch rt.kind {
+	case tokNumber:
+		return &expr.Cmp{Ref: splitRef(lt.text), Op: op, Val: value.Infer(rt.text)}, nil
+	case tokString:
+		return &expr.Cmp{Ref: splitRef(lt.text), Op: op, Val: value.NewString(rt.text)}, nil
+	case tokIdent:
+		return &expr.ColCmp{Left: splitRef(lt.text), Op: op, Right: splitRef(rt.text)}, nil
+	}
+	return nil, fmt.Errorf("expected literal or column after %s, got %q", ot.text, rt.text)
+}
+
+// splitRef splits "table.col" into a qualified reference.
+func splitRef(text string) expr.ColRef {
+	if i := strings.Index(text, "."); i > 0 {
+		return expr.ColRef{Table: text[:i], Col: text[i+1:]}
+	}
+	return expr.ColRef{Col: text}
+}

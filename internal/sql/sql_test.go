@@ -1,0 +1,142 @@
+package sql
+
+import (
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/expr"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := Parse("SELECT zip, city FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0].Ref.Col != "zip" || q.Select[1].Ref.Col != "city" {
+		t.Errorf("select = %v", q.Select)
+	}
+	if len(q.From) != 1 || q.From[0] != "cities" {
+		t.Errorf("from = %v", q.From)
+	}
+	if q.Where != nil || len(q.GroupBy) != 0 {
+		t.Error("no where/group-by expected")
+	}
+}
+
+func TestParseWhereStringEquality(t *testing.T) {
+	q := MustParse("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+	cmp, ok := q.Where.(*expr.Cmp)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if cmp.Ref.Col != "city" || cmp.Op != dc.Eq || cmp.Val.Str() != "Los Angeles" {
+		t.Errorf("cmp = %v", cmp)
+	}
+}
+
+func TestParseRangeAndPrecedence(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE a >= 10 AND a < 20 OR b = 5")
+	or, ok := q.Where.(*expr.Or)
+	if !ok {
+		t.Fatalf("AND must bind tighter than OR; got %T", q.Where)
+	}
+	if _, ok := or.L.(*expr.And); !ok {
+		t.Errorf("left of OR should be AND, got %T", or.L)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	q := MustParse("SELECT lineorder.suppkey, supplier.name FROM lineorder, supplier " +
+		"WHERE lineorder.suppkey = supplier.suppkey AND lineorder.orderkey < 500")
+	if len(q.From) != 2 {
+		t.Fatalf("from = %v", q.From)
+	}
+	conj := expr.Conjuncts(q.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	jc, ok := conj[0].(*expr.ColCmp)
+	if !ok {
+		t.Fatalf("join condition type %T", conj[0])
+	}
+	if jc.Left.Table != "lineorder" || jc.Right.Table != "supplier" || jc.Op != dc.Eq {
+		t.Errorf("join cond = %v", jc)
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	q := MustParse("SELECT year, AVG(co) FROM air WHERE county = 'X' GROUP BY year")
+	if !q.HasAggregate() {
+		t.Error("HasAggregate must be true")
+	}
+	if q.Select[1].Agg != AggAvg || q.Select[1].Ref.Col != "co" {
+		t.Errorf("agg item = %v", q.Select[1])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Col != "year" {
+		t.Errorf("group by = %v", q.GroupBy)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM t")
+	if q.Select[0].Agg != AggCount || !q.Select[0].Star {
+		t.Errorf("item = %v", q.Select[0])
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	ops := map[string]dc.Op{"=": dc.Eq, "!=": dc.Neq, "<>": dc.Neq, "<": dc.Lt, "<=": dc.Leq, ">": dc.Gt, ">=": dc.Geq}
+	for text, want := range ops {
+		q := MustParse("SELECT a FROM t WHERE a " + text + " 3")
+		if got := q.Where.(*expr.Cmp).Op; got != want {
+			t.Errorf("op %q parsed as %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestParseNegativeAndFloatLiterals(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE a > -1.5")
+	if v := q.Where.(*expr.Cmp).Val; v.Float() != -1.5 {
+		t.Errorf("literal = %v", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a ~ 3",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t GROUP year",
+		"SELECT SUM( FROM t",
+		"SELECT a FROM t extra",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	orig := "SELECT year, AVG(co) FROM air WHERE county='X' AND co>1.5 GROUP BY year"
+	q := MustParse(orig)
+	q2 := MustParse(q.String())
+	if q.String() != q2.String() {
+		t.Errorf("round trip: %q != %q", q.String(), q2.String())
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse("select a from t where a = 1 group by a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 1 {
+		t.Error("lowercase keywords must parse")
+	}
+}

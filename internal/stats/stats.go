@@ -1,0 +1,120 @@
+// Package stats precomputes the statistics Daisy's optimizer consumes (§5.2,
+// §6): per-FD group sizes over the lhs and rhs (to estimate the number of
+// erroneous values ε and the candidate-set size p), and the set of dirty lhs
+// groups, which prunes violation checks at query time — when an accessed
+// value does not belong to a dirty group, no detection work is needed
+// (the Fig 9 optimization).
+package stats
+
+import (
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+)
+
+// FDStat summarizes one functional dependency over one relation.
+type FDStat struct {
+	// Rule is the constraint name.
+	Rule string
+	// Groups is the number of distinct lhs groups.
+	Groups int
+	// DirtyGroups is the number of violating groups.
+	DirtyGroups int
+	// DirtyLHS marks the lhs keys of violating groups.
+	DirtyLHS map[string]bool
+	// DirtyTuples is the total number of tuples in violating groups — the ε
+	// estimate of §5.2.3.
+	DirtyTuples int
+	// AvgCandidates estimates p: the average number of distinct rhs values
+	// per violating group (the candidate-set size an erroneous cell gets).
+	AvgCandidates float64
+	// AvgLHSPerRHS estimates the reverse direction's candidate size: average
+	// distinct lhs values per rhs value (drives the Fig 7 scenario where low
+	// rhs selectivity inflates the update cost).
+	AvgLHSPerRHS float64
+}
+
+// TableStats bundles statistics of one relation.
+type TableStats struct {
+	N   int
+	FDs map[string]*FDStat // keyed by rule name
+}
+
+// Collect scans the relation once per FD rule and builds the statistics.
+// Non-FD rules are skipped here; their error estimates come from
+// thetajoin.EstimateErrors at query time (Algorithm 2).
+func Collect(view detect.RowView, rules []*dc.Constraint) *TableStats {
+	ts := &TableStats{N: view.Len(), FDs: make(map[string]*FDStat)}
+	for _, rule := range rules {
+		spec, ok := rule.AsFD()
+		if !ok {
+			continue
+		}
+		st := &FDStat{Rule: rule.Name, DirtyLHS: make(map[string]bool)}
+		groups := detect.GroupByFD(view, spec, nil)
+		st.Groups = len(groups)
+		totalCandidates := 0
+		for key, g := range groups {
+			if !g.Violating() {
+				continue
+			}
+			st.DirtyGroups++
+			st.DirtyLHS[key] = true
+			st.DirtyTuples += len(g.Members)
+			totalCandidates += len(g.RHS)
+		}
+		if st.DirtyGroups > 0 {
+			st.AvgCandidates = float64(totalCandidates) / float64(st.DirtyGroups)
+		}
+		byRHS := detect.GroupByRHS(view, spec, nil)
+		if len(byRHS) > 0 {
+			distinctPairs := 0
+			for _, members := range byRHS {
+				lhsSeen := make(map[string]bool)
+				for _, i := range members {
+					lhsSeen[detect.LHSKeyOf(view, i, spec)] = true
+				}
+				distinctPairs += len(lhsSeen)
+			}
+			st.AvgLHSPerRHS = float64(distinctPairs) / float64(len(byRHS))
+		}
+		ts.FDs[rule.Name] = st
+	}
+	return ts
+}
+
+// Dirty reports whether the lhs key belongs to a violating group under the
+// named rule — the query-time pruning check.
+func (t *TableStats) Dirty(rule, lhsKey string) bool {
+	st, ok := t.FDs[rule]
+	if !ok {
+		return true // no statistics: cannot prune
+	}
+	return st.DirtyLHS[lhsKey]
+}
+
+// Epsilon returns the total estimated erroneous tuples across rules.
+func (t *TableStats) Epsilon() int {
+	e := 0
+	for _, st := range t.FDs {
+		e += st.DirtyTuples
+	}
+	return e
+}
+
+// P returns the candidate-set size estimate across rules (≥1). Both fix
+// directions contribute: rhs candidates per dirty group and lhs candidates
+// per rhs value — the latter is what explodes when the rhs has low
+// selectivity (each violating suppkey matches many orderkeys, the Fig 7
+// scenario), inflating the incremental update cost.
+func (t *TableStats) P() float64 {
+	p := 1.0
+	for _, st := range t.FDs {
+		if st.AvgCandidates > p {
+			p = st.AvgCandidates
+		}
+		if st.AvgLHSPerRHS > p {
+			p = st.AvgLHSPerRHS
+		}
+	}
+	return p
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/value"
+)
+
+func buildTable() *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "orderkey", Kind: value.Int},
+		schema.Column{Name: "suppkey", Kind: value.Int},
+	)
+	t := table.New("lineorder", sch)
+	add := func(o, s int64) { t.MustAppend(table.Row{value.NewInt(o), value.NewInt(s)}) }
+	// Group 1: dirty (two suppkeys). Group 2: clean. Group 3: dirty (three).
+	add(1, 10)
+	add(1, 11)
+	add(2, 20)
+	add(2, 20)
+	add(3, 30)
+	add(3, 31)
+	add(3, 32)
+	return t
+}
+
+func rules() []*dc.Constraint {
+	return []*dc.Constraint{dc.FD("phi", "lineorder", "suppkey", "orderkey")}
+}
+
+func TestCollectFDStats(t *testing.T) {
+	ts := Collect(detect.TableView{T: buildTable()}, rules())
+	st, ok := ts.FDs["phi"]
+	if !ok {
+		t.Fatal("missing rule stats")
+	}
+	if st.Groups != 3 || st.DirtyGroups != 2 {
+		t.Errorf("groups = %d dirty = %d", st.Groups, st.DirtyGroups)
+	}
+	if st.DirtyTuples != 5 {
+		t.Errorf("dirty tuples = %d, want 5 (2 + 3)", st.DirtyTuples)
+	}
+	// Avg candidates: (2 + 3)/2 = 2.5 distinct rhs per dirty group.
+	if st.AvgCandidates != 2.5 {
+		t.Errorf("avg candidates = %v", st.AvgCandidates)
+	}
+	if ts.N != 7 {
+		t.Errorf("N = %d", ts.N)
+	}
+}
+
+func TestDirtyPruning(t *testing.T) {
+	ts := Collect(detect.TableView{T: buildTable()}, rules())
+	if !ts.Dirty("phi", value.NewInt(1).Key()) {
+		t.Error("group 1 is dirty")
+	}
+	if ts.Dirty("phi", value.NewInt(2).Key()) {
+		t.Error("group 2 is clean — pruning must skip it")
+	}
+	// Unknown rule: conservative, no pruning.
+	if !ts.Dirty("ghost", "whatever") {
+		t.Error("unknown rule must not prune")
+	}
+}
+
+func TestEpsilonAndP(t *testing.T) {
+	ts := Collect(detect.TableView{T: buildTable()}, rules())
+	if ts.Epsilon() != 5 {
+		t.Errorf("Epsilon = %d", ts.Epsilon())
+	}
+	if ts.P() != 2.5 {
+		t.Errorf("P = %v", ts.P())
+	}
+	empty := Collect(detect.TableView{T: table.New("e", buildTable().Schema)}, rules())
+	if empty.P() != 1 {
+		t.Errorf("empty table P = %v, want 1 floor", empty.P())
+	}
+}
+
+func TestNonFDRulesSkipped(t *testing.T) {
+	ineq := dc.MustParse("psi: !(t1.orderkey<t2.orderkey & t1.suppkey>t2.suppkey)")
+	ts := Collect(detect.TableView{T: buildTable()}, []*dc.Constraint{ineq})
+	if len(ts.FDs) != 0 {
+		t.Error("inequality DC must not produce FD stats")
+	}
+}
+
+func TestAvgLHSPerRHS(t *testing.T) {
+	ts := Collect(detect.TableView{T: buildTable()}, rules())
+	st := ts.FDs["phi"]
+	// suppkeys {10,11,20,30,31,32} each map to one orderkey → 1.0.
+	if st.AvgLHSPerRHS != 1.0 {
+		t.Errorf("AvgLHSPerRHS = %v", st.AvgLHSPerRHS)
+	}
+}

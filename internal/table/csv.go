@@ -1,0 +1,101 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"daisy/internal/schema"
+	"daisy/internal/value"
+)
+
+// ReadCSV loads a table from CSV. The first record must be the header. Column
+// kinds are inferred from the first data row unless a schema is supplied.
+func ReadCSV(name string, r io.Reader, sch *schema.Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: csv %s: read header: %w", name, err)
+	}
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: csv %s: %w", name, err)
+	}
+	if sch == nil {
+		cols := make([]schema.Column, len(header))
+		for i, h := range header {
+			kind := value.String
+			if len(records) > 0 {
+				kind = value.Infer(records[0][i]).Kind()
+				if kind == value.Null {
+					kind = value.String
+				}
+			}
+			cols[i] = schema.Column{Name: h, Kind: kind}
+		}
+		if sch, err = schema.New(cols...); err != nil {
+			return nil, err
+		}
+	} else if sch.Len() != len(header) {
+		return nil, fmt.Errorf("table: csv %s: header arity %d != schema arity %d", name, len(header), sch.Len())
+	}
+	t := New(name, sch)
+	for ln, rec := range records {
+		if len(rec) != sch.Len() {
+			return nil, fmt.Errorf("table: csv %s: line %d has %d fields, want %d", name, ln+2, len(rec), sch.Len())
+		}
+		row := make(Row, sch.Len())
+		for i, field := range rec {
+			v, err := value.Parse(field, sch.Col(i).Kind)
+			if err != nil {
+				return nil, fmt.Errorf("table: csv %s: line %d col %s: %w", name, ln+2, sch.Col(i).Name, err)
+			}
+			row[i] = v
+		}
+		if err := t.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile loads a table from a CSV file path.
+func ReadCSVFile(name, path string, sch *schema.Schema) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f, sch)
+}
+
+// WriteCSV emits the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.Schema.Len())
+	for _, row := range t.Rows {
+		for i, v := range row {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to a file path.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

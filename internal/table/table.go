@@ -1,0 +1,95 @@
+// Package table implements in-memory row-oriented relations: the clean or
+// dirty ground truth over which the cleaning pipeline operates. Tables are
+// append-only; cleaning never mutates a Table in place — probabilistic
+// updates live in package ptable.
+package table
+
+import (
+	"fmt"
+
+	"daisy/internal/schema"
+	"daisy/internal/value"
+)
+
+// Row is one tuple, positionally aligned with a schema.
+type Row []value.Value
+
+// Clone deep-copies the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an ordered multiset of rows under a schema.
+type Table struct {
+	Name   string
+	Schema *schema.Schema
+	Rows   []Row
+}
+
+// New creates an empty table.
+func New(name string, s *schema.Schema) *Table {
+	return &Table{Name: name, Schema: s}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Append adds a row after checking arity and kinds.
+func (t *Table) Append(r Row) error {
+	if len(r) != t.Schema.Len() {
+		return fmt.Errorf("table %s: row arity %d != schema arity %d", t.Name, len(r), t.Schema.Len())
+	}
+	for i, v := range r {
+		if v.IsNull() {
+			continue
+		}
+		want := t.Schema.Col(i).Kind
+		if v.Kind() != want && !(v.IsNumeric() && (want == value.Int || want == value.Float)) {
+			return fmt.Errorf("table %s: column %s wants %s, got %s",
+				t.Name, t.Schema.Col(i).Name, want, v.Kind())
+		}
+	}
+	t.Rows = append(t.Rows, r)
+	return nil
+}
+
+// MustAppend is Append that panics on error, for generators.
+func (t *Table) MustAppend(r Row) {
+	if err := t.Append(r); err != nil {
+		panic(err)
+	}
+}
+
+// Clone deep-copies the table (rows and all).
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name, Schema: t.Schema, Rows: make([]Row, len(t.Rows))}
+	for i, r := range t.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	return out
+}
+
+// Col returns column i of row r.
+func (t *Table) Col(r, i int) value.Value { return t.Rows[r][i] }
+
+// ColByName returns the named column of row r.
+func (t *Table) ColByName(r int, name string) value.Value {
+	return t.Rows[r][t.Schema.MustIndex(name)]
+}
+
+// Distinct returns the set of distinct values in the named column.
+func (t *Table) Distinct(name string) map[string]value.Value {
+	i := t.Schema.MustIndex(name)
+	out := make(map[string]value.Value)
+	for _, r := range t.Rows {
+		out[r[i].Key()] = r[i]
+	}
+	return out
+}
+
+// String summarizes the table for diagnostics.
+func (t *Table) String() string {
+	return fmt.Sprintf("%s(%s) [%d rows]", t.Name, t.Schema, len(t.Rows))
+}

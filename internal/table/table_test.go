@@ -1,0 +1,130 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"daisy/internal/schema"
+	"daisy/internal/value"
+)
+
+func citySchema() *schema.Schema {
+	return schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+}
+
+func cityTable(t *testing.T) *Table {
+	t.Helper()
+	tb := New("cities", citySchema())
+	rows := []Row{
+		{value.NewInt(9001), value.NewString("Los Angeles")},
+		{value.NewInt(9001), value.NewString("San Francisco")},
+		{value.NewInt(10001), value.NewString("New York")},
+	}
+	for _, r := range rows {
+		if err := tb.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestAppendChecksArity(t *testing.T) {
+	tb := New("t", citySchema())
+	if err := tb.Append(Row{value.NewInt(1)}); err == nil {
+		t.Error("short row must be rejected")
+	}
+}
+
+func TestAppendChecksKinds(t *testing.T) {
+	tb := New("t", citySchema())
+	if err := tb.Append(Row{value.NewString("x"), value.NewString("y")}); err == nil {
+		t.Error("string into int column must be rejected")
+	}
+	// Numeric coercion int<->float allowed.
+	if err := tb.Append(Row{value.NewFloat(9001), value.NewString("LA")}); err != nil {
+		t.Errorf("float into int column should coerce: %v", err)
+	}
+	// NULLs allowed anywhere.
+	if err := tb.Append(Row{value.NewNull(), value.NewNull()}); err != nil {
+		t.Errorf("nulls should be allowed: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tb := cityTable(t)
+	cp := tb.Clone()
+	cp.Rows[0][0] = value.NewInt(777)
+	if tb.Rows[0][0].Int() != 9001 {
+		t.Error("Clone must not share row storage")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tb := cityTable(t)
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if tb.Col(1, 1).Str() != "San Francisco" {
+		t.Errorf("Col(1,1) = %v", tb.Col(1, 1))
+	}
+	if tb.ColByName(2, "city").Str() != "New York" {
+		t.Errorf("ColByName = %v", tb.ColByName(2, "city"))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tb := cityTable(t)
+	d := tb.Distinct("zip")
+	if len(d) != 2 {
+		t.Errorf("distinct zips = %d, want 2", len(d))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := cityTable(t)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("cities", &buf, citySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tb.Len() {
+		t.Fatalf("round trip len %d != %d", back.Len(), tb.Len())
+	}
+	for i := range tb.Rows {
+		for j := range tb.Rows[i] {
+			if !tb.Rows[i][j].Equal(back.Rows[i][j]) {
+				t.Errorf("row %d col %d: %v != %v", i, j, tb.Rows[i][j], back.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestCSVInfersSchema(t *testing.T) {
+	in := "zip,city\n9001,Los Angeles\n10001,New York\n"
+	tb, err := ReadCSV("c", strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema.Col(0).Kind != value.Int || tb.Schema.Col(1).Kind != value.String {
+		t.Errorf("inferred schema = %v", tb.Schema)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("rows = %d", tb.Len())
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("c", strings.NewReader("zip,city\nnotanint,LA\n"), citySchema()); err == nil {
+		t.Error("bad int must fail")
+	}
+	if _, err := ReadCSV("c", strings.NewReader("zip\n1\n"), citySchema()); err == nil {
+		t.Error("arity mismatch vs schema must fail")
+	}
+}

@@ -1,0 +1,263 @@
+// Package value implements the typed scalar values that flow through every
+// relation, predicate, and probabilistic cell in the system. A Value is a
+// small immutable union of int64, float64, string, or NULL, with total
+// ordering across numeric kinds (ints and floats compare numerically).
+package value
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+const (
+	// Null is the kind of the zero Value.
+	Null Kind = iota
+	// Int is a 64-bit signed integer.
+	Int
+	// Float is a 64-bit IEEE float.
+	Float
+	// String is an immutable byte string.
+	String
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Value is a typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// NewInt returns an Int value.
+func NewInt(v int64) Value { return Value{kind: Int, i: v} }
+
+// NewFloat returns a Float value.
+func NewFloat(v float64) Value { return Value{kind: Float, f: v} }
+
+// NewString returns a String value.
+func NewString(v string) Value { return Value{kind: String, s: v} }
+
+// NewNull returns the NULL value.
+func NewNull() Value { return Value{} }
+
+// Kind reports the runtime type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == Null }
+
+// Int returns the integer payload. It panics if v is not an Int.
+func (v Value) Int() int64 {
+	if v.kind != Int {
+		panic(fmt.Sprintf("value: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload, converting from Int if needed.
+// It panics if v is neither Int nor Float.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case Float:
+		return v.f
+	case Int:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("value: Float() on %s value", v.kind))
+}
+
+// Str returns the string payload. It panics if v is not a String.
+func (v Value) Str() string {
+	if v.kind != String {
+		panic(fmt.Sprintf("value: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// IsNumeric reports whether v is an Int or Float.
+func (v Value) IsNumeric() bool { return v.kind == Int || v.kind == Float }
+
+// Equal reports whether two values are equal. Ints and floats compare
+// numerically; NULL equals only NULL.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Compare totally orders values: NULL < numerics < strings; numerics compare
+// by numeric value; strings lexicographically. It returns -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	va, vb := v.rank(), o.rank()
+	if va != vb {
+		if va < vb {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case Null:
+		return 0
+	case String:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+		return 0
+	default: // numeric vs numeric
+		if v.kind == Int && o.kind == Int {
+			switch {
+			case v.i < o.i:
+				return -1
+			case v.i > o.i:
+				return 1
+			}
+			return 0
+		}
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+}
+
+// rank buckets kinds so cross-kind comparisons are total: NULL, numeric, string.
+func (v Value) rank() int {
+	switch v.kind {
+	case Null:
+		return 0
+	case Int, Float:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Less reports v < o under Compare ordering.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// Hash returns a 64-bit hash suitable for grouping. Numerically equal Ints
+// and Floats hash identically.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	switch v.kind {
+	case Null:
+		h.Write([]byte{0})
+	case Int:
+		writeUint64(h, 1, uint64(v.i))
+	case Float:
+		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			// Hash integral floats like the equal Int.
+			writeUint64(h, 1, uint64(int64(v.f)))
+		} else {
+			writeUint64(h, 2, math.Float64bits(v.f))
+		}
+	case String:
+		h.Write([]byte{3})
+		h.Write([]byte(v.s))
+	}
+	return h.Sum64()
+}
+
+func writeUint64(h interface{ Write([]byte) (int, error) }, tag byte, u uint64) {
+	var b [9]byte
+	b[0] = tag
+	for i := 0; i < 8; i++ {
+		b[1+i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// String renders the value for display and CSV output.
+func (v Value) String() string {
+	switch v.kind {
+	case Null:
+		return ""
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return v.s
+	}
+}
+
+// Key returns a map-key representation that is unique per distinct value,
+// aligning Int/Float numeric equality with Hash.
+func (v Value) Key() string {
+	switch v.kind {
+	case Null:
+		return "\x00"
+	case Int:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case Float:
+		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			return "i" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return "s" + v.s
+	}
+}
+
+// Parse converts text to a Value of the given kind. Empty text parses to NULL.
+func Parse(text string, k Kind) (Value, error) {
+	if text == "" {
+		return NewNull(), nil
+	}
+	switch k {
+	case Int:
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parse int %q: %w", text, err)
+		}
+		return NewInt(i), nil
+	case Float:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parse float %q: %w", text, err)
+		}
+		return NewFloat(f), nil
+	case String:
+		return NewString(text), nil
+	case Null:
+		return NewNull(), nil
+	}
+	return Value{}, fmt.Errorf("value: parse: unknown kind %v", k)
+}
+
+// Infer guesses the kind of a text token: Int, then Float, else String.
+func Infer(text string) Value {
+	if text == "" {
+		return NewNull()
+	}
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil {
+		return NewFloat(f)
+	}
+	return NewString(text)
+}

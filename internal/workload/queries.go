@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"daisy/internal/table"
+)
+
+// RangeQueries generates n non-overlapping range queries over the named
+// integer column of the table, each selecting ≈selectivity of the rows, in
+// shuffled order. Together they cover the whole column domain — the paper's
+// "non-overlapping queries accessing the whole dataset" workloads.
+func RangeQueries(t *table.Table, col string, n int, selectList string, seed int64) []string {
+	ci := t.Schema.MustIndex(col)
+	lo, hi := int64(0), int64(0)
+	for i, r := range t.Rows {
+		v := r[ci].Int()
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo + 1
+	queries := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		qlo := lo + span*int64(i)/int64(n)
+		qhi := lo + span*int64(i+1)/int64(n)
+		queries = append(queries, fmt.Sprintf(
+			"SELECT %s FROM %s WHERE %s >= %d AND %s < %d",
+			selectList, t.Name, col, qlo, col, qhi))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	return queries
+}
+
+// FloatRangeQueries is RangeQueries for float columns.
+func FloatRangeQueries(t *table.Table, col string, n int, selectList string, seed int64) []string {
+	ci := t.Schema.MustIndex(col)
+	lo, hi := 0.0, 0.0
+	for i, r := range t.Rows {
+		v := r[ci].Float()
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	queries := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		qlo := lo + span*float64(i)/float64(n)
+		qhi := lo + span*float64(i+1)/float64(n)
+		if i == n-1 {
+			qhi += 1 // include the max
+		}
+		queries = append(queries, fmt.Sprintf(
+			"SELECT %s FROM %s WHERE %s >= %g AND %s < %g",
+			selectList, t.Name, col, qlo, col, qhi))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	return queries
+}
+
+// MixedQueries interleaves equality and range SP queries with random
+// selectivities over the column — the Fig 7/12 workload shape.
+func MixedQueries(t *table.Table, col string, n int, selectList string, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	base := RangeQueries(t, col, n, selectList, seed)
+	ci := t.Schema.MustIndex(col)
+	for i := range base {
+		if rng.Intn(3) == 0 { // one third become equality point queries
+			row := t.Rows[rng.Intn(t.Len())]
+			base[i] = fmt.Sprintf("SELECT %s FROM %s WHERE %s = %d",
+				selectList, t.Name, col, row[ci].Int())
+		}
+	}
+	return base
+}
+
+// JoinQueries generates n non-overlapping SPJ queries: a range filter on
+// the named lineorder column joined with supplier on suppkey (the Fig 11/12
+// workloads).
+func JoinQueries(lo *table.Table, filterCol string, n int, seed int64) []string {
+	ci := lo.Schema.MustIndex(filterCol)
+	loMin, loMax := int64(0), int64(0)
+	for i, r := range lo.Rows {
+		v := r[ci].Int()
+		if i == 0 || v < loMin {
+			loMin = v
+		}
+		if i == 0 || v > loMax {
+			loMax = v
+		}
+	}
+	span := loMax - loMin + 1
+	queries := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		qlo := loMin + span*int64(i)/int64(n)
+		qhi := loMin + span*int64(i+1)/int64(n)
+		queries = append(queries, fmt.Sprintf(
+			"SELECT lineorder.orderkey, lineorder.suppkey, address FROM lineorder, supplier "+
+				"WHERE lineorder.suppkey = supplier.suppkey AND lineorder.%s >= %d AND lineorder.%s < %d",
+			filterCol, qlo, filterCol, qhi))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	return queries
+}
+
+// SSBFlight returns the three SSB-style queries of Fig 13: Q1 joins
+// lineorder⋈supplier with a suppkey range filter, Q2 adds part and date with
+// a group-by, Q3 adds customer.
+func SSBFlight(maxSuppkey int64) (q1, q2, q3 string) {
+	filter := fmt.Sprintf("lineorder.suppkey = supplier.suppkey AND lineorder.suppkey < %d", maxSuppkey/2)
+	q1 = "SELECT lineorder.orderkey, lineorder.suppkey, address FROM lineorder, supplier WHERE " + filter
+	q2 = "SELECT year, brand, SUM(extended_price) FROM lineorder, supplier, part, date WHERE " + filter +
+		" AND lineorder.partkey = part.partkey AND lineorder.datekey = date.datekey GROUP BY year, brand"
+	q3 = "SELECT year, brand, SUM(extended_price) FROM lineorder, supplier, part, date, customer WHERE " + filter +
+		" AND lineorder.partkey = part.partkey AND lineorder.datekey = date.datekey" +
+		" AND lineorder.custkey = customer.custkey GROUP BY year, brand"
+	return q1, q2, q3
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/value"
+)
+
+// HospitalData is the hospital scenario: a dirty table plus its clean ground
+// truth (master data), used for the accuracy measurements of Table 5.
+type HospitalData struct {
+	Dirty *table.Table
+	Clean *table.Table
+	// DirtyRows lists the row indexes that received errors.
+	DirtyRows []int
+}
+
+// Hospital generates a US-hospital-like dataset with rows per the paper's
+// three rules: ϕ1 zip→city, ϕ2 hospitalName→zip, ϕ3 phone→zip. errorRate
+// (paper: 5%) controls the fraction of corrupted cells.
+func Hospital(rows int, errorRate float64, seed int64) HospitalData {
+	rng := rand.New(rand.NewSource(seed))
+	sch := schema.MustNew(
+		schema.Column{Name: "providerID", Kind: value.Int},
+		schema.Column{Name: "hospitalName", Kind: value.String},
+		schema.Column{Name: "zip", Kind: value.String},
+		schema.Column{Name: "city", Kind: value.String},
+		schema.Column{Name: "state", Kind: value.String},
+		schema.Column{Name: "county", Kind: value.String},
+		schema.Column{Name: "phone", Kind: value.String},
+		schema.Column{Name: "condition", Kind: value.String},
+		schema.Column{Name: "measure", Kind: value.String},
+	)
+	nHospitals := rows / 10
+	if nHospitals < 3 {
+		nHospitals = 3
+	}
+	cities := []string{"Birmingham", "Dothan", "Boaz", "Florence", "Opp", "Gadsden", "Sheffield", "Jasper"}
+	states := []string{"AL", "AK", "AZ"}
+	conditions := []string{"Heart Attack", "Pneumonia", "Surgical Infection"}
+	measures := []string{"aspirin at arrival", "antibiotic timing", "fibrinolytic therapy"}
+
+	clean := table.New("hospital", sch)
+	for i := 0; i < rows; i++ {
+		h := i % nHospitals
+		zip := fmt.Sprintf("%05d", 35000+h)
+		clean.MustAppend(table.Row{
+			value.NewInt(int64(10000 + h)),
+			value.NewString(fmt.Sprintf("hospital-%03d", h)),
+			value.NewString(zip),
+			value.NewString(cities[h%len(cities)]),
+			value.NewString(states[h%len(states)]),
+			value.NewString(fmt.Sprintf("county-%02d", h%12)),
+			value.NewString(fmt.Sprintf("256%07d", h)),
+			value.NewString(conditions[i%len(conditions)]),
+			value.NewString(measures[(i/3)%len(measures)]),
+		})
+	}
+	dirty := clean.Clone()
+	dirty.Name = "hospital"
+
+	// Corrupt cells of the constraint attributes with typos.
+	ruleCols := []string{"city", "zip", "phone"}
+	total := int(float64(rows) * errorRate)
+	var dirtyRows []int
+	seen := make(map[int]bool)
+	for e := 0; e < total; e++ {
+		row := rng.Intn(rows)
+		col := ruleCols[rng.Intn(len(ruleCols))]
+		ci := sch.MustIndex(col)
+		dirty.Rows[row][ci] = value.NewString(typo(dirty.Rows[row][ci].String(), rng))
+		if !seen[row] {
+			seen[row] = true
+			dirtyRows = append(dirtyRows, row)
+		}
+	}
+	return HospitalData{Dirty: dirty, Clean: clean, DirtyRows: dirtyRows}
+}
+
+// Nestle generates the product-catalog scenario of Table 8: products with a
+// Material→Category FD where Category has very low selectivity (few distinct
+// categories, many materials), 95% of entities conflicting after injection.
+func Nestle(rows int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	sch := schema.MustNew(
+		schema.Column{Name: "productID", Kind: value.Int},
+		schema.Column{Name: "name", Kind: value.String},
+		schema.Column{Name: "material", Kind: value.String},
+		schema.Column{Name: "category", Kind: value.String},
+		schema.Column{Name: "brand", Kind: value.String},
+	)
+	categories := []string{"coffee", "water", "chocolate", "dairy", "petfood", "cereal"}
+	nMaterials := 40
+	t := table.New("nestle", sch)
+	for i := 0; i < rows; i++ {
+		m := i % nMaterials
+		t.MustAppend(table.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("product-%05d", i)),
+			value.NewString(fmt.Sprintf("material-%02d", m)),
+			value.NewString(categories[m%len(categories)]),
+			value.NewString(fmt.Sprintf("brand-%02d", i%15)),
+		})
+	}
+	// Paper: randomly edit 10% of category values per material → with few
+	// categories nearly every material group conflicts (95% of entities).
+	InjectFDErrors(t, "material", "category", 1.0, 0.10, rng.Int63())
+	return t
+}
+
+// AirQuality generates the hourly-measurements scenario: the FD
+// (county_code,state_code)→county_name with errors injected into distinct
+// code pairs so that ≈groupFraction of the groups violate — the paper's two
+// versions have 30% and 97% violating groups (produced there by 0.001% and
+// 0.003% cell error rates on a much larger table).
+func AirQuality(rows int, groupFraction float64, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	sch := schema.MustNew(
+		schema.Column{Name: "state_code", Kind: value.Int},
+		schema.Column{Name: "county_code", Kind: value.Int},
+		schema.Column{Name: "county_name", Kind: value.String},
+		schema.Column{Name: "year", Kind: value.Int},
+		schema.Column{Name: "co", Kind: value.Float},
+	)
+	t := table.New("airquality", sch)
+	nStates := 52
+	countiesPerState := 12
+	for i := 0; i < rows; i++ {
+		state := i % nStates
+		county := (i / nStates) % countiesPerState
+		t.MustAppend(table.Row{
+			value.NewInt(int64(state)),
+			value.NewInt(int64(county)),
+			value.NewString(fmt.Sprintf("county-%02d-%02d", state, county)),
+			value.NewInt(int64(2000 + i%20)),
+			value.NewFloat(0.1 + rng.Float64()*2),
+		})
+	}
+	// One corrupted county_name makes its whole (state,county) group
+	// violate; hit the requested fraction of distinct groups, one edit each.
+	ci := sch.MustIndex("county_name")
+	groups := make(map[string][]int)
+	var order []string
+	si, ki := sch.MustIndex("state_code"), sch.MustIndex("county_code")
+	for i, r := range t.Rows {
+		k := r[si].Key() + "|" + r[ki].Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	edits := int(float64(len(order)) * groupFraction)
+	if edits == 0 && groupFraction > 0 {
+		edits = 1
+	}
+	for gi := 0; gi < edits && gi < len(order); gi++ {
+		rowsIn := groups[order[gi]]
+		row := rowsIn[rng.Intn(len(rowsIn))]
+		t.Rows[row][ci] = value.NewString(typo(t.Rows[row][ci].String(), rng))
+	}
+	return t
+}

@@ -1,0 +1,192 @@
+// Package workload generates the synthetic datasets, error injections, and
+// query workloads of the paper's evaluation (§7): SSB-like star-schema
+// tables with configurable key cardinalities, the hospital / Nestle / air
+// quality scenarios with ground truth, BART-style detectable error
+// injection, and the non-overlapping SP/SPJ range-query workloads.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/value"
+)
+
+// SSBConfig sizes the lineorder table. The paper varies distinct orderkeys
+// (5K–100K) and distinct suppkeys (100–10K) at fixed row count.
+type SSBConfig struct {
+	Rows           int
+	DistinctOrders int
+	DistinctSupps  int
+	DistinctParts  int
+	DistinctDates  int
+	DistinctCusts  int
+	Seed           int64
+}
+
+func (c *SSBConfig) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 30000
+	}
+	if c.DistinctOrders == 0 {
+		c.DistinctOrders = c.Rows / 6
+	}
+	if c.DistinctSupps == 0 {
+		c.DistinctSupps = 1000
+	}
+	if c.DistinctParts == 0 {
+		c.DistinctParts = 200
+	}
+	if c.DistinctDates == 0 {
+		c.DistinctDates = 7 * 365
+	}
+	if c.DistinctCusts == 0 {
+		c.DistinctCusts = 500
+	}
+}
+
+// Lineorder generates the SSB-like fact table. Every orderkey maps to one
+// suppkey (the FD orderkey→suppkey holds on the clean data), rows per
+// orderkey follow the configured ratio, and price/discount are monotone
+// correlated so the inequality DC of Fig 10 holds before error injection.
+func Lineorder(cfg SSBConfig) *table.Table {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sch := schema.MustNew(
+		schema.Column{Name: "orderkey", Kind: value.Int},
+		schema.Column{Name: "suppkey", Kind: value.Int},
+		schema.Column{Name: "partkey", Kind: value.Int},
+		schema.Column{Name: "datekey", Kind: value.Int},
+		schema.Column{Name: "custkey", Kind: value.Int},
+		schema.Column{Name: "extended_price", Kind: value.Float},
+		schema.Column{Name: "discount", Kind: value.Float},
+	)
+	t := table.New("lineorder", sch)
+	// suppOf fixes the clean FD orderkey→suppkey.
+	suppOf := make([]int64, cfg.DistinctOrders)
+	for i := range suppOf {
+		suppOf[i] = int64(rng.Intn(cfg.DistinctSupps))
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		ok := int64(i % cfg.DistinctOrders)
+		price := 1000 + 9000*float64(i)/float64(cfg.Rows) + rng.Float64()*10
+		discount := price / 100000 // monotone in price: clean under the DC
+		t.MustAppend(table.Row{
+			value.NewInt(ok),
+			value.NewInt(suppOf[ok]),
+			value.NewInt(int64(rng.Intn(cfg.DistinctParts))),
+			value.NewInt(int64(rng.Intn(cfg.DistinctDates))),
+			value.NewInt(int64(rng.Intn(cfg.DistinctCusts))),
+			value.NewFloat(price),
+			value.NewFloat(discount),
+		})
+	}
+	return t
+}
+
+// Suppliers generates the supplier dimension with two entity rows per
+// supplier (duplicate entries, as in real dimension feeds), so the FD
+// address→suppkey has non-singleton groups and injected suppkey errors are
+// detectable. The FD holds on the clean data.
+func Suppliers(distinct int, seed int64) *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "suppkey", Kind: value.Int},
+		schema.Column{Name: "name", Kind: value.String},
+		schema.Column{Name: "address", Kind: value.String},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	t := table.New("supplier", sch)
+	for i := 0; i < distinct; i++ {
+		for rep := 0; rep < 2; rep++ {
+			t.MustAppend(table.Row{
+				value.NewInt(int64(i)),
+				value.NewString(fmt.Sprintf("Supplier#%04d", i)),
+				value.NewString(fmt.Sprintf("Address-%04d", i)),
+				value.NewString(fmt.Sprintf("City-%02d", i%25)),
+			})
+		}
+	}
+	return t
+}
+
+// Parts generates the part dimension for the Fig 13 Q2/Q3 joins.
+func Parts(distinct int, seed int64) *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "partkey", Kind: value.Int},
+		schema.Column{Name: "brand", Kind: value.String},
+		schema.Column{Name: "category", Kind: value.String},
+	)
+	t := table.New("part", sch)
+	for i := 0; i < distinct; i++ {
+		t.MustAppend(table.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Brand#%02d", i%40)),
+			value.NewString(fmt.Sprintf("Cat#%d", i%8)),
+		})
+	}
+	return t
+}
+
+// Dates generates the date dimension.
+func Dates(distinct int, seed int64) *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "datekey", Kind: value.Int},
+		schema.Column{Name: "year", Kind: value.Int},
+	)
+	t := table.New("date", sch)
+	for i := 0; i < distinct; i++ {
+		t.MustAppend(table.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(1992 + i/365)),
+		})
+	}
+	return t
+}
+
+// Customers generates the customer dimension for Fig 13 Q3.
+func Customers(distinct int, seed int64) *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "custkey", Kind: value.Int},
+		schema.Column{Name: "custname", Kind: value.String},
+		schema.Column{Name: "custcity", Kind: value.String},
+	)
+	t := table.New("customer", sch)
+	for i := 0; i < distinct; i++ {
+		t.MustAppend(table.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Customer#%05d", i)),
+			value.NewString(fmt.Sprintf("City-%02d", i%25)),
+		})
+	}
+	return t
+}
+
+// DenormLineorderSupplier joins lineorder with suppliers into one relation —
+// the Fig 8 setup where both orderkey→suppkey and address→suppkey live in
+// one table after the join.
+func DenormLineorderSupplier(lo, supp *table.Table) *table.Table {
+	addrOf := make(map[int64]value.Value, supp.Len())
+	for _, r := range supp.Rows {
+		addrOf[r[0].Int()] = r[2]
+	}
+	sch := schema.MustNew(
+		schema.Column{Name: "orderkey", Kind: value.Int},
+		schema.Column{Name: "suppkey", Kind: value.Int},
+		schema.Column{Name: "address", Kind: value.String},
+		schema.Column{Name: "extended_price", Kind: value.Float},
+	)
+	t := table.New("losupp", sch)
+	okIdx := lo.Schema.MustIndex("orderkey")
+	skIdx := lo.Schema.MustIndex("suppkey")
+	epIdx := lo.Schema.MustIndex("extended_price")
+	for _, r := range lo.Rows {
+		addr, ok := addrOf[r[skIdx].Int()]
+		if !ok {
+			addr = value.NewString("Address-unknown")
+		}
+		t.MustAppend(table.Row{r[okIdx], r[skIdx], addr, r[epIdx]})
+	}
+	return t
+}
