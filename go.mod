@@ -1,0 +1,3 @@
+module daisy
+
+go 1.22

@@ -1,30 +1,34 @@
 package core
 
 import (
+	"sort"
+
 	"daisy/internal/cost"
 	"daisy/internal/dc"
 	"daisy/internal/detect"
 	"daisy/internal/expr"
-	"daisy/internal/relax"
 	"daisy/internal/repair"
 	"daisy/internal/thetajoin"
+	"daisy/internal/value"
 )
 
 // cleanFD handles one FD rule inside cleanσ. It returns the extra row
 // positions that relaxation added to the query result.
 func (s *Session) cleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, rows []int, pred expr.Pred, m *detect.Metrics) ([]int, error) {
 	view := detect.PTableView{P: st.pt}
+	idx := st.fdIndex(rule.Name, fd)
 	checked := st.checkedGroups[rule.Name]
 	if checked == nil {
-		checked = make(map[string]bool)
+		checked = make(map[value.MapKey]bool)
 		st.checkedGroups[rule.Name] = checked
 	}
 
 	// Statistics-driven pruning (Fig 9): only rows in dirty, unchecked
-	// groups need cleaning work.
+	// groups need cleaning work. Row keys come from the persistent group
+	// index — O(1) per row, no per-query key building.
 	var scope []int
 	for _, r := range rows {
-		key := detect.LHSKeyOf(view, r, fd)
+		key := idx.keyOf(r)
 		if !s.opts.DisableStatsPruning && st.stats != nil && !st.stats.Dirty(rule.Name, key) {
 			continue
 		}
@@ -59,29 +63,25 @@ func (s *Session) cleanFD(st *tableState, tableName string, rule *dc.Constraint,
 		s.lastDecisions = append(s.lastDecisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "full"})
 		// After a full clean, relaxation extras are the other members of the
 		// result's dirty groups (they may qualify probabilistically).
-		return s.groupPartners(st, view, fd, scope, rows), nil
+		return s.groupPartners(idx, scope, rows), nil
 	}
 
-	// Incremental: relax the result (Algorithm 1). A filter on the lhs
-	// requires the transitive closure (Lemma 2); otherwise one pass
-	// suffices (Lemma 1).
-	var extra []int
-	if predTouchesLHS(pred, fd) {
-		extra = relax.FD(view, scope, fd, m)
-	} else {
-		extra = relax.FDOnePass(view, scope, fd, m)
-	}
+	// Incremental: relax the result (Algorithm 1) through the group index.
+	// A filter on the lhs requires the transitive closure (Lemma 2);
+	// otherwise one pass suffices (Lemma 1).
+	extra := idx.relax(scope, predTouchesLHS(pred, fd), m)
 	repairScope := append(append([]int(nil), scope...), extra...)
 	// Support pass: same-rhs partners consulted for P(lhs|rhs) only.
-	support := relax.FDOnePass(view, repairScope, fd, m)
+	support := idx.relax(repairScope, false, m)
 
 	delta := repair.FD(view, repairScope, support, fd, st.pt.Schema.MustIndex, m)
 	updated := st.pt.Apply(delta)
+	st.noteApply(delta)
 	m.Updates += int64(updated)
 
 	// Mark the repaired groups as checked.
 	for _, r := range repairScope {
-		checked[detect.LHSKeyOf(view, r, fd)] = true
+		checked[idx.keyOf(r)] = true
 	}
 	if st.cost != nil {
 		st.cost.RecordQuery(len(rows), len(extra), len(repairScope))
@@ -120,49 +120,49 @@ func predTouchesLHS(pred expr.Pred, fd dc.FDSpec) bool {
 }
 
 // fullCleanFD cleans every remaining dirty group of the relation in one
-// offline-style pass (the strategy-switch target).
+// offline-style pass (the strategy-switch target). Scope comes from the
+// persistent group index instead of a fresh O(n) re-grouping.
 func (s *Session) fullCleanFD(st *tableState, rule *dc.Constraint, fd dc.FDSpec, m *detect.Metrics) {
 	view := detect.PTableView{P: st.pt}
+	idx := st.fdIndex(rule.Name, fd)
 	checked := st.checkedGroups[rule.Name]
-	groups := detect.GroupByFD(view, fd, m)
-	var scope []int
-	for key, g := range groups {
-		if !g.Violating() || checked[key] {
-			continue
-		}
-		scope = append(scope, g.Members...)
-	}
+	scope := idx.violatingScope(checked)
 	if len(scope) == 0 {
 		return
 	}
 	delta := repair.FD(view, scope, nil, fd, st.pt.Schema.MustIndex, m)
 	updated := st.pt.Apply(delta)
+	st.noteApply(delta)
 	m.Updates += int64(updated)
 	for _, r := range scope {
-		checked[detect.LHSKeyOf(view, r, fd)] = true
+		checked[idx.keyOf(r)] = true
 	}
 }
 
 // groupPartners returns the dirty-group members of the scope rows that are
-// not already in the result (relaxation extras after a full clean).
-func (s *Session) groupPartners(st *tableState, view detect.PTableView, fd dc.FDSpec, scope, rows []int) []int {
+// not already in the result (relaxation extras after a full clean), in
+// ascending row order. The group index supplies membership directly — no
+// full-table key rescan.
+func (s *Session) groupPartners(idx *fdIndex, scope, rows []int) []int {
 	inResult := make(map[int]bool, len(rows))
 	for _, r := range rows {
 		inResult[r] = true
 	}
-	want := make(map[string]bool, len(scope))
-	for _, r := range scope {
-		want[detect.LHSKeyOf(view, r, fd)] = true
-	}
+	want := make(map[value.MapKey]bool, len(scope))
 	var extra []int
-	for i := 0; i < view.Len(); i++ {
-		if inResult[i] {
+	for _, r := range scope {
+		key := idx.keyOf(r)
+		if want[key] {
 			continue
 		}
-		if want[detect.LHSKeyOf(view, i, fd)] {
-			extra = append(extra, i)
+		want[key] = true
+		for _, i := range idx.members(key) {
+			if !inResult[i] {
+				extra = append(extra, i)
+			}
 		}
 	}
+	sort.Ints(extra)
 	return extra
 }
 
@@ -204,17 +204,12 @@ func (s *Session) cleanDC(st *tableState, tableName string, rule *dc.Constraint,
 	}
 	if strategy == StrategyFull {
 		dec.Strategy = "full"
+		// Full clean: every unchecked tuple is delta, in or out of the result.
 		for i := 0; i < view.Len(); i++ {
-			if checked[view.ID(i)] {
-				continue
-			}
-			if inResult[i] {
+			if !checked[view.ID(i)] {
 				delta = append(delta, i)
-			} else {
-				delta = append(delta, i) // full clean: everything is delta
 			}
 		}
-		rest = nil
 	} else {
 		dec.Strategy = "incremental"
 		for i := 0; i < view.Len(); i++ {
@@ -237,12 +232,13 @@ func (s *Session) cleanDC(st *tableState, tableName string, rule *dc.Constraint,
 	var pairs []thetajoin.Pair
 	if len(rest) > 0 {
 		restView := detect.SubsetView{Base: view, Idx: rest}
-		pairs = thetajoin.DetectPartial(deltaView, restView, rule, s.opts.Partitions, m)
+		pairs = thetajoin.DetectPartialWorkers(deltaView, restView, rule, s.opts.Partitions, s.opts.Workers, m)
 	} else {
-		pairs = thetajoin.Detect(deltaView, rule, s.opts.Partitions, m)
+		pairs = thetajoin.DetectWorkers(deltaView, rule, s.opts.Partitions, s.opts.Workers, m)
 	}
 	fixes := repair.DCFixes(view, pairs, rule, st.pt.Schema.MustIndex, m)
 	updated := st.pt.Apply(fixes)
+	st.noteApply(fixes)
 	m.Updates += int64(updated)
 
 	// Mark the delta tuples checked (full clean marks everything).
@@ -250,17 +246,14 @@ func (s *Session) cleanDC(st *tableState, tableName string, rule *dc.Constraint,
 		checked[view.ID(i)] = true
 	}
 
-	// Relaxation extras: conflict partners outside the result.
-	posByID := make(map[int64]int, view.Len())
-	for i := 0; i < view.Len(); i++ {
-		posByID[view.ID(i)] = i
-	}
+	// Relaxation extras: conflict partners outside the result, resolved
+	// through the relation's persistent id→position index.
 	seen := make(map[int]bool)
 	var extra []int
 	for _, p := range pairs {
 		for _, id := range []int64{p.T1, p.T2} {
-			pos := posByID[id]
-			if inResult[pos] || seen[pos] {
+			pos, ok := st.pt.Pos(id)
+			if !ok || inResult[pos] || seen[pos] {
 				continue
 			}
 			seen[pos] = true

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"sort"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/ptable"
+	"daisy/internal/stats"
+	"daisy/internal/value"
+)
+
+// fdIndex is the persistent FD group index of one rule over one relation:
+// every row's lhs key, the clustering of rows into lhs groups with their rhs
+// value counts, and the inverse rhs→rows index. It is built once per
+// (table, rule) and maintained incrementally — appended rows index on
+// access, applied deltas re-key only the touched tuples — so cleanFD,
+// fullCleanFD, groupPartners, and result relaxation never rescan the whole
+// relation to recover group membership or value partners.
+//
+// The index watches the detection view (original values, §4.3). Cleaning
+// deltas leave originals untouched, so ApplyDelta is usually a cheap
+// verification pass; it still re-keys faithfully if a caller rewrites
+// provenance.
+type fdIndex struct {
+	fd   dc.FDSpec
+	cols detect.FDCols
+	view detect.PTableView
+	// rowKey / rowRHS cache each indexed row's lhs and rhs keys, making
+	// per-row key lookups O(1) slice reads.
+	rowKey []value.MapKey
+	rowRHS []value.MapKey
+	groups map[value.MapKey]*fdGroup
+	// rhsRows lists, per distinct rhs value, the rows holding it (ascending
+	// row order) — the partner index Algorithm 1's relaxation probes.
+	rhsRows map[value.MapKey][]int
+	// order lists group keys in first-appearance (row) order so full-clean
+	// scope collection stays deterministic without sorting.
+	order []value.MapKey
+}
+
+// fdGroup is one lhs cluster: member row positions and the count of members
+// per distinct rhs value.
+type fdGroup struct {
+	members []int
+	rhs     map[value.MapKey]int
+}
+
+// violating reports whether the group violates the FD (≥2 distinct rhs).
+func (g *fdGroup) violating() bool { return len(g.rhs) > 1 }
+
+func newFDIndex(pt *ptable.PTable, fd dc.FDSpec) *fdIndex {
+	view := detect.PTableView{P: pt}
+	ix := &fdIndex{fd: fd, cols: detect.CompileFD(view, fd), view: view,
+		groups: make(map[value.MapKey]*fdGroup), rhsRows: make(map[value.MapKey][]int)}
+	ix.extend()
+	return ix
+}
+
+// extend indexes any rows appended since the last call — the incremental
+// append path.
+func (ix *fdIndex) extend() {
+	n := ix.view.Len()
+	for i := len(ix.rowKey); i < n; i++ {
+		key := ix.cols.LHSKey(ix.view, i)
+		rhs := ix.cols.RHSKey(ix.view, i)
+		ix.rowKey = append(ix.rowKey, key)
+		ix.rowRHS = append(ix.rowRHS, rhs)
+		ix.link(i, key, rhs)
+	}
+}
+
+func (ix *fdIndex) link(i int, key, rhs value.MapKey) {
+	g, ok := ix.groups[key]
+	if !ok {
+		g = &fdGroup{rhs: make(map[value.MapKey]int, 1)}
+		ix.groups[key] = g
+		ix.order = append(ix.order, key)
+	}
+	g.members = append(g.members, i)
+	g.rhs[rhs]++
+	ix.rhsRows[rhs] = append(ix.rhsRows[rhs], i)
+}
+
+// ApplyDelta re-keys the tuples a delta touched. Group membership follows
+// original (provenance) values, which cleaning deltas preserve, so this
+// usually verifies rather than moves; it keeps the index consistent even
+// when originals are rewritten (e.g. by tests or future ingestion paths).
+func (ix *fdIndex) ApplyDelta(d *ptable.Delta) {
+	for id := range d.Cells {
+		pos, ok := ix.view.P.Pos(id)
+		if !ok || pos >= len(ix.rowKey) {
+			continue
+		}
+		ix.rekey(pos)
+	}
+}
+
+// rekey recomputes row pos's keys and moves it between groups when changed.
+func (ix *fdIndex) rekey(pos int) {
+	newKey := ix.cols.LHSKey(ix.view, pos)
+	newRHS := ix.cols.RHSKey(ix.view, pos)
+	oldKey, oldRHS := ix.rowKey[pos], ix.rowRHS[pos]
+	if newKey == oldKey && newRHS == oldRHS {
+		return
+	}
+	if g, ok := ix.groups[oldKey]; ok {
+		g.members = removeRow(g.members, pos)
+		if g.rhs[oldRHS]--; g.rhs[oldRHS] == 0 {
+			delete(g.rhs, oldRHS)
+		}
+		// Emptied groups stay registered (with no members) so a later
+		// re-insertion reuses the existing order entry — deleting here and
+		// re-linking would append the key to order twice and duplicate the
+		// group in violatingScope.
+	}
+	if rows := removeRow(ix.rhsRows[oldRHS], pos); len(rows) == 0 {
+		delete(ix.rhsRows, oldRHS)
+	} else {
+		ix.rhsRows[oldRHS] = rows
+	}
+	ix.rowKey[pos] = newKey
+	ix.rowRHS[pos] = newRHS
+	ix.link(pos, newKey, newRHS)
+	// Keep row lists in ascending order so scope collection and relaxation
+	// stay deterministic.
+	if g := ix.groups[newKey]; len(g.members) > 1 {
+		sort.Ints(g.members)
+	}
+	if rows := ix.rhsRows[newRHS]; len(rows) > 1 {
+		sort.Ints(rows)
+	}
+}
+
+func removeRow(rows []int, pos int) []int {
+	for i, r := range rows {
+		if r == pos {
+			return append(rows[:i], rows[i+1:]...)
+		}
+	}
+	return rows
+}
+
+// keyOf returns row i's lhs key in O(1).
+func (ix *fdIndex) keyOf(i int) value.MapKey { return ix.rowKey[i] }
+
+// members returns the row positions sharing the lhs key.
+func (ix *fdIndex) members(key value.MapKey) []int {
+	if g, ok := ix.groups[key]; ok {
+		return g.members
+	}
+	return nil
+}
+
+// violating reports whether the lhs key's group violates the FD.
+func (ix *fdIndex) violating(key value.MapKey) bool {
+	g, ok := ix.groups[key]
+	return ok && g.violating()
+}
+
+// violatingScope collects, in deterministic group order, the members of
+// every violating group not yet marked checked — the full-clean scope.
+func (ix *fdIndex) violatingScope(checked map[value.MapKey]bool) []int {
+	var scope []int
+	for _, key := range ix.order {
+		g, ok := ix.groups[key]
+		if !ok || !g.violating() || checked[key] {
+			continue
+		}
+		scope = append(scope, g.members...)
+	}
+	return scope
+}
+
+// relax is Algorithm 1 over the group index: the rows outside seed that
+// share an lhs group or an rhs value with a seed row. transitive widens the
+// frontier with each addition until fixpoint (Lemma 2); otherwise a single
+// expansion suffices (Lemma 1). Extras return in ascending row order.
+// Metrics count the rows the index reads (Scanned) and the additions
+// (Relaxed) — the same work notions as the scan-based relax package, minus
+// the avoided full-table scans.
+func (ix *fdIndex) relax(seed []int, transitive bool, m *detect.Metrics) []int {
+	ix.extend()
+	n := ix.view.Len()
+	in := make([]bool, n) // seed ∪ already-added rows
+	for _, r := range seed {
+		in[r] = true
+	}
+	lhsSeen := make(map[value.MapKey]bool)
+	rhsSeen := make(map[value.MapKey]bool)
+	var extra []int
+	frontier := seed
+	for len(frontier) > 0 {
+		var next []int
+		for _, r := range frontier {
+			lk, rk := ix.rowKey[r], ix.rowRHS[r]
+			if !lhsSeen[lk] {
+				lhsSeen[lk] = true
+				for _, p := range ix.members(lk) {
+					if m != nil {
+						m.Scanned++
+					}
+					if !in[p] {
+						in[p] = true
+						next = append(next, p)
+					}
+				}
+			}
+			if !rhsSeen[rk] {
+				rhsSeen[rk] = true
+				for _, p := range ix.rhsRows[rk] {
+					if m != nil {
+						m.Scanned++
+					}
+					if !in[p] {
+						in[p] = true
+						next = append(next, p)
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		extra = append(extra, next...)
+		if m != nil {
+			m.Relaxed += int64(len(next))
+		}
+		if !transitive {
+			break
+		}
+		frontier = next
+	}
+	sort.Ints(extra)
+	return extra
+}
+
+// fdStats derives the optimizer statistics of §5.2.3 from the index — the
+// same numbers stats.Collect computes with two fresh table scans, read off
+// the maintained groups instead.
+func (ix *fdIndex) fdStats(rule string) *stats.FDStat {
+	st := &stats.FDStat{Rule: rule, DirtyLHS: make(map[value.MapKey]bool)}
+	totalCandidates := 0
+	pairs := 0
+	for key, g := range ix.groups {
+		if len(g.members) == 0 {
+			continue // emptied by rekey; kept only for order stability
+		}
+		st.Groups++
+		pairs += len(g.rhs)
+		if !g.violating() {
+			continue
+		}
+		st.DirtyGroups++
+		st.DirtyLHS[key] = true
+		st.DirtyTuples += len(g.members)
+		totalCandidates += len(g.rhs)
+	}
+	if st.DirtyGroups > 0 {
+		st.AvgCandidates = float64(totalCandidates) / float64(st.DirtyGroups)
+	}
+	if len(ix.rhsRows) > 0 {
+		// Σ_g (distinct rhs in g) counts each (lhs-group, rhs-value)
+		// co-occurrence once — identical to summing distinct lhs per rhs.
+		st.AvgLHSPerRHS = float64(pairs) / float64(len(ix.rhsRows))
+	}
+	return st
+}
+
+// collectStats assembles the optimizer statistics of every bound FD rule
+// from the persistent group indexes (non-FD rules get their error estimates
+// from thetajoin.EstimateErrors at query time, Algorithm 2).
+func (st *tableState) collectStats() *stats.TableStats {
+	ts := &stats.TableStats{N: st.pt.Len(), FDs: make(map[string]*stats.FDStat)}
+	for _, rule := range st.rules {
+		spec, ok := rule.AsFD()
+		if !ok {
+			continue
+		}
+		ts.FDs[rule.Name] = st.fdIndex(rule.Name, spec).fdStats(rule.Name)
+	}
+	return ts
+}
+
+// fdIndex returns the persistent group index of the rule over this table,
+// building it on first use and folding in any appended rows after that.
+func (st *tableState) fdIndex(rule string, fd dc.FDSpec) *fdIndex {
+	ix, ok := st.fdIdx[rule]
+	if !ok {
+		ix = newFDIndex(st.pt, fd)
+		st.fdIdx[rule] = ix
+	} else {
+		ix.extend()
+	}
+	return ix
+}
+
+// noteApply propagates an applied delta to every built group index — the
+// incremental-maintenance hook called wherever the session applies deltas.
+func (st *tableState) noteApply(d *ptable.Delta) {
+	for _, ix := range st.fdIdx {
+		ix.ApplyDelta(d)
+	}
+}

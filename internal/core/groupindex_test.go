@@ -1,0 +1,223 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/ptable"
+	"daisy/internal/relax"
+	"daisy/internal/schema"
+	"daisy/internal/stats"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+func indexFixture() (*ptable.PTable, dc.FDSpec) {
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	tb := table.New("cities", sch)
+	rows := []struct {
+		zip  int64
+		city string
+	}{
+		{1, "LA"}, {1, "SF"}, {1, "LA"}, {2, "NY"}, {2, "NY"}, {3, "SF"},
+	}
+	for _, r := range rows {
+		tb.MustAppend(table.Row{value.NewInt(r.zip), value.NewString(r.city)})
+	}
+	spec, _ := dc.FD("phi", "cities", "city", "zip").AsFD()
+	return ptable.FromTable(tb), spec
+}
+
+// assertIndexMatchesGroupBy checks the index against a fresh GroupByFD of
+// the same view: identical group membership and violation classification.
+func assertIndexMatchesGroupBy(t *testing.T, ix *fdIndex, pt *ptable.PTable, fd dc.FDSpec) {
+	t.Helper()
+	view := detect.PTableView{P: pt}
+	fresh := detect.GroupByFD(view, fd, nil)
+	nonEmpty := 0
+	for _, g := range ix.groups {
+		if len(g.members) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != len(fresh) {
+		t.Fatalf("index groups = %d, GroupByFD = %d", nonEmpty, len(fresh))
+	}
+	for key, g := range fresh {
+		got := append([]int(nil), ix.members(key)...)
+		sort.Ints(got)
+		want := append([]int(nil), g.Members...)
+		sort.Ints(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("group %v members = %v, want %v", key, got, want)
+		}
+		if ix.violating(key) != g.Violating() {
+			t.Errorf("group %v violating = %v, want %v", key, ix.violating(key), g.Violating())
+		}
+	}
+	// Per-row cached keys must match recomputed keys.
+	cols := detect.CompileFD(view, fd)
+	for i := 0; i < view.Len(); i++ {
+		if ix.keyOf(i) != cols.LHSKey(view, i) {
+			t.Errorf("row %d cached key mismatch", i)
+		}
+	}
+}
+
+func TestFDIndexMatchesGroupBy(t *testing.T) {
+	pt, fd := indexFixture()
+	ix := newFDIndex(pt, fd)
+	assertIndexMatchesGroupBy(t, ix, pt, fd)
+}
+
+// TestFDIndexConsistentAfterApply: cleaning deltas (which preserve original
+// values) must leave the index consistent, and deltas that rewrite
+// provenance must re-key the touched tuples.
+func TestFDIndexConsistentAfterApply(t *testing.T) {
+	pt, fd := indexFixture()
+	ix := newFDIndex(pt, fd)
+
+	// A cleaning-style delta: candidates over the city cell, same Orig.
+	d := ptable.NewDelta("cities")
+	d.Set(1, 1, uncertain.Cell{
+		Orig: value.NewString("SF"),
+		Candidates: []uncertain.Candidate{
+			{Val: value.NewString("LA"), Prob: 0.6, World: 1, Support: 2},
+			{Val: value.NewString("SF"), Prob: 0.4, World: 0, Support: 1},
+		},
+	})
+	pt.Apply(d)
+	ix.ApplyDelta(d)
+	assertIndexMatchesGroupBy(t, ix, pt, fd)
+
+	// A provenance rewrite: tuple 5 moves from rhs SF to rhs NY, and tuple 3
+	// moves lhs group 2 → 1. The index must follow both.
+	d2 := ptable.NewDelta("cities")
+	d2.Set(5, 1, uncertain.Cell{Orig: value.NewString("NY")})
+	d2.Set(3, 0, uncertain.Cell{Orig: value.NewInt(1)})
+	pt.Apply(d2)
+	ix.ApplyDelta(d2)
+	assertIndexMatchesGroupBy(t, ix, pt, fd)
+}
+
+// TestFDIndexEmptyAndRecreateGroup: rekeying the last member out of a group
+// and later back in must not duplicate the group in the full-clean scope.
+func TestFDIndexEmptyAndRecreateGroup(t *testing.T) {
+	pt, fd := indexFixture()
+	ix := newFDIndex(pt, fd)
+
+	// Tuple 5 is the sole member of lhs group zip=3: move it to zip=2.
+	move := func(zip int64) {
+		d := ptable.NewDelta("cities")
+		d.Set(5, 0, uncertain.Cell{Orig: value.NewInt(zip)})
+		pt.Apply(d)
+		ix.ApplyDelta(d)
+	}
+	move(2) // empties group 3
+	assertIndexMatchesGroupBy(t, ix, pt, fd)
+	move(3) // recreates group 3
+	assertIndexMatchesGroupBy(t, ix, pt, fd)
+
+	// Make group 3 violating and confirm its members appear exactly once in
+	// the full-clean scope.
+	pt.Append(&ptable.Tuple{ID: 6, Cells: []uncertain.Cell{
+		uncertain.Certain(value.NewInt(3)), uncertain.Certain(value.NewString("Boston")),
+	}})
+	ix.extend()
+	scope := ix.violatingScope(map[value.MapKey]bool{})
+	seen := make(map[int]int)
+	for _, r := range scope {
+		seen[r]++
+		if seen[r] > 1 {
+			t.Fatalf("row %d appears %d times in violatingScope %v", r, seen[r], scope)
+		}
+	}
+}
+
+// TestFDIndexExtend: rows appended after the build index incrementally.
+func TestFDIndexExtend(t *testing.T) {
+	pt, fd := indexFixture()
+	ix := newFDIndex(pt, fd)
+	pt.Append(&ptable.Tuple{ID: 6, Cells: []uncertain.Cell{
+		uncertain.Certain(value.NewInt(3)), uncertain.Certain(value.NewString("Boston")),
+	}})
+	ix.extend()
+	assertIndexMatchesGroupBy(t, ix, pt, fd)
+	if !ix.violating(value.NewInt(3).MapKey()) {
+		t.Error("zip 3 gained a second city and must now be violating")
+	}
+}
+
+// TestIndexRelaxMatchesScanRelax: index-backed relaxation must produce the
+// same row sets as the scan-based Algorithm 1 in package relax.
+func TestIndexRelaxMatchesScanRelax(t *testing.T) {
+	pt, fd := indexFixture()
+	ix := newFDIndex(pt, fd)
+	view := detect.PTableView{P: pt}
+	for _, seed := range [][]int{{0}, {1}, {3}, {0, 5}, {2, 4}} {
+		gotOne := ix.relax(seed, false, nil)
+		wantOne := relax.FDOnePass(view, seed, fd, nil)
+		sort.Ints(wantOne)
+		if !reflect.DeepEqual(gotOne, wantOne) {
+			t.Errorf("one-pass relax(%v) = %v, want %v", seed, gotOne, wantOne)
+		}
+		gotAll := ix.relax(seed, true, nil)
+		wantAll := relax.FD(view, seed, fd, nil)
+		sort.Ints(wantAll)
+		if !reflect.DeepEqual(gotAll, wantAll) {
+			t.Errorf("transitive relax(%v) = %v, want %v", seed, gotAll, wantAll)
+		}
+	}
+}
+
+// TestIndexStatsMatchCollect: statistics derived from the index must equal
+// stats.Collect's scan-based numbers.
+func TestIndexStatsMatchCollect(t *testing.T) {
+	pt, fd := indexFixture()
+	_ = fd
+	s := NewSession(Options{})
+	tb := table.New("cities", pt.Schema)
+	for _, tup := range pt.Tuples {
+		row := make(table.Row, len(tup.Cells))
+		for i := range tup.Cells {
+			row[i] = tup.Cells[i].Orig
+		}
+		tb.MustAppend(row)
+	}
+	if err := s.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	rule := dc.FD("phi", "cities", "city", "zip")
+	if err := s.AddRule(rule); err != nil {
+		t.Fatal(err)
+	}
+	st := s.tables["cities"].stats.FDs["phi"]
+	if st.Groups != 3 || st.DirtyGroups != 1 || st.DirtyTuples != 3 {
+		t.Errorf("index stats = %+v", st)
+	}
+	if st.AvgCandidates != 2 {
+		t.Errorf("AvgCandidates = %v, want 2", st.AvgCandidates)
+	}
+	// Pairs: zip1×{LA,SF}, zip2×{NY}, zip3×{SF} = 4 pairs over 3 rhs values.
+	if want := 4.0 / 3.0; st.AvgLHSPerRHS != want {
+		t.Errorf("AvgLHSPerRHS = %v, want %v", st.AvgLHSPerRHS, want)
+	}
+	if !st.DirtyLHS[value.NewInt(1).MapKey()] || st.DirtyLHS[value.NewInt(2).MapKey()] {
+		t.Errorf("DirtyLHS = %v", st.DirtyLHS)
+	}
+	// Field-by-field equivalence with the scan-based collector.
+	sc := stats.Collect(detect.PTableView{P: s.tables["cities"].pt},
+		[]*dc.Constraint{rule}).FDs["phi"]
+	if st.Groups != sc.Groups || st.DirtyGroups != sc.DirtyGroups ||
+		st.DirtyTuples != sc.DirtyTuples || st.AvgCandidates != sc.AvgCandidates ||
+		st.AvgLHSPerRHS != sc.AvgLHSPerRHS || !reflect.DeepEqual(st.DirtyLHS, sc.DirtyLHS) {
+		t.Errorf("index stats %+v != scan stats %+v", st, sc)
+	}
+}

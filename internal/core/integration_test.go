@@ -83,7 +83,7 @@ func TestWorkloadCoverageCleansEverything(t *testing.T) {
 	for _, g := range groups {
 		for _, id := range g.IDs {
 			if pt.ByID(id).Cells[pt.Schema.MustIndex("suppkey")].IsCertain() {
-				t.Fatalf("tuple %d in violating group %s still certain", id, g.LHSKey)
+				t.Fatalf("tuple %d in violating group %v still certain", id, g.LHS)
 			}
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"daisy/internal/table"
 	"daisy/internal/thetajoin"
 	"daisy/internal/uncertain"
+	"daisy/internal/value"
 )
 
 // Strategy selects how cleaning work is scheduled.
@@ -43,6 +44,9 @@ const (
 type Options struct {
 	// Partitions controls theta-join matrix granularity (default 64).
 	Partitions int
+	// Workers bounds the theta-join worker pool: 0 uses every CPU, 1 forces
+	// sequential detection. Results are identical for any setting.
+	Workers int
 	// DCThreshold is Algorithm 2's dirtiness threshold above which a general
 	// DC triggers a full clean (default 0.10).
 	DCThreshold float64
@@ -70,8 +74,11 @@ type tableState struct {
 	pt    *ptable.PTable
 	stats *stats.TableStats
 	cost  *cost.Model
+	// fdIdx holds the persistent FD group index per rule, built on first use
+	// and maintained incrementally from applied deltas.
+	fdIdx map[string]*fdIndex
 	// checkedGroups marks FD lhs group keys already cleaned, per rule.
-	checkedGroups map[string]map[string]bool
+	checkedGroups map[string]map[value.MapKey]bool
 	// checkedTuples marks tuples already theta-join-checked, per DC rule.
 	checkedTuples map[string]map[int64]bool
 	// dcEstimates caches Algorithm 2's per-range violation estimates.
@@ -120,13 +127,18 @@ func (s *Session) Register(t *table.Table) error {
 	if _, dup := s.tables[t.Name]; dup {
 		return fmt.Errorf("core: table %q already registered", t.Name)
 	}
-	s.tables[t.Name] = &tableState{
-		pt:            ptable.FromTable(t),
-		checkedGroups: make(map[string]map[string]bool),
+	s.tables[t.Name] = newTableState(ptable.FromTable(t))
+	return nil
+}
+
+func newTableState(pt *ptable.PTable) *tableState {
+	return &tableState{
+		pt:            pt,
+		fdIdx:         make(map[string]*fdIndex),
+		checkedGroups: make(map[string]map[value.MapKey]bool),
 		checkedTuples: make(map[string]map[int64]bool),
 		dcEstimates:   make(map[string][]thetajoin.RangeEstimate),
 	}
-	return nil
 }
 
 // AddRule binds a denial constraint and precomputes its statistics (the
@@ -155,7 +167,7 @@ func (s *Session) AddRule(rule *dc.Constraint) error {
 			continue
 		}
 		st.rules = append(st.rules, rule)
-		st.stats = stats.Collect(detect.PTableView{P: st.pt}, st.rules)
+		st.stats = st.collectStats()
 		st.cost = cost.New(st.stats.N, st.stats.Epsilon(), st.stats.P())
 		bound = true
 	}
@@ -170,12 +182,7 @@ func (s *Session) AddRule(rule *dc.Constraint) error {
 // its name, replacing any existing registration. Baselines use it to query
 // data they cleaned offline.
 func (s *Session) ReplaceTable(name string, pt *ptable.PTable) {
-	s.tables[name] = &tableState{
-		pt:            pt,
-		checkedGroups: make(map[string]map[string]bool),
-		checkedTuples: make(map[string]map[int64]bool),
-		dcEstimates:   make(map[string][]thetajoin.RangeEstimate),
-	}
+	s.tables[name] = newTableState(pt)
 }
 
 // Table exposes the current probabilistic state of a relation.
@@ -272,12 +279,20 @@ func (s *Session) CleanSelect(tableName string, rows []int, pred expr.Pred, rule
 	}
 	var out []int
 	pt := st.pt
+	// One closure over a mutable row, with column resolution memoized.
+	row := 0
+	colIdx := make(map[string]int, 2)
+	cellOf := func(ref expr.ColRef) *uncertain.Cell {
+		idx, ok := colIdx[ref.Col]
+		if !ok {
+			idx = pt.Schema.MustIndex(ref.Col)
+			colIdx[ref.Col] = idx
+		}
+		return &pt.Tuples[row].Cells[idx]
+	}
 	for _, r := range current {
-		row := r
-		ok := pred.EvalCell(func(ref expr.ColRef) *uncertain.Cell {
-			return &pt.Tuples[row].Cells[pt.Schema.MustIndex(ref.Col)]
-		})
-		if ok {
+		row = r
+		if pred.EvalCell(cellOf) {
 			out = append(out, r)
 		}
 	}

@@ -108,8 +108,8 @@ func TestGroupByRHS(t *testing.T) {
 	if len(byRHS) != 3 {
 		t.Fatalf("distinct rhs values = %d", len(byRHS))
 	}
-	if len(byRHS[value.NewString("San Francisco").Key()]) != 2 {
-		t.Errorf("SF rows = %v", byRHS[value.NewString("San Francisco").Key()])
+	if len(byRHS[value.NewString("San Francisco").MapKey()]) != 2 {
+		t.Errorf("SF rows = %v", byRHS[value.NewString("San Francisco").MapKey()])
 	}
 }
 

@@ -12,6 +12,9 @@ import (
 
 // RowView abstracts a relation for detection: deterministic tables, subsets
 // of them, and probabilistic tables viewed through their original values.
+// Hot paths resolve column names to indices once via ColIndex and then read
+// cells positionally via ValueAt; Value remains as the name-resolving
+// convenience accessor.
 type RowView interface {
 	// Len returns the number of rows.
 	Len() int
@@ -19,6 +22,11 @@ type RowView interface {
 	ID(i int) int64
 	// Value returns the named attribute of row i.
 	Value(i int, col string) value.Value
+	// ColIndex resolves a column name to the positional index ValueAt
+	// expects, or -1 when the column does not exist.
+	ColIndex(col string) int
+	// ValueAt returns the attribute at column index idx of row i.
+	ValueAt(i, idx int) value.Value
 }
 
 // TableView adapts a deterministic table (IDs are row positions).
@@ -32,6 +40,12 @@ func (v TableView) ID(i int) int64 { return int64(i) }
 
 // Value implements RowView.
 func (v TableView) Value(i int, col string) value.Value { return v.T.ColByName(i, col) }
+
+// ColIndex implements RowView.
+func (v TableView) ColIndex(col string) int { return v.T.Schema.Index(col) }
+
+// ValueAt implements RowView.
+func (v TableView) ValueAt(i, idx int) value.Value { return v.T.Rows[i][idx] }
 
 // PTableView adapts a probabilistic table. Detection sees each cell's
 // original (provenance) value: rules are always checked against original
@@ -49,6 +63,17 @@ func (v PTableView) Value(i int, col string) value.Value {
 	return v.P.Tuples[i].Cells[v.P.Schema.MustIndex(col)].Orig
 }
 
+// ColIndex implements RowView.
+func (v PTableView) ColIndex(col string) int { return v.P.Schema.Index(col) }
+
+// ValueAt implements RowView.
+func (v PTableView) ValueAt(i, idx int) value.Value { return v.P.Tuples[i].Cells[idx].Orig }
+
+// PosOf resolves a tuple ID back to its row position (implements the
+// optional position-resolver interface relaxation and repair consult
+// instead of building their own id→position maps).
+func (v PTableView) PosOf(id int64) (int, bool) { return v.P.Pos(id) }
+
 // SubsetView restricts a view to selected row positions.
 type SubsetView struct {
 	Base RowView
@@ -63,6 +88,34 @@ func (v SubsetView) ID(i int) int64 { return v.Base.ID(v.Idx[i]) }
 
 // Value implements RowView.
 func (v SubsetView) Value(i int, col string) value.Value { return v.Base.Value(v.Idx[i], col) }
+
+// ColIndex implements RowView.
+func (v SubsetView) ColIndex(col string) int { return v.Base.ColIndex(col) }
+
+// ValueAt implements RowView.
+func (v SubsetView) ValueAt(i, idx int) value.Value { return v.Base.ValueAt(v.Idx[i], idx) }
+
+// PosResolver is the optional fast path for mapping tuple IDs to row
+// positions; PTableView implements it via the relation's ID index.
+type PosResolver interface {
+	PosOf(id int64) (int, bool)
+}
+
+// PosIndex returns a position-lookup function for the view: the view's own
+// resolver when available, otherwise a freshly built id→position map.
+func PosIndex(v RowView) func(id int64) (int, bool) {
+	if r, ok := v.(PosResolver); ok {
+		return r.PosOf
+	}
+	byID := make(map[int64]int, v.Len())
+	for i := 0; i < v.Len(); i++ {
+		byID[v.ID(i)] = i
+	}
+	return func(id int64) (int, bool) {
+		pos, ok := byID[id]
+		return pos, ok
+	}
+}
 
 // Metrics counts the work a detection or cleaning pass performs, so
 // experiments can report machine-independent effort alongside wall time.

@@ -96,30 +96,46 @@ func (e *Executor) execSelect(node *plan.Select) (*frame, error) {
 func (e *Executor) filter(f *frame, pred expr.Pred) *frame {
 	out := &frame{pt: f.pt, table: f.table, isBase: f.isBase}
 	get := e.cellGetter(f)
+	// One closure over a mutable row variable instead of one per row.
+	row := 0
+	cellOf := func(ref expr.ColRef) *uncertain.Cell { return get(row, ref) }
 	for _, r := range f.rows {
-		row := r
-		if pred.EvalCell(func(ref expr.ColRef) *uncertain.Cell { return get(row, ref) }) {
+		row = r
+		if pred.EvalCell(cellOf) {
 			out.rows = append(out.rows, r)
 		}
 	}
 	return out
 }
 
-// cellGetter resolves column references against a frame's schema: a
-// qualified name first tries the prefixed join column ("table.col"), then
-// the plain name.
+// resolveRef resolves a column reference against a schema: a qualified name
+// first tries the prefixed join column ("table.col"), then the plain name.
+// Returns -1 when absent.
+func resolveRef(s *schema.Schema, ref expr.ColRef) int {
+	idx := -1
+	if ref.Table != "" {
+		idx = s.Index(ref.Table + "." + ref.Col)
+	}
+	if idx < 0 {
+		idx = s.Index(ref.Col)
+	}
+	return idx
+}
+
+// cellGetter returns a cell accessor for the frame that memoizes column
+// resolution: each distinct reference pays the name lookup (and the
+// qualified-name concatenation) once, not once per cell.
 func (e *Executor) cellGetter(f *frame) func(row int, ref expr.ColRef) *uncertain.Cell {
 	s := f.pt.Schema
+	cache := make(map[expr.ColRef]int, 4)
 	return func(row int, ref expr.ColRef) *uncertain.Cell {
-		idx := -1
-		if ref.Table != "" {
-			idx = s.Index(ref.Table + "." + ref.Col)
-		}
-		if idx < 0 {
-			idx = s.Index(ref.Col)
-		}
-		if idx < 0 {
-			panic(fmt.Sprintf("engine: column %s not in schema (%s)", ref, s))
+		idx, ok := cache[ref]
+		if !ok {
+			idx = resolveRef(s, ref)
+			if idx < 0 {
+				panic(fmt.Sprintf("engine: column %s not in schema (%s)", ref, s))
+			}
+			cache[ref] = idx
 		}
 		return &f.pt.Tuples[row].Cells[idx]
 	}
@@ -178,23 +194,32 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 	lGet := e.cellGetter(lf)
 	rGet := e.cellGetter(rf)
 
-	build := make(map[string][]int)
+	build := make(map[value.MapKey][]int)
 	for _, r := range rf.rows {
 		cell := rGet(r, node.RightRef)
 		for _, v := range cell.Values() {
-			build[v.Key()] = append(build[v.Key()], r)
+			k := v.MapKey()
+			build[k] = append(build[k], r)
 		}
 	}
 	var id int64
+	var matched map[int]bool
 	for _, l := range lf.rows {
 		lc := lGet(l, node.LeftRef)
-		matched := make(map[int]bool)
-		for _, v := range lc.Values() {
-			for _, r := range build[v.Key()] {
-				if matched[r] {
-					continue
+		vals := lc.Values()
+		// Certain cells (the common case) have one candidate, so no match
+		// can repeat and the dedup set is unnecessary.
+		if len(vals) > 1 {
+			matched = make(map[int]bool)
+		}
+		for _, v := range vals {
+			for _, r := range build[v.MapKey()] {
+				if len(vals) > 1 {
+					if matched[r] {
+						continue
+					}
+					matched[r] = true
 				}
-				matched[r] = true
 				e.Metrics.Comparisons++
 				out.Append(joinTuple(id, lf.pt.Tuples[l], rf.pt.Tuples[r]))
 				id++
@@ -237,25 +262,32 @@ func (e *Executor) execGroupBy(node *plan.GroupBy) (*frame, error) {
 		keyVals []value.Value
 		rows    []int
 	}
-	groups := make(map[string]*group)
-	var order []string
+	groups := make(map[value.MapKey]*group)
+	var order []*group
+	keyBuf := make([]value.Value, len(node.Keys))
 	for _, r := range f.rows {
-		key := ""
-		var kv []value.Value
-		for _, k := range node.Keys {
-			v := get(r, k).Value() // representative value of a probabilistic key
-			key += v.Key() + "\x1f"
-			kv = append(kv, v)
+		for ki, k := range node.Keys {
+			keyBuf[ki] = get(r, k).Value() // representative value of a probabilistic key
 		}
+		key := value.MapKeyOf(keyBuf...)
 		g, ok := groups[key]
 		if !ok {
-			g = &group{keyVals: kv}
+			g = &group{keyVals: append([]value.Value(nil), keyBuf...)}
 			groups[key] = g
-			order = append(order, key)
+			order = append(order, g)
 		}
 		g.rows = append(g.rows, r)
 	}
-	sort.Strings(order)
+	// Deterministic output: groups ordered by key values.
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i].keyVals, order[j].keyVals
+		for k := range a {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
 
 	outSchema, err := aggSchema(f.pt.Schema, node.Keys, node.Items)
 	if err != nil {
@@ -263,8 +295,7 @@ func (e *Executor) execGroupBy(node *plan.GroupBy) (*frame, error) {
 	}
 	out := ptable.New("groupby", outSchema)
 	var id int64
-	for _, key := range order {
-		g := groups[key]
+	for _, g := range order {
 		cells := make([]uncertain.Cell, 0, outSchema.Len())
 		for _, v := range g.keyVals {
 			cells = append(cells, uncertain.Certain(v))
@@ -273,7 +304,7 @@ func (e *Executor) execGroupBy(node *plan.GroupBy) (*frame, error) {
 			if it.Agg == sql.AggNone {
 				continue // key columns already emitted
 			}
-			v, err := e.aggregate(f, g.rows, it)
+			v, err := e.aggregate(get, g.rows, it)
 			if err != nil {
 				return nil, err
 			}
@@ -317,9 +348,9 @@ func aggSchema(in *schema.Schema, keys []expr.ColRef, items []sql.SelectItem) (*
 	return schema.New(cols...)
 }
 
-// aggregate computes one aggregate over the group's representative values.
-func (e *Executor) aggregate(f *frame, rows []int, it sql.SelectItem) (value.Value, error) {
-	get := e.cellGetter(f)
+// aggregate computes one aggregate over the group's representative values,
+// reading cells through the caller's memoized getter.
+func (e *Executor) aggregate(get func(int, expr.ColRef) *uncertain.Cell, rows []int, it sql.SelectItem) (value.Value, error) {
 	if it.Agg == sql.AggCount && it.Star {
 		return value.NewInt(int64(len(rows))), nil
 	}
@@ -399,15 +430,17 @@ func (e *Executor) execProject(node *plan.Project) (*frame, error) {
 		}
 	}
 	out := ptable.New("project", outSchema)
-	var id int64
-	for _, r := range f.rows {
+	out.Reserve(len(f.rows))
+	tuples := make([]ptable.Tuple, len(f.rows))
+	cells := make([]uncertain.Cell, len(f.rows)*len(idxs))
+	for ti, r := range f.rows {
 		src := f.pt.Tuples[r]
-		cells := make([]uncertain.Cell, len(idxs))
+		tc := cells[ti*len(idxs) : (ti+1)*len(idxs) : (ti+1)*len(idxs)]
 		for i, idx := range idxs {
-			cells[i] = src.Cells[idx]
+			tc[i] = src.Cells[idx]
 		}
-		out.Append(&ptable.Tuple{ID: id, Cells: cells, Lineage: src.Lineage})
-		id++
+		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: tc, Lineage: src.Lineage}
+		out.Append(&tuples[ti])
 	}
 	return &frame{pt: out, rows: seq(out.Len())}, nil
 }
@@ -418,12 +451,12 @@ func (e *Executor) materialize(f *frame) *ptable.PTable {
 		return f.pt
 	}
 	out := ptable.New("result", f.pt.Schema)
-	var id int64
-	for _, r := range f.rows {
+	out.Reserve(len(f.rows))
+	tuples := make([]ptable.Tuple, len(f.rows))
+	for ti, r := range f.rows {
 		src := f.pt.Tuples[r]
-		t := &ptable.Tuple{ID: id, Cells: src.Cells, Lineage: src.Lineage}
-		out.Append(t)
-		id++
+		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: src.Cells, Lineage: src.Lineage}
+		out.Append(&tuples[ti])
 	}
 	return out
 }

@@ -121,36 +121,38 @@ func (r *Repairer) Clean(pt *ptable.PTable, rules []*dc.Constraint) (Report, err
 func (r *Repairer) domain(view detect.RowView, pt *ptable.PTable, id int64, col int, m *detect.Metrics) ([]uncertain.Candidate, int) {
 	tup := pt.ByID(id)
 	n := pt.Schema.Len()
-	// Context: the tuple's other attribute original values.
+	// Context: the tuple's other attribute original values. Column indices
+	// are resolved once against the view, not per scanned row.
 	type ctxAttr struct {
 		col int
-		key string
+		key value.MapKey
 	}
 	var ctx []ctxAttr
 	for b := 0; b < n; b++ {
 		if b != col {
-			ctx = append(ctx, ctxAttr{b, tup.Cells[b].Orig.Key()})
+			ctx = append(ctx, ctxAttr{view.ColIndex(pt.Schema.Col(b).Name), tup.Cells[b].Orig.MapKey()})
 		}
 	}
-	scores := make(map[string]float64)
-	vals := make(map[string]value.Value)
+	scores := make(map[value.MapKey]float64)
+	vals := make(map[value.MapKey]value.Value)
 	ctxCount := make([]int, len(ctx))
-	coCount := make([]map[string]int, len(ctx))
+	coCount := make([]map[value.MapKey]int, len(ctx))
 	for i := range coCount {
-		coCount[i] = make(map[string]int)
+		coCount[i] = make(map[value.MapKey]int)
 	}
-	colName := pt.Schema.Col(col).Name
+	colIdx := view.ColIndex(pt.Schema.Col(col).Name)
 	for i := 0; i < view.Len(); i++ {
 		m.Scanned++
 		if view.ID(i) == id {
 			continue // exclude the dirty tuple from its own statistics
 		}
-		av := view.Value(i, colName)
+		av := view.ValueAt(i, colIdx)
+		ak := av.MapKey()
 		for bi, b := range ctx {
-			if view.Value(i, pt.Schema.Col(b.col).Name).Key() == b.key {
+			if view.ValueAt(i, b.col).MapKey() == b.key {
 				ctxCount[bi]++
-				coCount[bi][av.Key()]++
-				vals[av.Key()] = av
+				coCount[bi][ak]++
+				vals[ak] = av
 			}
 		}
 	}
@@ -210,7 +212,7 @@ func (r *Repairer) Infer(pt *ptable.PTable) *table.Table {
 // tuple's context and returns the best value; candidate prior probabilities
 // break ties.
 func (r *Repairer) scoreAndPick(view detect.RowView, pt *ptable.PTable, tup *ptable.Tuple, col int) value.Value {
-	colName := pt.Schema.Col(col).Name
+	colIdx := view.ColIndex(pt.Schema.Col(col).Name)
 	best := value.Value{}
 	bestScore := -1.0
 	for _, cand := range tup.Cells[col].Candidates {
@@ -219,15 +221,16 @@ func (r *Repairer) scoreAndPick(view detect.RowView, pt *ptable.PTable, tup *pta
 			if b == col {
 				continue
 			}
-			bName := pt.Schema.Col(b).Name
+			bIdx := view.ColIndex(pt.Schema.Col(b).Name)
+			bKey := tup.Cells[b].Orig.MapKey()
 			match, ctxTotal := 0, 0
 			for i := 0; i < view.Len(); i++ {
 				if view.ID(i) == tup.ID {
 					continue // exclude the tuple from its own evidence
 				}
-				if view.Value(i, bName).Key() == tup.Cells[b].Orig.Key() {
+				if view.ValueAt(i, bIdx).MapKey() == bKey {
 					ctxTotal++
-					if view.Value(i, colName).Equal(cand.Val) {
+					if view.ValueAt(i, colIdx).Equal(cand.Val) {
 						match++
 					}
 				}

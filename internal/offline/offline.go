@@ -60,6 +60,7 @@ func (c *Cleaner) CleanFD(pt *ptable.PTable, rule *dc.Constraint) (Report, error
 	groups := detect.FDViolations(view, fd, &rep.Metrics)
 	rep.ViolatingGroups = len(groups)
 
+	cols := detect.CompileFD(view, fd)
 	rhsCol := pt.Schema.MustIndex(fd.RHS)
 	scans := 0
 	for _, g := range groups {
@@ -69,34 +70,35 @@ func (c *Cleaner) CleanFD(pt *ptable.PTable, rule *dc.Constraint) (Report, error
 		}
 		// Offline repair: one dataset traversal per erroneous group to
 		// collect the candidate values (the paper's O(ε·n) repair cost).
-		rhsCounts := make(map[string]int)
-		rhsVals := make(map[string]value.Value)
-		lhsByRHS := make(map[string]map[string]int)
-		lhsVals := make(map[string]value.Value)
+		rhsCounts := make(map[value.MapKey]int)
+		rhsVals := make(map[value.MapKey]value.Value)
+		lhsByRHS := make(map[value.MapKey]map[value.MapKey]int)
+		lhsVals := make(map[value.MapKey]value.Value)
 		for i := 0; i < view.Len(); i++ {
 			rep.Metrics.Scanned++
-			if detect.LHSKeyOf(view, i, fd) == g.LHSKey {
-				rv := view.Value(i, fd.RHS)
-				rhsCounts[rv.Key()]++
-				rhsVals[rv.Key()] = rv
+			if cols.LHSKey(view, i) == g.LHSKey {
+				rv := view.ValueAt(i, cols.RHS)
+				rk := rv.MapKey()
+				rhsCounts[rk]++
+				rhsVals[rk] = rv
 			}
 		}
 		// Second traversal: lhs candidates for each distinct rhs of the group.
 		if len(fd.LHS) == 1 {
 			for i := 0; i < view.Len(); i++ {
 				rep.Metrics.Scanned++
-				rv := view.Value(i, fd.RHS)
-				if _, isGroupRHS := rhsCounts[rv.Key()]; !isGroupRHS {
+				rk := cols.RHSKey(view, i)
+				if _, isGroupRHS := rhsCounts[rk]; !isGroupRHS {
 					continue
 				}
-				lv := view.Value(i, fd.LHS[0])
-				mm, ok := lhsByRHS[rv.Key()]
+				lv := view.ValueAt(i, cols.LHS[0])
+				mm, ok := lhsByRHS[rk]
 				if !ok {
-					mm = make(map[string]int)
-					lhsByRHS[rv.Key()] = mm
+					mm = make(map[value.MapKey]int)
+					lhsByRHS[rk] = mm
 				}
-				mm[lv.Key()]++
-				lhsVals[lv.Key()] = lv
+				mm[lv.MapKey()]++
+				lhsVals[lv.MapKey()] = lv
 			}
 		}
 		// Build the delta for the group's members.
@@ -107,7 +109,7 @@ func (c *Cleaner) CleanFD(pt *ptable.PTable, rule *dc.Constraint) (Report, error
 		}
 		for _, member := range g.Members {
 			id := view.ID(member)
-			cell := uncertain.Cell{Orig: view.Value(member, fd.RHS)}
+			cell := uncertain.Cell{Orig: view.ValueAt(member, cols.RHS)}
 			for k, n := range rhsCounts {
 				cell.Candidates = append(cell.Candidates, uncertain.Candidate{
 					Val: rhsVals[k], Prob: float64(n) / float64(total),
@@ -120,12 +122,12 @@ func (c *Cleaner) CleanFD(pt *ptable.PTable, rule *dc.Constraint) (Report, error
 			if len(fd.LHS) != 1 {
 				continue
 			}
-			rKey := view.Value(member, fd.RHS).Key()
+			rKey := cols.RHSKey(view, member)
 			lhsCounts := lhsByRHS[rKey]
 			if len(lhsCounts) < 2 {
 				continue
 			}
-			lcell := uncertain.Cell{Orig: view.Value(member, fd.LHS[0])}
+			lcell := uncertain.Cell{Orig: view.ValueAt(member, cols.LHS[0])}
 			ltotal := 0
 			for _, n := range lhsCounts {
 				ltotal += n

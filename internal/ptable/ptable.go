@@ -67,19 +67,30 @@ func New(name string, s *schema.Schema) *PTable {
 }
 
 // FromTable snapshots a deterministic table; tuple IDs are row positions and
-// every tuple's lineage points at itself.
+// every tuple's lineage points at itself. Tuple structs, cells, and lineage
+// id backing are batch-allocated: snapshotting is the first thing every
+// session does to every relation.
 func FromTable(t *table.Table) *PTable {
-	p := New(t.Name, t.Schema)
+	n := t.Len()
+	p := &PTable{Name: t.Name, Schema: t.Schema, byID: make(map[int64]int, n)}
+	p.Tuples = make([]*Tuple, 0, n)
+	width := t.Schema.Len()
+	tuples := make([]Tuple, n)
+	cells := make([]uncertain.Cell, n*width)
+	selfIDs := make([]int64, n)
 	for i, row := range t.Rows {
-		cells := make([]uncertain.Cell, len(row))
+		tc := cells[i*width : (i+1)*width : (i+1)*width]
 		for j, v := range row {
-			cells[j] = uncertain.Certain(v)
+			tc[j] = uncertain.Certain(v)
 		}
-		p.Append(&Tuple{
+		selfIDs[i] = int64(i)
+		tuples[i] = Tuple{
 			ID:      int64(i),
-			Cells:   cells,
-			Lineage: map[string][]int64{t.Name: {int64(i)}},
-		})
+			Cells:   tc,
+			Lineage: map[string][]int64{t.Name: selfIDs[i : i+1 : i+1]},
+		}
+		p.byID[int64(i)] = i
+		p.Tuples = append(p.Tuples, &tuples[i])
 	}
 	return p
 }
@@ -93,6 +104,15 @@ func (p *PTable) Append(t *Tuple) {
 	p.Tuples = append(p.Tuples, t)
 }
 
+// Reserve pre-sizes the relation for n upcoming appends.
+func (p *PTable) Reserve(n int) {
+	if cap(p.Tuples)-len(p.Tuples) < n {
+		grown := make([]*Tuple, len(p.Tuples), len(p.Tuples)+n)
+		copy(grown, p.Tuples)
+		p.Tuples = grown
+	}
+}
+
 // Len returns the number of tuples.
 func (p *PTable) Len() int { return len(p.Tuples) }
 
@@ -102,6 +122,14 @@ func (p *PTable) ByID(id int64) *Tuple {
 		return p.Tuples[i]
 	}
 	return nil
+}
+
+// Pos returns the row position of the tuple with the given ID. It is the
+// persistent id→position index hot paths use instead of rebuilding their
+// own maps per query.
+func (p *PTable) Pos(id int64) (int, bool) {
+	i, ok := p.byID[id]
+	return i, ok
 }
 
 // Cell returns the named cell of the tuple at position row.
@@ -134,7 +162,7 @@ func NewDelta(tableName string) *Delta {
 func (d *Delta) Set(id int64, col int, c uncertain.Cell) {
 	m, ok := d.Cells[id]
 	if !ok {
-		m = make(map[int]uncertain.Cell)
+		m = make(map[int]uncertain.Cell, 2) // FD fixes touch rhs + lhs
 		d.Cells[id] = m
 	}
 	m[col] = c
@@ -145,7 +173,8 @@ func (d *Delta) Len() int { return len(d.Cells) }
 
 // Apply merges the delta into the relation in place. Cells that were already
 // probabilistic are merged under Lemma 4 union semantics; clean cells are
-// replaced. Returns the number of updated cells.
+// replaced. Apply takes ownership of the delta's cells — callers must not
+// mutate a delta after applying it. Returns the number of updated cells.
 func (p *PTable) Apply(d *Delta) int {
 	updated := 0
 	for id, cols := range d.Cells {
@@ -156,7 +185,7 @@ func (p *PTable) Apply(d *Delta) int {
 		for col, cell := range cols {
 			cur := &t.Cells[col]
 			if cur.IsCertain() {
-				*cur = cell.Clone()
+				*cur = cell
 			} else {
 				cur.Merge(cell)
 			}

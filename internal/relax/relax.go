@@ -12,6 +12,7 @@ import (
 	"daisy/internal/dc"
 	"daisy/internal/detect"
 	"daisy/internal/thetajoin"
+	"daisy/internal/value"
 )
 
 // FD computes Algorithm 1: the correlated tuples of the result under an FD.
@@ -20,16 +21,17 @@ import (
 // result); together they form the relaxed result. Metrics (optional) count
 // scanned tuples and relaxation additions.
 func FD(view detect.RowView, result []int, fd dc.FDSpec, m *detect.Metrics) []int {
+	cols := detect.CompileFD(view, fd)
 	inResult := make(map[int]bool, len(result))
 	for _, i := range result {
 		inResult[i] = true
 	}
 	// Seed the frontier value sets from the answer.
-	lhsSeen := make(map[string]bool)
-	rhsSeen := make(map[string]bool)
+	lhsSeen := make(map[value.MapKey]bool)
+	rhsSeen := make(map[value.MapKey]bool)
 	for _, i := range result {
-		lhsSeen[detect.LHSKeyOf(view, i, fd)] = true
-		rhsSeen[view.Value(i, fd.RHS).Key()] = true
+		lhsSeen[cols.LHSKey(view, i)] = true
+		rhsSeen[cols.RHSKey(view, i)] = true
 	}
 	var unvisited []int
 	for i := 0; i < view.Len(); i++ {
@@ -45,7 +47,7 @@ func FD(view detect.RowView, result []int, fd dc.FDSpec, m *detect.Metrics) []in
 			if m != nil {
 				m.Scanned++
 			}
-			if lhsSeen[detect.LHSKeyOf(view, i, fd)] || rhsSeen[view.Value(i, fd.RHS).Key()] {
+			if lhsSeen[cols.LHSKey(view, i)] || rhsSeen[cols.RHSKey(view, i)] {
 				extra = append(extra, i)
 			} else {
 				rest = append(rest, i)
@@ -56,8 +58,8 @@ func FD(view detect.RowView, result []int, fd dc.FDSpec, m *detect.Metrics) []in
 		}
 		// Transitive closure: the new tuples widen the frontier sets.
 		for _, i := range extra {
-			lhsSeen[detect.LHSKeyOf(view, i, fd)] = true
-			rhsSeen[view.Value(i, fd.RHS).Key()] = true
+			lhsSeen[cols.LHSKey(view, i)] = true
+			rhsSeen[cols.RHSKey(view, i)] = true
 		}
 		total = append(total, extra...)
 		if m != nil {
@@ -71,15 +73,16 @@ func FD(view detect.RowView, result []int, fd dc.FDSpec, m *detect.Metrics) []in
 // filtering on the rhs of the FD (Lemma 1). It adds only tuples sharing an
 // lhs or rhs value with the answer, without widening the frontier.
 func FDOnePass(view detect.RowView, result []int, fd dc.FDSpec, m *detect.Metrics) []int {
+	cols := detect.CompileFD(view, fd)
 	inResult := make(map[int]bool, len(result))
 	for _, i := range result {
 		inResult[i] = true
 	}
-	lhsSeen := make(map[string]bool)
-	rhsSeen := make(map[string]bool)
+	lhsSeen := make(map[value.MapKey]bool)
+	rhsSeen := make(map[value.MapKey]bool)
 	for _, i := range result {
-		lhsSeen[detect.LHSKeyOf(view, i, fd)] = true
-		rhsSeen[view.Value(i, fd.RHS).Key()] = true
+		lhsSeen[cols.LHSKey(view, i)] = true
+		rhsSeen[cols.RHSKey(view, i)] = true
 	}
 	var extra []int
 	for i := 0; i < view.Len(); i++ {
@@ -89,7 +92,7 @@ func FDOnePass(view detect.RowView, result []int, fd dc.FDSpec, m *detect.Metric
 		if m != nil {
 			m.Scanned++
 		}
-		if lhsSeen[detect.LHSKeyOf(view, i, fd)] || rhsSeen[view.Value(i, fd.RHS).Key()] {
+		if lhsSeen[cols.LHSKey(view, i)] || rhsSeen[cols.RHSKey(view, i)] {
 			extra = append(extra, i)
 			if m != nil {
 				m.Relaxed++
@@ -120,15 +123,12 @@ func DC(view detect.RowView, result []int, c *dc.Constraint, partitions int, m *
 	pairs := thetajoin.DetectPartial(delta, rest, c, partitions, m)
 
 	// Extra tuples: conflict partners outside the result.
-	posByID := make(map[int64]int, view.Len())
-	for i := 0; i < view.Len(); i++ {
-		posByID[view.ID(i)] = i
-	}
+	posOf := detect.PosIndex(view)
 	seen := make(map[int]bool)
 	var extra []int
 	for _, p := range pairs {
 		for _, id := range []int64{p.T1, p.T2} {
-			pos, ok := posByID[id]
+			pos, ok := posOf(id)
 			if !ok || inResult[pos] || seen[pos] {
 				continue
 			}
@@ -176,13 +176,17 @@ func logChoose(n, k int) float64 {
 func UpperBound(view detect.RowView, result []int, attrs []string) int {
 	total := 0
 	for _, col := range attrs {
-		inAnswer := make(map[string]bool)
+		idx := view.ColIndex(col)
+		if idx < 0 {
+			continue
+		}
+		inAnswer := make(map[value.MapKey]bool)
 		for _, i := range result {
-			inAnswer[view.Value(i, col).Key()] = true
+			inAnswer[view.ValueAt(i, idx).MapKey()] = true
 		}
 		datasetMass, answerMass := 0, len(result)
 		for i := 0; i < view.Len(); i++ {
-			if inAnswer[view.Value(i, col).Key()] {
+			if inAnswer[view.ValueAt(i, idx).MapKey()] {
 				datasetMass++
 			}
 		}

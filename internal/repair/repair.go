@@ -10,6 +10,8 @@
 package repair
 
 import (
+	"sort"
+
 	"daisy/internal/dc"
 	"daisy/internal/detect"
 	"daisy/internal/ptable"
@@ -38,6 +40,7 @@ const (
 func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(string) int, m *detect.Metrics) *ptable.Delta {
 	all := append(append([]int{}, scope...), support...)
 	allView := detect.SubsetView{Base: view, Idx: all}
+	cols := detect.CompileFD(view, fd)
 	groups := detect.GroupByFD(allView, fd, m)
 	byRHS := detect.GroupByRHS(allView, fd, m)
 
@@ -50,7 +53,7 @@ func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(
 	rhsCol := schemaIdx(fd.RHS)
 	// Memoized P(lhs|rhs) distributions: one computation per distinct rhs
 	// value instead of one per repaired tuple.
-	lhsDistCache := make(map[string][]uncertain.Candidate)
+	lhsDistCache := make(map[value.MapKey][]uncertain.Candidate)
 	for _, g := range groups {
 		if !g.Violating() {
 			continue
@@ -60,6 +63,14 @@ func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(
 		for _, c := range counts {
 			total += c
 		}
+		// One shared P(rhs|lhs) candidate slice for the whole group: cells
+		// may alias distribution backing (Merge copies before mutating).
+		rhsCands := make([]uncertain.Candidate, len(vals))
+		for k, v := range vals {
+			rhsCands[k] = uncertain.Candidate{
+				Val: v, Prob: float64(counts[k]) / float64(total), World: WorldFixRHS, Support: counts[k],
+			}
+		}
 		for _, member := range g.Members {
 			pos := all[member] // position in the base view
 			if !inScope[pos] {
@@ -67,13 +78,7 @@ func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(
 			}
 			id := view.ID(pos)
 			// RHS fix: P(rhs | lhs) over the group's distribution.
-			rhsCell := uncertain.Cell{Orig: view.Value(pos, fd.RHS)}
-			for k, v := range vals {
-				rhsCell.Candidates = append(rhsCell.Candidates, uncertain.Candidate{
-					Val: v, Prob: float64(counts[k]) / float64(total), World: WorldFixRHS, Support: counts[k],
-				})
-			}
-			delta.Set(id, rhsCol, rhsCell)
+			delta.Set(id, rhsCol, uncertain.Cell{Orig: view.ValueAt(pos, cols.RHS), Candidates: rhsCands})
 			if m != nil {
 				m.Repairs++
 			}
@@ -84,25 +89,27 @@ func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(
 			if len(fd.LHS) != 1 {
 				continue
 			}
-			rhsKey := view.Value(pos, fd.RHS).Key()
+			rhsKey := cols.RHSKey(view, pos)
 			cands, ok := lhsDistCache[rhsKey]
 			if !ok {
 				partners := byRHS[rhsKey]
-				lhsCounts := make(map[string]int)
-				lhsVals := make(map[string]value.Value)
+				lhsCounts := make(map[value.MapKey]int)
+				lhsVals := make(map[value.MapKey]value.Value)
 				for _, p := range partners {
-					lv := allView.Value(p, fd.LHS[0])
-					lhsCounts[lv.Key()]++
-					lhsVals[lv.Key()] = lv
+					lv := allView.ValueAt(p, cols.LHS[0])
+					lk := lv.MapKey()
+					lhsCounts[lk]++
+					lhsVals[lk] = lv
 				}
 				if len(lhsCounts) >= 2 {
 					lhsTotal := 0
 					for _, c := range lhsCounts {
 						lhsTotal += c
 					}
-					for _, k := range sortedKeys(lhsCounts) {
+					for _, lv := range sortedVals(lhsVals) {
+						k := lv.MapKey()
 						cands = append(cands, uncertain.Candidate{
-							Val: lhsVals[k], Prob: float64(lhsCounts[k]) / float64(lhsTotal),
+							Val: lv, Prob: float64(lhsCounts[k]) / float64(lhsTotal),
 							World: WorldFixLHS, Support: lhsCounts[k],
 						})
 					}
@@ -112,8 +119,8 @@ func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(
 			if len(cands) < 2 {
 				continue // lhs is unambiguous; keep it certain
 			}
-			lhsCell := uncertain.Cell{Orig: view.Value(pos, fd.LHS[0]),
-				Candidates: append([]uncertain.Candidate(nil), cands...)}
+			// The memoized distribution is shared across cells, not copied.
+			lhsCell := uncertain.Cell{Orig: view.ValueAt(pos, cols.LHS[0]), Candidates: cands}
 			delta.Set(id, schemaIdx(fd.LHS[0]), lhsCell)
 			if m != nil {
 				m.Repairs++
@@ -123,16 +130,14 @@ func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(
 	return delta
 }
 
-func sortedKeys(m map[string]int) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// sortedVals orders a key→value map's values deterministically by value
+// order (candidate distributions are emitted in value order).
+func sortedVals(m map[value.MapKey]value.Value) []value.Value {
+	out := make([]value.Value, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
@@ -181,17 +186,14 @@ func InversionPlans(cs []*dc.Constraint, atomOffset func(ci int) int, totalAtoms
 // Example 5's 50/50 split with two possible fixes.
 func DCFixes(view detect.RowView, pairs []thetajoin.Pair, c *dc.Constraint, schemaIdx func(string) int, m *detect.Metrics) *ptable.Delta {
 	delta := ptable.NewDelta("")
-	posByID := make(map[int64]int, view.Len())
-	for i := 0; i < view.Len(); i++ {
-		posByID[view.ID(i)] = i
-	}
+	posOf := detect.PosIndex(view)
 	plans := InversionPlans([]*dc.Constraint{c}, func(int) int { return 0 }, len(c.Atoms))
 	if len(plans) == 0 {
 		return delta
 	}
 	for _, pair := range pairs {
-		p1, ok1 := posByID[pair.T1]
-		p2, ok2 := posByID[pair.T2]
+		p1, ok1 := posOf(pair.T1)
+		p2, ok2 := posOf(pair.T2)
 		if !ok1 || !ok2 {
 			continue
 		}

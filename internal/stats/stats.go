@@ -9,6 +9,7 @@ package stats
 import (
 	"daisy/internal/dc"
 	"daisy/internal/detect"
+	"daisy/internal/value"
 )
 
 // FDStat summarizes one functional dependency over one relation.
@@ -20,7 +21,7 @@ type FDStat struct {
 	// DirtyGroups is the number of violating groups.
 	DirtyGroups int
 	// DirtyLHS marks the lhs keys of violating groups.
-	DirtyLHS map[string]bool
+	DirtyLHS map[value.MapKey]bool
 	// DirtyTuples is the total number of tuples in violating groups — the ε
 	// estimate of §5.2.3.
 	DirtyTuples int
@@ -49,7 +50,7 @@ func Collect(view detect.RowView, rules []*dc.Constraint) *TableStats {
 		if !ok {
 			continue
 		}
-		st := &FDStat{Rule: rule.Name, DirtyLHS: make(map[string]bool)}
+		st := &FDStat{Rule: rule.Name, DirtyLHS: make(map[value.MapKey]bool)}
 		groups := detect.GroupByFD(view, spec, nil)
 		st.Groups = len(groups)
 		totalCandidates := 0
@@ -60,18 +61,19 @@ func Collect(view detect.RowView, rules []*dc.Constraint) *TableStats {
 			st.DirtyGroups++
 			st.DirtyLHS[key] = true
 			st.DirtyTuples += len(g.Members)
-			totalCandidates += len(g.RHS)
+			totalCandidates += g.DistinctRHS()
 		}
 		if st.DirtyGroups > 0 {
 			st.AvgCandidates = float64(totalCandidates) / float64(st.DirtyGroups)
 		}
 		byRHS := detect.GroupByRHS(view, spec, nil)
 		if len(byRHS) > 0 {
+			cols := detect.CompileFD(view, spec)
 			distinctPairs := 0
 			for _, members := range byRHS {
-				lhsSeen := make(map[string]bool)
+				lhsSeen := make(map[value.MapKey]bool)
 				for _, i := range members {
-					lhsSeen[detect.LHSKeyOf(view, i, spec)] = true
+					lhsSeen[cols.LHSKey(view, i)] = true
 				}
 				distinctPairs += len(lhsSeen)
 			}
@@ -84,7 +86,7 @@ func Collect(view detect.RowView, rules []*dc.Constraint) *TableStats {
 
 // Dirty reports whether the lhs key belongs to a violating group under the
 // named rule — the query-time pruning check.
-func (t *TableStats) Dirty(rule, lhsKey string) bool {
+func (t *TableStats) Dirty(rule string, lhsKey value.MapKey) bool {
 	st, ok := t.FDs[rule]
 	if !ok {
 		return true // no statistics: cannot prune

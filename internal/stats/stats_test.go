@@ -55,14 +55,14 @@ func TestCollectFDStats(t *testing.T) {
 
 func TestDirtyPruning(t *testing.T) {
 	ts := Collect(detect.TableView{T: buildTable()}, rules())
-	if !ts.Dirty("phi", value.NewInt(1).Key()) {
+	if !ts.Dirty("phi", value.NewInt(1).MapKey()) {
 		t.Error("group 1 is dirty")
 	}
-	if ts.Dirty("phi", value.NewInt(2).Key()) {
+	if ts.Dirty("phi", value.NewInt(2).MapKey()) {
 		t.Error("group 2 is clean — pruning must skip it")
 	}
 	// Unknown rule: conservative, no pruning.
-	if !ts.Dirty("ghost", "whatever") {
+	if !ts.Dirty("ghost", value.NewString("whatever").MapKey()) {
 		t.Error("unknown rule must not prune")
 	}
 }

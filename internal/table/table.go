@@ -62,11 +62,16 @@ func (t *Table) MustAppend(r Row) {
 	}
 }
 
-// Clone deep-copies the table (rows and all).
+// Clone deep-copies the table (rows and all). Row storage is allocated as
+// one backing array rather than per row.
 func (t *Table) Clone() *Table {
 	out := &Table{Name: t.Name, Schema: t.Schema, Rows: make([]Row, len(t.Rows))}
+	width := t.Schema.Len()
+	backing := make([]value.Value, len(t.Rows)*width)
 	for i, r := range t.Rows {
-		out.Rows[i] = r.Clone()
+		row := backing[i*width : (i+1)*width : (i+1)*width]
+		copy(row, r)
+		out.Rows[i] = row
 	}
 	return out
 }

@@ -1,0 +1,105 @@
+package thetajoin
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"daisy/internal/detect"
+	"daisy/internal/table"
+	"daisy/internal/value"
+)
+
+// skewedSalaries builds n rows with a deterministic pseudo-random pattern
+// that yields plenty of qualifying block pairs and violations.
+func skewedSalaries(n int) *table.Table {
+	t := table.New("emp", salarySchema())
+	state := uint64(12345)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < n; i++ {
+		salary := float64(next() % 100000)
+		tax := salary / 10
+		if next()%20 == 0 {
+			tax = salary/10 + float64(next()%200) // inversion: too much tax
+		}
+		t.MustAppend(table.Row{value.NewFloat(salary), value.NewFloat(tax)})
+	}
+	return t
+}
+
+// TestDetectParallelDeterministic: the parallel theta-join must return the
+// exact same pair slice (same order, same orientation) for every worker
+// count — the fan-out merges in block-pair enumeration order.
+func TestDetectParallelDeterministic(t *testing.T) {
+	v := detect.TableView{T: skewedSalaries(3000)}
+	seq := DetectWorkers(v, salaryDC, 64, 1, nil)
+	if len(seq) == 0 {
+		t.Fatal("fixture produced no violations")
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		got := DetectWorkers(v, salaryDC, 64, workers, nil)
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("workers=%d: %d pairs, differs from sequential (%d pairs)",
+				workers, len(got), len(seq))
+		}
+	}
+}
+
+// TestDetectParallelMetricsMatch: comparison counts must not depend on the
+// worker count.
+func TestDetectParallelMetricsMatch(t *testing.T) {
+	v := detect.TableView{T: skewedSalaries(2000)}
+	var seqM, parM detect.Metrics
+	DetectWorkers(v, salaryDC, 64, 1, &seqM)
+	DetectWorkers(v, salaryDC, 64, 8, &parM)
+	if seqM.Comparisons != parM.Comparisons {
+		t.Errorf("comparisons: sequential %d, parallel %d", seqM.Comparisons, parM.Comparisons)
+	}
+}
+
+// TestDetectPartialParallelDeterministic: same guarantee for the
+// incremental (delta × rest) variant.
+func TestDetectPartialParallelDeterministic(t *testing.T) {
+	tb := skewedSalaries(3000)
+	base := detect.TableView{T: tb}
+	var deltaIdx, restIdx []int
+	for i := 0; i < tb.Len(); i++ {
+		if i%5 == 0 {
+			deltaIdx = append(deltaIdx, i)
+		} else {
+			restIdx = append(restIdx, i)
+		}
+	}
+	delta := detect.SubsetView{Base: base, Idx: deltaIdx}
+	rest := detect.SubsetView{Base: base, Idx: restIdx}
+	seq := DetectPartialWorkers(delta, rest, salaryDC, 64, 1, nil)
+	for _, workers := range []int{4, 8} {
+		got := DetectPartialWorkers(delta, rest, salaryDC, 64, workers, nil)
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("workers=%d differs from sequential", workers)
+		}
+	}
+}
+
+// BenchmarkThetaJoinDetect measures the partitioned theta-join at 10k and
+// 100k rows with 1, 4, and 8 workers. Partition count scales with the
+// relation so block pruning keeps the matrix sparse (p=n → √n blocks);
+// worker fan-out needs multiple CPUs to show wall-clock gains.
+func BenchmarkThetaJoinDetect(b *testing.B) {
+	for _, rows := range []int{10000, 100000} {
+		v := detect.TableView{T: skewedSalaries(rows)}
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("rows=%d/workers=%d", rows, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					DetectWorkers(v, salaryDC, rows, workers, nil)
+				}
+			})
+		}
+	}
+}

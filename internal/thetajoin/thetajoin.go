@@ -4,15 +4,20 @@
 // whose axes are the relation sorted on the constraint's primary attribute;
 // the matrix splits into p roughly uniform partitions whose boundary ranges
 // prune non-qualifying blocks, and within a qualifying block the sorted
-// order prunes non-qualifying pairs. The incremental variant checks only the
-// sub-matrix (query result × unseen data), reproducing the paper's partial
-// theta-join; EstimateErrors reproduces Algorithm 2's per-range violation
-// estimates from partition-boundary overlap.
+// order prunes non-qualifying pairs. Qualifying block pairs are independent,
+// so they fan out across a worker pool and merge back in enumeration order —
+// the output is byte-identical to the sequential scan. The incremental
+// variant checks only the sub-matrix (query result × unseen data),
+// reproducing the paper's partial theta-join; EstimateErrors reproduces
+// Algorithm 2's per-range violation estimates from partition-boundary
+// overlap.
 package thetajoin
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"daisy/internal/dc"
 	"daisy/internal/detect"
@@ -25,48 +30,91 @@ type Pair struct {
 	T1, T2 int64
 }
 
-// primaryColumn picks the attribute both matrix axes sort on: the first
-// atom's left column (the paper focuses on same-attribute conditions).
-func primaryColumn(c *dc.Constraint) string { return c.Atoms[0].LeftCol }
+// compiled is a constraint with its column names resolved to positions in a
+// canonical column list, so the per-pair hot path never touches a string.
+type compiled struct {
+	cols    []string // canonical column order (Constraint.Columns())
+	primary int      // position of the sort attribute within cols
+	atoms   []catom
+}
 
-// axis is a relation view sorted by the primary column.
+// catom is one atom with column references as positions into compiled.cols.
+type catom struct {
+	op                    dc.Op
+	leftTuple, rightTuple int
+	left, right           int
+}
+
+// compile resolves the constraint's columns once. The primary attribute both
+// matrix axes sort on is the first atom's left column (the paper focuses on
+// same-attribute conditions).
+func compile(c *dc.Constraint) compiled {
+	cc := compiled{cols: c.Columns()}
+	pos := make(map[string]int, len(cc.cols))
+	for i, name := range cc.cols {
+		pos[name] = i
+	}
+	cc.primary = pos[c.Atoms[0].LeftCol]
+	cc.atoms = make([]catom, len(c.Atoms))
+	for i, at := range c.Atoms {
+		cc.atoms[i] = catom{
+			op: at.Op, leftTuple: at.LeftTuple, rightTuple: at.RightTuple,
+			left: pos[at.LeftCol], right: pos[at.RightCol],
+		}
+	}
+	return cc
+}
+
+// axis is a relation view sorted by the primary column, with the compiled
+// column positions resolved against the view's schema.
 type axis struct {
 	view detect.RowView
 	idx  []int // positions into view, sorted by primary column
+	cols []int // view column index per canonical column position
 }
 
-func buildAxis(v detect.RowView, col string) axis {
+func buildAxis(v detect.RowView, cc compiled) axis {
+	cols := make([]int, len(cc.cols))
+	for i, name := range cc.cols {
+		idx := v.ColIndex(name)
+		if idx < 0 {
+			panic("thetajoin: column " + name + " not in view schema")
+		}
+		cols[i] = idx
+	}
 	idx := make([]int, v.Len())
 	for i := range idx {
 		idx[i] = i
 	}
+	pc := cols[cc.primary]
 	sort.SliceStable(idx, func(a, b int) bool {
-		return v.Value(idx[a], col).Less(v.Value(idx[b], col))
+		return v.ValueAt(idx[a], pc).Less(v.ValueAt(idx[b], pc))
 	})
-	return axis{view: v, idx: idx}
+	return axis{view: v, idx: idx, cols: cols}
 }
 
-func (a axis) len() int                              { return len(a.idx) }
-func (a axis) id(i int) int64                        { return a.view.ID(a.idx[i]) }
-func (a axis) val(i int, col string) value.Value     { return a.view.Value(a.idx[i], col) }
-func (a axis) block(lo, hi int, cols []string) block { return newBlock(a, lo, hi, cols) }
+func (a axis) len() int       { return len(a.idx) }
+func (a axis) id(i int) int64 { return a.view.ID(a.idx[i]) }
 
-// block is one axis segment with per-column min/max bounds.
+// valAt reads the canonical column cpos of axis row i positionally.
+func (a axis) valAt(i, cpos int) value.Value { return a.view.ValueAt(a.idx[i], a.cols[cpos]) }
+
+// block is one axis segment with per-column min/max bounds, indexed by
+// canonical column position.
 type block struct {
-	lo, hi int // [lo, hi) positions into the axis
-	min    map[string]value.Value
-	max    map[string]value.Value
+	lo, hi   int // [lo, hi) positions into the axis
+	min, max []value.Value
 }
 
-func newBlock(a axis, lo, hi int, cols []string) block {
-	b := block{lo: lo, hi: hi, min: make(map[string]value.Value), max: make(map[string]value.Value)}
-	for i := lo; i < hi; i++ {
-		for _, c := range cols {
-			v := a.val(i, c)
-			if cur, ok := b.min[c]; !ok || v.Less(cur) {
+func newBlock(a axis, lo, hi int, nCols int) block {
+	b := block{lo: lo, hi: hi, min: make([]value.Value, nCols), max: make([]value.Value, nCols)}
+	for c := 0; c < nCols; c++ {
+		for i := lo; i < hi; i++ {
+			v := a.valAt(i, c)
+			if i == lo || v.Less(b.min[c]) {
 				b.min[c] = v
 			}
-			if cur, ok := b.max[c]; !ok || cur.Less(v) {
+			if i == lo || b.max[c].Less(v) {
 				b.max[c] = v
 			}
 		}
@@ -76,13 +124,13 @@ func newBlock(a axis, lo, hi int, cols []string) block {
 
 // atomPossible reports whether the atom can hold for any pair drawn from the
 // two blocks, using only boundary ranges — the partition-pruning test.
-func atomPossible(at dc.Atom, left, right block) bool {
-	lmin, lmax := left.min[at.LeftCol], left.max[at.LeftCol]
-	rmin, rmax := right.min[at.RightCol], right.max[at.RightCol]
+func atomPossible(at catom, left, right block) bool {
+	lmin, lmax := left.min[at.left], left.max[at.left]
+	rmin, rmax := right.min[at.right], right.max[at.right]
 	if lmin.IsNull() || rmin.IsNull() {
 		return true // empty block bounds: cannot prune
 	}
-	switch at.Op {
+	switch at.op {
 	case dc.Lt:
 		return lmin.Less(rmax)
 	case dc.Leq:
@@ -100,7 +148,7 @@ func atomPossible(at dc.Atom, left, right block) bool {
 }
 
 // blocksOf splits an axis into ~sqrt(p) blocks (at least 1 row each).
-func blocksOf(a axis, p int, cols []string) []block {
+func blocksOf(a axis, p int, cc compiled) []block {
 	n := a.len()
 	if n == 0 {
 		return nil
@@ -119,70 +167,42 @@ func blocksOf(a axis, p int, cols []string) []block {
 		if hi > n {
 			hi = n
 		}
-		out = append(out, a.block(lo, hi, cols))
+		out = append(out, newBlock(a, lo, hi, len(cc.cols)))
 	}
 	return out
 }
 
 // evalPair checks every atom for the ordered pair (left axis row i as t1,
-// right axis row j as t2).
-func evalPair(c *dc.Constraint, la, ra axis, i, j int) bool {
-	get := func(tuple int, col string) value.Value {
-		if tuple == 1 {
-			return la.val(i, col)
+// right axis row j as t2) using positional access only.
+func evalPair(cc compiled, la, ra axis, i, j int) bool {
+	for _, at := range cc.atoms {
+		var lv, rv value.Value
+		if at.leftTuple == 1 {
+			lv = la.valAt(i, at.left)
+		} else {
+			lv = ra.valAt(j, at.left)
 		}
-		return ra.val(j, col)
-	}
-	return c.Violates(get)
-}
-
-// Detect runs the full self theta-join over the view, pruning the symmetric
-// half of the matrix (each unordered pair is examined once; the violating
-// orientation is emitted). p controls partition granularity.
-func Detect(v detect.RowView, c *dc.Constraint, p int, m *detect.Metrics) []Pair {
-	cols := c.Columns()
-	ax := buildAxis(v, primaryColumn(c))
-	blocks := blocksOf(ax, p, cols)
-	var out []Pair
-	for bi, lb := range blocks {
-		for bj := bi; bj < len(blocks); bj++ {
-			rb := blocks[bj]
-			fwd := atomPossible1(c, lb, rb)
-			rev := atomPossible1(c, rb, lb)
-			if !fwd && !rev {
-				continue
-			}
-			for i := lb.lo; i < lb.hi; i++ {
-				jStart := rb.lo
-				if bj == bi {
-					jStart = i + 1 // upper triangle within the diagonal block
-				}
-				for j := jStart; j < rb.hi; j++ {
-					if m != nil {
-						m.Comparisons++
-					}
-					switch {
-					case fwd && evalPair(c, ax, ax, i, j):
-						out = append(out, Pair{T1: ax.id(i), T2: ax.id(j)})
-					case rev && evalPair(c, ax, ax, j, i):
-						out = append(out, Pair{T1: ax.id(j), T2: ax.id(i)})
-					}
-				}
-			}
+		if at.rightTuple == 1 {
+			rv = la.valAt(i, at.right)
+		} else {
+			rv = ra.valAt(j, at.right)
+		}
+		if !at.op.Eval(lv, rv) {
+			return false
 		}
 	}
-	return out
+	return true
 }
 
 // atomPossible1 checks all atoms of the constraint between two blocks with
 // (t1 ← left, t2 ← right).
-func atomPossible1(c *dc.Constraint, left, right block) bool {
-	for _, at := range c.Atoms {
+func atomPossible1(cc compiled, left, right block) bool {
+	for _, at := range cc.atoms {
 		lb, rb := left, right
-		if at.LeftTuple == 2 {
+		if at.leftTuple == 2 {
 			lb = right
 		}
-		if at.RightTuple == 1 {
+		if at.rightTuple == 1 {
 			rb = left
 		}
 		if !atomPossible(at, lb, rb) {
@@ -192,44 +212,146 @@ func atomPossible1(c *dc.Constraint, left, right block) bool {
 	return true
 }
 
+// pairTask is one qualifying block pair: the unit of parallel work.
+type pairTask struct {
+	lb, rb   block
+	fwd, rev bool
+	diag     bool // same block on both sides: scan the upper triangle only
+}
+
+// scanTask enumerates the violating pairs of one block pair, counting
+// comparisons into m (a task-local metrics bundle under parallel execution).
+func scanTask(cc compiled, la, ra axis, t pairTask, m *detect.Metrics) []Pair {
+	var out []Pair
+	for i := t.lb.lo; i < t.lb.hi; i++ {
+		jStart := t.rb.lo
+		if t.diag {
+			jStart = i + 1 // upper triangle within the diagonal block
+		}
+		for j := jStart; j < t.rb.hi; j++ {
+			if m != nil {
+				m.Comparisons++
+			}
+			switch {
+			case t.fwd && evalPair(cc, la, ra, i, j):
+				out = append(out, Pair{T1: la.id(i), T2: ra.id(j)})
+			case t.rev && evalPair(cc, ra, la, j, i):
+				out = append(out, Pair{T1: ra.id(j), T2: la.id(i)})
+			}
+		}
+	}
+	return out
+}
+
+// runTasks executes the block-pair tasks and concatenates their results in
+// task order, so the output is identical regardless of worker count.
+// workers <= 0 uses all CPUs; metrics accumulate into m.
+func runTasks(cc compiled, la, ra axis, tasks []pairTask, workers int, m *detect.Metrics) []Pair {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		var out []Pair
+		for _, t := range tasks {
+			out = append(out, scanTask(cc, la, ra, t, m)...)
+		}
+		return out
+	}
+	results := make([][]Pair, len(tasks))
+	locals := make([]detect.Metrics, workers)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lm := &locals[w]
+			for ti := range next {
+				results[ti] = scanTask(cc, la, ra, tasks[ti], lm)
+			}
+		}(w)
+	}
+	for ti := range tasks {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+	var out []Pair
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	if m != nil {
+		for i := range locals {
+			m.Add(locals[i])
+		}
+	}
+	return out
+}
+
+// Detect runs the full self theta-join over the view, pruning the symmetric
+// half of the matrix (each unordered pair is examined once; the violating
+// orientation is emitted). p controls partition granularity. All CPUs are
+// used; see DetectWorkers for explicit control.
+func Detect(v detect.RowView, c *dc.Constraint, p int, m *detect.Metrics) []Pair {
+	return DetectWorkers(v, c, p, 0, m)
+}
+
+// DetectWorkers is Detect with an explicit worker count (<= 0: all CPUs,
+// 1: sequential). The result is identical for every worker count.
+func DetectWorkers(v detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) []Pair {
+	cc := compile(c)
+	ax := buildAxis(v, cc)
+	blocks := blocksOf(ax, p, cc)
+	var tasks []pairTask
+	for bi, lb := range blocks {
+		for bj := bi; bj < len(blocks); bj++ {
+			rb := blocks[bj]
+			fwd := atomPossible1(cc, lb, rb)
+			rev := atomPossible1(cc, rb, lb)
+			if !fwd && !rev {
+				continue
+			}
+			tasks = append(tasks, pairTask{lb: lb, rb: rb, fwd: fwd, rev: rev, diag: bj == bi})
+		}
+	}
+	return runTasks(cc, ax, ax, tasks, workers, m)
+}
+
 // DetectPartial runs the incremental theta-join: it checks (delta × rest) in
 // both orientations plus (delta × delta), never re-checking rest × rest —
 // the already-examined sub-matrix. This is the paper's partial theta-join:
 // partitioning the matrix subset that involves the query result and the
 // unseen part of the dataset.
 func DetectPartial(delta, rest detect.RowView, c *dc.Constraint, p int, m *detect.Metrics) []Pair {
-	cols := c.Columns()
-	da := buildAxis(delta, primaryColumn(c))
-	ra := buildAxis(rest, primaryColumn(c))
-	dBlocks := blocksOf(da, p, cols)
-	rBlocks := blocksOf(ra, p, cols)
+	return DetectPartialWorkers(delta, rest, c, p, 0, m)
+}
 
-	var out []Pair
+// DetectPartialWorkers is DetectPartial with an explicit worker count.
+func DetectPartialWorkers(delta, rest detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) []Pair {
+	cc := compile(c)
+	da := buildAxis(delta, cc)
+	ra := buildAxis(rest, cc)
+	dBlocks := blocksOf(da, p, cc)
+	rBlocks := blocksOf(ra, p, cc)
+
 	// delta × rest (both orientations, block-pruned independently).
+	var tasks []pairTask
 	for _, db := range dBlocks {
 		for _, rb := range rBlocks {
-			fwd := atomPossible1(c, db, rb)
-			rev := atomPossible1(c, rb, db)
+			fwd := atomPossible1(cc, db, rb)
+			rev := atomPossible1(cc, rb, db)
 			if !fwd && !rev {
 				continue
 			}
-			for i := db.lo; i < db.hi; i++ {
-				for j := rb.lo; j < rb.hi; j++ {
-					if m != nil {
-						m.Comparisons++
-					}
-					switch {
-					case fwd && evalPair(c, da, ra, i, j):
-						out = append(out, Pair{T1: da.id(i), T2: ra.id(j)})
-					case rev && evalPair(c, ra, da, j, i):
-						out = append(out, Pair{T1: ra.id(j), T2: da.id(i)})
-					}
-				}
-			}
+			tasks = append(tasks, pairTask{lb: db, rb: rb, fwd: fwd, rev: rev})
 		}
 	}
+	out := runTasks(cc, da, ra, tasks, workers, m)
 	// delta × delta (upper triangle).
-	out = append(out, Detect(delta, c, p, m)...)
+	out = append(out, DetectWorkers(delta, c, p, workers, m)...)
 	return out
 }
 
@@ -253,14 +375,13 @@ const estimateSamples = 16
 // each side. A sampled row that violates against any sampled partner marks
 // its share of the range as dirty.
 func EstimateErrors(v detect.RowView, c *dc.Constraint, p int) []RangeEstimate {
-	cols := c.Columns()
-	ax := buildAxis(v, primaryColumn(c))
-	blocks := blocksOf(ax, p, cols)
+	cc := compile(c)
+	ax := buildAxis(v, cc)
+	blocks := blocksOf(ax, p, cc)
 	out := make([]RangeEstimate, len(blocks))
-	pc := primaryColumn(c)
 	samples := make([][]int, len(blocks))
 	for i, b := range blocks {
-		out[i] = RangeEstimate{Lo: b.min[pc], Hi: b.max[pc], Rows: b.hi - b.lo}
+		out[i] = RangeEstimate{Lo: b.min[cc.primary], Hi: b.max[cc.primary], Rows: b.hi - b.lo}
 		samples[i] = sampleRows(b)
 	}
 	for i, lb := range blocks {
@@ -274,7 +395,7 @@ func EstimateErrors(v detect.RowView, c *dc.Constraint, p int) []RangeEstimate {
 				if d == 0 || sj < 0 || sj >= ax.len() {
 					continue
 				}
-				if evalPair(c, ax, ax, si, sj) || evalPair(c, ax, ax, sj, si) {
+				if evalPair(cc, ax, ax, si, sj) || evalPair(cc, ax, ax, sj, si) {
 					dirtySample[si] = true
 					break
 				}
@@ -284,7 +405,7 @@ func EstimateErrors(v detect.RowView, c *dc.Constraint, p int) []RangeEstimate {
 			if i == j {
 				continue // diagonal coverage is the support metric's job
 			}
-			if !atomPossible1(c, lb, rb) && !atomPossible1(c, rb, lb) {
+			if !atomPossible1(cc, lb, rb) && !atomPossible1(cc, rb, lb) {
 				continue
 			}
 			for _, si := range samples[i] {
@@ -292,7 +413,7 @@ func EstimateErrors(v detect.RowView, c *dc.Constraint, p int) []RangeEstimate {
 					continue
 				}
 				for _, sj := range samples[j] {
-					if evalPair(c, ax, ax, si, sj) || evalPair(c, ax, ax, sj, si) {
+					if evalPair(cc, ax, ax, si, sj) || evalPair(cc, ax, ax, sj, si) {
 						dirtySample[si] = true
 						break
 					}

@@ -215,7 +215,9 @@ func (c *Cell) Clone() Cell {
 
 // Merge combines candidate fixes from a second rule into the cell, following
 // Lemma 4: candidate values union, supports (conflicting-tuple sets) union,
-// probabilities re-weighted by combined support — P(X | Y∪Z).
+// probabilities re-weighted by combined support — P(X | Y∪Z). The candidate
+// slice is copied before mutation, so cells may share distribution backing
+// (repair fan-out reuses one slice across a group's members).
 func (c *Cell) Merge(o Cell) {
 	if o.IsCertain() {
 		return
@@ -224,9 +226,10 @@ func (c *Cell) Merge(o Cell) {
 		*c = o.Clone()
 		return
 	}
-	byKey := make(map[string]int, len(c.Candidates))
+	c.Candidates = append([]Candidate(nil), c.Candidates...)
+	byKey := make(map[value.MapKey]int, len(c.Candidates))
 	for i, cand := range c.Candidates {
-		byKey[cand.Val.Key()] = i
+		byKey[cand.Val.MapKey()] = i
 	}
 	nextWorld := 0
 	for _, cand := range c.Candidates {
@@ -235,7 +238,7 @@ func (c *Cell) Merge(o Cell) {
 		}
 	}
 	for _, cand := range o.Candidates {
-		if i, ok := byKey[cand.Val.Key()]; ok {
+		if i, ok := byKey[cand.Val.MapKey()]; ok {
 			c.Candidates[i].Support += cand.Support
 			continue
 		}
@@ -243,7 +246,7 @@ func (c *Cell) Merge(o Cell) {
 		cand.World = nextWorld
 		c.Candidates = append(c.Candidates, cand)
 	}
-	c.Ranges = append(c.Ranges, o.Ranges...)
+	c.Ranges = append(append([]RangeCandidate(nil), c.Ranges...), o.Ranges...)
 	// Re-weight by union of supports.
 	total := 0
 	for _, cand := range c.Candidates {

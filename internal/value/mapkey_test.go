@@ -1,0 +1,94 @@
+package value
+
+import (
+	"testing"
+)
+
+// keyCorpus spans every kind with the collision-prone edges: int/float
+// numeric unification, negative zero, empty and separator-bearing strings.
+func keyCorpus() []Value {
+	return []Value{
+		NewNull(),
+		NewInt(0), NewInt(1), NewInt(-1), NewInt(9), NewInt(10), NewInt(1<<62 - 1),
+		NewFloat(0), NewFloat(1), NewFloat(-1), NewFloat(9), NewFloat(10),
+		NewFloat(1.5), NewFloat(-1.5), NewFloat(0.1), NewFloat(1e300),
+		NewString(""), NewString("a"), NewString("ab"), NewString("b"),
+		NewString("1"), NewString("i1"), NewString("\x00"), NewString("a\x1fb"),
+	}
+}
+
+// TestMapKeyMatchesLegacyKey: MapKey equality must coincide with the legacy
+// string Key equality (and hence with Compare==0) across the corpus —
+// including Int/Float unification (1 ≡ 1.0) and NULL identity.
+func TestMapKeyMatchesLegacyKey(t *testing.T) {
+	vals := keyCorpus()
+	for _, a := range vals {
+		for _, b := range vals {
+			legacyEq := a.Key() == b.Key()
+			mapEq := a.MapKey() == b.MapKey()
+			if legacyEq != mapEq {
+				t.Errorf("key equivalence mismatch for %v vs %v: Key()==%v, MapKey()==%v",
+					a, b, legacyEq, mapEq)
+			}
+			if cmpEq := a.Compare(b) == 0; cmpEq != mapEq {
+				t.Errorf("compare mismatch for %v vs %v: Compare==0 is %v, MapKey eq %v",
+					a, b, cmpEq, mapEq)
+			}
+		}
+	}
+}
+
+// TestKey64ConsistentWithMapKey: equal MapKeys must hash identically, and
+// the corpus must not collide (sanity, not a cryptographic guarantee).
+func TestKey64ConsistentWithMapKey(t *testing.T) {
+	vals := keyCorpus()
+	hashes := make(map[uint64]MapKey)
+	for _, v := range vals {
+		h := v.Key64()
+		k := v.MapKey()
+		if prev, ok := hashes[h]; ok && prev != k {
+			t.Errorf("corpus hash collision: %v and key %v share %#x", v, prev, h)
+		}
+		hashes[h] = k
+	}
+	if NewInt(7).Key64() != NewFloat(7).Key64() {
+		t.Error("integral float must hash like the equal int")
+	}
+	if NewInt(7).Hash() != NewInt(7).Key64() {
+		t.Error("Hash must alias Key64")
+	}
+}
+
+// TestCompositeKeyInjective: composite keys must distinguish boundary
+// shifts — ("ab","c") vs ("a","bc") — the classic separator-join ambiguity.
+func TestCompositeKeyInjective(t *testing.T) {
+	a := MapKeyOf(NewString("ab"), NewString("c"))
+	b := MapKeyOf(NewString("a"), NewString("bc"))
+	if a == b {
+		t.Error("composite key must be injective over element boundaries")
+	}
+	if MapKeyOf(NewString("a"), NewString("b")) != MapKeyOf(NewString("a"), NewString("b")) {
+		t.Error("equal composites must produce equal keys")
+	}
+	// Numeric unification holds inside composites.
+	if MapKeyOf(NewInt(3), NewString("x")) != MapKeyOf(NewFloat(3), NewString("x")) {
+		t.Error("composite key must unify int/float elements")
+	}
+	if MapKeyOf(NewInt(3)) != NewInt(3).MapKey() {
+		t.Error("single-element composite must equal the scalar key")
+	}
+}
+
+// TestScalarMapKeyAllocs: scalar and hash key construction must not allocate.
+func TestScalarMapKeyAllocs(t *testing.T) {
+	v := NewString("Los Angeles")
+	iv := NewInt(42)
+	if n := testing.AllocsPerRun(100, func() {
+		_ = v.MapKey()
+		_ = iv.MapKey()
+		_ = v.Key64()
+		_ = iv.Key64()
+	}); n != 0 {
+		t.Errorf("scalar MapKey/Key64 allocated %v times per run, want 0", n)
+	}
+}

@@ -5,8 +5,8 @@
 package value
 
 import (
+	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -159,35 +159,142 @@ func (v Value) rank() int {
 func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
 
 // Hash returns a 64-bit hash suitable for grouping. Numerically equal Ints
-// and Floats hash identically.
-func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	switch v.kind {
-	case Null:
-		h.Write([]byte{0})
-	case Int:
-		writeUint64(h, 1, uint64(v.i))
-	case Float:
-		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
-			// Hash integral floats like the equal Int.
-			writeUint64(h, 1, uint64(int64(v.f)))
-		} else {
-			writeUint64(h, 2, math.Float64bits(v.f))
-		}
-	case String:
-		h.Write([]byte{3})
-		h.Write([]byte(v.s))
+// and Floats hash identically. It is an alias of Key64.
+func (v Value) Hash() uint64 { return v.Key64() }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvByte folds one byte into a running FNV-1a state.
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// fnvUint64 folds a tag byte and eight little-endian payload bytes.
+func fnvUint64(h uint64, tag byte, u uint64) uint64 {
+	h = fnvByte(h, tag)
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(u>>(8*i)))
 	}
-	return h.Sum64()
+	return h
 }
 
-func writeUint64(h interface{ Write([]byte) (int, error) }, tag byte, u uint64) {
-	var b [9]byte
-	b[0] = tag
-	for i := 0; i < 8; i++ {
-		b[1+i] = byte(u >> (8 * i))
+// fnvString folds a tag byte and the string bytes.
+func fnvString(h uint64, tag byte, s string) uint64 {
+	h = fnvByte(h, tag)
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
 	}
-	h.Write(b[:])
+	return h
+}
+
+// fold64 mixes v into a running FNV-1a state — the building block for
+// composite (multi-column) hashes.
+func (v Value) fold64(h uint64) uint64 {
+	switch v.kind {
+	case Null:
+		return fnvByte(h, 0)
+	case Int:
+		return fnvUint64(h, 1, uint64(v.i))
+	case Float:
+		if i, ok := v.intEquivalent(); ok {
+			// Hash integral floats like the equal Int.
+			return fnvUint64(h, 1, uint64(i))
+		}
+		return fnvUint64(h, 2, math.Float64bits(v.f))
+	case String:
+		return fnvString(h, 3, v.s)
+	}
+	return h
+}
+
+// Key64 returns a 64-bit FNV-1a hash of the value without allocating.
+// Numerically equal Ints and Floats hash identically, matching MapKey and
+// Key equality.
+func (v Value) Key64() uint64 { return v.fold64(fnvOffset64) }
+
+// intEquivalent reports the Int a Float is numerically equal to, if any.
+func (v Value) intEquivalent() (int64, bool) {
+	if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+		return int64(v.f), true
+	}
+	return 0, false
+}
+
+// MapKey is a comparable grouping key: two values produce the same MapKey
+// iff they are equal under Compare (Ints and Floats unify numerically).
+// Unlike Key it is a fixed-size struct, so scalar keys build without any
+// allocation and work directly as Go map keys.
+type MapKey struct {
+	kind Kind   // String for strings, Int for Null/numerics, compositeKind for composites
+	num  uint64 // numeric payload bits (tag ^ payload encoding below)
+	str  string // string payload, or packed encoding for composites
+}
+
+// Scalar MapKey encoding: kind carries the unified kind tag (integral
+// floats collapse onto Int); compositeKind marks multi-value keys whose
+// payload lives in str.
+const compositeKind Kind = 0xff
+
+// MapKey returns the comparable grouping key of the value.
+func (v Value) MapKey() MapKey {
+	switch v.kind {
+	case Null:
+		return MapKey{kind: Null}
+	case Int:
+		return MapKey{kind: Int, num: uint64(v.i)}
+	case Float:
+		if i, ok := v.intEquivalent(); ok {
+			return MapKey{kind: Int, num: uint64(i)}
+		}
+		return MapKey{kind: Float, num: math.Float64bits(v.f)}
+	default:
+		return MapKey{kind: String, str: v.s}
+	}
+}
+
+// MapKeyOf builds a comparable composite key over a value sequence. A
+// single-value sequence returns the scalar MapKey and allocates nothing;
+// longer sequences pack a length-prefixed binary encoding into one string
+// (injective: no separator ambiguity, unlike delimiter-joined Key strings).
+func MapKeyOf(vals ...Value) MapKey {
+	if len(vals) == 1 {
+		return vals[0].MapKey()
+	}
+	return MapKey{kind: compositeKind, str: string(AppendKeyBytes(nil, vals...))}
+}
+
+// AppendKeyBytes appends the injective binary key encoding of the value
+// sequence to buf — callers can reuse buf across rows to amortize the
+// composite-key allocation.
+func AppendKeyBytes(buf []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		switch v.kind {
+		case Null:
+			buf = append(buf, 0)
+		case Int:
+			buf = append(buf, 1)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.i))
+		case Float:
+			if i, ok := v.intEquivalent(); ok {
+				buf = append(buf, 1)
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(i))
+			} else {
+				buf = append(buf, 2)
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
+			}
+		case String:
+			buf = append(buf, 3)
+			buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+			buf = append(buf, v.s...)
+		}
+	}
+	return buf
+}
+
+// CompositeKeyFromBytes wraps an AppendKeyBytes encoding as a MapKey.
+func CompositeKeyFromBytes(buf []byte) MapKey {
+	return MapKey{kind: compositeKind, str: string(buf)}
 }
 
 // String renders the value for display and CSV output.
