@@ -1,28 +1,54 @@
-// Command daisy-bench regenerates the paper's tables and figures.
+// Command daisy-bench regenerates the paper's tables and figures, and
+// measures concurrent query-serving throughput.
 //
 // Usage:
 //
 //	daisy-bench -exp fig5            # one experiment
 //	daisy-bench -exp all             # everything, paper order
 //	daisy-bench -exp fig7 -scale 0.5 # smaller datasets
+//	daisy-bench -exp qps -parallel 8 # concurrent serving throughput
 //
-// Experiment ids: fig5..fig13, table5..table8.
+// Experiment ids: fig5..fig13, table5..table8, qps.
+//
+// The qps experiment serves a fixed FD-cleaning workload from N concurrent
+// callers against one session (-parallel; 1 = sequential baseline) and
+// reports wall time, queries/second, and a result checksum. The checksum is
+// computed from a sequential verification pass over the converged state, so
+// it is identical for every -parallel value — racing callers must not change
+// per-query results. Speedup vs -parallel 1 requires GOMAXPROCS > 1.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
+	"daisy/internal/core"
+	"daisy/internal/dc"
 	"daisy/internal/experiments"
+	"daisy/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5..fig13, table5..table8, all)")
+	exp := flag.String("exp", "all", "experiment id (fig5..fig13, table5..table8, qps, all)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full laptop scale)")
 	seed := flag.Int64("seed", 42, "workload seed")
+	parallel := flag.Int("parallel", 1, "qps: number of concurrent query callers")
+	queries := flag.Int("queries", 400, "qps: total queries across all callers")
+	rows := flag.Int("rows", 20000, "qps: relation size")
 	flag.Parse()
+
+	if *exp == "qps" {
+		if err := runQPS(*parallel, *queries, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
 	start := time.Now()
@@ -49,4 +75,96 @@ func main() {
 		fmt.Println(r)
 	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runQPS serves an FD-cleaning workload from `parallel` goroutines over one
+// shared session. Early queries carry repair work; once the dataset
+// converges the workload is read-mostly — the regime the snapshot epochs are
+// built for.
+func runQPS(parallel, totalQueries, rows int, seed int64) error {
+	if parallel < 1 {
+		return fmt.Errorf("qps: -parallel must be >= 1")
+	}
+	lo := workload.Lineorder(workload.SSBConfig{
+		Rows: rows, DistinctOrders: rows / 5, DistinctSupps: rows / 50, Seed: seed,
+	})
+	workload.InjectFDErrors(lo, "orderkey", "suppkey", 0.4, 0.2, seed+1)
+
+	// Inter-query parallelism is the product under test: give each query a
+	// single worker so callers don't fight over cores.
+	intra := runtime.GOMAXPROCS(0) / parallel
+	if intra < 1 {
+		intra = 1
+	}
+	s := core.NewSession(core.Options{
+		Strategy:             core.StrategyIncremental,
+		Workers:              intra,
+		MaxConcurrentQueries: parallel,
+	})
+	defer s.Close()
+	if err := s.Register(lo); err != nil {
+		return err
+	}
+	if err := s.AddRule(dc.FD("phi", "lineorder", "suppkey", "orderkey")); err != nil {
+		return err
+	}
+
+	domain := rows / 5
+	queryAt := func(i int) string {
+		span := domain / 40
+		lo := (i * 13) % (domain - span)
+		return fmt.Sprintf("SELECT orderkey, suppkey FROM lineorder WHERE orderkey >= %d AND orderkey <= %d", lo, lo+span)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, parallel)
+	next := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			for i := range next {
+				if failed {
+					continue // keep draining so the dispatcher never blocks
+				}
+				if _, err := s.Query(queryAt(i)); err != nil {
+					errCh <- err
+					failed = true
+				}
+			}
+		}()
+	}
+	for i := 0; i < totalQueries; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	// Verification pass: re-run every distinct query sequentially over the
+	// converged state and fold result fingerprints plus the final table
+	// state into one checksum. Identical across -parallel values.
+	h := fnv.New64a()
+	for i := 0; i < totalQueries; i++ {
+		res, err := s.Query(queryAt(i))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h, "%d:%d\n", i, res.Rows.Len())
+		h.Write([]byte(res.Rows.Fingerprint()))
+	}
+	h.Write([]byte(s.Table("lineorder").Fingerprint()))
+
+	qps := float64(totalQueries) / elapsed.Seconds()
+	fmt.Printf("qps workload: %d queries, %d rows, parallel=%d, workers/query=%d, gomaxprocs=%d\n",
+		totalQueries, rows, parallel, intra, runtime.GOMAXPROCS(0))
+	fmt.Printf("wall=%s qps=%.1f epoch=%d checksum=%016x\n",
+		elapsed.Round(time.Millisecond), qps, s.Epoch(), h.Sum64())
+	return nil
 }

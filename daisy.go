@@ -16,6 +16,14 @@
 // Result cells carry candidate values with frequency-based probabilities and
 // provenance to the original data; rules added later merge into the existing
 // probabilistic state without restarting.
+//
+// Query is safe for any number of concurrent callers: each query executes
+// against an immutable snapshot epoch of the session state, repairs route
+// through a single-writer apply loop, and the converged cleaned state is
+// independent of query interleaving. Options.MaxConcurrentQueries bounds
+// admission, Options.Workers bounds intra-query parallelism, and
+// Session.Close releases the apply goroutine. See internal/core for the
+// full concurrency model.
 package daisy
 
 import (

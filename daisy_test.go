@@ -1,7 +1,9 @@
 package daisy
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -72,5 +74,55 @@ func TestFDHelper(t *testing.T) {
 	}
 	if _, err := ParseRule("bogus"); err == nil {
 		t.Error("ParseRule must propagate errors")
+	}
+}
+
+// TestConcurrentPublicAPI drives the facade from many goroutines: the
+// public contract is that Query needs no external locking and the dataset
+// converges regardless of interleaving.
+func TestConcurrentPublicAPI(t *testing.T) {
+	tb, err := NewTable("cities",
+		Column{Name: "zip", Kind: Int(0).Kind()},
+		Column{Name: "city", Kind: Str("").Kind()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		city := Str("City-" + string(rune('A'+i%7)))
+		if i%9 == 0 {
+			city = Str("City-typo")
+		}
+		tb.MustAppend(Row{Int(int64(i % 60)), city})
+	}
+	s := New(Options{Strategy: StrategyIncremental, MaxConcurrentQueries: 4})
+	defer s.Close()
+	if err := s.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(FD("phi", "cities", "city", "zip")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				lo := ((g + i) * 11) % 50
+				q := fmt.Sprintf("SELECT zip, city FROM cities WHERE zip >= %d AND zip <= %d", lo, lo+9)
+				if _, err := s.Query(q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := s.Query("SELECT zip, city FROM cities WHERE zip >= 0"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Table("cities").DirtyTuples() == 0 {
+		t.Error("concurrent workload must still clean the dataset")
 	}
 }

@@ -1,0 +1,64 @@
+package daisy
+
+// Golden end-to-end tests: the example programs are executed as real
+// processes and their complete stdout is pinned against testdata/*.golden.
+// They are the last line of defense against refactors silently changing
+// cleaning decisions — candidate sets, probabilities, relaxation sizes, and
+// repair accuracy all flow into these bytes. Regenerate (after an
+// intentional semantic change, with the diff reviewed) via:
+//
+//	go run ./examples/quickstart > testdata/quickstart.golden
+//	go run ./examples/multirule  > testdata/multirule.golden
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not available; skipping golden example test")
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	build := exec.Command(goBin, "build", "-o", bin, "./examples/"+name)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run %s: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func assertGolden(t *testing.T, name, got string) {
+	t.Helper()
+	goldenPath := filepath.Join("testdata", name+".golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output changed.\n--- got ---\n%s\n--- want (%s) ---\n%s",
+			name, got, goldenPath, want)
+	}
+}
+
+// TestGoldenQuickstart pins the paper's Table 2 running example end to end:
+// the cleaned query result and the in-place probabilistic update.
+func TestGoldenQuickstart(t *testing.T) {
+	assertGolden(t, "quickstart", runExample(t, "quickstart"))
+}
+
+// TestGoldenMultirule pins the hospital multi-rule scenario (Tables 5–7):
+// per-rule probabilistic tuple counts and DaisyP/DaisyH accuracy.
+func TestGoldenMultirule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multirule example is a full workload; skipped in -short")
+	}
+	assertGolden(t, "multirule", runExample(t, "multirule"))
+}

@@ -13,15 +13,16 @@ import (
 )
 
 // cleanFD handles one FD rule inside cleanσ. It returns the extra row
-// positions that relaxation added to the query result.
-func (s *Session) cleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, rows []int, pred expr.Pred, m *detect.Metrics) ([]int, error) {
-	view := detect.PTableView{P: st.pt}
-	idx := st.fdIndex(rule.Name, fd)
-	checked := st.checkedGroups[rule.Name]
-	if checked == nil {
-		checked = make(map[value.MapKey]bool)
-		st.checkedGroups[rule.Name] = checked
-	}
+// positions that relaxation added to the query result. All reads come from
+// the query's epoch (plus its local overlay); the computed delta applies to
+// the overlay immediately and to the canonical state through the
+// single-writer loop before returning.
+func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, rows []int, pred expr.Pred, m *detect.Metrics) ([]int, error) {
+	s := qc.s
+	idx := qc.fdIndexFor(st, tableName, rule.Name, fd)
+	snapChecked := st.checkedGroups[rule.Name]
+	localChecked := qc.checkedLocal(tableName, rule.Name)
+	checked := func(k value.MapKey) bool { return snapChecked[k] || localChecked[k] }
 
 	// Statistics-driven pruning (Fig 9): only rows in dirty, unchecked
 	// groups need cleaning work. Row keys come from the persistent group
@@ -32,23 +33,24 @@ func (s *Session) cleanFD(st *tableState, tableName string, rule *dc.Constraint,
 		if !s.opts.DisableStatsPruning && st.stats != nil && !st.stats.Dirty(rule.Name, key) {
 			continue
 		}
-		if checked[key] {
+		if checked(key) {
 			continue
 		}
 		scope = append(scope, r)
 	}
 	if len(scope) == 0 {
-		s.lastDecisions = append(s.lastDecisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "skip"})
+		qc.decisions = append(qc.decisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "skip"})
 		return nil, nil
 	}
 
 	// Cost model: incremental vs switching to a full clean of the remaining
-	// dirty part (§5.2.3).
+	// dirty part (§5.2.3). The decision reads the epoch's frozen model copy;
+	// the model update lands with the delta through the writer.
 	strategy := s.opts.Strategy
 	if strategy == StrategyAuto && st.cost != nil {
 		qi := len(rows)
 		epsi := len(scope)
-		ei := s.estimateExtras(st, rule.Name, epsi)
+		ei := estimateExtras(st, rule.Name, epsi)
 		if st.cost.ShouldSwitchToFull(qi, ei, epsi) {
 			strategy = StrategyFull
 		} else {
@@ -56,14 +58,11 @@ func (s *Session) cleanFD(st *tableState, tableName string, rule *dc.Constraint,
 		}
 	}
 	if strategy == StrategyFull {
-		s.fullCleanFD(st, rule, fd, m)
-		if st.cost != nil {
-			st.cost.MarkSwitched()
-		}
-		s.lastDecisions = append(s.lastDecisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "full"})
+		qc.fullCleanFD(st, tableName, rule, fd, idx, checked, localChecked, m)
+		qc.decisions = append(qc.decisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "full"})
 		// After a full clean, relaxation extras are the other members of the
 		// result's dirty groups (they may qualify probabilistically).
-		return s.groupPartners(idx, scope, rows), nil
+		return groupPartners(idx, scope, rows), nil
 	}
 
 	// Incremental: relax the result (Algorithm 1) through the group index.
@@ -74,25 +73,50 @@ func (s *Session) cleanFD(st *tableState, tableName string, rule *dc.Constraint,
 	// Support pass: same-rhs partners consulted for P(lhs|rhs) only.
 	support := idx.relax(repairScope, false, m)
 
-	delta := repair.FD(view, repairScope, support, fd, st.pt.Schema.MustIndex, m)
-	updated := st.pt.Apply(delta)
-	st.noteApply(delta)
-	m.Updates += int64(updated)
-
-	// Mark the repaired groups as checked.
+	// Repair is idempotent per group: rows whose group is already checked
+	// (relaxation can pull them back in) are consulted for distributions but
+	// never re-fixed — re-merging the identical fix would inflate supports,
+	// and which query re-pulls a group depends on execution order, which
+	// must not show in the converged state.
+	var fix, consult []int
 	for _, r := range repairScope {
-		checked[idx.keyOf(r)] = true
+		if checked(idx.keyOf(r)) {
+			consult = append(consult, r)
+		} else {
+			fix = append(fix, r)
+		}
 	}
-	if st.cost != nil {
-		st.cost.RecordQuery(len(rows), len(extra), len(repairScope))
+	consult = append(consult, support...)
+
+	base := qc.pt(tableName)
+	view := detect.PTableView{P: base}
+	delta := repair.FD(view, fix, consult, fd, view.P.Schema.MustIndex, m)
+	m.Updates += int64(qc.applyLocal(tableName, delta))
+
+	// Mark the repaired groups checked locally and hand the delta plus
+	// bookkeeping to the writer (duplicates from racing queries coalesce
+	// there).
+	groups := make([]value.MapKey, 0, len(fix))
+	for _, r := range fix {
+		key := idx.keyOf(r)
+		if !localChecked[key] {
+			localChecked[key] = true
+			groups = append(groups, key)
+		}
 	}
-	s.lastDecisions = append(s.lastDecisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "incremental"})
+	s.w.submit(&applyReq{
+		table: tableName, rule: rule.Name, isFD: true, ident: st.ident,
+		delta: delta, base: base, applied: qc.pt(tableName), groups: groups,
+		costRecord: st.cost != nil,
+		costQi:     len(rows), costEi: len(extra), costEpsi: len(repairScope),
+	})
+	qc.decisions = append(qc.decisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "incremental"})
 	return extra, nil
 }
 
 // estimateExtras projects the relaxation size for the cost model from the
 // precomputed group statistics: each dirty tuple pulls in its group partners.
-func (s *Session) estimateExtras(st *tableState, rule string, epsi int) int {
+func estimateExtras(st *tableState, rule string, epsi int) int {
 	if st.stats == nil {
 		return epsi
 	}
@@ -122,28 +146,35 @@ func predTouchesLHS(pred expr.Pred, fd dc.FDSpec) bool {
 // fullCleanFD cleans every remaining dirty group of the relation in one
 // offline-style pass (the strategy-switch target). Scope comes from the
 // persistent group index instead of a fresh O(n) re-grouping.
-func (s *Session) fullCleanFD(st *tableState, rule *dc.Constraint, fd dc.FDSpec, m *detect.Metrics) {
-	view := detect.PTableView{P: st.pt}
-	idx := st.fdIndex(rule.Name, fd)
-	checked := st.checkedGroups[rule.Name]
+func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, idx *fdIndex, checked func(value.MapKey) bool, localChecked map[value.MapKey]bool, m *detect.Metrics) {
 	scope := idx.violatingScope(checked)
-	if len(scope) == 0 {
-		return
+	var groups []value.MapKey
+	req := &applyReq{table: tableName, rule: rule.Name, isFD: true, ident: st.ident, markSwitched: st.cost != nil}
+	if len(scope) > 0 {
+		base := qc.pt(tableName)
+		view := detect.PTableView{P: base}
+		d := repair.FD(view, scope, nil, fd, view.P.Schema.MustIndex, m)
+		m.Updates += int64(qc.applyLocal(tableName, d))
+		for _, r := range scope {
+			key := idx.keyOf(r)
+			if !localChecked[key] {
+				localChecked[key] = true
+				groups = append(groups, key)
+			}
+		}
+		req.delta = d
+		req.base = base
+		req.applied = qc.pt(tableName)
+		req.groups = groups
 	}
-	delta := repair.FD(view, scope, nil, fd, st.pt.Schema.MustIndex, m)
-	updated := st.pt.Apply(delta)
-	st.noteApply(delta)
-	m.Updates += int64(updated)
-	for _, r := range scope {
-		checked[idx.keyOf(r)] = true
-	}
+	qc.s.w.submit(req)
 }
 
 // groupPartners returns the dirty-group members of the scope rows that are
 // not already in the result (relaxation extras after a full clean), in
 // ascending row order. The group index supplies membership directly — no
 // full-table key rescan.
-func (s *Session) groupPartners(idx *fdIndex, scope, rows []int) []int {
+func groupPartners(idx *fdIndex, scope, rows []int) []int {
 	inResult := make(map[int]bool, len(rows))
 	for _, r := range rows {
 		inResult[r] = true
@@ -166,23 +197,36 @@ func (s *Session) groupPartners(idx *fdIndex, scope, rows []int) []int {
 	return extra
 }
 
-// cleanDC handles one general denial constraint inside cleanσ.
-func (s *Session) cleanDC(st *tableState, tableName string, rule *dc.Constraint, rows []int, m *detect.Metrics) ([]int, error) {
-	view := detect.PTableView{P: st.pt}
-	checked := st.checkedTuples[rule.Name]
-	if checked == nil {
-		checked = make(map[int64]bool)
-		st.checkedTuples[rule.Name] = checked
+// cleanDC handles one general denial constraint inside cleanσ. DC cleaning
+// serializes on Session.dcMu: unlike FD fixes, pair-at-a-time fixes are not
+// an idempotent function of a checked key, so the checked-tuple bookkeeping
+// must be read and advanced atomically. The section reads the latest
+// published epoch's checked set (not the query's — a racing DC query may
+// have advanced it) while detection and repair still evaluate original
+// values, which every epoch shares.
+func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constraint, rows []int, m *detect.Metrics) ([]int, error) {
+	s := qc.s
+	s.dcMu.Lock()
+	defer s.dcMu.Unlock()
+
+	latest, ok := s.w.current().tables[tableName]
+	if !ok || latest.ident != st.ident {
+		// The table was replaced after this query's snapshot: serve the
+		// query from its own epoch; the writer will drop the write-back.
+		latest = st
 	}
+	view := detect.PTableView{P: qc.pt(tableName)}
+	checked := latest.checkedTuples[rule.Name]
 
 	// Algorithm 2: estimate result dirtiness from precomputed range overlap.
-	est, ok := st.dcEstimates[rule.Name]
-	if !ok {
+	est, haveEst := latest.dcEstimates[rule.Name]
+	var freshEst []thetajoin.RangeEstimate
+	if !haveEst {
 		est = thetajoin.EstimateErrors(view, rule, s.opts.Partitions)
-		st.dcEstimates[rule.Name] = est
+		freshEst = est
 	}
-	errors := s.estimateResultErrors(view, rule, rows, est)
-	support := s.dcSupport(st, rule)
+	errors := estimateResultErrors(view, rule, rows, est)
+	support := dcSupport(latest, checked)
 	decision := cost.DecideDC(errors, len(rows), support, s.opts.DCThreshold)
 
 	strategy := s.opts.Strategy
@@ -223,8 +267,11 @@ func (s *Session) cleanDC(st *tableState, tableName string, rule *dc.Constraint,
 			}
 		}
 	}
-	s.lastDecisions = append(s.lastDecisions, dec)
+	qc.decisions = append(qc.decisions, dec)
 	if len(delta) == 0 {
+		if freshEst != nil {
+			s.w.submit(&applyReq{table: tableName, rule: rule.Name, ident: st.ident, estimates: freshEst})
+		}
 		return nil, nil
 	}
 
@@ -236,15 +283,18 @@ func (s *Session) cleanDC(st *tableState, tableName string, rule *dc.Constraint,
 	} else {
 		pairs = thetajoin.DetectWorkers(deltaView, rule, s.opts.Partitions, s.opts.Workers, m)
 	}
-	fixes := repair.DCFixes(view, pairs, rule, st.pt.Schema.MustIndex, m)
-	updated := st.pt.Apply(fixes)
-	st.noteApply(fixes)
-	m.Updates += int64(updated)
+	fixes := repair.DCFixes(view, pairs, rule, view.P.Schema.MustIndex, m)
+	m.Updates += int64(qc.applyLocal(tableName, fixes))
 
-	// Mark the delta tuples checked (full clean marks everything).
-	for _, i := range delta {
-		checked[view.ID(i)] = true
+	// Mark the delta tuples checked (full clean marks everything) and apply
+	// to the canonical state; dcMu guarantees no duplicate can race.
+	ids := make([]int64, len(delta))
+	for i, d := range delta {
+		ids[i] = view.ID(d)
 	}
+	s.w.submit(&applyReq{table: tableName, rule: rule.Name, ident: st.ident,
+		delta: fixes, base: view.P, applied: qc.pt(tableName),
+		tuples: ids, estimates: freshEst})
 
 	// Relaxation extras: conflict partners outside the result, resolved
 	// through the relation's persistent id→position index.
@@ -252,7 +302,7 @@ func (s *Session) cleanDC(st *tableState, tableName string, rule *dc.Constraint,
 	var extra []int
 	for _, p := range pairs {
 		for _, id := range []int64{p.T1, p.T2} {
-			pos, ok := st.pt.Pos(id)
+			pos, ok := view.P.Pos(id)
 			if !ok || inResult[pos] || seen[pos] {
 				continue
 			}
@@ -266,7 +316,7 @@ func (s *Session) cleanDC(st *tableState, tableName string, rule *dc.Constraint,
 
 // estimateResultErrors sums the violation estimates of the ranges the query
 // answer overlaps (Algorithm 2 lines 4-5).
-func (s *Session) estimateResultErrors(view detect.PTableView, rule *dc.Constraint, rows []int, est []thetajoin.RangeEstimate) float64 {
+func estimateResultErrors(view detect.PTableView, rule *dc.Constraint, rows []int, est []thetajoin.RangeEstimate) float64 {
 	if len(est) == 0 || len(rows) == 0 {
 		return 0
 	}
@@ -327,8 +377,7 @@ func minF(a, b float64) float64 {
 
 // dcSupport reports the fraction of the relation already theta-join-checked
 // under the rule — the diagonal-coverage support of Algorithm 2 line 7.
-func (s *Session) dcSupport(st *tableState, rule *dc.Constraint) float64 {
-	checked := st.checkedTuples[rule.Name]
+func dcSupport(st *tableState, checked map[int64]bool) float64 {
 	if st.pt.Len() == 0 {
 		return 1
 	}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"daisy/internal/cost"
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/ptable"
+	"daisy/internal/stats"
+	"daisy/internal/thetajoin"
+	"daisy/internal/value"
+)
+
+// snapshot is one immutable epoch of the session's cleaning state. Queries
+// atomically load the current snapshot and plan/execute/relax against it
+// without any further synchronization; every mutation (delta application,
+// checked-set growth, cost-model updates, index builds, registration)
+// produces a new snapshot and publishes it with a single atomic store.
+type snapshot struct {
+	epoch  uint64
+	tables map[string]*tableState
+	rules  []*dc.Constraint
+}
+
+// tableState is the per-relation cleaning state of one epoch. All fields are
+// immutable once the snapshot is published: the writer derives a new
+// tableState (shallow copy + replaced fields) instead of mutating in place.
+type tableState struct {
+	// ident identifies the registration this state descends from; clones
+	// share it, ReplaceTable/Register draw a fresh one. The writer drops
+	// write-backs whose identity no longer matches — a query racing a
+	// ReplaceTable must not mark the replacement's groups checked.
+	ident uint64
+	// pt is the probabilistic relation of this epoch. Deltas apply
+	// copy-on-write (ptable.ApplyCOW), so older epochs keep reading their
+	// generation while the writer publishes the next.
+	pt *ptable.PTable
+	// stats / cost drive the §5.2.3 strategy decision. stats are derived
+	// from original values and never change after AddRule; cost is replaced
+	// with an updated copy on every recorded query.
+	stats *stats.TableStats
+	cost  *cost.Model
+	// fdIdx holds the persistent FD group index per rule. Indexes watch
+	// original values only, so one index is shared by every epoch.
+	fdIdx map[string]*fdIndex
+	// checkedGroups marks FD lhs group keys already cleaned, per rule. The
+	// inner sets are frozen; the writer clones-and-extends on growth.
+	checkedGroups map[string]map[value.MapKey]bool
+	// checkedTuples marks tuples already theta-join-checked, per DC rule.
+	checkedTuples map[string]map[int64]bool
+	// dcEstimates caches Algorithm 2's per-range violation estimates.
+	dcEstimates map[string][]thetajoin.RangeEstimate
+	rules       []*dc.Constraint
+}
+
+// registrations counts table registrations; each Register/ReplaceTable
+// draws a distinct identity (zero-size pointer tokens would all alias
+// runtime.zerobase).
+var registrations atomic.Uint64
+
+func newTableState(pt *ptable.PTable) *tableState {
+	return &tableState{
+		ident:         registrations.Add(1),
+		pt:            pt,
+		fdIdx:         make(map[string]*fdIndex),
+		checkedGroups: make(map[string]map[value.MapKey]bool),
+		checkedTuples: make(map[string]map[int64]bool),
+		dcEstimates:   make(map[string][]thetajoin.RangeEstimate),
+	}
+}
+
+// clone returns a shallow copy the writer may re-point fields on.
+func (st *tableState) clone() *tableState {
+	c := *st
+	return &c
+}
+
+// derive starts a new epoch from s: the tables map is copied so entries can
+// be replaced, table states themselves are cloned lazily via mutableTable.
+func (s *snapshot) derive() *snapshot {
+	next := &snapshot{epoch: s.epoch + 1, tables: make(map[string]*tableState, len(s.tables)), rules: s.rules}
+	for name, st := range s.tables {
+		next.tables[name] = st
+	}
+	return next
+}
+
+// mutableTable returns a clone of the named table state private to this
+// derived snapshot, cloning at most once per derivation.
+func (s *snapshot) mutableTable(name string, cloned map[string]bool) *tableState {
+	st, ok := s.tables[name]
+	if !ok {
+		return nil
+	}
+	if !cloned[name] {
+		st = st.clone()
+		s.tables[name] = st
+		cloned[name] = true
+	}
+	return s.tables[name]
+}
+
+// applyReq is one cleaning write-back routed through the single-writer apply
+// loop: the delta a query computed against its snapshot, the bookkeeping
+// that must land with it, and the ack channel the query blocks on.
+type applyReq struct {
+	table string
+	rule  string
+	isFD  bool
+
+	// delta holds the candidate fixes (may be empty when only bookkeeping
+	// changes, e.g. a DC pass that found no violations).
+	delta *ptable.Delta
+	// base/applied enable the adoption fast path: the generation the query
+	// applied its delta to and the resulting generation. When the canonical
+	// state still points at base (no racing write landed in between — always
+	// true single-threaded), the writer adopts applied directly instead of
+	// re-running the copy-on-write merge.
+	base, applied *ptable.PTable
+	// groups lists FD lhs keys to mark checked; duplicate fixes from racing
+	// queries coalesce idempotently: cells whose group is already checked at
+	// apply time are dropped (the racing winner applied the identical fix).
+	groups []value.MapKey
+	// tuples lists tuple IDs to mark theta-join-checked (DC rules).
+	tuples []int64
+	// estimates caches Algorithm 2 range estimates computed lazily by a
+	// query (first DC query against a replaced table).
+	estimates []thetajoin.RangeEstimate
+
+	// cost-model bookkeeping (§5.2.3), applied to a fresh model copy.
+	costRecord               bool
+	costQi, costEi, costEpsi int
+	markSwitched             bool
+
+	// ident is the registration identity of the tableState the request was
+	// computed against; the writer drops the request when the table has been
+	// replaced in the meantime.
+	ident uint64
+
+	done chan struct{}
+}
+
+// writer owns the session's canonical state. It is deliberately separate
+// from Session so the apply goroutine holds no Session reference — an
+// unreachable Session can then be finalized (closing the writer) even while
+// the goroutine is parked.
+type writer struct {
+	// mu serializes every mutation of the canonical state: the apply loop,
+	// registration, rule binding, and lazy index builds.
+	mu   sync.Mutex
+	snap atomic.Pointer[snapshot]
+
+	applyCh chan *applyReq
+	quit    chan struct{}
+	started sync.Once
+	// sendMu gates channel sends against close: a request is either enqueued
+	// while the loop is guaranteed to drain it, or (post-close) applied
+	// inline — never both, never neither.
+	sendMu sync.Mutex
+	closed atomic.Bool
+}
+
+func newWriter() *writer {
+	w := &writer{applyCh: make(chan *applyReq, 64), quit: make(chan struct{})}
+	w.snap.Store(&snapshot{tables: make(map[string]*tableState)})
+	return w
+}
+
+// current returns the latest published epoch.
+func (w *writer) current() *snapshot { return w.snap.Load() }
+
+// mutate runs fn against a derived snapshot under the writer lock and
+// publishes the result. Used by the setup APIs (Register, AddRule,
+// ReplaceTable) and lazy index builds; delta application goes through the
+// batching apply loop instead.
+func (w *writer) mutate(fn func(next *snapshot, cloned map[string]bool) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next := w.current().derive()
+	if err := fn(next, make(map[string]bool)); err != nil {
+		return err
+	}
+	w.snap.Store(next)
+	return nil
+}
+
+// submit routes one apply request through the single-writer loop and blocks
+// until the request's epoch is published. After a session is closed the
+// request is applied inline under the writer lock (queries racing Close
+// still converge rather than deadlock).
+func (w *writer) submit(req *applyReq) {
+	req.done = make(chan struct{})
+	w.sendMu.Lock()
+	if w.closed.Load() {
+		w.sendMu.Unlock()
+		w.applyBatch([]*applyReq{req})
+		return
+	}
+	w.started.Do(func() { go w.loop() })
+	w.applyCh <- req
+	w.sendMu.Unlock()
+	<-req.done
+}
+
+// loop is the single-writer apply goroutine: it drains pending requests into
+// a batch, applies them under the writer lock against one derived snapshot,
+// publishes a single new epoch, and acks every waiter. Batching lets
+// duplicate fixes from racing queries coalesce in one pass and bounds the
+// number of snapshot allocations under load. On shutdown the queue is
+// drained to completion — every enqueued request was sent before close, and
+// its sender is blocked on the ack.
+func (w *writer) loop() {
+	for {
+		var first *applyReq
+		select {
+		case first = <-w.applyCh:
+		case <-w.quit:
+			for {
+				select {
+				case r := <-w.applyCh:
+					w.applyBatch([]*applyReq{r})
+				default:
+					return
+				}
+			}
+		}
+		batch := []*applyReq{first}
+	drain:
+		for {
+			select {
+			case r := <-w.applyCh:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		w.applyBatch(batch)
+	}
+}
+
+func (w *writer) applyBatch(batch []*applyReq) {
+	w.mu.Lock()
+	next := w.current().derive()
+	cloned := make(map[string]bool)
+	for _, req := range batch {
+		applyOne(next, cloned, req)
+	}
+	w.snap.Store(next)
+	w.mu.Unlock()
+	for _, req := range batch {
+		close(req.done)
+	}
+}
+
+// applyOne merges one request into the next epoch. FD requests coalesce
+// idempotently: a group already marked checked was repaired by an earlier
+// (racing) query with the identical group-deterministic fix, so its cells
+// and bookkeeping are dropped. DC requests apply verbatim — the DC clean
+// path is serialized by Session.dcMu, so no duplicates can race.
+func applyOne(next *snapshot, cloned map[string]bool, req *applyReq) {
+	if cur, ok := next.tables[req.table]; !ok || cur.ident != req.ident {
+		// The table was dropped or replaced after the query took its
+		// snapshot: the write-back belongs to the old registration, and
+		// merging it would mark never-cleaned groups of the fresh data as
+		// checked. The query's own result (served from its epoch) stands.
+		return
+	}
+	st := next.mutableTable(req.table, cloned)
+	duplicate := false
+	dropped := false
+	if req.isFD {
+		duplicate, dropped = filterCheckedFD(st, req)
+	}
+	if req.delta != nil && req.delta.Len() > 0 {
+		if !dropped && req.applied != nil && st.pt == req.base {
+			st.pt = req.applied
+		} else {
+			st.pt, _ = st.pt.ApplyCOW(req.delta)
+		}
+		// Index maintenance: cleaning deltas preserve original values, so
+		// this verifies (read-only) rather than re-keys — safe while
+		// concurrent snapshot readers share the indexes.
+		view := detect.PTableView{P: st.pt}
+		for _, ix := range st.fdIdx {
+			ix.ApplyDelta(view, req.delta)
+		}
+	}
+	if len(req.groups) > 0 {
+		markGroups(st, req.rule, req.groups)
+	}
+	if len(req.tuples) > 0 {
+		markTuples(st, req.rule, req.tuples)
+	}
+	if req.estimates != nil {
+		if _, ok := st.dcEstimates[req.rule]; !ok {
+			est := make(map[string][]thetajoin.RangeEstimate, len(st.dcEstimates)+1)
+			for k, v := range st.dcEstimates {
+				est[k] = v
+			}
+			est[req.rule] = req.estimates
+			st.dcEstimates = est
+		}
+	}
+	if st.cost != nil && !duplicate && (req.costRecord || req.markSwitched) {
+		c := *st.cost
+		if req.costRecord {
+			c.RecordQuery(req.costQi, req.costEi, req.costEpsi)
+		}
+		if req.markSwitched {
+			c.MarkSwitched()
+		}
+		st.cost = &c
+	}
+}
+
+// filterCheckedFD drops delta cells and checked-key entries for groups that
+// are already checked at apply time. It reports whether the whole request
+// turned out to be a duplicate of an earlier apply, and whether any part of
+// it was dropped (which disables the adoption fast path).
+func filterCheckedFD(st *tableState, req *applyReq) (duplicate, dropped bool) {
+	checked := st.checkedGroups[req.rule]
+	if len(checked) == 0 {
+		return false, false
+	}
+	idx := st.fdIdx[req.rule]
+	fresh := req.groups[:0]
+	for _, k := range req.groups {
+		if checked[k] {
+			dropped = true
+			continue
+		}
+		fresh = append(fresh, k)
+	}
+	req.groups = fresh
+	if dropped && req.delta != nil && idx != nil {
+		for id := range req.delta.Cells {
+			pos, ok := st.pt.Pos(id)
+			if !ok || checked[idx.keyOf(pos)] {
+				delete(req.delta.Cells, id)
+			}
+		}
+	}
+	duplicate = dropped && len(req.groups) == 0 && (req.delta == nil || req.delta.Len() == 0)
+	return duplicate, dropped
+}
+
+func markGroups(st *tableState, rule string, keys []value.MapKey) {
+	old := st.checkedGroups[rule]
+	merged := make(map[value.MapKey]bool, len(old)+len(keys))
+	for k := range old {
+		merged[k] = true
+	}
+	for _, k := range keys {
+		merged[k] = true
+	}
+	cg := make(map[string]map[value.MapKey]bool, len(st.checkedGroups)+1)
+	for r, set := range st.checkedGroups {
+		cg[r] = set
+	}
+	cg[rule] = merged
+	st.checkedGroups = cg
+}
+
+func markTuples(st *tableState, rule string, ids []int64) {
+	old := st.checkedTuples[rule]
+	merged := make(map[int64]bool, len(old)+len(ids))
+	for id := range old {
+		merged[id] = true
+	}
+	for _, id := range ids {
+		merged[id] = true
+	}
+	ct := make(map[string]map[int64]bool, len(st.checkedTuples)+1)
+	for r, set := range st.checkedTuples {
+		ct[r] = set
+	}
+	ct[rule] = merged
+	st.checkedTuples = ct
+}
+
+// close stops the apply goroutine. Idempotent.
+func (w *writer) close() {
+	w.sendMu.Lock()
+	if w.closed.CompareAndSwap(false, true) {
+		close(w.quit)
+	}
+	w.sendMu.Unlock()
+}
+
+// ensureFDIndex returns the persistent group index of the rule over the
+// table, building and publishing it on first use (tables installed through
+// ReplaceTable build lazily; AddRule builds eagerly). The returned index is
+// immutable and valid for every epoch of the registration identified by
+// ident; it returns nil when the table has been replaced in the meantime
+// (the caller then builds a private index for its own epoch).
+func (w *writer) ensureFDIndex(table string, ident uint64, rule string, fd dc.FDSpec) *fdIndex {
+	if st, ok := w.current().tables[table]; ok && st.ident == ident {
+		if ix := st.fdIdx[rule]; ix != nil {
+			return ix
+		}
+	}
+	var built *fdIndex
+	_ = w.mutate(func(next *snapshot, cloned map[string]bool) error {
+		if cur, ok := next.tables[table]; !ok || cur.ident != ident {
+			return nil
+		}
+		st := next.mutableTable(table, cloned)
+		if ix := st.fdIdx[rule]; ix != nil {
+			built = ix
+			return nil
+		}
+		built = newFDIndex(st.pt, fd)
+		idx := make(map[string]*fdIndex, len(st.fdIdx)+1)
+		for r, ix := range st.fdIdx {
+			idx[r] = ix
+		}
+		idx[rule] = built
+		st.fdIdx = idx
+		return nil
+	})
+	return built
+}
+
+// collectStats assembles the optimizer statistics of every bound FD rule
+// from the persistent group indexes (non-FD rules get their error estimates
+// from thetajoin.EstimateErrors at query time, Algorithm 2).
+func collectStats(st *tableState) *stats.TableStats {
+	ts := &stats.TableStats{N: st.pt.Len(), FDs: make(map[string]*stats.FDStat)}
+	for _, rule := range st.rules {
+		if _, ok := rule.AsFD(); !ok {
+			continue
+		}
+		if ix := st.fdIdx[rule.Name]; ix != nil {
+			ts.FDs[rule.Name] = ix.fdStats(rule.Name)
+		}
+	}
+	return ts
+}

@@ -13,19 +13,16 @@ import (
 // fdIndex is the persistent FD group index of one rule over one relation:
 // every row's lhs key, the clustering of rows into lhs groups with their rhs
 // value counts, and the inverse rhs→rows index. It is built once per
-// (table, rule) and maintained incrementally — appended rows index on
-// access, applied deltas re-key only the touched tuples — so cleanFD,
-// fullCleanFD, groupPartners, and result relaxation never rescan the whole
-// relation to recover group membership or value partners.
-//
-// The index watches the detection view (original values, §4.3). Cleaning
-// deltas leave originals untouched, so ApplyDelta is usually a cheap
-// verification pass; it still re-keys faithfully if a caller rewrites
-// provenance.
+// (table, rule) by the session writer and is immutable afterwards under the
+// query path: the index watches original (provenance) values (§4.3), which
+// cleaning deltas never rewrite, so concurrent snapshot readers share one
+// index across epochs without synchronization. The index holds no reference
+// to any PTable generation — methods that need cell data take a view
+// argument — so copy-on-write applies never leave it pointing at a stale
+// epoch.
 type fdIndex struct {
 	fd   dc.FDSpec
 	cols detect.FDCols
-	view detect.PTableView
 	// rowKey / rowRHS cache each indexed row's lhs and rhs keys, making
 	// per-row key lookups O(1) slice reads.
 	rowKey []value.MapKey
@@ -51,19 +48,20 @@ func (g *fdGroup) violating() bool { return len(g.rhs) > 1 }
 
 func newFDIndex(pt *ptable.PTable, fd dc.FDSpec) *fdIndex {
 	view := detect.PTableView{P: pt}
-	ix := &fdIndex{fd: fd, cols: detect.CompileFD(view, fd), view: view,
+	ix := &fdIndex{fd: fd, cols: detect.CompileFD(view, fd),
 		groups: make(map[value.MapKey]*fdGroup), rhsRows: make(map[value.MapKey][]int)}
-	ix.extend()
+	ix.extend(view)
 	return ix
 }
 
 // extend indexes any rows appended since the last call — the incremental
-// append path.
-func (ix *fdIndex) extend() {
-	n := ix.view.Len()
+// append path. Only the session writer may call it; registered relations
+// never grow during query serving, so readers see a fixed-size index.
+func (ix *fdIndex) extend(view detect.RowView) {
+	n := view.Len()
 	for i := len(ix.rowKey); i < n; i++ {
-		key := ix.cols.LHSKey(ix.view, i)
-		rhs := ix.cols.RHSKey(ix.view, i)
+		key := ix.cols.LHSKey(view, i)
+		rhs := ix.cols.RHSKey(view, i)
 		ix.rowKey = append(ix.rowKey, key)
 		ix.rowRHS = append(ix.rowRHS, rhs)
 		ix.link(i, key, rhs)
@@ -82,24 +80,26 @@ func (ix *fdIndex) link(i int, key, rhs value.MapKey) {
 	ix.rhsRows[rhs] = append(ix.rhsRows[rhs], i)
 }
 
-// ApplyDelta re-keys the tuples a delta touched. Group membership follows
-// original (provenance) values, which cleaning deltas preserve, so this
-// usually verifies rather than moves; it keeps the index consistent even
-// when originals are rewritten (e.g. by tests or future ingestion paths).
-func (ix *fdIndex) ApplyDelta(d *ptable.Delta) {
+// ApplyDelta re-keys the tuples a delta touched, reading current cell state
+// through the caller's view (the post-apply epoch). Group membership follows
+// original (provenance) values, which cleaning deltas preserve, so under the
+// query path this is a read-only verification pass — safe to run while
+// snapshot readers share the index. It still re-keys faithfully if a caller
+// rewrites provenance out-of-band (single-threaded maintenance only).
+func (ix *fdIndex) ApplyDelta(view detect.PTableView, d *ptable.Delta) {
 	for id := range d.Cells {
-		pos, ok := ix.view.P.Pos(id)
+		pos, ok := view.P.Pos(id)
 		if !ok || pos >= len(ix.rowKey) {
 			continue
 		}
-		ix.rekey(pos)
+		ix.rekey(view, pos)
 	}
 }
 
 // rekey recomputes row pos's keys and moves it between groups when changed.
-func (ix *fdIndex) rekey(pos int) {
-	newKey := ix.cols.LHSKey(ix.view, pos)
-	newRHS := ix.cols.RHSKey(ix.view, pos)
+func (ix *fdIndex) rekey(view detect.RowView, pos int) {
+	newKey := ix.cols.LHSKey(view, pos)
+	newRHS := ix.cols.RHSKey(view, pos)
 	oldKey, oldRHS := ix.rowKey[pos], ix.rowRHS[pos]
 	if newKey == oldKey && newRHS == oldRHS {
 		return
@@ -160,11 +160,12 @@ func (ix *fdIndex) violating(key value.MapKey) bool {
 
 // violatingScope collects, in deterministic group order, the members of
 // every violating group not yet marked checked — the full-clean scope.
-func (ix *fdIndex) violatingScope(checked map[value.MapKey]bool) []int {
+// checked is a layered predicate (epoch state plus query-local additions).
+func (ix *fdIndex) violatingScope(checked func(value.MapKey) bool) []int {
 	var scope []int
 	for _, key := range ix.order {
 		g, ok := ix.groups[key]
-		if !ok || !g.violating() || checked[key] {
+		if !ok || !g.violating() || checked(key) {
 			continue
 		}
 		scope = append(scope, g.members...)
@@ -178,10 +179,10 @@ func (ix *fdIndex) violatingScope(checked map[value.MapKey]bool) []int {
 // expansion suffices (Lemma 1). Extras return in ascending row order.
 // Metrics count the rows the index reads (Scanned) and the additions
 // (Relaxed) — the same work notions as the scan-based relax package, minus
-// the avoided full-table scans.
+// the avoided full-table scans. relax only reads the index, so any number
+// of snapshot readers may call it concurrently.
 func (ix *fdIndex) relax(seed []int, transitive bool, m *detect.Metrics) []int {
-	ix.extend()
-	n := ix.view.Len()
+	n := len(ix.rowKey)
 	in := make([]bool, n) // seed ∪ already-added rows
 	for _, r := range seed {
 		in[r] = true
@@ -265,40 +266,4 @@ func (ix *fdIndex) fdStats(rule string) *stats.FDStat {
 		st.AvgLHSPerRHS = float64(pairs) / float64(len(ix.rhsRows))
 	}
 	return st
-}
-
-// collectStats assembles the optimizer statistics of every bound FD rule
-// from the persistent group indexes (non-FD rules get their error estimates
-// from thetajoin.EstimateErrors at query time, Algorithm 2).
-func (st *tableState) collectStats() *stats.TableStats {
-	ts := &stats.TableStats{N: st.pt.Len(), FDs: make(map[string]*stats.FDStat)}
-	for _, rule := range st.rules {
-		spec, ok := rule.AsFD()
-		if !ok {
-			continue
-		}
-		ts.FDs[rule.Name] = st.fdIndex(rule.Name, spec).fdStats(rule.Name)
-	}
-	return ts
-}
-
-// fdIndex returns the persistent group index of the rule over this table,
-// building it on first use and folding in any appended rows after that.
-func (st *tableState) fdIndex(rule string, fd dc.FDSpec) *fdIndex {
-	ix, ok := st.fdIdx[rule]
-	if !ok {
-		ix = newFDIndex(st.pt, fd)
-		st.fdIdx[rule] = ix
-	} else {
-		ix.extend()
-	}
-	return ix
-}
-
-// noteApply propagates an applied delta to every built group index — the
-// incremental-maintenance hook called wherever the session applies deltas.
-func (st *tableState) noteApply(d *ptable.Delta) {
-	for _, ix := range st.fdIdx {
-		ix.ApplyDelta(d)
-	}
 }

@@ -94,7 +94,7 @@ func TestFDIndexConsistentAfterApply(t *testing.T) {
 		},
 	})
 	pt.Apply(d)
-	ix.ApplyDelta(d)
+	ix.ApplyDelta(detect.PTableView{P: pt}, d)
 	assertIndexMatchesGroupBy(t, ix, pt, fd)
 
 	// A provenance rewrite: tuple 5 moves from rhs SF to rhs NY, and tuple 3
@@ -103,7 +103,7 @@ func TestFDIndexConsistentAfterApply(t *testing.T) {
 	d2.Set(5, 1, uncertain.Cell{Orig: value.NewString("NY")})
 	d2.Set(3, 0, uncertain.Cell{Orig: value.NewInt(1)})
 	pt.Apply(d2)
-	ix.ApplyDelta(d2)
+	ix.ApplyDelta(detect.PTableView{P: pt}, d2)
 	assertIndexMatchesGroupBy(t, ix, pt, fd)
 }
 
@@ -118,7 +118,7 @@ func TestFDIndexEmptyAndRecreateGroup(t *testing.T) {
 		d := ptable.NewDelta("cities")
 		d.Set(5, 0, uncertain.Cell{Orig: value.NewInt(zip)})
 		pt.Apply(d)
-		ix.ApplyDelta(d)
+		ix.ApplyDelta(detect.PTableView{P: pt}, d)
 	}
 	move(2) // empties group 3
 	assertIndexMatchesGroupBy(t, ix, pt, fd)
@@ -130,8 +130,8 @@ func TestFDIndexEmptyAndRecreateGroup(t *testing.T) {
 	pt.Append(&ptable.Tuple{ID: 6, Cells: []uncertain.Cell{
 		uncertain.Certain(value.NewInt(3)), uncertain.Certain(value.NewString("Boston")),
 	}})
-	ix.extend()
-	scope := ix.violatingScope(map[value.MapKey]bool{})
+	ix.extend(detect.PTableView{P: pt})
+	scope := ix.violatingScope(func(value.MapKey) bool { return false })
 	seen := make(map[int]int)
 	for _, r := range scope {
 		seen[r]++
@@ -148,7 +148,7 @@ func TestFDIndexExtend(t *testing.T) {
 	pt.Append(&ptable.Tuple{ID: 6, Cells: []uncertain.Cell{
 		uncertain.Certain(value.NewInt(3)), uncertain.Certain(value.NewString("Boston")),
 	}})
-	ix.extend()
+	ix.extend(detect.PTableView{P: pt})
 	assertIndexMatchesGroupBy(t, ix, pt, fd)
 	if !ix.violating(value.NewInt(3).MapKey()) {
 		t.Error("zip 3 gained a second city and must now be violating")
@@ -198,7 +198,7 @@ func TestIndexStatsMatchCollect(t *testing.T) {
 	if err := s.AddRule(rule); err != nil {
 		t.Fatal(err)
 	}
-	st := s.tables["cities"].stats.FDs["phi"]
+	st := s.w.current().tables["cities"].stats.FDs["phi"]
 	if st.Groups != 3 || st.DirtyGroups != 1 || st.DirtyTuples != 3 {
 		t.Errorf("index stats = %+v", st)
 	}
@@ -213,7 +213,7 @@ func TestIndexStatsMatchCollect(t *testing.T) {
 		t.Errorf("DirtyLHS = %v", st.DirtyLHS)
 	}
 	// Field-by-field equivalence with the scan-based collector.
-	sc := stats.Collect(detect.PTableView{P: s.tables["cities"].pt},
+	sc := stats.Collect(detect.PTableView{P: s.w.current().tables["cities"].pt},
 		[]*dc.Constraint{rule}).FDs["phi"]
 	if st.Groups != sc.Groups || st.DirtyGroups != sc.DirtyGroups ||
 		st.DirtyTuples != sc.DirtyTuples || st.AvgCandidates != sc.AvgCandidates ||

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/expr"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// queryCtx is the per-query execution context: the epoch the query runs
+// against plus the query-local copy-on-write overlay that makes the query's
+// own fixes visible to its downstream operators before the writer publishes
+// them. It implements plan.Catalog and engine.Cleaner.
+type queryCtx struct {
+	s    *Session
+	snap *snapshot
+
+	// local maps table name → the query's private COW generation; absent
+	// entries read straight from the snapshot.
+	local map[string]*ptable.PTable
+	// localChecked layers the groups this query already cleaned on top of
+	// the snapshot's checked sets, keyed by table\x00rule.
+	localChecked map[string]map[value.MapKey]bool
+
+	decisions []Decision
+}
+
+// Schema implements plan.Catalog against the query's epoch.
+func (qc *queryCtx) Schema(name string) (*schema.Schema, bool) {
+	st, ok := qc.snap.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return st.pt.Schema, true
+}
+
+// ptables materializes the executor's table map from the epoch. The
+// executor swaps in the query-local generations as CleanSelect returns them.
+func (qc *queryCtx) ptables() map[string]*ptable.PTable {
+	out := make(map[string]*ptable.PTable, len(qc.snap.tables))
+	for name, st := range qc.snap.tables {
+		out[name] = st.pt
+	}
+	return out
+}
+
+// pt returns the query's current view of a relation: the local overlay if
+// this query already applied fixes, the epoch's generation otherwise.
+func (qc *queryCtx) pt(name string) *ptable.PTable {
+	if p, ok := qc.local[name]; ok {
+		return p
+	}
+	if st, ok := qc.snap.tables[name]; ok {
+		return st.pt
+	}
+	return nil
+}
+
+// applyLocal merges a delta copy-on-write into the query's overlay and
+// returns the number of updated cells.
+func (qc *queryCtx) applyLocal(name string, delta *ptable.Delta) int {
+	cur := qc.pt(name)
+	if cur == nil || delta.Len() == 0 {
+		return 0
+	}
+	next, updated := cur.ApplyCOW(delta)
+	if qc.local == nil {
+		qc.local = make(map[string]*ptable.PTable, 2)
+	}
+	qc.local[name] = next
+	return updated
+}
+
+// checkedLocal returns (lazily creating) the query-local checked-group set
+// for one (table, rule).
+func (qc *queryCtx) checkedLocal(table, rule string) map[value.MapKey]bool {
+	key := table + "\x00" + rule
+	set, ok := qc.localChecked[key]
+	if !ok {
+		set = make(map[value.MapKey]bool)
+		if qc.localChecked == nil {
+			qc.localChecked = make(map[string]map[value.MapKey]bool, 2)
+		}
+		qc.localChecked[key] = set
+	}
+	return set
+}
+
+// CleanSelect implements engine.Cleaner: the cleanσ operator. It cleans
+// against the query's snapshot, applies fixes to the query-local overlay
+// (returned so downstream operators read them), and routes the same delta
+// through the session's single-writer apply loop.
+func (qc *queryCtx) CleanSelect(tableName string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) (*ptable.PTable, []int, error) {
+	st, ok := qc.snap.tables[tableName]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: clean: unknown table %q", tableName)
+	}
+	resultSet := make(map[int]bool, len(rows))
+	current := append([]int(nil), rows...)
+	for _, r := range current {
+		resultSet[r] = true
+	}
+	for _, rule := range rules {
+		var extra []int
+		var err error
+		if fd, isFD := rule.AsFD(); isFD {
+			extra, err = qc.cleanFD(st, tableName, rule, fd, current, pred, m)
+		} else {
+			extra, err = qc.cleanDC(st, tableName, rule, current, m)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, x := range extra {
+			if !resultSet[x] {
+				resultSet[x] = true
+				current = append(current, x)
+			}
+		}
+	}
+	pt := qc.pt(tableName)
+	// Re-qualify: keep every tuple that satisfies the predicate in at least
+	// one possible world after cleaning.
+	if pred == nil {
+		return pt, current, nil
+	}
+	var out []int
+	// One closure over a mutable row, with column resolution memoized.
+	row := 0
+	colIdx := make(map[string]int, 2)
+	cellOf := func(ref expr.ColRef) *uncertain.Cell {
+		idx, ok := colIdx[ref.Col]
+		if !ok {
+			idx = pt.Schema.MustIndex(ref.Col)
+			colIdx[ref.Col] = idx
+		}
+		return &pt.Tuples[row].Cells[idx]
+	}
+	for _, r := range current {
+		row = r
+		if pred.EvalCell(cellOf) {
+			out = append(out, r)
+		}
+	}
+	return pt, out, nil
+}
+
+// fdIndexFor resolves the rule's group index from the epoch, asking the
+// writer to build (and publish) it when a replaced table lacks one. The
+// index is keyed on original values, which every epoch of one registration
+// shares, so an index published after this query's snapshot is still exact
+// for it. If the table was replaced after this query's snapshot, the query
+// builds a private index over its own epoch instead.
+func (qc *queryCtx) fdIndexFor(st *tableState, tableName, rule string, fd dc.FDSpec) *fdIndex {
+	if ix := st.fdIdx[rule]; ix != nil {
+		return ix
+	}
+	if ix := qc.s.w.ensureFDIndex(tableName, st.ident, rule, fd); ix != nil {
+		return ix
+	}
+	return newFDIndex(st.pt, fd)
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+	"daisy/internal/workload"
+)
+
+// stressTable builds a lineorder-style relation with FD violations injected
+// on two independent rhs columns, so two rules have real repair work and
+// overlapping lhs-fix targets (both rules may fix orderkey cells — the
+// merge-commutativity case).
+func stressTable(rows int, seed int64) *table.Table {
+	lo := workload.Lineorder(workload.SSBConfig{
+		Rows: rows, DistinctOrders: rows / 5, DistinctSupps: rows / 20, Seed: seed,
+	})
+	workload.InjectFDErrors(lo, "orderkey", "suppkey", 0.4, 0.25, seed+1)
+	workload.InjectFDErrors(lo, "orderkey", "custkey", 0.3, 0.2, seed+2)
+	return lo
+}
+
+// Two FDs sharing the lhs attribute: both may fix orderkey cells, so racing
+// applies exercise the Lemma 4 merge path (which must commute).
+func stressRules() []*dc.Constraint {
+	return []*dc.Constraint{
+		dc.FD("phiSupp", "lineorder", "suppkey", "orderkey"),
+		dc.FD("phiCust", "lineorder", "custkey", "orderkey"),
+	}
+}
+
+// stressQueries is a mixed workload of overlapping range scans: racing
+// goroutines repeatedly touch the same dirty groups, exercising the
+// duplicate-fix coalescing path.
+func stressQueries(n int) []string {
+	qs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		lo := (i * 7) % 60
+		qs = append(qs, fmt.Sprintf(
+			"SELECT orderkey, suppkey FROM lineorder WHERE orderkey >= %d AND orderkey <= %d", lo, lo+25))
+	}
+	// One covering query so every violating group is cleaned by the end.
+	qs = append(qs, "SELECT orderkey, suppkey FROM lineorder WHERE orderkey >= 0")
+	return qs
+}
+
+var stressTableOnce struct {
+	sync.Once
+	tb *table.Table
+}
+
+func newStressSession(t *testing.T, opts Options) *Session {
+	t.Helper()
+	stressTableOnce.Do(func() { stressTableOnce.tb = stressTable(400, 11) })
+	s := NewSession(opts)
+	if err := s.Register(stressTableOnce.tb.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range stressRules() {
+		if err := s.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestConcurrentQueriesConvergeToSequentialState is the tentpole guarantee:
+// N racing Query callers over shared rules converge to a cleaned state that
+// is byte-identical (full-precision fingerprint) to running the same
+// workload sequentially, for any interleaving.
+func TestConcurrentQueriesConvergeToSequentialState(t *testing.T) {
+	queries := stressQueries(48)
+	opts := Options{Strategy: StrategyIncremental}
+
+	seq := newStressSession(t, opts)
+	defer seq.Close()
+	for _, q := range queries {
+		if _, err := seq.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := seq.Table("lineorder").Fingerprint()
+
+	const goroutines = 8
+	for trial := 0; trial < 3; trial++ {
+		conc := newStressSession(t, opts)
+		var wg sync.WaitGroup
+		errCh := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// Each goroutine runs a rotated view of the workload so every
+				// trial exercises different overlaps.
+				for i := range queries {
+					q := queries[(i+g*5+trial)%len(queries)]
+					if _, err := conc.Query(q); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+		// Converge: one final covering pass (racing queries may each have
+		// skipped groups the other checked; the covering query cleans any
+		// remainder through the published epoch).
+		if _, err := conc.Query(queries[len(queries)-1]); err != nil {
+			t.Fatal(err)
+		}
+		got := conc.Table("lineorder").Fingerprint()
+		if got != want {
+			t.Fatalf("trial %d: converged concurrent state differs from sequential state\nconcurrent:\n%.2000s\nsequential:\n%.2000s", trial, got, want)
+		}
+		conc.Close()
+	}
+}
+
+// TestConcurrentDCQueriesConverge exercises the serialized general-DC path
+// under racing callers: the pairwise checked bookkeeping must neither drop
+// nor duplicate fixes.
+func TestConcurrentDCQueriesConverge(t *testing.T) {
+	build := func() *Session {
+		sch := schema.MustNew(
+			schema.Column{Name: "salary", Kind: value.Float},
+			schema.Column{Name: "tax", Kind: value.Float},
+		)
+		tb := table.New("emp", sch)
+		for i := 0; i < 60; i++ {
+			tax := 0.1 + float64(i)*0.01
+			if i%7 == 0 {
+				tax = 0.9 - tax
+			}
+			tb.MustAppend(table.Row{value.NewFloat(float64(1000 + i*50)), value.NewFloat(tax)})
+		}
+		s := NewSession(Options{Strategy: StrategyIncremental})
+		if err := s.Register(tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddRule(dc.MustParse("psi@emp: !(t1.salary<t2.salary & t1.tax>t2.tax)")); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	queries := []string{
+		"SELECT salary, tax FROM emp WHERE salary < 1800",
+		"SELECT salary, tax FROM emp WHERE salary >= 1800 AND salary < 2600",
+		"SELECT salary, tax FROM emp WHERE salary >= 2600",
+		"SELECT salary, tax FROM emp WHERE salary >= 0",
+	}
+
+	seq := build()
+	defer seq.Close()
+	for _, q := range queries {
+		if _, err := seq.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := seq.Table("emp")
+
+	conc := build()
+	defer conc.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range queries {
+				if _, err := conc.Query(queries[(i+g)%len(queries)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := conc.Query(queries[len(queries)-1]); err != nil {
+		t.Fatal(err)
+	}
+	got := conc.Table("emp")
+	if got.Len() != want.Len() {
+		t.Fatalf("len %d != %d", got.Len(), want.Len())
+	}
+	// Each violating pair is examined exactly once in every interleaving, so
+	// the distinct range-fix set per cell is interleaving-independent (range
+	// multiplicity and probabilities depend on how pairs batch into deltas,
+	// which a serial order also permutes).
+	rangeSet := func(c *uncertain.Cell) map[string]bool {
+		set := make(map[string]bool, len(c.Ranges))
+		for _, r := range c.Ranges {
+			set[fmt.Sprintf("%v|%s", r.Op, r.Bound)] = true
+		}
+		return set
+	}
+	for i := 0; i < want.Len(); i++ {
+		for _, col := range []string{"salary", "tax"} {
+			a, b := got.Cell(i, col), want.Cell(i, col)
+			if a.IsCertain() != b.IsCertain() {
+				t.Errorf("row %d %s: certainty differs: concurrent %v vs sequential %v", i, col, a, b)
+				continue
+			}
+			as, bs := rangeSet(a), rangeSet(b)
+			if len(as) != len(bs) {
+				t.Errorf("row %d %s: range sets differ: concurrent %v vs sequential %v", i, col, a, b)
+				continue
+			}
+			for k := range as {
+				if !bs[k] {
+					t.Errorf("row %d %s: concurrent range %s missing sequentially (%v vs %v)", i, col, k, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotIsolation: a query's result reflects the epoch it started on
+// plus its own fixes; a racing ReplaceTable does not corrupt it, and the
+// published state converges.
+func TestSnapshotIsolation(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental})
+	defer s.Close()
+	before := s.Table("cities")
+	if _, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'"); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Table("cities")
+	if before == after {
+		t.Fatal("apply must publish a new epoch generation")
+	}
+	// The pre-query generation is untouched (snapshot readers keep a
+	// consistent view).
+	if before.DirtyTuples() != 0 {
+		t.Error("older epoch mutated by copy-on-write apply")
+	}
+	if after.DirtyTuples() == 0 {
+		t.Error("published epoch missing the applied fixes")
+	}
+}
+
+// TestMaxConcurrentQueries: the semaphore bounds in-flight queries without
+// deadlocking or changing results.
+func TestMaxConcurrentQueries(t *testing.T) {
+	s := NewSession(Options{Strategy: StrategyIncremental, MaxConcurrentQueries: 2})
+	defer s.Close()
+	if err := s.Register(stressTable(200, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range stressRules() {
+		if err := s.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := s.Query("SELECT orderkey, suppkey FROM lineorder WHERE orderkey >= 0"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEpochAdvances: every apply batch publishes exactly one new epoch in
+// the sequential case.
+func TestEpochAdvances(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental})
+	defer s.Close()
+	e0 := s.Epoch()
+	if _, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() <= e0 {
+		t.Fatalf("epoch did not advance: %d -> %d", e0, s.Epoch())
+	}
+}
+
+// TestQueryAfterClose: a session whose apply goroutine was stopped still
+// applies deltas inline instead of deadlocking.
+func TestQueryAfterClose(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental})
+	s.Close()
+	if _, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Table("cities").DirtyTuples() == 0 {
+		t.Error("inline apply after Close must still clean")
+	}
+}
+
+// TestStaleWriteBackDroppedAfterReplaceTable: a write-back computed against
+// a registration that ReplaceTable swapped out must be dropped by the
+// writer — otherwise the fresh table's groups would be marked checked
+// without ever being cleaned.
+func TestStaleWriteBackDroppedAfterReplaceTable(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental})
+	defer s.Close()
+
+	// Capture the pre-replacement epoch the racing query would have seen.
+	snap := s.w.current()
+	st := snap.tables["cities"]
+
+	// Replace the table with equally dirty data (fresh registration).
+	s.ReplaceTable("cities", ptable.FromTable(citiesTable()))
+
+	// Simulate the racing query's write-back against the old registration.
+	qc := &queryCtx{s: s, snap: snap}
+	var m detect.Metrics
+	if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replacement must be untouched and still fully cleanable.
+	if s.Table("cities").DirtyTuples() != 0 {
+		t.Fatal("stale delta leaked into the replaced table")
+	}
+	res, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() != 3 {
+		t.Errorf("replacement rows = %d, want 3 (groups must not be pre-checked)", res.Rows.Len())
+	}
+	if s.Table("cities").DirtyTuples() == 0 {
+		t.Error("replacement must clean normally after the dropped write-back")
+	}
+}
+
+func stRule(t *testing.T) *dc.Constraint {
+	t.Helper()
+	return dc.FD("phi", "cities", "city", "zip")
+}
+
+func mustFD(t *testing.T) dc.FDSpec {
+	t.Helper()
+	fd, ok := stRule(t).AsFD()
+	if !ok {
+		t.Fatal("not an FD")
+	}
+	return fd
+}

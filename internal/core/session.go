@@ -3,30 +3,46 @@
 // registered relation, plans queries with cleaning operators weaved in
 // (package plan), executes them (package engine), and implements the
 // cleaning callback: relax the query result (package relax), detect and
-// repair violations (packages detect/thetajoin/repair), apply the delta in
-// place, and remember what has been checked so no work repeats. Per query,
-// the cost model (package cost) decides between incremental cleaning and
-// switching to a full clean of the remaining dirty part (§5.2.3), and
-// Algorithm 2's accuracy estimate drives the same decision for general DCs.
+// repair violations (packages detect/thetajoin/repair), apply the delta, and
+// remember what has been checked so no work repeats. Per query, the cost
+// model (package cost) decides between incremental cleaning and switching to
+// a full clean of the remaining dirty part (§5.2.3), and Algorithm 2's
+// accuracy estimate drives the same decision for general DCs.
+//
+// # Concurrency model
+//
+// Session.Query is safe for any number of concurrent callers. Each query
+// atomically loads the current epoch — an immutable snapshot of every
+// relation's probabilistic state, FD group indexes, checked sets, and cost
+// model — and plans, executes, and relaxes against it without locks. Repair
+// write-backs never mutate the snapshot: the query applies its delta
+// copy-on-write to a private overlay (so its own result reflects its fixes)
+// and routes the delta through a single-writer apply goroutine, which
+// batches pending deltas, merges them into the canonical state, bumps the
+// epoch, and publishes the new snapshot with one atomic store. Duplicate
+// fixes from racing queries coalesce idempotently: FD fixes are
+// group-deterministic functions of the original values, so the writer drops
+// a delta whose group is already checked — the racing winner applied the
+// identical fix. General-DC cleaning serializes on an internal mutex (the
+// pairwise checked-set bookkeeping is inherently order-dependent), keeping
+// convergence exact while FD traffic proceeds in parallel. The converged
+// cleaned state is therefore independent of query interleaving.
 package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"daisy/internal/cost"
 	"daisy/internal/dc"
 	"daisy/internal/detect"
 	"daisy/internal/engine"
-	"daisy/internal/expr"
 	"daisy/internal/plan"
 	"daisy/internal/ptable"
 	"daisy/internal/schema"
 	"daisy/internal/sql"
-	"daisy/internal/stats"
 	"daisy/internal/table"
-	"daisy/internal/thetajoin"
-	"daisy/internal/uncertain"
-	"daisy/internal/value"
 )
 
 // Strategy selects how cleaning work is scheduled.
@@ -40,13 +56,22 @@ const (
 	StrategyFull
 )
 
-// Options configure a Session.
+// Options configure a Session. All defaults resolve once in NewSession; the
+// zero value of every field selects the documented default.
 type Options struct {
 	// Partitions controls theta-join matrix granularity (default 64).
 	Partitions int
-	// Workers bounds the theta-join worker pool: 0 uses every CPU, 1 forces
-	// sequential detection. Results are identical for any setting.
+	// Workers bounds the worker pools of the parallel operators (theta-join
+	// detection, partitioned filter, parallel hash-join build/probe).
+	// 0 resolves to runtime.GOMAXPROCS(0) once at NewSession; 1 forces
+	// sequential execution. Results are identical for any setting — parallel
+	// operators merge deterministically.
 	Workers int
+	// MaxConcurrentQueries caps the number of Query calls executing
+	// simultaneously; further callers block until a slot frees. 0 (default)
+	// means unlimited. Use it to bound memory under heavy traffic: each
+	// in-flight query pins its snapshot epoch and result buffers.
+	MaxConcurrentQueries int
 	// DCThreshold is Algorithm 2's dirtiness threshold above which a general
 	// DC triggers a full clean (default 0.10).
 	DCThreshold float64
@@ -60,43 +85,18 @@ type Options struct {
 	DisableStatsPruning bool
 }
 
+// defaults resolves every option exactly once (NewSession); call sites read
+// the resolved values and never re-derive them.
 func (o *Options) defaults() {
 	if o.Partitions <= 0 {
 		o.Partitions = 64
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	if o.DCThreshold <= 0 {
 		o.DCThreshold = 0.10
 	}
-}
-
-// tableState is the per-relation cleaning state.
-type tableState struct {
-	pt    *ptable.PTable
-	stats *stats.TableStats
-	cost  *cost.Model
-	// fdIdx holds the persistent FD group index per rule, built on first use
-	// and maintained incrementally from applied deltas.
-	fdIdx map[string]*fdIndex
-	// checkedGroups marks FD lhs group keys already cleaned, per rule.
-	checkedGroups map[string]map[value.MapKey]bool
-	// checkedTuples marks tuples already theta-join-checked, per DC rule.
-	checkedTuples map[string]map[int64]bool
-	// dcEstimates caches Algorithm 2's per-range violation estimates.
-	dcEstimates map[string][]thetajoin.RangeEstimate
-	rules       []*dc.Constraint
-}
-
-// Session is a query-driven cleaning session over one or more dirty tables.
-type Session struct {
-	opts   Options
-	tables map[string]*tableState
-	rules  []*dc.Constraint
-
-	// Metrics accumulates work across all queries.
-	Metrics detect.Metrics
-
-	// per-query scratch, reset by Query.
-	lastDecisions []Decision
 }
 
 // Decision records one cleaning decision taken during a query.
@@ -116,29 +116,49 @@ type Result struct {
 	Metrics   detect.Metrics
 }
 
+// Session is a query-driven cleaning session over one or more dirty tables.
+// Query/Run are safe for concurrent use; Register, AddRule, and ReplaceTable
+// may run at any time but queries already in flight keep their epoch and do
+// not see the change.
+type Session struct {
+	opts Options
+	w    *writer
+	sem  chan struct{} // MaxConcurrentQueries gate (nil: unlimited)
+	dcMu sync.Mutex    // serializes general-DC cleaning sections
+
+	// Metrics accumulates work across all queries. Reads are only meaningful
+	// once in-flight queries have returned; per-query numbers are on Result.
+	Metrics   detect.Metrics
+	metricsMu sync.Mutex
+}
+
 // NewSession creates an empty session.
 func NewSession(opts Options) *Session {
 	opts.defaults()
-	return &Session{opts: opts, tables: make(map[string]*tableState)}
+	s := &Session{opts: opts, w: newWriter()}
+	if opts.MaxConcurrentQueries > 0 {
+		s.sem = make(chan struct{}, opts.MaxConcurrentQueries)
+	}
+	// The apply goroutine references only the writer, so an unreachable
+	// Session can be finalized even while the goroutine is parked; Close is
+	// still the deterministic way to release it.
+	runtime.SetFinalizer(s, func(s *Session) { s.w.close() })
+	return s
 }
+
+// Close stops the session's apply goroutine. Call it after the last Query
+// returned; a finalizer covers sessions that are simply dropped.
+func (s *Session) Close() { s.w.close() }
 
 // Register snapshots a dirty table into the session.
 func (s *Session) Register(t *table.Table) error {
-	if _, dup := s.tables[t.Name]; dup {
-		return fmt.Errorf("core: table %q already registered", t.Name)
-	}
-	s.tables[t.Name] = newTableState(ptable.FromTable(t))
-	return nil
-}
-
-func newTableState(pt *ptable.PTable) *tableState {
-	return &tableState{
-		pt:            pt,
-		fdIdx:         make(map[string]*fdIndex),
-		checkedGroups: make(map[string]map[value.MapKey]bool),
-		checkedTuples: make(map[string]map[int64]bool),
-		dcEstimates:   make(map[string][]thetajoin.RangeEstimate),
-	}
+	return s.w.mutate(func(next *snapshot, cloned map[string]bool) error {
+		if _, dup := next.tables[t.Name]; dup {
+			return fmt.Errorf("core: table %q already registered", t.Name)
+		}
+		next.tables[t.Name] = newTableState(ptable.FromTable(t))
+		return nil
+	})
 }
 
 // AddRule binds a denial constraint and precomputes its statistics (the
@@ -148,46 +168,64 @@ func (s *Session) AddRule(rule *dc.Constraint) error {
 	if rule.Name == "" {
 		return fmt.Errorf("core: rule must be named")
 	}
-	bound := false
-	for name, st := range s.tables {
-		if rule.Table != "" && rule.Table != name {
-			continue
-		}
-		ok := true
-		for _, col := range rule.Columns() {
-			if !st.pt.Schema.Has(col) {
-				ok = false
-				break
+	return s.w.mutate(func(next *snapshot, cloned map[string]bool) error {
+		bound := false
+		for name := range next.tables {
+			st := next.tables[name]
+			if rule.Table != "" && rule.Table != name {
+				continue
 			}
-		}
-		if !ok {
-			if rule.Table == name {
-				return fmt.Errorf("core: rule %s references columns missing from %s", rule.Name, name)
+			ok := true
+			for _, col := range rule.Columns() {
+				if !st.pt.Schema.Has(col) {
+					ok = false
+					break
+				}
 			}
-			continue
+			if !ok {
+				if rule.Table == name {
+					return fmt.Errorf("core: rule %s references columns missing from %s", rule.Name, name)
+				}
+				continue
+			}
+			st = next.mutableTable(name, cloned)
+			st.rules = append(append([]*dc.Constraint(nil), st.rules...), rule)
+			if spec, isFD := rule.AsFD(); isFD {
+				idx := make(map[string]*fdIndex, len(st.fdIdx)+1)
+				for r, ix := range st.fdIdx {
+					idx[r] = ix
+				}
+				if idx[rule.Name] == nil {
+					idx[rule.Name] = newFDIndex(st.pt, spec)
+				}
+				st.fdIdx = idx
+			}
+			st.stats = collectStats(st)
+			st.cost = cost.New(st.stats.N, st.stats.Epsilon(), st.stats.P())
+			bound = true
 		}
-		st.rules = append(st.rules, rule)
-		st.stats = st.collectStats()
-		st.cost = cost.New(st.stats.N, st.stats.Epsilon(), st.stats.P())
-		bound = true
-	}
-	if !bound {
-		return fmt.Errorf("core: rule %s matches no registered table", rule.Name)
-	}
-	s.rules = append(s.rules, rule)
-	return nil
+		if !bound {
+			return fmt.Errorf("core: rule %s matches no registered table", rule.Name)
+		}
+		next.rules = append(append([]*dc.Constraint(nil), next.rules...), rule)
+		return nil
+	})
 }
 
 // ReplaceTable installs an externally prepared probabilistic relation under
 // its name, replacing any existing registration. Baselines use it to query
 // data they cleaned offline.
 func (s *Session) ReplaceTable(name string, pt *ptable.PTable) {
-	s.tables[name] = newTableState(pt)
+	_ = s.w.mutate(func(next *snapshot, cloned map[string]bool) error {
+		next.tables[name] = newTableState(pt)
+		return nil
+	})
 }
 
-// Table exposes the current probabilistic state of a relation.
+// Table exposes the current probabilistic state of a relation (the latest
+// published epoch).
 func (s *Session) Table(name string) *ptable.PTable {
-	st, ok := s.tables[name]
+	st, ok := s.w.current().tables[name]
 	if !ok {
 		return nil
 	}
@@ -195,11 +233,15 @@ func (s *Session) Table(name string) *ptable.PTable {
 }
 
 // Rules returns the bound constraints.
-func (s *Session) Rules() []*dc.Constraint { return s.rules }
+func (s *Session) Rules() []*dc.Constraint { return s.w.current().rules }
 
-// Schema implements plan.Catalog.
+// Epoch returns the current snapshot version — it advances by one per
+// published apply batch. Diagnostics only.
+func (s *Session) Epoch() uint64 { return s.w.current().epoch }
+
+// Schema implements plan.Catalog against the latest epoch.
 func (s *Session) Schema(name string) (*schema.Schema, bool) {
-	st, ok := s.tables[name]
+	st, ok := s.w.current().tables[name]
 	if !ok {
 		return nil, false
 	}
@@ -207,7 +249,7 @@ func (s *Session) Schema(name string) (*schema.Schema, bool) {
 }
 
 // Query parses, plans, and executes a statement, weaving cleaning operators
-// into the plan.
+// into the plan. Safe for concurrent use.
 func (s *Session) Query(text string) (*Result, error) {
 	q, err := sql.Parse(text)
 	if err != nil {
@@ -216,85 +258,29 @@ func (s *Session) Query(text string) (*Result, error) {
 	return s.Run(q)
 }
 
-// Run executes a parsed query.
+// Run executes a parsed query against an immutable snapshot of the session
+// state; repair write-backs route through the single-writer apply loop.
 func (s *Session) Run(q *sql.Query) (*Result, error) {
-	node, err := plan.Build(q, s, s.rules)
+	if s.sem != nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+	snap := s.w.current()
+	qc := &queryCtx{s: s, snap: snap}
+	node, err := plan.Build(q, qc, snap.rules)
 	if err != nil {
 		return nil, err
 	}
-	s.lastDecisions = nil
-	ex := &engine.Executor{Tables: s.ptables()}
+	ex := &engine.Executor{Tables: qc.ptables(), Workers: s.opts.Workers}
 	if !s.opts.DisableCleaning {
-		ex.Cleaner = s
+		ex.Cleaner = qc
 	}
 	rows, err := ex.Run(node)
 	if err != nil {
 		return nil, err
 	}
+	s.metricsMu.Lock()
 	s.Metrics.Add(ex.Metrics)
-	return &Result{Rows: rows, Plan: node.String(), Decisions: s.lastDecisions, Metrics: ex.Metrics}, nil
-}
-
-func (s *Session) ptables() map[string]*ptable.PTable {
-	out := make(map[string]*ptable.PTable, len(s.tables))
-	for name, st := range s.tables {
-		out[name] = st.pt
-	}
-	return out
-}
-
-// CleanSelect implements engine.Cleaner: the cleanσ operator.
-func (s *Session) CleanSelect(tableName string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) ([]int, error) {
-	st, ok := s.tables[tableName]
-	if !ok {
-		return nil, fmt.Errorf("core: clean: unknown table %q", tableName)
-	}
-	resultSet := make(map[int]bool, len(rows))
-	current := append([]int(nil), rows...)
-	for _, r := range current {
-		resultSet[r] = true
-	}
-	for _, rule := range rules {
-		var extra []int
-		var err error
-		if fd, isFD := rule.AsFD(); isFD {
-			extra, err = s.cleanFD(st, tableName, rule, fd, current, pred, m)
-		} else {
-			extra, err = s.cleanDC(st, tableName, rule, current, m)
-		}
-		if err != nil {
-			return nil, err
-		}
-		for _, x := range extra {
-			if !resultSet[x] {
-				resultSet[x] = true
-				current = append(current, x)
-			}
-		}
-	}
-	// Re-qualify: keep every tuple that satisfies the predicate in at least
-	// one possible world after cleaning.
-	if pred == nil {
-		return current, nil
-	}
-	var out []int
-	pt := st.pt
-	// One closure over a mutable row, with column resolution memoized.
-	row := 0
-	colIdx := make(map[string]int, 2)
-	cellOf := func(ref expr.ColRef) *uncertain.Cell {
-		idx, ok := colIdx[ref.Col]
-		if !ok {
-			idx = pt.Schema.MustIndex(ref.Col)
-			colIdx[ref.Col] = idx
-		}
-		return &pt.Tuples[row].Cells[idx]
-	}
-	for _, r := range current {
-		row = r
-		if pred.EvalCell(cellOf) {
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	s.metricsMu.Unlock()
+	return &Result{Rows: rows, Plan: node.String(), Decisions: qc.decisions, Metrics: ex.Metrics}, nil
 }

@@ -10,6 +10,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"daisy/internal/dc"
 	"daisy/internal/detect"
@@ -22,17 +23,25 @@ import (
 	"daisy/internal/value"
 )
 
-// Cleaner cleans the filtered rows of a base relation: it may update the
-// relation's probabilistic state in place and returns the final qualifying
-// row positions (the relaxed, corrected result).
+// Cleaner cleans the filtered rows of a base relation: it computes and
+// applies repairs for the rows' violations and returns the relation
+// generation downstream operators must read (under snapshot isolation the
+// fixes land on a copy-on-write overlay, not the executor's input table)
+// together with the final qualifying row positions (the relaxed, corrected
+// result). A nil returned table means "unchanged".
 type Cleaner interface {
-	CleanSelect(table string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) ([]int, error)
+	CleanSelect(table string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) (*ptable.PTable, []int, error)
 }
 
 // Executor runs plans against a set of probabilistic relations.
 type Executor struct {
 	Tables  map[string]*ptable.PTable
 	Cleaner Cleaner // nil disables cleaning (dirty execution)
+	// Workers bounds the worker pool of the partitioned operators (filter,
+	// hash-join build/probe): <=1 forces sequential execution. Output is
+	// identical for any setting — parallel operators merge in partition
+	// order.
+	Workers int
 	Metrics detect.Metrics
 }
 
@@ -92,9 +101,89 @@ func (e *Executor) execSelect(node *plan.Select) (*frame, error) {
 	return e.filter(f, node.Pred), nil
 }
 
-// filter keeps the rows qualifying in at least one possible world.
+// parallelism returns the worker count to use for an operator over n items:
+// sequential below the partition threshold (goroutine fan-out costs more
+// than it saves on small inputs) and Workers-bounded above it.
+func (e *Executor) parallelism(n int) int {
+	if e.Workers <= 1 || n < parallelThreshold {
+		return 1
+	}
+	w := e.Workers
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// parallelThreshold is the input size below which partitioned operators run
+// sequentially.
+const parallelThreshold = 2048
+
+// chunkBounds splits n items into w contiguous chunks and returns the chunk
+// boundaries (len w+1). Chunk order is the merge order, so partitioned
+// operators stay deterministic.
+func chunkBounds(n, w int) []int {
+	bounds := make([]int, w+1)
+	for i := 0; i <= w; i++ {
+		bounds[i] = i * n / w
+	}
+	return bounds
+}
+
+// runChunks executes fn per chunk on a bounded worker pool and returns when
+// every chunk finished. fn receives the chunk index and its [lo, hi) bounds.
+func runChunks(bounds []int, workers int, fn func(ci, lo, hi int)) {
+	chunks := len(bounds) - 1
+	if workers > chunks {
+		workers = chunks
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range next {
+				fn(ci, bounds[ci], bounds[ci+1])
+			}
+		}()
+	}
+	for ci := 0; ci < chunks; ci++ {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+}
+
+// filter keeps the rows qualifying in at least one possible world. Above the
+// partition threshold the row set fans out across the worker pool; chunk
+// results concatenate in chunk order, so the output is byte-identical to the
+// sequential scan.
 func (e *Executor) filter(f *frame, pred expr.Pred) *frame {
 	out := &frame{pt: f.pt, table: f.table, isBase: f.isBase}
+	if w := e.parallelism(len(f.rows)); w > 1 {
+		bounds := chunkBounds(len(f.rows), w)
+		results := make([][]int, w)
+		runChunks(bounds, w, func(ci, lo, hi int) {
+			// Per-chunk getter: the memoized column cache must not be shared
+			// across goroutines.
+			get := e.cellGetter(f)
+			row := 0
+			cellOf := func(ref expr.ColRef) *uncertain.Cell { return get(row, ref) }
+			var keep []int
+			for _, r := range f.rows[lo:hi] {
+				row = r
+				if pred.EvalCell(cellOf) {
+					keep = append(keep, r)
+				}
+			}
+			results[ci] = keep
+		})
+		for _, keep := range results {
+			out.rows = append(out.rows, keep...)
+		}
+		return out
+	}
 	get := e.cellGetter(f)
 	// One closure over a mutable row variable instead of one per row.
 	row := 0
@@ -156,11 +245,18 @@ func (e *Executor) execCleanSelect(node *plan.CleanSelect) (*frame, error) {
 	if sel, ok := node.Child.(*plan.Select); ok {
 		pred = sel.Pred
 	}
-	rows, err := e.Cleaner.CleanSelect(node.Table, f.rows, pred, node.Rules, &e.Metrics)
+	pt, rows, err := e.Cleaner.CleanSelect(node.Table, f.rows, pred, node.Rules, &e.Metrics)
 	if err != nil {
 		return nil, err
 	}
-	return &frame{pt: e.Tables[node.Table], rows: rows, table: f.table, isBase: true}, nil
+	if pt != nil {
+		// Snapshot isolation: the cleaner returns the query-local generation
+		// carrying its fixes; downstream operators must read it.
+		e.Tables[node.Table] = pt
+	} else {
+		pt = e.Tables[node.Table]
+	}
+	return &frame{pt: pt, rows: rows, table: f.table, isBase: true}, nil
 }
 
 func (e *Executor) execJoin(node *plan.Join) (*frame, error) {
@@ -191,22 +287,103 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 	}
 	out := ptable.New("join", joinedSchema)
 
-	lGet := e.cellGetter(lf)
-	rGet := e.cellGetter(rf)
-
-	build := make(map[value.MapKey][]int)
-	for _, r := range rf.rows {
-		cell := rGet(r, node.RightRef)
-		for _, v := range cell.Values() {
-			k := v.MapKey()
-			build[k] = append(build[k], r)
+	build := e.buildSide(rf, node.RightRef)
+	matches := e.probeSide(lf, node.LeftRef, build)
+	out.Reserve(len(matches))
+	tuples := make([]ptable.Tuple, len(matches))
+	if w := e.parallelism(len(matches)); w > 1 {
+		runChunks(chunkBounds(len(matches), w), w, func(ci, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fillJoinTuple(&tuples[i], int64(i), lf.pt.Tuples[matches[i].l], rf.pt.Tuples[matches[i].r])
+			}
+		})
+	} else {
+		for i, mt := range matches {
+			fillJoinTuple(&tuples[i], int64(i), lf.pt.Tuples[mt.l], rf.pt.Tuples[mt.r])
 		}
 	}
-	var id int64
+	for i := range tuples {
+		out.Append(&tuples[i])
+	}
+	return &frame{pt: out, rows: seq(out.Len())}, nil
+}
+
+// joinMatch is one qualifying (left row, right row) pair, produced by the
+// probe phase before tuples materialize.
+type joinMatch struct{ l, r int }
+
+// buildSide hashes the build relation by every candidate value of its join
+// key. Above the partition threshold the build fans out: each worker scans
+// one chunk into a private map and the chunk maps merge in chunk order, so
+// every key's row list is in ascending row order — identical to the
+// sequential build.
+func (e *Executor) buildSide(rf *frame, ref expr.ColRef) map[value.MapKey][]int {
+	w := e.parallelism(len(rf.rows))
+	if w <= 1 {
+		get := e.cellGetter(rf)
+		build := make(map[value.MapKey][]int, len(rf.rows))
+		for _, r := range rf.rows {
+			for _, v := range get(r, ref).Values() {
+				k := v.MapKey()
+				build[k] = append(build[k], r)
+			}
+		}
+		return build
+	}
+	bounds := chunkBounds(len(rf.rows), w)
+	parts := make([]map[value.MapKey][]int, w)
+	runChunks(bounds, w, func(ci, lo, hi int) {
+		get := e.cellGetter(rf)
+		part := make(map[value.MapKey][]int, hi-lo)
+		for _, r := range rf.rows[lo:hi] {
+			for _, v := range get(r, ref).Values() {
+				k := v.MapKey()
+				part[k] = append(part[k], r)
+			}
+		}
+		parts[ci] = part
+	})
+	build := make(map[value.MapKey][]int, len(rf.rows))
+	for _, part := range parts {
+		for k, rows := range part {
+			build[k] = append(build[k], rows...)
+		}
+	}
+	return build
+}
+
+// probeSide probes every candidate value of the left join key and collects
+// qualifying pairs. Parallel probing chunks the left rows and concatenates
+// per-chunk matches in chunk order — the same pair sequence as the
+// sequential probe. Comparison counts accumulate per worker and merge after.
+func (e *Executor) probeSide(lf *frame, ref expr.ColRef, build map[value.MapKey][]int) []joinMatch {
+	w := e.parallelism(len(lf.rows))
+	if w <= 1 {
+		local := detect.Metrics{}
+		m := e.probeChunk(lf, ref, build, lf.rows, &local)
+		e.Metrics.Add(local)
+		return m
+	}
+	bounds := chunkBounds(len(lf.rows), w)
+	results := make([][]joinMatch, w)
+	locals := make([]detect.Metrics, w)
+	runChunks(bounds, w, func(ci, lo, hi int) {
+		results[ci] = e.probeChunk(lf, ref, build, lf.rows[lo:hi], &locals[ci])
+	})
+	var out []joinMatch
+	for ci, ms := range results {
+		out = append(out, ms...)
+		e.Metrics.Add(locals[ci])
+	}
+	return out
+}
+
+func (e *Executor) probeChunk(lf *frame, ref expr.ColRef, build map[value.MapKey][]int, rows []int, m *detect.Metrics) []joinMatch {
+	get := e.cellGetter(lf)
+	var out []joinMatch
 	var matched map[int]bool
-	for _, l := range lf.rows {
-		lc := lGet(l, node.LeftRef)
-		vals := lc.Values()
+	for _, l := range rows {
+		vals := get(l, ref).Values()
 		// Certain cells (the common case) have one candidate, so no match
 		// can repeat and the dedup set is unnecessary.
 		if len(vals) > 1 {
@@ -220,17 +397,17 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 					}
 					matched[r] = true
 				}
-				e.Metrics.Comparisons++
-				out.Append(joinTuple(id, lf.pt.Tuples[l], rf.pt.Tuples[r]))
-				id++
+				m.Comparisons++
+				out = append(out, joinMatch{l: l, r: r})
 			}
 		}
 	}
-	return &frame{pt: out, rows: seq(out.Len())}, nil
+	return out
 }
 
-func joinTuple(id int64, l, r *ptable.Tuple) *ptable.Tuple {
-	t := &ptable.Tuple{ID: id, Lineage: make(map[string][]int64)}
+func fillJoinTuple(t *ptable.Tuple, id int64, l, r *ptable.Tuple) {
+	t.ID = id
+	t.Lineage = make(map[string][]int64)
 	t.Cells = make([]uncertain.Cell, 0, len(l.Cells)+len(r.Cells))
 	t.Cells = append(t.Cells, l.Cells...)
 	t.Cells = append(t.Cells, r.Cells...)
@@ -240,7 +417,6 @@ func joinTuple(id int64, l, r *ptable.Tuple) *ptable.Tuple {
 	for k, v := range r.Lineage {
 		t.Lineage[k] = append(t.Lineage[k], v...)
 	}
-	return t
 }
 
 func seq(n int) []int {

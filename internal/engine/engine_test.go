@@ -216,10 +216,10 @@ type fakeCleaner struct {
 	extraRows   []int
 }
 
-func (f *fakeCleaner) CleanSelect(tbl string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) ([]int, error) {
+func (f *fakeCleaner) CleanSelect(tbl string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) (*ptable.PTable, []int, error) {
 	f.calledTable = tbl
 	f.calledRows = rows
-	return append(append([]int{}, rows...), f.extraRows...), nil
+	return nil, append(append([]int{}, rows...), f.extraRows...), nil
 }
 
 func TestCleanSelectInvokesCleaner(t *testing.T) {

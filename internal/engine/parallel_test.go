@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"testing"
+
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/value"
+)
+
+// bigPT builds a relation large enough to cross the parallel threshold, with
+// a skewed join key so hash buckets have real collisions.
+func bigPT(name string, n int) *ptable.PTable {
+	sch := schema.MustNew(
+		schema.Column{Name: "k", Kind: value.Int},
+		schema.Column{Name: "v", Kind: value.Int},
+	)
+	tb := table.New(name, sch)
+	for i := 0; i < n; i++ {
+		tb.MustAppend(table.Row{value.NewInt(int64(i % 97)), value.NewInt(int64(i))})
+	}
+	return ptable.FromTable(tb)
+}
+
+// TestParallelFilterDeterministic: the partitioned filter must emit the
+// same rows in the same order for any worker count.
+func TestParallelFilterDeterministic(t *testing.T) {
+	pt := bigPT("big", 3*parallelThreshold)
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		e := &Executor{Tables: map[string]*ptable.PTable{"big": pt}, Workers: workers}
+		out := run(t, e, "SELECT k, v FROM big WHERE v >= 100 AND v <= 5000")
+		got := out.Fingerprint()
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d filter output differs from sequential", workers)
+		}
+	}
+}
+
+// TestParallelHashJoinDeterministic: sharded build + chunked probe must be
+// byte-identical to the sequential join, including comparison metrics.
+func TestParallelHashJoinDeterministic(t *testing.T) {
+	l := bigPT("l", 2*parallelThreshold)
+	r := bigPT("r", 2*parallelThreshold+131)
+	var want string
+	var wantCmp int64
+	for _, workers := range []int{1, 4, 16} {
+		e := &Executor{Tables: map[string]*ptable.PTable{"l": l, "r": r}, Workers: workers}
+		out := run(t, e, "SELECT l.v, r.v FROM l, r WHERE l.k = r.k AND l.v <= 300")
+		got := out.Fingerprint()
+		if workers == 1 {
+			want, wantCmp = got, e.Metrics.Comparisons
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d join output differs from sequential", workers)
+		}
+		if e.Metrics.Comparisons != wantCmp {
+			t.Errorf("workers=%d comparisons=%d, sequential=%d", workers, e.Metrics.Comparisons, wantCmp)
+		}
+	}
+	if want == "" {
+		t.Fatal("no sequential baseline")
+	}
+}
+
+// TestParallelThresholdKeepsSmallInputsSequential pins that tiny inputs do
+// not pay goroutine fan-out, and that the engine treats Workers<=1 as
+// sequential (0 resolves to GOMAXPROCS in core.NewSession, not here).
+func TestParallelThresholdKeepsSmallInputsSequential(t *testing.T) {
+	e := &Executor{Workers: 8}
+	if got := e.parallelism(parallelThreshold - 1); got != 1 {
+		t.Errorf("parallelism(small) = %d, want 1", got)
+	}
+	if got := e.parallelism(parallelThreshold); got != 8 {
+		t.Errorf("parallelism(threshold) = %d, want 8", got)
+	}
+	e.Workers = 0
+	if got := e.parallelism(1 << 20); got != 1 {
+		t.Errorf("parallelism with Workers=0 = %d, want 1", got)
+	}
+}

@@ -1,0 +1,275 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"daisy/internal/core"
+	"daisy/internal/dc"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// scenario is one randomly generated differential case: a dirty table, a
+// rule set (possibly arriving mid-workload), a forced strategy, and a query
+// mix ending with a covering query.
+type scenario struct {
+	tb       *table.Table
+	rules    []*dc.Constraint
+	lateRule bool // bind the last rule only after the first query
+	strategy Strategy
+	queries  []string
+}
+
+func genScenario(seed int64) scenario {
+	rng := rand.New(rand.NewSource(seed))
+	n := 30 + rng.Intn(90)
+	domA := n/6 + 2
+	sch := schema.MustNew(
+		schema.Column{Name: "a", Kind: value.Int},
+		schema.Column{Name: "b", Kind: value.Int},
+		schema.Column{Name: "c", Kind: value.Int},
+		schema.Column{Name: "x", Kind: value.Float},
+		schema.Column{Name: "y", Kind: value.Float},
+	)
+	tb := table.New("t", sch)
+	for i := 0; i < n; i++ {
+		tb.MustAppend(table.Row{
+			value.NewInt(int64(rng.Intn(domA))),
+			value.NewInt(int64(rng.Intn(8))),
+			value.NewInt(int64(rng.Intn(6))),
+			value.NewFloat(float64(rng.Intn(40))),
+			value.NewFloat(float64(rng.Intn(40))),
+		})
+	}
+
+	sc := scenario{tb: tb}
+	sc.rules = append(sc.rules, dc.FD("phi1", "t", "b", "a"))
+	if rng.Intn(2) == 0 {
+		sc.rules = append(sc.rules, dc.FD("phi2", "t", "c", "a"))
+	}
+	if rng.Intn(5) < 2 {
+		sc.rules = append(sc.rules, dc.MustParse("psi@t: !(t1.x<t2.x & t1.y>t2.y)"))
+	}
+	sc.lateRule = len(sc.rules) > 1 && rng.Intn(10) < 3
+	if rng.Intn(2) == 0 {
+		sc.strategy = Full
+	}
+
+	nq := 3 + rng.Intn(4)
+	for i := 0; i < nq; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			lo := rng.Intn(domA)
+			sc.queries = append(sc.queries, fmt.Sprintf(
+				"SELECT a, b FROM t WHERE a >= %d AND a <= %d", lo, lo+rng.Intn(domA/2+1)))
+		case 1:
+			sc.queries = append(sc.queries, fmt.Sprintf(
+				"SELECT a, b, c FROM t WHERE b = %d", rng.Intn(8)))
+		case 2:
+			sc.queries = append(sc.queries, fmt.Sprintf(
+				"SELECT x, y, a, b FROM t WHERE x >= %d", rng.Intn(40)))
+		default:
+			sc.queries = append(sc.queries, fmt.Sprintf(
+				"SELECT * FROM t WHERE c <= %d", rng.Intn(6)))
+		}
+	}
+	// Covering query: every violating group and tuple is visited by the end,
+	// so both implementations converge to their final state.
+	sc.queries = append(sc.queries, "SELECT a, b, c, x, y FROM t WHERE a >= 0")
+	return sc
+}
+
+func coreStrategy(s Strategy) core.Strategy {
+	if s == Full {
+		return core.StrategyFull
+	}
+	return core.StrategyIncremental
+}
+
+// resultLines renders result rows as sorted canonical lines (result order is
+// implementation-defined for DC relaxation extras, content is not).
+func oracleResultLines(res *Result) []string {
+	lines := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		var b strings.Builder
+		for i := range row {
+			b.WriteString(ptable.CellFingerprint(&row[i]))
+			b.WriteByte('|')
+		}
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func coreResultLines(rows *ptable.PTable) []string {
+	lines := make([]string, 0, rows.Len())
+	for _, t := range rows.Tuples {
+		var b strings.Builder
+		for i := range t.Cells {
+			b.WriteString(ptable.CellFingerprint(&t.Cells[i]))
+			b.WriteByte('|')
+		}
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// runScenario executes one scenario against the optimized engine and the
+// oracle, failing on the first divergence in per-query results or table
+// state.
+func runScenario(t testing.TB, seed int64) {
+	sc := genScenario(seed)
+
+	opt := core.NewSession(core.Options{Strategy: coreStrategy(sc.strategy)})
+	defer opt.Close()
+	ora := New(sc.strategy)
+	if err := opt.Register(sc.tb.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ora.Register(sc.tb.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	nRules := len(sc.rules)
+	if sc.lateRule {
+		nRules--
+	}
+	addRule := func(r *dc.Constraint) {
+		if err := opt.AddRule(r); err != nil {
+			t.Fatalf("seed %d: core AddRule: %v", seed, err)
+		}
+		if err := ora.AddRule(r); err != nil {
+			t.Fatalf("seed %d: oracle AddRule: %v", seed, err)
+		}
+	}
+	for _, r := range sc.rules[:nRules] {
+		addRule(r)
+	}
+
+	for qi, q := range sc.queries {
+		if sc.lateRule && qi == 1 {
+			addRule(sc.rules[len(sc.rules)-1])
+		}
+		optRes, err := opt.Query(q)
+		if err != nil {
+			t.Fatalf("seed %d: core query %q: %v", seed, q, err)
+		}
+		oraRes, err := ora.Query(q)
+		if err != nil {
+			t.Fatalf("seed %d: oracle query %q: %v", seed, q, err)
+		}
+		got := coreResultLines(optRes.Rows)
+		want := oracleResultLines(oraRes)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d query %d %q: result size %d (engine) != %d (oracle)",
+				seed, qi, q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d query %d %q: result row %d differs\nengine: %s\noracle: %s",
+					seed, qi, q, i, got[i], want[i])
+			}
+		}
+		gotState := opt.Table("t").Fingerprint()
+		wantState := ora.Table("t").Fingerprint()
+		if gotState != wantState {
+			t.Fatalf("seed %d after query %d %q: table state diverged\nengine:\n%.1500s\noracle:\n%.1500s",
+				seed, qi, q, gotState, wantState)
+		}
+	}
+}
+
+// TestDifferentialOracle: the optimized engine and the naive oracle must
+// produce identical per-query results and identical final probabilistic
+// state on 120 seeded random scenarios (tables × rules × strategies ×
+// query mixes).
+func TestDifferentialOracle(t *testing.T) {
+	for seed := int64(1); seed <= 120; seed++ {
+		runScenario(t, seed)
+	}
+}
+
+// FuzzDifferentialOracle fuzzes the same property over arbitrary seeds —
+// the CI smoke step runs it briefly; longer local runs dig deeper.
+func FuzzDifferentialOracle(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1234, 99999} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runScenario(t, seed)
+	})
+}
+
+// TestOracleRejectsUnsupported pins the oracle's intentionally small query
+// surface.
+func TestOracleRejectsUnsupported(t *testing.T) {
+	s := New(Incremental)
+	sch := schema.MustNew(schema.Column{Name: "a", Kind: value.Int})
+	tb := table.New("t", sch)
+	tb.MustAppend(table.Row{value.NewInt(1)})
+	if err := s.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("SELECT COUNT(*) FROM t"); err == nil {
+		t.Error("aggregates must be rejected")
+	}
+	if _, err := s.Query("SELECT a FROM ghost"); err == nil {
+		t.Error("unknown table must be rejected")
+	}
+}
+
+// TestOracleCleansRunningExample sanity-checks the oracle itself against the
+// paper's Table 2 numbers, independent of the engine.
+func TestOracleCleansRunningExample(t *testing.T) {
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	tb := table.New("cities", sch)
+	rows := []struct {
+		zip  int64
+		city string
+	}{
+		{9001, "Los Angeles"}, {9001, "San Francisco"}, {9001, "Los Angeles"},
+		{10001, "San Francisco"}, {10001, "New York"},
+	}
+	for _, r := range rows {
+		tb.MustAppend(table.Row{value.NewInt(r.zip), value.NewString(r.city)})
+	}
+	s := New(Incremental)
+	if err := s.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(dc.FD("phi", "cities", "city", "zip")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("result rows = %d, want 3 (two LA rows + relaxed partner)", len(res.Rows))
+	}
+	cell := s.Table("cities").Cell(1, "city")
+	if cell.IsCertain() {
+		t.Fatal("tuple 1 city must be probabilistic")
+	}
+	var la float64
+	for _, c := range cell.Candidates {
+		if c.Val.Str() == "Los Angeles" {
+			la = c.Prob
+		}
+	}
+	if la < 0.66 || la > 0.67 {
+		t.Errorf("P(LA|9001) = %v, want 2/3", la)
+	}
+	_ = uncertain.Cell{}
+}

@@ -9,6 +9,7 @@ package ptable
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"daisy/internal/schema"
@@ -195,6 +196,40 @@ func (p *PTable) Apply(d *Delta) int {
 	return updated
 }
 
+// ApplyCOW merges the delta copy-on-write: untouched tuples are shared with
+// the receiver, touched tuples are cloned before mutation, and a new PTable
+// (sharing the schema and the id→position index) is returned together with
+// the number of updated cells. The receiver is not modified, so snapshots
+// holding it can keep reading concurrently. The returned relation must not
+// be Appended to — it shares the byID index with its ancestors.
+func (p *PTable) ApplyCOW(d *Delta) (*PTable, int) {
+	out := &PTable{Name: p.Name, Schema: p.Schema, byID: p.byID}
+	out.Tuples = append(make([]*Tuple, 0, len(p.Tuples)), p.Tuples...)
+	updated := 0
+	for id, cols := range d.Cells {
+		i, ok := p.byID[id]
+		if !ok {
+			continue
+		}
+		src := out.Tuples[i]
+		// Shallow write clone: fresh cell slice (the merge below writes into
+		// it) but shared candidate backing and lineage — Cell.Merge copies
+		// before mutating and lineage is immutable after creation.
+		t := &Tuple{ID: src.ID, Cells: append([]uncertain.Cell(nil), src.Cells...), Lineage: src.Lineage}
+		for col, cell := range cols {
+			cur := &t.Cells[col]
+			if cur.IsCertain() {
+				*cur = cell
+			} else {
+				cur.Merge(cell)
+			}
+			updated++
+		}
+		out.Tuples[i] = t
+	}
+	return out, updated
+}
+
 // DirtyTuples returns the count of tuples with at least one uncertain cell.
 func (p *PTable) DirtyTuples() int {
 	n := 0
@@ -259,4 +294,60 @@ func (p *PTable) String() string {
 // candidate of an uncertain one (row addressed by position).
 func (p *PTable) Get(row int, col string) value.Value {
 	return p.Tuples[row].Cells[p.Schema.MustIndex(col)].Value()
+}
+
+// Fingerprint renders the relation's full probabilistic state canonically:
+// one line per tuple with every cell's original value, candidate set
+// (sorted by value, full-precision probabilities and supports), and range
+// candidates (sorted by op/bound). World identifiers are excluded — they
+// number candidate insertion order, which merge order permutes without
+// changing the distribution — so two states that answer every query
+// identically fingerprint identically. Tests use it to assert that the
+// converged state of a concurrent session is byte-identical to sequential
+// execution.
+func (p *PTable) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%d\n", p.Name, p.Schema, p.Len())
+	for _, t := range p.Tuples {
+		fmt.Fprintf(&b, "#%d", t.ID)
+		for i := range t.Cells {
+			b.WriteByte('|')
+			appendCellFingerprint(&b, &t.Cells[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CellFingerprint renders one cell in the same canonical form Fingerprint
+// uses — the comparison unit of the differential tests.
+func CellFingerprint(c *uncertain.Cell) string {
+	var b strings.Builder
+	appendCellFingerprint(&b, c)
+	return b.String()
+}
+
+func appendCellFingerprint(b *strings.Builder, c *uncertain.Cell) {
+	fmt.Fprintf(b, "o=%s", c.Orig)
+	if c.IsCertain() {
+		return
+	}
+	cands := append([]uncertain.Candidate(nil), c.Candidates...)
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Val.Less(cands[j].Val) })
+	for _, cand := range cands {
+		fmt.Fprintf(b, ";c=%s@%.12g/%d", cand.Val, cand.Prob, cand.Support)
+	}
+	ranges := append([]uncertain.RangeCandidate(nil), c.Ranges...)
+	sort.Slice(ranges, func(i, j int) bool {
+		if ranges[i].Op != ranges[j].Op {
+			return ranges[i].Op < ranges[j].Op
+		}
+		if !ranges[i].Bound.Equal(ranges[j].Bound) {
+			return ranges[i].Bound.Less(ranges[j].Bound)
+		}
+		return ranges[i].Prob < ranges[j].Prob
+	})
+	for _, r := range ranges {
+		fmt.Fprintf(b, ";r=%s%s@%.12g", r.Op, r.Bound, r.Prob)
+	}
 }

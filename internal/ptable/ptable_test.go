@@ -166,3 +166,94 @@ func TestTupleDirtyAndClone(t *testing.T) {
 		t.Error("Clone must deep-copy cells and lineage")
 	}
 }
+
+func TestApplyCOWLeavesReceiverUntouched(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	d := NewDelta("cities")
+	col := p.Schema.MustIndex("city")
+	d.Set(1, col, dirtyCell())
+	next, n := p.ApplyCOW(d)
+	if n != 1 {
+		t.Fatalf("ApplyCOW updated %d cells, want 1", n)
+	}
+	// Receiver epoch is untouched; the new generation carries the fix.
+	if p.DirtyTuples() != 0 {
+		t.Error("ApplyCOW mutated the receiver")
+	}
+	if next.DirtyTuples() != 1 {
+		t.Error("new generation missing the applied cells")
+	}
+	// Untouched tuples are shared, touched tuples are fresh.
+	if p.Tuples[0] != next.Tuples[0] || p.Tuples[2] != next.Tuples[2] {
+		t.Error("untouched tuples must be shared across generations")
+	}
+	if p.Tuples[1] == next.Tuples[1] {
+		t.Error("touched tuple must be cloned")
+	}
+	// The id index is shared and still resolves in both generations.
+	if pos, ok := next.Pos(1); !ok || pos != 1 {
+		t.Errorf("Pos in new generation = %d,%v", pos, ok)
+	}
+}
+
+func TestApplyCOWMergesIntoNewGenerationOnly(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	col := p.Schema.MustIndex("city")
+	d1 := NewDelta("cities")
+	d1.Set(1, col, dirtyCell())
+	gen1, _ := p.ApplyCOW(d1)
+
+	d2 := NewDelta("cities")
+	d2.Set(1, col, uncertain.Cell{
+		Orig: value.NewString("San Francisco"),
+		Candidates: []uncertain.Candidate{
+			{Val: value.NewString("Oakland"), Prob: 1, World: 1, Support: 1},
+		},
+	})
+	gen2, _ := gen1.ApplyCOW(d2)
+	if got := len(gen1.Cell(1, "city").Candidates); got != 2 {
+		t.Errorf("generation 1 candidates = %d, want 2 (merge must copy-on-write)", got)
+	}
+	if got := len(gen2.Cell(1, "city").Candidates); got != 3 {
+		t.Errorf("generation 2 candidates = %d, want 3", got)
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	col := p.Schema.MustIndex("city")
+	// Two states built by merging the same two fixes in opposite order must
+	// fingerprint identically (world ids and candidate order are
+	// merge-order artifacts; the distribution is not).
+	fixA := func() uncertain.Cell { return dirtyCell() }
+	fixB := func() uncertain.Cell {
+		return uncertain.Cell{
+			Orig: value.NewString("San Francisco"),
+			Candidates: []uncertain.Candidate{
+				{Val: value.NewString("Oakland"), Prob: 1, World: 1, Support: 1},
+			},
+		}
+	}
+	ab := FromTable(citiesTable(t))
+	dA := NewDelta("cities")
+	dA.Set(1, col, fixA())
+	ab.Apply(dA)
+	dB := NewDelta("cities")
+	dB.Set(1, col, fixB())
+	ab.Apply(dB)
+
+	ba := FromTable(citiesTable(t))
+	dB2 := NewDelta("cities")
+	dB2.Set(1, col, fixB())
+	ba.Apply(dB2)
+	dA2 := NewDelta("cities")
+	dA2.Set(1, col, fixA())
+	ba.Apply(dA2)
+
+	if ab.Fingerprint() != ba.Fingerprint() {
+		t.Errorf("merge order leaked into fingerprint:\n%s\nvs\n%s", ab.Fingerprint(), ba.Fingerprint())
+	}
+	if p.Fingerprint() == ab.Fingerprint() {
+		t.Error("distinct states must fingerprint differently")
+	}
+}

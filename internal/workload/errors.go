@@ -39,6 +39,10 @@ func InjectFDErrors(t *table.Table, lhsCol, rhsCol string, groupFraction, cellFr
 	for _, v := range domainSet {
 		domain = append(domain, v)
 	}
+	// Map iteration order is random per run: sort so the same seed always
+	// injects the same errors (reproducible workloads are what the seeded
+	// generators promise).
+	sort.Slice(domain, func(i, j int) bool { return domain[i].Less(domain[j]) })
 
 	edited := 0
 	for gi, key := range order {
