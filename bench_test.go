@@ -8,6 +8,7 @@ package daisy
 // reproduce the whole experiment once.
 
 import (
+	"context"
 	"testing"
 
 	"daisy/internal/experiments"
@@ -83,9 +84,9 @@ func BenchmarkTable7Provenance(b *testing.B) { benchExperiment(b, experiments.Ta
 // exploratory scenarios.
 func BenchmarkTable8RealWorld(b *testing.B) { benchExperiment(b, experiments.Table8) }
 
-// BenchmarkQueryCleanFD measures one cleaned SP query end to end (the unit
-// the figures integrate over).
-func BenchmarkQueryCleanFD(b *testing.B) {
+// benchCitiesTable builds the shared relation of the query-path benchmarks.
+func benchCitiesTable(b *testing.B) *Table {
+	b.Helper()
 	tb, err := NewTable("cities",
 		Column{Name: "zip", Kind: Int(0).Kind()},
 		Column{Name: "city", Kind: Str("").Kind()},
@@ -100,6 +101,15 @@ func BenchmarkQueryCleanFD(b *testing.B) {
 		}
 		tb.MustAppend(Row{Int(int64(i % 400)), city})
 	}
+	return tb
+}
+
+// BenchmarkQueryCleanFD measures one cleaned SP query end to end (the unit
+// the figures integrate over) through the classic materializing Query path —
+// now a thin wrapper over QueryContext, so CI's benchstat guard compares the
+// wrapper against the pre-redesign direct path.
+func BenchmarkQueryCleanFD(b *testing.B) {
+	tb := benchCitiesTable(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -113,5 +123,35 @@ func BenchmarkQueryCleanFD(b *testing.B) {
 		if _, err := s.Query("SELECT zip, city FROM cities WHERE zip < 40"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQueryContextStreamCleanFD is the same query through
+// QueryContext + Rows streaming: enumeration reads the snapshot in place, so
+// the streaming layer must track the materialized path within noise.
+func BenchmarkQueryContextStreamCleanFD(b *testing.B) {
+	tb := benchCitiesTable(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{Strategy: StrategyIncremental})
+		if err := s.Register(tb.Clone()); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddRule(FD("phi", "cities", "city", "zip")); err != nil {
+			b.Fatal(err)
+		}
+		rows, err := s.QueryContext(ctx, "SELECT zip, city FROM cities WHERE zip < 40")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rows.Next() {
+			_ = rows.Row()
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		rows.Close()
 	}
 }

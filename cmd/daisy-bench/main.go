@@ -19,12 +19,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"daisy/internal/core"
@@ -42,8 +47,14 @@ func main() {
 	rows := flag.Int("rows", 20000, "qps: relation size")
 	flag.Parse()
 
+	// Ctrl-C cancels in-flight queries through the context path; the qps
+	// experiment then reports the partial throughput numbers and exits
+	// cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *exp == "qps" {
-		if err := runQPS(*parallel, *queries, *rows, *seed); err != nil {
+		if err := runQPS(ctx, *parallel, *queries, *rows, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -81,7 +92,7 @@ func main() {
 // shared session. Early queries carry repair work; once the dataset
 // converges the workload is read-mostly — the regime the snapshot epochs are
 // built for.
-func runQPS(parallel, totalQueries, rows int, seed int64) error {
+func runQPS(ctx context.Context, parallel, totalQueries, rows int, seed int64) error {
 	if parallel < 1 {
 		return fmt.Errorf("qps: -parallel must be >= 1")
 	}
@@ -118,6 +129,7 @@ func runQPS(parallel, totalQueries, rows int, seed int64) error {
 
 	start := time.Now()
 	var wg sync.WaitGroup
+	var completed atomic.Int64
 	errCh := make(chan error, parallel)
 	next := make(chan int)
 	for w := 0; w < parallel; w++ {
@@ -129,7 +141,14 @@ func runQPS(parallel, totalQueries, rows int, seed int64) error {
 				if failed {
 					continue // keep draining so the dispatcher never blocks
 				}
-				if _, err := s.Query(queryAt(i)); err != nil {
+				res, err := s.QueryContext(ctx, queryAt(i))
+				switch {
+				case err == nil:
+					res.Close()
+					completed.Add(1)
+				case errors.Is(err, context.Canceled):
+					failed = true // interrupted: drain quietly
+				default:
 					errCh <- err
 					failed = true
 				}
@@ -146,6 +165,16 @@ func runQPS(parallel, totalQueries, rows int, seed int64) error {
 		return err
 	}
 	elapsed := time.Since(start)
+	if ctx.Err() != nil {
+		// Interrupted: report partial metrics and exit cleanly. The session
+		// state is consistent — canceled queries published nothing.
+		done := completed.Load()
+		fmt.Printf("qps workload interrupted: %d/%d queries completed, parallel=%d\n",
+			done, totalQueries, parallel)
+		fmt.Printf("wall=%s qps=%.1f epoch=%d (partial)\n",
+			elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds(), s.Epoch())
+		return nil
+	}
 
 	// Verification pass: re-run every distinct query sequentially over the
 	// converged state and fold result fingerprints plus the final table

@@ -5,14 +5,21 @@
 // Usage:
 //
 //	daisy-clean -in dirty.csv -rule 'phi: !(t1.zip=t2.zip & t1.city!=t2.city)' [-rule ...] [-out fixed.csv]
+//
+// Ctrl-C cancels the in-flight cleaning pass cooperatively; the command
+// prints the partial metrics accumulated so far and exits cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"daisy/internal/dc"
@@ -50,9 +57,19 @@ func main() {
 		}
 		parsed = append(parsed, c)
 	}
+	// Ctrl-C cancels the cleaning pass cooperatively.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	pt := ptable.FromTable(t)
 	start := time.Now()
-	rep, err := (&offline.Cleaner{}).CleanAll(pt, parsed)
+	rep, err := (&offline.Cleaner{}).CleanAllContext(ctx, pt, parsed)
+	if errors.Is(err, context.Canceled) {
+		fmt.Printf("interrupted after %s; partial work: scanned=%d comparisons=%d repairs=%d\n",
+			time.Since(start).Round(time.Millisecond),
+			rep.Metrics.Scanned, rep.Metrics.Comparisons, rep.Metrics.Repairs)
+		return
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -9,15 +9,24 @@
 //	    "SELECT zip, city FROM cities WHERE city = 'Los Angeles'"
 //
 //	cat workload.sql | daisy-query -in cities.csv -rule '...'
+//
+// Ctrl-C cancels the in-flight query through its context: the query aborts
+// mid-clean without publishing partial repairs, and the command exits
+// cleanly after printing the metrics of the queries that completed. Parse
+// errors are reported with a caret at the offending byte offset.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"daisy"
@@ -31,6 +40,7 @@ func (r *ruleList) Set(s string) error { *r = append(*r, s); return nil }
 func main() {
 	in := flag.String("in", "", "dirty CSV file (header row required)")
 	strategy := flag.String("strategy", "auto", "cleaning strategy: auto, incremental, full")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 	var rules ruleList
 	flag.Var(&rules, "rule", "denial constraint (repeatable)")
 	flag.Parse()
@@ -56,6 +66,7 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 	s := daisy.New(opts)
+	defer s.Close()
 	if err := s.Register(t); err != nil {
 		fatal(err)
 	}
@@ -78,32 +89,67 @@ func main() {
 			}
 		}
 	}
+
+	// Ctrl-C cancels the in-flight query via the context path; the session
+	// state stays consistent (the canceled query publishes nothing).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var qopts []daisy.QueryOption
+	if *timeout > 0 {
+		qopts = append(qopts, daisy.WithTimeout(*timeout))
+	}
+	completed := 0
 	for _, q := range queries {
 		start := time.Now()
-		res, err := s.Query(q)
+		rows, err := s.QueryContext(ctx, q, qopts...)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Printf("-- interrupted during %q (no partial repairs published)\n", q)
+				break
+			}
+			var pe *daisy.ParseError
+			if errors.As(err, &pe) {
+				fmt.Fprintf(os.Stderr, "daisy-query: %v\n  %s\n  %s^\n",
+					pe, q, strings.Repeat(" ", pe.Pos))
+				os.Exit(1)
+			}
 			fatal(err)
 		}
-		fmt.Printf("-- %s\n-- plan: %s (%d rows, %s)\n", q, res.Plan, res.Rows.Len(),
+		fmt.Printf("-- %s\n-- plan: %s (%d rows, %s)\n", q, rows.Plan(), rows.Len(),
 			time.Since(start).Round(time.Microsecond))
-		printResult(res)
+		printRows(rows)
+		if err := rows.Err(); err != nil {
+			rows.Close()
+			fmt.Printf("-- interrupted enumerating %q\n", q)
+			break
+		}
+		rows.Close()
+		completed++
 	}
-	fmt.Printf("-- dataset now has %d probabilistic tuples\n", s.Table(name).DirtyTuples())
+	fmt.Printf("-- %d/%d queries completed; dataset now has %d probabilistic tuples\n",
+		completed, len(queries), s.Table(name).DirtyTuples())
 }
 
-func printResult(res *daisy.Result) {
+// printRows streams up to maxRows tuples from the cursor without holding the
+// whole result.
+func printRows(rows *daisy.Rows) {
 	const maxRows = 20
-	names := res.Rows.Schema.Names()
+	names := rows.Schema().Names()
 	fmt.Println(strings.Join(names, " | "))
-	for i := 0; i < res.Rows.Len() && i < maxRows; i++ {
+	shown := 0
+	for rows.Next() {
+		if shown >= maxRows {
+			fmt.Printf("... (%d more rows)\n", rows.Len()-maxRows)
+			return
+		}
+		tup := rows.Row()
 		cells := make([]string, len(names))
 		for j := range names {
-			cells[j] = res.Rows.Tuples[i].Cells[j].String()
+			cells[j] = tup.Cells[j].String()
 		}
 		fmt.Println(strings.Join(cells, " | "))
-	}
-	if res.Rows.Len() > maxRows {
-		fmt.Printf("... (%d more rows)\n", res.Rows.Len()-maxRows)
+		shown++
 	}
 }
 

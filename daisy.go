@@ -17,29 +17,61 @@
 // provenance to the original data; rules added later merge into the existing
 // probabilistic state without restarting.
 //
-// Query is safe for any number of concurrent callers: each query executes
+// QueryContext is the primary query entry point: it takes a
+// context.Context for cooperative cancellation, per-query options, and
+// returns a streaming Rows cursor that enumerates cleaned tuples from the
+// query's snapshot without materializing the whole result:
+//
+//	rows, err := s.QueryContext(ctx, "SELECT zip, city FROM cities",
+//		daisy.WithTimeout(2*time.Second))
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		t := rows.Row() // *daisy.Tuple, probabilistic cells
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Cancellation is threaded through the whole execution path — plan
+// operators, theta-join partition loops, the relaxation/repair loop — so a
+// deadline or client disconnect aborts mid-clean with an error wrapping
+// ctx.Err(). A canceled query publishes nothing: its private copy-on-write
+// overlay is dropped and the session's published epochs are untouched.
+// Errors are typed: ErrSessionClosed, ErrUnknownTable (errors.Is),
+// *ParseError with the byte offset of the offending token (errors.As), and
+// wrapped context.Canceled / context.DeadlineExceeded.
+//
+// Query remains as a thin materializing wrapper over QueryContext with a
+// background context — existing callers keep working unchanged; prefer
+// QueryContext for anything serving traffic. Per-query options
+// (WithStrategy, WithWorkers, WithoutCleaning, WithExplain, WithTimeout)
+// override the session Options for one call.
+//
+// Queries are safe for any number of concurrent callers: each executes
 // against an immutable snapshot epoch of the session state, repairs route
 // through a single-writer apply loop, and the converged cleaned state is
 // independent of query interleaving. Options.MaxConcurrentQueries bounds
 // admission, Options.Workers bounds intra-query parallelism, and
-// Session.Close releases the apply goroutine. See internal/core for the
-// full concurrency model.
+// Session.Close (idempotent) releases the apply goroutine. See
+// internal/core for the full concurrency model.
 package daisy
 
 import (
 	"io"
+	"time"
 
 	"daisy/internal/core"
 	"daisy/internal/dc"
 	"daisy/internal/ptable"
 	"daisy/internal/schema"
+	"daisy/internal/sql"
 	"daisy/internal/table"
 	"daisy/internal/uncertain"
 	"daisy/internal/value"
 )
 
 // Session is a query-driven cleaning session. See core.Session for the full
-// method set: Register, AddRule, Query, Table, ReplaceTable.
+// method set: Register, AddRule, Query, QueryContext, Table, ReplaceTable,
+// Close.
 type Session = core.Session
 
 // Options configure a Session.
@@ -57,6 +89,47 @@ const (
 
 // Result is a cleaned query answer with the per-rule cleaning decisions.
 type Result = core.Result
+
+// Rows is a streaming cursor over a cleaned query result: Next/Row/Err/Close
+// plus a Go 1.23 All() iterator. Returned by Session.QueryContext.
+type Rows = core.Rows
+
+// Tuple is one result row: probabilistic cells plus provenance lineage.
+type Tuple = ptable.Tuple
+
+// QueryOption overrides one session option for a single QueryContext call.
+type QueryOption = core.QueryOption
+
+// ParseError is a query syntax error with the byte offset of the offending
+// token; recover it with errors.As.
+type ParseError = sql.ParseError
+
+// Typed query errors; test with errors.Is. Canceled and timed-out queries
+// return errors wrapping context.Canceled / context.DeadlineExceeded.
+var (
+	// ErrSessionClosed reports a query on a closed session.
+	ErrSessionClosed = core.ErrSessionClosed
+	// ErrUnknownTable reports a query referencing an unregistered table.
+	ErrUnknownTable = core.ErrUnknownTable
+)
+
+// WithStrategy forces the cleaning strategy for one query.
+func WithStrategy(st Strategy) QueryOption { return core.WithStrategy(st) }
+
+// WithWorkers bounds one query's intra-query parallelism (results are
+// identical for any setting).
+func WithWorkers(n int) QueryOption { return core.WithWorkers(n) }
+
+// WithoutCleaning executes one query over the dirty data unchanged.
+func WithoutCleaning() QueryOption { return core.WithoutCleaning() }
+
+// WithExplain plans the query without executing it; the returned Rows carry
+// only the plan string.
+func WithExplain() QueryOption { return core.WithExplain() }
+
+// WithTimeout gives one query a deadline; on expiry it aborts mid-clean with
+// an error wrapping context.DeadlineExceeded and publishes nothing.
+func WithTimeout(d time.Duration) QueryOption { return core.WithTimeout(d) }
 
 // Table is an in-memory deterministic relation.
 type Table = table.Table

@@ -1,10 +1,13 @@
 package daisy
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func sessionWithCities(t *testing.T) *Session {
@@ -74,6 +77,164 @@ func TestFDHelper(t *testing.T) {
 	}
 	if _, err := ParseRule("bogus"); err == nil {
 		t.Error("ParseRule must propagate errors")
+	}
+}
+
+// TestQueryContextStreaming: the streaming cursor enumerates exactly the
+// tuples Query materializes, in the same order, and the All() iterator
+// matches Next/Row.
+func TestQueryContextStreaming(t *testing.T) {
+	q := "SELECT zip, city FROM cities WHERE city = 'Los Angeles'"
+
+	mat := sessionWithCities(t)
+	defer mat.Close()
+	res, err := mat.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	str := sessionWithCities(t)
+	defer str.Close()
+	rows, err := str.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if rows.Len() != res.Rows.Len() {
+		t.Fatalf("streaming Len = %d, materialized = %d", rows.Len(), res.Rows.Len())
+	}
+	if rows.Plan() != res.Plan {
+		t.Errorf("plan mismatch: %q vs %q", rows.Plan(), res.Plan)
+	}
+	i := 0
+	for rows.Next() {
+		tup := rows.Row()
+		want := res.Rows.Tuples[i]
+		if len(tup.Cells) != len(want.Cells) {
+			t.Fatalf("row %d: cell count %d != %d", i, len(tup.Cells), len(want.Cells))
+		}
+		for c := range tup.Cells {
+			if tup.Cells[c].String() != want.Cells[c].String() {
+				t.Errorf("row %d cell %d: %s != %s", i, c, tup.Cells[c].String(), want.Cells[c].String())
+			}
+		}
+		i++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != res.Rows.Len() {
+		t.Fatalf("enumerated %d rows, want %d", i, res.Rows.Len())
+	}
+
+	// All() over a fresh session yields the same sequence.
+	it := sessionWithCities(t)
+	defer it.Close()
+	rows2, err := it.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for idx, tup := range rows2.All() {
+		if idx != n {
+			t.Fatalf("All index %d, want %d", idx, n)
+		}
+		if tup.Cells[0].String() != res.Rows.Tuples[idx].Cells[0].String() {
+			t.Errorf("All row %d differs", idx)
+		}
+		n++
+	}
+	if n != res.Rows.Len() {
+		t.Fatalf("All yielded %d rows, want %d", n, res.Rows.Len())
+	}
+	rows2.Close()
+}
+
+// TestTypedErrors pins the public error model: ErrSessionClosed,
+// ErrUnknownTable, *ParseError with position, and wrapped context errors.
+func TestTypedErrors(t *testing.T) {
+	s := sessionWithCities(t)
+
+	if _, err := s.Query("SELECT zip FROM ghost"); !errors.Is(err, ErrUnknownTable) {
+		t.Errorf("unknown table err = %v, want ErrUnknownTable", err)
+	}
+
+	_, err := s.Query("SELECT zip FROM cities WHERE zip ~ 3")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("parse err = %v, want *ParseError", err)
+	}
+	if pe.Pos != strings.Index("SELECT zip FROM cities WHERE zip ~ 3", "~") {
+		t.Errorf("ParseError.Pos = %d, want offset of %q", pe.Pos, "~")
+	}
+
+	if _, err := s.QueryContext(context.Background(), "SELECT zip FROM cities",
+		WithTimeout(-time.Nanosecond)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired timeout err = %v, want DeadlineExceeded", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.QueryContext(ctx, "SELECT zip FROM cities"); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx err = %v, want Canceled", err)
+	}
+
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Query("SELECT zip FROM cities"); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("closed session err = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestQueryOptions smoke-tests the per-query knobs through the facade.
+func TestQueryOptions(t *testing.T) {
+	s := sessionWithCities(t)
+	defer s.Close()
+
+	// Explain: plan only, no execution, no cleaning.
+	rows, err := s.QueryContext(context.Background(),
+		"SELECT zip, city FROM cities WHERE city = 'Los Angeles'", WithExplain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rows.Plan(), "Clean[phi]") {
+		t.Errorf("explain plan = %q, want cleaning operator", rows.Plan())
+	}
+	if rows.Len() != 0 || rows.Next() {
+		t.Error("explain must enumerate nothing")
+	}
+	rows.Close()
+	if s.Table("cities").DirtyTuples() != 0 {
+		t.Error("explain must not clean")
+	}
+
+	// WithoutCleaning: dirty execution, exact matches only.
+	rows, err = s.QueryContext(context.Background(),
+		"SELECT zip, city FROM cities WHERE city = 'Los Angeles'", WithoutCleaning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Errorf("dirty rows = %d, want 2 (no relaxation)", rows.Len())
+	}
+	rows.Close()
+	if s.Table("cities").DirtyTuples() != 0 {
+		t.Error("WithoutCleaning must not clean")
+	}
+
+	// Per-query strategy + workers: cleaning proceeds as usual.
+	rows, err = s.QueryContext(context.Background(),
+		"SELECT zip, city FROM cities WHERE city = 'Los Angeles'",
+		WithStrategy(StrategyIncremental), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Errorf("cleaned rows = %d, want 3 (relaxed result)", rows.Len())
+	}
+	rows.Close()
+	if s.Table("cities").DirtyTuples() == 0 {
+		t.Error("per-query options must still clean")
 	}
 }
 

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -60,5 +62,33 @@ func main() {
 	pt := s.Table("cities")
 	for i := 0; i < pt.Len(); i++ {
 		fmt.Printf("  %-28s %s\n", pt.Cell(i, "zip").String(), pt.Cell(i, "city").String())
+	}
+
+	// Cancellation: QueryContext threads the context through the whole
+	// execution path — a canceled (or timed-out) query aborts mid-clean,
+	// returns an error wrapping ctx.Err(), and publishes nothing. Here the
+	// context is canceled up front, so the query stops at the first
+	// cooperative check and the dataset is untouched by it.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := pt.DirtyTuples()
+	_, err = s.QueryContext(ctx, "SELECT zip, city FROM cities WHERE city = 'New York'")
+	fmt.Printf("\ncanceled query: wraps context.Canceled = %v; probabilistic tuples unchanged = %v\n",
+		errors.Is(err, context.Canceled), s.Table("cities").DirtyTuples() == before)
+
+	// Streaming: enumerate a cleaned result tuple by tuple instead of
+	// materializing it (stream.All() offers the same as a range-over-func).
+	stream, err := s.QueryContext(context.Background(), "SELECT zip, city FROM cities WHERE city = 'New York'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Close()
+	fmt.Printf("streamed result (%d tuples):\n", stream.Len())
+	for stream.Next() {
+		t := stream.Row()
+		fmt.Printf("  zip=%-28s city=%s\n", t.Cells[0].String(), t.Cells[1].String())
+	}
+	if err := stream.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -18,7 +18,6 @@ import (
 // the overlay immediately and to the canonical state through the
 // single-writer loop before returning.
 func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, rows []int, pred expr.Pred, m *detect.Metrics) ([]int, error) {
-	s := qc.s
 	idx := qc.fdIndexFor(st, tableName, rule.Name, fd)
 	snapChecked := st.checkedGroups[rule.Name]
 	localChecked := qc.checkedLocal(tableName, rule.Name)
@@ -28,9 +27,14 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 	// groups need cleaning work. Row keys come from the persistent group
 	// index — O(1) per row, no per-query key building.
 	var scope []int
-	for _, r := range rows {
+	for ri, r := range rows {
+		if ri%ctxCheckEvery == 0 {
+			if err := qc.ctxErr(); err != nil {
+				return nil, err
+			}
+		}
 		key := idx.keyOf(r)
-		if !s.opts.DisableStatsPruning && st.stats != nil && !st.stats.Dirty(rule.Name, key) {
+		if !qc.opts.DisableStatsPruning && st.stats != nil && !st.stats.Dirty(rule.Name, key) {
 			continue
 		}
 		if checked(key) {
@@ -46,7 +50,7 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 	// Cost model: incremental vs switching to a full clean of the remaining
 	// dirty part (§5.2.3). The decision reads the epoch's frozen model copy;
 	// the model update lands with the delta through the writer.
-	strategy := s.opts.Strategy
+	strategy := qc.opts.Strategy
 	if strategy == StrategyAuto && st.cost != nil {
 		qi := len(rows)
 		epsi := len(scope)
@@ -58,7 +62,9 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 		}
 	}
 	if strategy == StrategyFull {
-		qc.fullCleanFD(st, tableName, rule, fd, idx, checked, localChecked, m)
+		if err := qc.fullCleanFD(st, tableName, rule, fd, idx, checked, localChecked, m); err != nil {
+			return nil, err
+		}
 		qc.decisions = append(qc.decisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "full"})
 		// After a full clean, relaxation extras are the other members of the
 		// result's dirty groups (they may qualify probabilistically).
@@ -69,9 +75,15 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 	// A filter on the lhs requires the transitive closure (Lemma 2);
 	// otherwise one pass suffices (Lemma 1).
 	extra := idx.relax(scope, predTouchesLHS(pred, fd), m)
+	if err := qc.ctxErr(); err != nil {
+		return nil, err
+	}
 	repairScope := append(append([]int(nil), scope...), extra...)
 	// Support pass: same-rhs partners consulted for P(lhs|rhs) only.
 	support := idx.relax(repairScope, false, m)
+	if err := qc.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Repair is idempotent per group: rows whose group is already checked
 	// (relaxation can pull them back in) are consulted for distributions but
@@ -91,11 +103,15 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 	base := qc.pt(tableName)
 	view := detect.PTableView{P: base}
 	delta := repair.FD(view, fix, consult, fd, view.P.Schema.MustIndex, m)
+	if err := qc.ctxErr(); err != nil {
+		// The repair was computed but never applied anywhere: drop it.
+		return nil, err
+	}
 	m.Updates += int64(qc.applyLocal(tableName, delta))
 
-	// Mark the repaired groups checked locally and hand the delta plus
-	// bookkeeping to the writer (duplicates from racing queries coalesce
-	// there).
+	// Mark the repaired groups checked locally and buffer the delta plus
+	// bookkeeping for the flush at query end (duplicates from racing queries
+	// coalesce in the writer).
 	groups := make([]value.MapKey, 0, len(fix))
 	for _, r := range fix {
 		key := idx.keyOf(r)
@@ -104,7 +120,7 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 			groups = append(groups, key)
 		}
 	}
-	s.w.submit(&applyReq{
+	qc.submit(&applyReq{
 		table: tableName, rule: rule.Name, isFD: true, ident: st.ident,
 		delta: delta, base: base, applied: qc.pt(tableName), groups: groups,
 		costRecord: st.cost != nil,
@@ -146,7 +162,10 @@ func predTouchesLHS(pred expr.Pred, fd dc.FDSpec) bool {
 // fullCleanFD cleans every remaining dirty group of the relation in one
 // offline-style pass (the strategy-switch target). Scope comes from the
 // persistent group index instead of a fresh O(n) re-grouping.
-func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, idx *fdIndex, checked func(value.MapKey) bool, localChecked map[value.MapKey]bool, m *detect.Metrics) {
+func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, idx *fdIndex, checked func(value.MapKey) bool, localChecked map[value.MapKey]bool, m *detect.Metrics) error {
+	if err := qc.ctxErr(); err != nil {
+		return err
+	}
 	scope := idx.violatingScope(checked)
 	var groups []value.MapKey
 	req := &applyReq{table: tableName, rule: rule.Name, isFD: true, ident: st.ident, markSwitched: st.cost != nil}
@@ -154,6 +173,9 @@ func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Const
 		base := qc.pt(tableName)
 		view := detect.PTableView{P: base}
 		d := repair.FD(view, scope, nil, fd, view.P.Schema.MustIndex, m)
+		if err := qc.ctxErr(); err != nil {
+			return err
+		}
 		m.Updates += int64(qc.applyLocal(tableName, d))
 		for _, r := range scope {
 			key := idx.keyOf(r)
@@ -167,7 +189,8 @@ func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Const
 		req.applied = qc.pt(tableName)
 		req.groups = groups
 	}
-	qc.s.w.submit(req)
+	qc.submit(req)
+	return nil
 }
 
 // groupPartners returns the dirty-group members of the scope rows that are
@@ -200,14 +223,29 @@ func groupPartners(idx *fdIndex, scope, rows []int) []int {
 // cleanDC handles one general denial constraint inside cleanσ. DC cleaning
 // serializes on Session.dcMu: unlike FD fixes, pair-at-a-time fixes are not
 // an idempotent function of a checked key, so the checked-tuple bookkeeping
-// must be read and advanced atomically. The section reads the latest
-// published epoch's checked set (not the query's — a racing DC query may
-// have advanced it) while detection and repair still evaluate original
-// values, which every epoch shares.
+// must be read and advanced atomically. The first DC clean of a query
+// acquires dcMu and the query holds it until its write-backs flush (or the
+// query aborts) — write-backs publish only at query end, so releasing the
+// mutex earlier would let a racing DC query re-examine the same pairs. The
+// section reads the latest published epoch's checked set (not the query's —
+// a racing DC query may have advanced it) while detection and repair still
+// evaluate original values, which every epoch shares.
 func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constraint, rows []int, m *detect.Metrics) ([]int, error) {
 	s := qc.s
-	s.dcMu.Lock()
-	defer s.dcMu.Unlock()
+	if err := qc.ctxErr(); err != nil {
+		return nil, err
+	}
+	if !qc.dcHeld {
+		// Deliberate tradeoff: the lock window widens from one cleanDC body
+		// (PR 2) to the rest of the query plus the flush wait. Releasing
+		// before the epoch publishes would let a racing DC query read a
+		// checked set missing this query's pairs and double-fix them, and
+		// flushing DC write-backs early would publish partial repairs on a
+		// later cancellation. Detection dominates DC query time, and FD-only
+		// traffic never touches dcMu.
+		s.dcMu.Lock()
+		qc.dcHeld = true // released by flush/abort at query end
+	}
 
 	latest, ok := s.w.current().tables[tableName]
 	if !ok || latest.ident != st.ident {
@@ -222,14 +260,14 @@ func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constrain
 	est, haveEst := latest.dcEstimates[rule.Name]
 	var freshEst []thetajoin.RangeEstimate
 	if !haveEst {
-		est = thetajoin.EstimateErrors(view, rule, s.opts.Partitions)
+		est = thetajoin.EstimateErrors(view, rule, qc.opts.Partitions)
 		freshEst = est
 	}
 	errors := estimateResultErrors(view, rule, rows, est)
 	support := dcSupport(latest, checked)
-	decision := cost.DecideDC(errors, len(rows), support, s.opts.DCThreshold)
+	decision := cost.DecideDC(errors, len(rows), support, qc.opts.DCThreshold)
 
-	strategy := s.opts.Strategy
+	strategy := qc.opts.Strategy
 	if strategy == StrategyAuto {
 		if decision.FullClean {
 			strategy = StrategyFull
@@ -270,29 +308,39 @@ func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constrain
 	qc.decisions = append(qc.decisions, dec)
 	if len(delta) == 0 {
 		if freshEst != nil {
-			s.w.submit(&applyReq{table: tableName, rule: rule.Name, ident: st.ident, estimates: freshEst})
+			qc.submit(&applyReq{table: tableName, rule: rule.Name, ident: st.ident, estimates: freshEst})
 		}
 		return nil, nil
 	}
 
+	// Cancellable detection: the theta-join partition loops poll ctx and the
+	// whole rule aborts cleanly — no fixes applied, no tuples marked checked.
 	deltaView := detect.SubsetView{Base: view, Idx: delta}
 	var pairs []thetajoin.Pair
+	var err error
 	if len(rest) > 0 {
 		restView := detect.SubsetView{Base: view, Idx: rest}
-		pairs = thetajoin.DetectPartialWorkers(deltaView, restView, rule, s.opts.Partitions, s.opts.Workers, m)
+		pairs, err = thetajoin.DetectPartialWorkersCtx(qc.ctx, deltaView, restView, rule, qc.opts.Partitions, qc.opts.Workers, m)
 	} else {
-		pairs = thetajoin.DetectWorkers(deltaView, rule, s.opts.Partitions, s.opts.Workers, m)
+		pairs, err = thetajoin.DetectWorkersCtx(qc.ctx, deltaView, rule, qc.opts.Partitions, qc.opts.Workers, m)
+	}
+	if err != nil {
+		return nil, err
 	}
 	fixes := repair.DCFixes(view, pairs, rule, view.P.Schema.MustIndex, m)
+	if err := qc.ctxErr(); err != nil {
+		return nil, err
+	}
 	m.Updates += int64(qc.applyLocal(tableName, fixes))
 
-	// Mark the delta tuples checked (full clean marks everything) and apply
-	// to the canonical state; dcMu guarantees no duplicate can race.
+	// Mark the delta tuples checked (full clean marks everything) and buffer
+	// the write-back; dcMu (held to query end) guarantees no duplicate can
+	// race.
 	ids := make([]int64, len(delta))
 	for i, d := range delta {
 		ids[i] = view.ID(d)
 	}
-	s.w.submit(&applyReq{table: tableName, rule: rule.Name, ident: st.ident,
+	qc.submit(&applyReq{table: tableName, rule: rule.Name, ident: st.ident,
 		delta: fixes, base: view.P, applied: qc.pt(tableName),
 		tuples: ids, estimates: freshEst})
 

@@ -190,18 +190,37 @@ func (w *writer) mutate(fn func(next *snapshot, cloned map[string]bool) error) e
 // until the request's epoch is published. After a session is closed the
 // request is applied inline under the writer lock (queries racing Close
 // still converge rather than deadlock).
-func (w *writer) submit(req *applyReq) {
-	req.done = make(chan struct{})
+func (w *writer) submit(req *applyReq) { w.submitAll([]*applyReq{req}) }
+
+// submitAll routes a query's buffered write-backs through the single-writer
+// loop and blocks until every one is published. The requests enqueue
+// atomically (no racing query's request can interleave between them) and
+// apply in order, typically coalescing into one batch and one published
+// epoch. Once submitAll is entered the write-backs are committed: the caller
+// must have finished its cancellation checks — cancellation can abandon the
+// wait only by the session closing, never the application itself. After a
+// session is closed the requests apply inline under the writer lock.
+func (w *writer) submitAll(reqs []*applyReq) {
+	if len(reqs) == 0 {
+		return
+	}
+	for _, req := range reqs {
+		req.done = make(chan struct{})
+	}
 	w.sendMu.Lock()
 	if w.closed.Load() {
 		w.sendMu.Unlock()
-		w.applyBatch([]*applyReq{req})
+		w.applyBatch(reqs)
 		return
 	}
 	w.started.Do(func() { go w.loop() })
-	w.applyCh <- req
+	for _, req := range reqs {
+		w.applyCh <- req
+	}
 	w.sendMu.Unlock()
-	<-req.done
+	for _, req := range reqs {
+		<-req.done
+	}
 }
 
 // loop is the single-writer apply goroutine: it drains pending requests into

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"errors"
+
+	"daisy/internal/plan"
+)
+
+// Typed errors of the query API. Callers test with errors.Is/errors.As:
+//
+//	_, err := s.QueryContext(ctx, q)
+//	switch {
+//	case errors.Is(err, core.ErrSessionClosed):   // session already closed
+//	case errors.Is(err, core.ErrUnknownTable):    // query names an unregistered table
+//	case errors.Is(err, context.Canceled):        // ctx canceled mid-query
+//	case errors.Is(err, context.DeadlineExceeded): // WithTimeout / ctx deadline hit
+//	}
+//
+// Parse errors are *sql.ParseError values carrying the byte offset of the
+// offending token; recover them with errors.As.
+var (
+	// ErrSessionClosed reports a Query/QueryContext call on a closed session.
+	ErrSessionClosed = errors.New("core: session closed")
+	// ErrUnknownTable reports a query referencing an unregistered table.
+	ErrUnknownTable = plan.ErrUnknownTable
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"daisy/internal/dc"
@@ -13,12 +14,22 @@ import (
 )
 
 // queryCtx is the per-query execution context: the epoch the query runs
-// against plus the query-local copy-on-write overlay that makes the query's
-// own fixes visible to its downstream operators before the writer publishes
-// them. It implements plan.Catalog and engine.Cleaner.
+// against, the resolved per-query options, and the query-local copy-on-write
+// overlay that makes the query's own fixes visible to its downstream
+// operators before the writer publishes them. It implements plan.Catalog and
+// engine.Cleaner.
+//
+// Write-backs are buffered in pending and only flushed to the single-writer
+// apply loop when the whole query succeeds — a canceled query drops them
+// (abort), so cancellation never publishes partial repairs.
 type queryCtx struct {
 	s    *Session
 	snap *snapshot
+	// ctx is polled cooperatively in the cleaning loops; nil disables checks.
+	ctx context.Context
+	// opts are the query's resolved options: the session options overlaid
+	// with the caller's QueryOptions.
+	opts Options
 
 	// local maps table name → the query's private COW generation; absent
 	// entries read straight from the snapshot.
@@ -27,7 +38,55 @@ type queryCtx struct {
 	// the snapshot's checked sets, keyed by table\x00rule.
 	localChecked map[string]map[value.MapKey]bool
 
+	// pending buffers the query's write-backs until flush.
+	pending []*applyReq
+	// dcHeld records that this query holds Session.dcMu. The first general-DC
+	// clean acquires it and the query keeps it until flush/abort, so the
+	// order-dependent pairwise bookkeeping stays exact even though the
+	// write-backs publish only at query end.
+	dcHeld bool
+
 	decisions []Decision
+}
+
+// ctxCheckEvery is how many rows the cleaning hot loops process between
+// cancellation polls.
+const ctxCheckEvery = 1024
+
+// ctxErr polls the query's context; non-nil means the query must unwind.
+func (qc *queryCtx) ctxErr() error {
+	if qc.ctx == nil {
+		return nil
+	}
+	if err := qc.ctx.Err(); err != nil {
+		return fmt.Errorf("core: query aborted: %w", err)
+	}
+	return nil
+}
+
+// submit buffers one write-back for publication at query end.
+func (qc *queryCtx) submit(req *applyReq) { qc.pending = append(qc.pending, req) }
+
+// flush publishes the buffered write-backs through the single-writer apply
+// loop (blocking until the new epoch is live) and releases the DC section.
+func (qc *queryCtx) flush() {
+	qc.s.w.submitAll(qc.pending)
+	qc.pending = nil
+	qc.releaseDC()
+}
+
+// abort drops the buffered write-backs — the published epochs never see this
+// query — and releases the DC section.
+func (qc *queryCtx) abort() {
+	qc.pending = nil
+	qc.releaseDC()
+}
+
+func (qc *queryCtx) releaseDC() {
+	if qc.dcHeld {
+		qc.dcHeld = false
+		qc.s.dcMu.Unlock()
+	}
 }
 
 // Schema implements plan.Catalog against the query's epoch.
@@ -96,9 +155,12 @@ func (qc *queryCtx) checkedLocal(table, rule string) map[value.MapKey]bool {
 // (returned so downstream operators read them), and routes the same delta
 // through the session's single-writer apply loop.
 func (qc *queryCtx) CleanSelect(tableName string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) (*ptable.PTable, []int, error) {
+	if err := qc.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	st, ok := qc.snap.tables[tableName]
 	if !ok {
-		return nil, nil, fmt.Errorf("core: clean: unknown table %q", tableName)
+		return nil, nil, fmt.Errorf("core: clean: %w %q", ErrUnknownTable, tableName)
 	}
 	resultSet := make(map[int]bool, len(rows))
 	current := append([]int(nil), rows...)
@@ -106,6 +168,9 @@ func (qc *queryCtx) CleanSelect(tableName string, rows []int, pred expr.Pred, ru
 		resultSet[r] = true
 	}
 	for _, rule := range rules {
+		if err := qc.ctxErr(); err != nil {
+			return nil, nil, err
+		}
 		var extra []int
 		var err error
 		if fd, isFD := rule.AsFD(); isFD {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -292,16 +294,39 @@ func TestEpochAdvances(t *testing.T) {
 	}
 }
 
-// TestQueryAfterClose: a session whose apply goroutine was stopped still
-// applies deltas inline instead of deadlocking.
+// TestQueryAfterClose: Close is idempotent, and queries issued after Close
+// fail fast with ErrSessionClosed instead of hanging or panicking.
 func TestQueryAfterClose(t *testing.T) {
 	s := newCitySession(t, Options{Strategy: StrategyIncremental})
 	s.Close()
-	if _, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'"); err != nil {
+	s.Close() // idempotent
+	if _, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Query after Close = %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.QueryContext(context.Background(), "SELECT zip, city FROM cities"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("QueryContext after Close = %v, want ErrSessionClosed", err)
+	}
+	if s.Table("cities").DirtyTuples() != 0 {
+		t.Error("rejected post-Close queries must not have cleaned anything")
+	}
+}
+
+// TestInFlightWriteBackAfterClose: a query admitted before Close (here
+// simulated by flushing a prepared write-back after the apply goroutine
+// stopped) still applies its delta inline instead of deadlocking.
+func TestInFlightWriteBackAfterClose(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental})
+	snap := s.w.current()
+	st := snap.tables["cities"]
+	qc := &queryCtx{s: s, snap: snap, opts: s.opts}
+	var m detect.Metrics
+	if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m); err != nil {
 		t.Fatal(err)
 	}
+	s.Close()
+	qc.flush() // must apply inline, not hang on the stopped loop
 	if s.Table("cities").DirtyTuples() == 0 {
-		t.Error("inline apply after Close must still clean")
+		t.Error("inline apply after Close must still publish the delta")
 	}
 }
 
@@ -320,12 +345,15 @@ func TestStaleWriteBackDroppedAfterReplaceTable(t *testing.T) {
 	// Replace the table with equally dirty data (fresh registration).
 	s.ReplaceTable("cities", ptable.FromTable(citiesTable()))
 
-	// Simulate the racing query's write-back against the old registration.
-	qc := &queryCtx{s: s, snap: snap}
+	// Simulate the racing query's write-back against the old registration:
+	// clean against the pre-replacement epoch, then flush the buffered
+	// request the way a finishing query would.
+	qc := &queryCtx{s: s, snap: snap, opts: s.opts}
 	var m detect.Metrics
 	if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m); err != nil {
 		t.Fatal(err)
 	}
+	qc.flush()
 
 	// The replacement must be untouched and still fully cleanable.
 	if s.Table("cities").DirtyTuples() != 0 {

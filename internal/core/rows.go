@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"daisy/internal/detect"
+	"daisy/internal/engine"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+)
+
+// Rows is a streaming cursor over a cleaned query result. It enumerates the
+// qualifying tuples directly from the query's snapshot (plus its private
+// overlay of fixes) without materializing a standalone result table, so the
+// caller never holds the whole answer unless it asks to.
+//
+//	rows, err := s.QueryContext(ctx, "SELECT zip, city FROM cities")
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		t := rows.Row()
+//		...
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// A Rows is not safe for concurrent use. The enumerated tuples alias
+// immutable epoch state: they stay valid after Close and after the session
+// advances, but must not be mutated.
+type Rows struct {
+	fr  *engine.Frame
+	pos int // index into fr.Rows of the current row; -1 before the first Next
+
+	ctx    context.Context
+	cancel context.CancelFunc // releases the WithTimeout timer, if any
+
+	err    error
+	closed bool
+
+	plan      string
+	decisions []Decision
+	metrics   detect.Metrics
+}
+
+// Next advances to the next result tuple. It returns false when the result
+// is exhausted, the cursor is closed, or the query's context is done — in
+// the latter case Err reports the cancellation.
+func (r *Rows) Next() bool {
+	if r == nil || r.closed || r.err != nil || r.fr == nil {
+		return false
+	}
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			r.err = fmt.Errorf("core: result enumeration aborted: %w", err)
+			return false
+		}
+	}
+	if r.pos+1 >= len(r.fr.Rows) {
+		return false
+	}
+	r.pos++
+	return true
+}
+
+// Row returns the current tuple. Valid only after a Next call that returned
+// true; the tuple aliases immutable epoch state and must not be mutated.
+func (r *Rows) Row() *ptable.Tuple {
+	return r.fr.PT.Tuples[r.fr.Rows[r.pos]]
+}
+
+// All adapts the cursor to a Go 1.23 range-over-func iterator yielding
+// (result index, tuple). Breaking out of the range loop stops enumeration;
+// check Err afterwards for a mid-iteration cancellation.
+func (r *Rows) All() iter.Seq2[int, *ptable.Tuple] {
+	return func(yield func(int, *ptable.Tuple) bool) {
+		for i := 0; r.Next(); i++ {
+			if !yield(i, r.Row()) {
+				return
+			}
+		}
+	}
+}
+
+// Err returns the error that stopped enumeration, if any (a canceled or
+// expired context surfaces here once Next returns false).
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. It is idempotent and safe on a nil receiver;
+// enumerated tuples remain valid afterwards.
+func (r *Rows) Close() error {
+	if r == nil || r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.cancel != nil {
+		r.cancel()
+	}
+	return nil
+}
+
+// Len returns the number of result tuples.
+func (r *Rows) Len() int {
+	if r.fr == nil {
+		return 0
+	}
+	return len(r.fr.Rows)
+}
+
+// Schema describes the result columns.
+func (r *Rows) Schema() *schema.Schema {
+	if r.fr == nil {
+		return nil
+	}
+	return r.fr.PT.Schema
+}
+
+// Plan returns the executed (or, under WithExplain, the planned) logical
+// plan.
+func (r *Rows) Plan() string { return r.plan }
+
+// Decisions returns the per-rule cleaning decisions taken during the query.
+func (r *Rows) Decisions() []Decision { return r.decisions }
+
+// Metrics returns the query's work counters.
+func (r *Rows) Metrics() detect.Metrics { return r.metrics }
+
+// Result materializes the remaining full result into the classic Result
+// shape and closes the cursor. Query/Run are thin wrappers over this.
+func (r *Rows) Result() *Result {
+	res := &Result{Plan: r.plan, Decisions: r.decisions, Metrics: r.metrics}
+	if r.fr != nil {
+		res.Rows = r.fr.Materialize()
+	} else {
+		res.Rows = ptable.New("result", schema.MustNew())
+	}
+	r.Close()
+	return res
+}

@@ -30,6 +30,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -146,8 +147,11 @@ func NewSession(opts Options) *Session {
 	return s
 }
 
-// Close stops the session's apply goroutine. Call it after the last Query
-// returned; a finalizer covers sessions that are simply dropped.
+// Close stops the session's apply goroutine and marks the session closed:
+// subsequent Query/QueryContext calls return ErrSessionClosed. Close is
+// idempotent and safe to call concurrently with in-flight queries — a query
+// admitted before Close still completes (its write-backs apply inline); a
+// finalizer covers sessions that are simply dropped.
 func (s *Session) Close() { s.w.close() }
 
 // Register snapshots a dirty table into the session.
@@ -249,38 +253,115 @@ func (s *Session) Schema(name string) (*schema.Schema, bool) {
 }
 
 // Query parses, plans, and executes a statement, weaving cleaning operators
-// into the plan. Safe for concurrent use.
+// into the plan, and materializes the full result. Safe for concurrent use.
+// It is a thin wrapper over QueryContext with a background context.
 func (s *Session) Query(text string) (*Result, error) {
+	rows, err := s.QueryContext(context.Background(), text)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Result(), nil
+}
+
+// Run executes a parsed query and materializes the full result. It is a thin
+// wrapper over RunContext with a background context.
+func (s *Session) Run(q *sql.Query) (*Result, error) {
+	rows, err := s.RunContext(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Result(), nil
+}
+
+// QueryContext parses, plans, and executes a statement with cooperative
+// cancellation and per-query options, returning a streaming Rows cursor over
+// the cleaned result. Safe for concurrent use.
+//
+// ctx is polled throughout execution — plan operators, theta-join partition
+// loops, the relaxation/repair loop — so a deadline or client disconnect
+// aborts mid-clean with an error wrapping ctx.Err(). A canceled query
+// publishes nothing: its private copy-on-write overlay is dropped and the
+// session's published epochs are untouched, so subsequent queries (or a
+// retry) see exactly the pre-query state.
+//
+// Errors are typed: ErrSessionClosed after Close, ErrUnknownTable for
+// unregistered relations (errors.Is), *sql.ParseError with the byte offset
+// of the offending token (errors.As), and wrapped context.Canceled /
+// context.DeadlineExceeded for aborted queries.
+func (s *Session) QueryContext(ctx context.Context, text string, opts ...QueryOption) (*Rows, error) {
 	q, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(q)
+	return s.RunContext(ctx, q, opts...)
 }
 
-// Run executes a parsed query against an immutable snapshot of the session
-// state; repair write-backs route through the single-writer apply loop.
-func (s *Session) Run(q *sql.Query) (*Result, error) {
+// RunContext is QueryContext for an already parsed query.
+func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOption) (*Rows, error) {
+	if s.w.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	cfg := queryConfig{opts: s.opts}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cancel := context.CancelFunc(func() {})
+	if cfg.timeout != 0 {
+		// A non-positive timeout yields an already-expired context: the query
+		// aborts at the first cooperative check.
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+	}
 	if s.sem != nil {
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			cancel()
+			return nil, fmt.Errorf("core: query aborted awaiting admission: %w", ctx.Err())
+		}
 	}
 	snap := s.w.current()
-	qc := &queryCtx{s: s, snap: snap}
+	qc := &queryCtx{s: s, snap: snap, ctx: ctx, opts: cfg.opts}
+	// abort is idempotent and a no-op after flush; deferring it guarantees
+	// dcMu and the pending buffer are released even if execution panics
+	// (e.g. a schema-resolution panic in the engine) and the caller recovers
+	// per request.
+	defer qc.abort()
 	node, err := plan.Build(q, qc, snap.rules)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	ex := &engine.Executor{Tables: qc.ptables(), Workers: s.opts.Workers}
-	if !s.opts.DisableCleaning {
+	if cfg.explain {
+		cancel()
+		return &Rows{plan: node.String()}, nil
+	}
+	ex := &engine.Executor{Tables: qc.ptables(), Workers: cfg.opts.Workers, Ctx: ctx}
+	if !cfg.opts.DisableCleaning {
 		ex.Cleaner = qc
 	}
-	rows, err := ex.Run(node)
+	fr, err := ex.RunFrame(node)
+	if err == nil {
+		// Last poll before committing: a cancellation that raced the final
+		// operator must still abort without publishing.
+		err = qc.ctxErr()
+	}
 	if err != nil {
+		// Drop the query's buffered write-backs and private overlay — the
+		// published epochs never saw this query.
+		qc.abort()
+		cancel()
 		return nil, err
 	}
+	// Commit: publish the query's buffered write-backs through the
+	// single-writer apply loop. From here on the query reports success even
+	// if ctx fires — the repairs land atomically, never partially.
+	qc.flush()
 	s.metricsMu.Lock()
 	s.Metrics.Add(ex.Metrics)
 	s.metricsMu.Unlock()
-	return &Result{Rows: rows, Plan: node.String(), Decisions: qc.decisions, Metrics: ex.Metrics}, nil
+	return &Rows{
+		fr: fr, pos: -1, ctx: ctx, cancel: cancel,
+		plan: node.String(), decisions: qc.decisions, metrics: ex.Metrics,
+	}, nil
 }

@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -42,7 +43,26 @@ type Executor struct {
 	// identical for any setting — parallel operators merge in partition
 	// order.
 	Workers int
+	// Ctx, when non-nil, is polled cooperatively at operator boundaries and
+	// inside the partitioned hot loops; once it is done, execution unwinds
+	// with an error wrapping Ctx.Err().
+	Ctx     context.Context
 	Metrics detect.Metrics
+}
+
+// ctxCheckEvery is how many rows the sequential hot loops process between
+// cancellation polls.
+const ctxCheckEvery = 1024
+
+// ctxErr polls the executor's context; non-nil means execution must unwind.
+func (e *Executor) ctxErr() error {
+	if e.Ctx == nil {
+		return nil
+	}
+	if err := e.Ctx.Err(); err != nil {
+		return fmt.Errorf("engine: query aborted: %w", err)
+	}
+	return nil
 }
 
 // frame is an intermediate result: selected row positions over a relation.
@@ -53,16 +73,60 @@ type frame struct {
 	isBase bool
 }
 
+// Frame is an executed but unmaterialized result: the relation generation the
+// plan's root reads plus the qualifying row positions, in result order. The
+// streaming query path enumerates it in place instead of copying tuples into
+// a standalone result table.
+type Frame struct {
+	PT   *ptable.PTable
+	Rows []int
+	// isBase records whether the frame still aliases a base relation, which
+	// Materialize must copy rather than return directly.
+	isBase bool
+}
+
+// Len returns the number of result rows.
+func (f *Frame) Len() int { return len(f.Rows) }
+
+// Materialize snapshots the frame into a standalone result table (identical
+// to what Run returns).
+func (f *Frame) Materialize() *ptable.PTable {
+	if len(f.Rows) == f.PT.Len() && !f.isBase {
+		return f.PT
+	}
+	out := ptable.New("result", f.PT.Schema)
+	out.Reserve(len(f.Rows))
+	tuples := make([]ptable.Tuple, len(f.Rows))
+	for ti, r := range f.Rows {
+		src := f.PT.Tuples[r]
+		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: src.Cells, Lineage: src.Lineage}
+		out.Append(&tuples[ti])
+	}
+	return out
+}
+
 // Run executes the plan and materializes the result.
 func (e *Executor) Run(n plan.Node) (*ptable.PTable, error) {
+	fr, err := e.RunFrame(n)
+	if err != nil {
+		return nil, err
+	}
+	return fr.Materialize(), nil
+}
+
+// RunFrame executes the plan and returns the unmaterialized result frame.
+func (e *Executor) RunFrame(n plan.Node) (*Frame, error) {
 	f, err := e.exec(n)
 	if err != nil {
 		return nil, err
 	}
-	return e.materialize(f), nil
+	return &Frame{PT: f.pt, Rows: f.rows, isBase: f.isBase}, nil
 }
 
 func (e *Executor) exec(n plan.Node) (*frame, error) {
+	if err := e.ctxErr(); err != nil {
+		return nil, err
+	}
 	switch node := n.(type) {
 	case *plan.Scan:
 		return e.execScan(node)
@@ -83,7 +147,7 @@ func (e *Executor) exec(n plan.Node) (*frame, error) {
 func (e *Executor) execScan(node *plan.Scan) (*frame, error) {
 	pt, ok := e.Tables[node.Table]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", node.Table)
+		return nil, fmt.Errorf("engine: %w %q", plan.ErrUnknownTable, node.Table)
 	}
 	rows := make([]int, pt.Len())
 	for i := range rows {
@@ -98,7 +162,7 @@ func (e *Executor) execSelect(node *plan.Select) (*frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.filter(f, node.Pred), nil
+	return e.filter(f, node.Pred)
 }
 
 // parallelism returns the worker count to use for an operator over n items:
@@ -132,7 +196,10 @@ func chunkBounds(n, w int) []int {
 
 // runChunks executes fn per chunk on a bounded worker pool and returns when
 // every chunk finished. fn receives the chunk index and its [lo, hi) bounds.
-func runChunks(bounds []int, workers int, fn func(ci, lo, hi int)) {
+// A done ctx makes workers drain the remaining chunks without running them —
+// the caller detects the abort with ctxErr afterwards and discards the
+// partial results.
+func runChunks(ctx context.Context, bounds []int, workers int, fn func(ci, lo, hi int)) {
 	chunks := len(bounds) - 1
 	if workers > chunks {
 		workers = chunks
@@ -144,6 +211,9 @@ func runChunks(bounds []int, workers int, fn func(ci, lo, hi int)) {
 		go func() {
 			defer wg.Done()
 			for ci := range next {
+				if ctx != nil && ctx.Err() != nil {
+					continue
+				}
 				fn(ci, bounds[ci], bounds[ci+1])
 			}
 		}()
@@ -159,12 +229,12 @@ func runChunks(bounds []int, workers int, fn func(ci, lo, hi int)) {
 // partition threshold the row set fans out across the worker pool; chunk
 // results concatenate in chunk order, so the output is byte-identical to the
 // sequential scan.
-func (e *Executor) filter(f *frame, pred expr.Pred) *frame {
+func (e *Executor) filter(f *frame, pred expr.Pred) (*frame, error) {
 	out := &frame{pt: f.pt, table: f.table, isBase: f.isBase}
 	if w := e.parallelism(len(f.rows)); w > 1 {
 		bounds := chunkBounds(len(f.rows), w)
 		results := make([][]int, w)
-		runChunks(bounds, w, func(ci, lo, hi int) {
+		runChunks(e.Ctx, bounds, w, func(ci, lo, hi int) {
 			// Per-chunk getter: the memoized column cache must not be shared
 			// across goroutines.
 			get := e.cellGetter(f)
@@ -179,22 +249,30 @@ func (e *Executor) filter(f *frame, pred expr.Pred) *frame {
 			}
 			results[ci] = keep
 		})
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
 		for _, keep := range results {
 			out.rows = append(out.rows, keep...)
 		}
-		return out
+		return out, nil
 	}
 	get := e.cellGetter(f)
 	// One closure over a mutable row variable instead of one per row.
 	row := 0
 	cellOf := func(ref expr.ColRef) *uncertain.Cell { return get(row, ref) }
-	for _, r := range f.rows {
+	for i, r := range f.rows {
+		if i%ctxCheckEvery == 0 {
+			if err := e.ctxErr(); err != nil {
+				return nil, err
+			}
+		}
 		row = r
 		if pred.EvalCell(cellOf) {
 			out.rows = append(out.rows, r)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // resolveRef resolves a column reference against a schema: a qualified name
@@ -289,14 +367,20 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 
 	build := e.buildSide(rf, node.RightRef)
 	matches := e.probeSide(lf, node.LeftRef, build)
+	if err := e.ctxErr(); err != nil {
+		return nil, err
+	}
 	out.Reserve(len(matches))
 	tuples := make([]ptable.Tuple, len(matches))
 	if w := e.parallelism(len(matches)); w > 1 {
-		runChunks(chunkBounds(len(matches), w), w, func(ci, lo, hi int) {
+		runChunks(e.Ctx, chunkBounds(len(matches), w), w, func(ci, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				fillJoinTuple(&tuples[i], int64(i), lf.pt.Tuples[matches[i].l], rf.pt.Tuples[matches[i].r])
 			}
 		})
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
 	} else {
 		for i, mt := range matches {
 			fillJoinTuple(&tuples[i], int64(i), lf.pt.Tuples[mt.l], rf.pt.Tuples[mt.r])
@@ -332,7 +416,7 @@ func (e *Executor) buildSide(rf *frame, ref expr.ColRef) map[value.MapKey][]int 
 	}
 	bounds := chunkBounds(len(rf.rows), w)
 	parts := make([]map[value.MapKey][]int, w)
-	runChunks(bounds, w, func(ci, lo, hi int) {
+	runChunks(e.Ctx, bounds, w, func(ci, lo, hi int) {
 		get := e.cellGetter(rf)
 		part := make(map[value.MapKey][]int, hi-lo)
 		for _, r := range rf.rows[lo:hi] {
@@ -367,7 +451,7 @@ func (e *Executor) probeSide(lf *frame, ref expr.ColRef, build map[value.MapKey]
 	bounds := chunkBounds(len(lf.rows), w)
 	results := make([][]joinMatch, w)
 	locals := make([]detect.Metrics, w)
-	runChunks(bounds, w, func(ci, lo, hi int) {
+	runChunks(e.Ctx, bounds, w, func(ci, lo, hi int) {
 		results[ci] = e.probeChunk(lf, ref, build, lf.rows[lo:hi], &locals[ci])
 	})
 	var out []joinMatch
@@ -382,7 +466,10 @@ func (e *Executor) probeChunk(lf *frame, ref expr.ColRef, build map[value.MapKey
 	get := e.cellGetter(lf)
 	var out []joinMatch
 	var matched map[int]bool
-	for _, l := range rows {
+	for ri, l := range rows {
+		if ri%ctxCheckEvery == 0 && e.ctxErr() != nil {
+			return out // caller re-polls ctxErr and discards the partial result
+		}
 		vals := get(l, ref).Values()
 		// Certain cells (the common case) have one candidate, so no match
 		// can repeat and the dedup set is unnecessary.
@@ -441,7 +528,12 @@ func (e *Executor) execGroupBy(node *plan.GroupBy) (*frame, error) {
 	groups := make(map[value.MapKey]*group)
 	var order []*group
 	keyBuf := make([]value.Value, len(node.Keys))
-	for _, r := range f.rows {
+	for ri, r := range f.rows {
+		if ri%ctxCheckEvery == 0 {
+			if err := e.ctxErr(); err != nil {
+				return nil, err
+			}
+		}
 		for ki, k := range node.Keys {
 			keyBuf[ki] = get(r, k).Value() // representative value of a probabilistic key
 		}
@@ -619,20 +711,4 @@ func (e *Executor) execProject(node *plan.Project) (*frame, error) {
 		out.Append(&tuples[ti])
 	}
 	return &frame{pt: out, rows: seq(out.Len())}, nil
-}
-
-// materialize snapshots a frame into a standalone result table.
-func (e *Executor) materialize(f *frame) *ptable.PTable {
-	if len(f.rows) == f.pt.Len() && !f.isBase {
-		return f.pt
-	}
-	out := ptable.New("result", f.pt.Schema)
-	out.Reserve(len(f.rows))
-	tuples := make([]ptable.Tuple, len(f.rows))
-	for ti, r := range f.rows {
-		src := f.pt.Tuples[r]
-		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: src.Cells, Lineage: src.Lineage}
-		out.Append(&tuples[ti])
-	}
-	return out
 }

@@ -9,6 +9,7 @@
 package offline
 
 import (
+	"context"
 	"fmt"
 
 	"daisy/internal/dc"
@@ -51,6 +52,13 @@ func (c *Cleaner) partitions() int {
 
 // CleanFD repairs every violation of an FD rule over the whole relation.
 func (c *Cleaner) CleanFD(pt *ptable.PTable, rule *dc.Constraint) (Report, error) {
+	return c.CleanFDContext(context.Background(), pt, rule)
+}
+
+// CleanFDContext is CleanFD with cooperative cancellation: the per-group
+// repair loop polls ctx and aborts with an error wrapping ctx.Err(),
+// returning the partial report accumulated so far.
+func (c *Cleaner) CleanFDContext(ctx context.Context, pt *ptable.PTable, rule *dc.Constraint) (Report, error) {
 	var rep Report
 	fd, ok := rule.AsFD()
 	if !ok {
@@ -64,6 +72,9 @@ func (c *Cleaner) CleanFD(pt *ptable.PTable, rule *dc.Constraint) (Report, error
 	rhsCol := pt.Schema.MustIndex(fd.RHS)
 	scans := 0
 	for _, g := range groups {
+		if err := ctx.Err(); err != nil {
+			return rep, fmt.Errorf("offline: cleaning aborted: %w", err)
+		}
 		scans++
 		if c.MaxGroupScans > 0 && scans > c.MaxGroupScans {
 			return rep, ErrTimeout
@@ -152,9 +163,18 @@ func (c *Cleaner) CleanFD(pt *ptable.PTable, rule *dc.Constraint) (Report, error
 // CleanDC repairs every violation of a general DC via the full partitioned
 // theta-join.
 func (c *Cleaner) CleanDC(pt *ptable.PTable, rule *dc.Constraint) (Report, error) {
+	return c.CleanDCContext(context.Background(), pt, rule)
+}
+
+// CleanDCContext is CleanDC with cooperative cancellation threaded through
+// the theta-join partition loops; no fixes apply when detection aborts.
+func (c *Cleaner) CleanDCContext(ctx context.Context, pt *ptable.PTable, rule *dc.Constraint) (Report, error) {
 	var rep Report
 	view := detect.PTableView{P: pt}
-	pairs := thetajoin.Detect(view, rule, c.partitions(), &rep.Metrics)
+	pairs, err := thetajoin.DetectWorkersCtx(ctx, view, rule, c.partitions(), 0, &rep.Metrics)
+	if err != nil {
+		return rep, err
+	}
 	rep.ViolatingPairs = len(pairs)
 	fixes := repair.DCFixes(view, pairs, rule, pt.Schema.MustIndex, &rep.Metrics)
 	rep.UpdatedCells += pt.Apply(fixes)
@@ -165,14 +185,20 @@ func (c *Cleaner) CleanDC(pt *ptable.PTable, rule *dc.Constraint) (Report, error
 // CleanAll runs every rule against the relation, merging fixes (Lemma 4
 // semantics apply through ptable deltas).
 func (c *Cleaner) CleanAll(pt *ptable.PTable, rules []*dc.Constraint) (Report, error) {
+	return c.CleanAllContext(context.Background(), pt, rules)
+}
+
+// CleanAllContext is CleanAll with cooperative cancellation; on abort it
+// returns the partial report of the work already applied.
+func (c *Cleaner) CleanAllContext(ctx context.Context, pt *ptable.PTable, rules []*dc.Constraint) (Report, error) {
 	var total Report
 	for _, rule := range rules {
 		var rep Report
 		var err error
 		if rule.IsFD() {
-			rep, err = c.CleanFD(pt, rule)
+			rep, err = c.CleanFDContext(ctx, pt, rule)
 		} else {
-			rep, err = c.CleanDC(pt, rule)
+			rep, err = c.CleanDCContext(ctx, pt, rule)
 		}
 		total.Metrics.Add(rep.Metrics)
 		total.ViolatingGroups += rep.ViolatingGroups

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -123,16 +124,45 @@ func coreResultLines(rows *ptable.PTable) []string {
 	return lines
 }
 
-// runScenario executes one scenario against the optimized engine and the
-// oracle, failing on the first divergence in per-query results or table
-// state.
+// streamResultLines enumerates a QueryContext result through the Rows
+// cursor, rendering tuples exactly like coreResultLines renders a
+// materialized result.
+func streamResultLines(t testing.TB, rows *core.Rows) []string {
+	t.Helper()
+	lines := make([]string, 0, rows.Len())
+	for rows.Next() {
+		tup := rows.Row()
+		var b strings.Builder
+		for i := range tup.Cells {
+			b.WriteString(ptable.CellFingerprint(&tup.Cells[i]))
+			b.WriteByte('|')
+		}
+		lines = append(lines, b.String())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	sort.Strings(lines)
+	return lines
+}
+
+// runScenario executes one scenario against the optimized engine (both the
+// materializing Query path and the streaming QueryContext+Rows path, in
+// separate lockstep sessions) and the oracle, failing on the first
+// divergence in per-query results or table state.
 func runScenario(t testing.TB, seed int64) {
 	sc := genScenario(seed)
 
 	opt := core.NewSession(core.Options{Strategy: coreStrategy(sc.strategy)})
 	defer opt.Close()
+	str := core.NewSession(core.Options{Strategy: coreStrategy(sc.strategy)})
+	defer str.Close()
 	ora := New(sc.strategy)
 	if err := opt.Register(sc.tb.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := str.Register(sc.tb.Clone()); err != nil {
 		t.Fatal(err)
 	}
 	if err := ora.Register(sc.tb.Clone()); err != nil {
@@ -145,6 +175,9 @@ func runScenario(t testing.TB, seed int64) {
 	addRule := func(r *dc.Constraint) {
 		if err := opt.AddRule(r); err != nil {
 			t.Fatalf("seed %d: core AddRule: %v", seed, err)
+		}
+		if err := str.AddRule(r); err != nil {
+			t.Fatalf("seed %d: stream AddRule: %v", seed, err)
 		}
 		if err := ora.AddRule(r); err != nil {
 			t.Fatalf("seed %d: oracle AddRule: %v", seed, err)
@@ -178,11 +211,32 @@ func runScenario(t testing.TB, seed int64) {
 					seed, qi, q, i, got[i], want[i])
 			}
 		}
+		// Streaming path: the Rows cursor must enumerate byte-identical
+		// tuples and drive the cleaning state to the same bytes.
+		srows, err := str.QueryContext(context.Background(), q)
+		if err != nil {
+			t.Fatalf("seed %d: stream query %q: %v", seed, q, err)
+		}
+		streamed := streamResultLines(t, srows)
+		if len(streamed) != len(got) {
+			t.Fatalf("seed %d query %d %q: streamed size %d != materialized %d",
+				seed, qi, q, len(streamed), len(got))
+		}
+		for i := range streamed {
+			if streamed[i] != got[i] {
+				t.Fatalf("seed %d query %d %q: streamed row %d differs\nstream: %s\nengine: %s",
+					seed, qi, q, i, streamed[i], got[i])
+			}
+		}
 		gotState := opt.Table("t").Fingerprint()
 		wantState := ora.Table("t").Fingerprint()
 		if gotState != wantState {
 			t.Fatalf("seed %d after query %d %q: table state diverged\nengine:\n%.1500s\noracle:\n%.1500s",
 				seed, qi, q, gotState, wantState)
+		}
+		if streamState := str.Table("t").Fingerprint(); streamState != gotState {
+			t.Fatalf("seed %d after query %d %q: streaming session state diverged from Query session\nstream:\n%.1500s\nengine:\n%.1500s",
+				seed, qi, q, streamState, gotState)
 		}
 	}
 }

@@ -8,6 +8,7 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -16,6 +17,10 @@ import (
 	"daisy/internal/schema"
 	"daisy/internal/sql"
 )
+
+// ErrUnknownTable reports a query referencing a table the catalog does not
+// know. Errors wrapping it carry the table name; test with errors.Is.
+var ErrUnknownTable = errors.New("unknown table")
 
 // Node is a logical plan operator.
 type Node interface {
@@ -120,7 +125,7 @@ func Build(q *sql.Query, cat Catalog, rules []*dc.Constraint) (Node, error) {
 	for _, t := range q.From {
 		s, ok := cat.Schema(t)
 		if !ok {
-			return nil, fmt.Errorf("plan: unknown table %q", t)
+			return nil, fmt.Errorf("plan: %w %q", ErrUnknownTable, t)
 		}
 		schemas[t] = s
 	}
@@ -293,7 +298,7 @@ func resolveTable(ref expr.ColRef, schemas map[string]*schema.Schema) (string, e
 	if ref.Table != "" {
 		s, ok := schemas[ref.Table]
 		if !ok {
-			return "", fmt.Errorf("plan: unknown table %q in %s", ref.Table, ref)
+			return "", fmt.Errorf("plan: %w %q in %s", ErrUnknownTable, ref.Table, ref)
 		}
 		if !s.Has(ref.Col) {
 			return "", fmt.Errorf("plan: table %s has no column %q", ref.Table, ref.Col)

@@ -56,6 +56,25 @@ func (s SelectItem) String() string {
 	return fmt.Sprintf("%s(%s)", s.Agg, s.Ref)
 }
 
+// ParseError is a syntax error with its byte offset into the query text.
+// Callers recover it with errors.As and can point at the offending token:
+//
+//	var pe *sql.ParseError
+//	if errors.As(err, &pe) { caret := strings.Repeat(" ", pe.Pos) + "^" }
+type ParseError struct {
+	Pos   int    // byte offset of the offending token in the query text
+	Token string // the offending token text ("" at end of input)
+	Msg   string // what the parser expected
+}
+
+// Error renders the position, token, and expectation.
+func (e *ParseError) Error() string {
+	if e.Token == "" {
+		return fmt.Sprintf("sql: parse error at offset %d: %s", e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("sql: parse error at offset %d near %q: %s", e.Pos, e.Token, e.Msg)
+}
+
 // Query is a parsed statement.
 type Query struct {
 	Select  []SelectItem
@@ -102,18 +121,15 @@ func (q *Query) String() string {
 	return b.String()
 }
 
-// Parse parses a statement.
+// Parse parses a statement. Syntax errors are reported as *ParseError with
+// the byte offset of the offending token.
 func Parse(text string) (*Query, error) {
 	toks, err := lex(text)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	q, err := p.query()
-	if err != nil {
-		return nil, fmt.Errorf("sql: parse %q: %w", text, err)
-	}
-	return q, nil
+	return p.query()
 }
 
 // MustParse is Parse that panics on error, for workload literals.
@@ -139,6 +155,7 @@ const (
 type token struct {
 	kind tokKind
 	text string
+	pos  int // byte offset of the token in the query text
 }
 
 func lex(s string) ([]token, error) {
@@ -150,7 +167,7 @@ func lex(s string) ([]token, error) {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
 		case c == ',' || c == '(' || c == ')' || c == '*':
-			toks = append(toks, token{tokPunct, string(c)})
+			toks = append(toks, token{tokPunct, string(c), i})
 			i++
 		case c == '\'':
 			j := i + 1
@@ -158,16 +175,16 @@ func lex(s string) ([]token, error) {
 				j++
 			}
 			if j >= len(s) {
-				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				return nil, &ParseError{Pos: i, Token: s[i:], Msg: "unterminated string literal"}
 			}
-			toks = append(toks, token{tokString, s[i+1 : j]})
+			toks = append(toks, token{tokString, s[i+1 : j], i})
 			i = j + 1
 		case strings.ContainsRune("<>=!", rune(c)):
 			j := i + 1
 			if j < len(s) && (s[j] == '=' || (c == '<' && s[j] == '>')) {
 				j++
 			}
-			toks = append(toks, token{tokOp, s[i:j]})
+			toks = append(toks, token{tokOp, s[i:j], i})
 			i = j
 		case c == '-' || c == '.' || (c >= '0' && c <= '9'):
 			j := i
@@ -178,20 +195,20 @@ func lex(s string) ([]token, error) {
 				(s[j] >= '0' && s[j] <= '9')) {
 				j++
 			}
-			toks = append(toks, token{tokNumber, s[i:j]})
+			toks = append(toks, token{tokNumber, s[i:j], i})
 			i = j
 		case isIdentStart(c):
 			j := i
 			for j < len(s) && isIdentPart(s[j]) {
 				j++
 			}
-			toks = append(toks, token{tokIdent, s[i:j]})
+			toks = append(toks, token{tokIdent, s[i:j], i})
 			i = j
 		default:
-			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			return nil, &ParseError{Pos: i, Token: string(c), Msg: "unexpected character"}
 		}
 	}
-	toks = append(toks, token{tokEOF, ""})
+	toks = append(toks, token{tokEOF, "", len(s)})
 	return toks, nil
 }
 
@@ -219,9 +236,14 @@ func (p *parser) kw(w string) bool {
 	return false
 }
 
+// errAt builds a ParseError anchored at the given token.
+func errAt(t token, format string, args ...any) *ParseError {
+	return &ParseError{Pos: t.pos, Token: t.text, Msg: fmt.Sprintf(format, args...)}
+}
+
 func (p *parser) expectKw(w string) error {
 	if !p.kw(w) {
-		return fmt.Errorf("expected %s, got %q", w, p.peek().text)
+		return errAt(p.peek(), "expected %s", w)
 	}
 	return nil
 }
@@ -249,7 +271,7 @@ func (p *parser) query() (*Query, error) {
 	for {
 		t := p.next()
 		if t.kind != tokIdent {
-			return nil, fmt.Errorf("expected table name, got %q", t.text)
+			return nil, errAt(t, "expected table name")
 		}
 		q.From = append(q.From, t.text)
 		if p.peek().kind == tokPunct && p.peek().text == "," {
@@ -272,7 +294,7 @@ func (p *parser) query() (*Query, error) {
 		for {
 			t := p.next()
 			if t.kind != tokIdent {
-				return nil, fmt.Errorf("expected group-by column, got %q", t.text)
+				return nil, errAt(t, "expected group-by column")
 			}
 			q.GroupBy = append(q.GroupBy, splitRef(t.text))
 			if p.peek().kind == tokPunct && p.peek().text == "," {
@@ -283,7 +305,7 @@ func (p *parser) query() (*Query, error) {
 		}
 	}
 	if p.peek().kind != tokEOF {
-		return nil, fmt.Errorf("trailing input %q", p.peek().text)
+		return nil, errAt(p.peek(), "trailing input")
 	}
 	return q, nil
 }
@@ -298,7 +320,7 @@ func (p *parser) selectItem() (SelectItem, error) {
 		return SelectItem{Star: true}, nil
 	}
 	if t.kind != tokIdent {
-		return SelectItem{}, fmt.Errorf("expected select item, got %q", t.text)
+		return SelectItem{}, errAt(t, "expected select item")
 	}
 	if agg, ok := aggByName[strings.ToUpper(t.text)]; ok &&
 		p.peek().kind == tokPunct && p.peek().text == "(" {
@@ -311,11 +333,11 @@ func (p *parser) selectItem() (SelectItem, error) {
 		case inner.kind == tokIdent:
 			item.Ref = splitRef(inner.text)
 		default:
-			return SelectItem{}, fmt.Errorf("expected column or * in %s(), got %q", agg, inner.text)
+			return SelectItem{}, errAt(inner, "expected column or * in %s()", agg)
 		}
 		closing := p.next()
 		if closing.kind != tokPunct || closing.text != ")" {
-			return SelectItem{}, fmt.Errorf("expected ) after %s(, got %q", agg, closing.text)
+			return SelectItem{}, errAt(closing, "expected ) after %s(", agg)
 		}
 		return item, nil
 	}
@@ -365,21 +387,21 @@ func (p *parser) comparison() (expr.Pred, error) {
 		}
 		closing := p.next()
 		if closing.kind != tokPunct || closing.text != ")" {
-			return nil, fmt.Errorf("expected ), got %q", closing.text)
+			return nil, errAt(closing, "expected )")
 		}
 		return inner, nil
 	}
 	lt := p.next()
 	if lt.kind != tokIdent {
-		return nil, fmt.Errorf("expected column, got %q", lt.text)
+		return nil, errAt(lt, "expected column")
 	}
 	ot := p.next()
 	if ot.kind != tokOp {
-		return nil, fmt.Errorf("expected comparison operator, got %q", ot.text)
+		return nil, errAt(ot, "expected comparison operator")
 	}
 	op, ok := opByText[ot.text]
 	if !ok {
-		return nil, fmt.Errorf("unknown operator %q", ot.text)
+		return nil, errAt(ot, "unknown operator")
 	}
 	rt := p.next()
 	switch rt.kind {
@@ -390,7 +412,7 @@ func (p *parser) comparison() (expr.Pred, error) {
 	case tokIdent:
 		return &expr.ColCmp{Left: splitRef(lt.text), Op: op, Right: splitRef(rt.text)}, nil
 	}
-	return nil, fmt.Errorf("expected literal or column after %s, got %q", ot.text, rt.text)
+	return nil, errAt(rt, "expected literal or column after %s", ot.text)
 }
 
 // splitRef splits "table.col" into a qualified reference.

@@ -14,6 +14,8 @@
 package thetajoin
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -219,11 +221,21 @@ type pairTask struct {
 	diag     bool // same block on both sides: scan the upper triangle only
 }
 
+// ctxRowStride is how many outer rows scanTask processes between
+// cancellation polls — ctx.Err() can take a shared mutex, so per-row polling
+// would contend across workers in the detection hot loop.
+const ctxRowStride = 64
+
 // scanTask enumerates the violating pairs of one block pair, counting
 // comparisons into m (a task-local metrics bundle under parallel execution).
-func scanTask(cc compiled, la, ra axis, t pairTask, m *detect.Metrics) []Pair {
+// A done ctx aborts between outer-row strides; the caller discards the
+// partial output.
+func scanTask(ctx context.Context, cc compiled, la, ra axis, t pairTask, m *detect.Metrics) []Pair {
 	var out []Pair
 	for i := t.lb.lo; i < t.lb.hi; i++ {
+		if ctx != nil && (i-t.lb.lo)%ctxRowStride == 0 && ctx.Err() != nil {
+			return out
+		}
 		jStart := t.rb.lo
 		if t.diag {
 			jStart = i + 1 // upper triangle within the diagonal block
@@ -245,8 +257,10 @@ func scanTask(cc compiled, la, ra axis, t pairTask, m *detect.Metrics) []Pair {
 
 // runTasks executes the block-pair tasks and concatenates their results in
 // task order, so the output is identical regardless of worker count.
-// workers <= 0 uses all CPUs; metrics accumulate into m.
-func runTasks(cc compiled, la, ra axis, tasks []pairTask, workers int, m *detect.Metrics) []Pair {
+// workers <= 0 uses all CPUs; metrics accumulate into m. A done ctx makes
+// workers skip their remaining tasks and the call return an error wrapping
+// ctx.Err() — partial pair sets are never returned.
+func runTasks(ctx context.Context, cc compiled, la, ra axis, tasks []pairTask, workers int, m *detect.Metrics) ([]Pair, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -256,9 +270,15 @@ func runTasks(cc compiled, la, ra axis, tasks []pairTask, workers int, m *detect
 	if workers <= 1 {
 		var out []Pair
 		for _, t := range tasks {
-			out = append(out, scanTask(cc, la, ra, t, m)...)
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+			out = append(out, scanTask(ctx, cc, la, ra, t, m)...)
 		}
-		return out
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	results := make([][]Pair, len(tasks))
 	locals := make([]detect.Metrics, workers)
@@ -270,7 +290,10 @@ func runTasks(cc compiled, la, ra axis, tasks []pairTask, workers int, m *detect
 			defer wg.Done()
 			lm := &locals[w]
 			for ti := range next {
-				results[ti] = scanTask(cc, la, ra, tasks[ti], lm)
+				if ctx != nil && ctx.Err() != nil {
+					continue
+				}
+				results[ti] = scanTask(ctx, cc, la, ra, tasks[ti], lm)
 			}
 		}(w)
 	}
@@ -279,6 +302,9 @@ func runTasks(cc compiled, la, ra axis, tasks []pairTask, workers int, m *detect
 	}
 	close(next)
 	wg.Wait()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	var out []Pair
 	for _, r := range results {
 		out = append(out, r...)
@@ -288,7 +314,18 @@ func runTasks(cc compiled, la, ra axis, tasks []pairTask, workers int, m *detect
 			m.Add(locals[i])
 		}
 	}
-	return out
+	return out, nil
+}
+
+// ctxErr polls an optional context, wrapping its error for callers.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("thetajoin: detection aborted: %w", err)
+	}
+	return nil
 }
 
 // Detect runs the full self theta-join over the view, pruning the symmetric
@@ -302,6 +339,15 @@ func Detect(v detect.RowView, c *dc.Constraint, p int, m *detect.Metrics) []Pair
 // DetectWorkers is Detect with an explicit worker count (<= 0: all CPUs,
 // 1: sequential). The result is identical for every worker count.
 func DetectWorkers(v detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) []Pair {
+	pairs, _ := DetectWorkersCtx(nil, v, c, p, workers, m)
+	return pairs
+}
+
+// DetectWorkersCtx is DetectWorkers with cooperative cancellation: the
+// block-pair partition loop polls ctx between tasks (and between outer rows
+// inside a task) and returns an error wrapping ctx.Err() once it is done.
+// A nil ctx disables the checks.
+func DetectWorkersCtx(ctx context.Context, v detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) ([]Pair, error) {
 	cc := compile(c)
 	ax := buildAxis(v, cc)
 	blocks := blocksOf(ax, p, cc)
@@ -317,7 +363,7 @@ func DetectWorkers(v detect.RowView, c *dc.Constraint, p, workers int, m *detect
 			tasks = append(tasks, pairTask{lb: lb, rb: rb, fwd: fwd, rev: rev, diag: bj == bi})
 		}
 	}
-	return runTasks(cc, ax, ax, tasks, workers, m)
+	return runTasks(ctx, cc, ax, ax, tasks, workers, m)
 }
 
 // DetectPartial runs the incremental theta-join: it checks (delta × rest) in
@@ -331,6 +377,13 @@ func DetectPartial(delta, rest detect.RowView, c *dc.Constraint, p int, m *detec
 
 // DetectPartialWorkers is DetectPartial with an explicit worker count.
 func DetectPartialWorkers(delta, rest detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) []Pair {
+	pairs, _ := DetectPartialWorkersCtx(nil, delta, rest, c, p, workers, m)
+	return pairs
+}
+
+// DetectPartialWorkersCtx is DetectPartialWorkers with cooperative
+// cancellation (see DetectWorkersCtx).
+func DetectPartialWorkersCtx(ctx context.Context, delta, rest detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) ([]Pair, error) {
 	cc := compile(c)
 	da := buildAxis(delta, cc)
 	ra := buildAxis(rest, cc)
@@ -349,10 +402,16 @@ func DetectPartialWorkers(delta, rest detect.RowView, c *dc.Constraint, p, worke
 			tasks = append(tasks, pairTask{lb: db, rb: rb, fwd: fwd, rev: rev})
 		}
 	}
-	out := runTasks(cc, da, ra, tasks, workers, m)
+	out, err := runTasks(ctx, cc, da, ra, tasks, workers, m)
+	if err != nil {
+		return nil, err
+	}
 	// delta × delta (upper triangle).
-	out = append(out, DetectWorkers(delta, c, p, workers, m)...)
-	return out
+	dd, err := DetectWorkersCtx(ctx, delta, c, p, workers, m)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, dd...), nil
 }
 
 // RangeEstimate is one row of Algorithm 2's range_vio table: the estimated
