@@ -109,7 +109,7 @@ func TestQueryContextStreaming(t *testing.T) {
 	i := 0
 	for rows.Next() {
 		tup := rows.Row()
-		want := res.Rows.Tuples[i]
+		want := res.Rows.At(i)
 		if len(tup.Cells) != len(want.Cells) {
 			t.Fatalf("row %d: cell count %d != %d", i, len(tup.Cells), len(want.Cells))
 		}
@@ -139,7 +139,7 @@ func TestQueryContextStreaming(t *testing.T) {
 		if idx != n {
 			t.Fatalf("All index %d, want %d", idx, n)
 		}
-		if tup.Cells[0].String() != res.Rows.Tuples[idx].Cells[0].String() {
+		if tup.Cells[0].String() != res.Rows.At(idx).Cells[0].String() {
 			t.Errorf("All row %d differs", idx)
 		}
 		n++

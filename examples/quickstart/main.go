@@ -53,8 +53,8 @@ func main() {
 	fmt.Println("plan:", res.Plan)
 	fmt.Printf("result (%d tuples, relaxed from 2 dirty matches):\n", res.Rows.Len())
 	for i := 0; i < res.Rows.Len(); i++ {
-		zip := res.Rows.Tuples[i].Cells[0]
-		city := res.Rows.Tuples[i].Cells[1]
+		zip := res.Rows.At(i).Cells[0]
+		city := res.Rows.At(i).Cells[1]
 		fmt.Printf("  zip=%-28s city=%s\n", zip.String(), city.String())
 	}
 

@@ -263,9 +263,11 @@ func (w *writer) applyBatch(batch []*applyReq) {
 	w.mu.Lock()
 	next := w.current().derive()
 	cloned := make(map[string]bool)
+	marks := newBatchMarks()
 	for _, req := range batch {
-		applyOne(next, cloned, req)
+		applyOne(next, cloned, req, marks)
 	}
+	marks.flush()
 	w.snap.Store(next)
 	w.mu.Unlock()
 	for _, req := range batch {
@@ -273,12 +275,95 @@ func (w *writer) applyBatch(batch []*applyReq) {
 	}
 }
 
+// batchMarks coalesces the write-ahead bookkeeping of one apply batch: the
+// checked-group and checked-tuple additions of every request accumulate per
+// (table, rule) and merge into the epoch's frozen maps once at batch end,
+// instead of rebuilding the clone-and-extend maps per request. Under
+// duplicate-heavy racing traffic a batch of k requests against one rule then
+// costs one map rebuild, not k. The pending sets also feed duplicate
+// filtering (filterCheckedFD): a group marked by an earlier request in the
+// batch is already checked for every later one, exactly as if the per-request
+// merges had been published eagerly.
+type batchMarks struct {
+	groups map[string]*groupMarks
+	tuples map[string]*tupleMarks
+}
+
+type groupMarks struct {
+	st   *tableState
+	rule string
+	set  map[value.MapKey]bool
+	list []value.MapKey
+}
+
+type tupleMarks struct {
+	st   *tableState
+	rule string
+	list []int64
+}
+
+func newBatchMarks() *batchMarks {
+	return &batchMarks{groups: make(map[string]*groupMarks), tuples: make(map[string]*tupleMarks)}
+}
+
+func markKey(table, rule string) string { return table + "\x00" + rule }
+
+// pendingGroups returns the groups already marked by earlier requests of
+// this batch for (table, rule) — the batch-local layer of the checked set.
+func (m *batchMarks) pendingGroups(table, rule string) map[value.MapKey]bool {
+	if g, ok := m.groups[markKey(table, rule)]; ok {
+		return g.set
+	}
+	return nil
+}
+
+func (m *batchMarks) addGroups(st *tableState, table, rule string, keys []value.MapKey) {
+	key := markKey(table, rule)
+	g, ok := m.groups[key]
+	if !ok {
+		g = &groupMarks{st: st, rule: rule, set: make(map[value.MapKey]bool, len(keys))}
+		m.groups[key] = g
+	}
+	for _, k := range keys {
+		if g.set[k] {
+			continue
+		}
+		g.set[k] = true
+		g.list = append(g.list, k)
+	}
+}
+
+func (m *batchMarks) addTuples(st *tableState, table, rule string, ids []int64) {
+	key := markKey(table, rule)
+	tm, ok := m.tuples[key]
+	if !ok {
+		tm = &tupleMarks{st: st, rule: rule}
+		m.tuples[key] = tm
+	}
+	tm.list = append(tm.list, ids...)
+}
+
+// flush merges the accumulated marks into the batch's table-state clones,
+// one clone-and-extend per (table, rule). Iteration order over the map is
+// irrelevant: entries target disjoint (state, rule) checked maps and
+// markGroups/markTuples build sets, which are order-independent.
+func (m *batchMarks) flush() {
+	for _, g := range m.groups {
+		markGroups(g.st, g.rule, g.list)
+	}
+	for _, tm := range m.tuples {
+		markTuples(tm.st, tm.rule, tm.list)
+	}
+}
+
 // applyOne merges one request into the next epoch. FD requests coalesce
-// idempotently: a group already marked checked was repaired by an earlier
-// (racing) query with the identical group-deterministic fix, so its cells
-// and bookkeeping are dropped. DC requests apply verbatim — the DC clean
-// path is serialized by Session.dcMu, so no duplicates can race.
-func applyOne(next *snapshot, cloned map[string]bool, req *applyReq) {
+// idempotently: a group already marked checked — in a published epoch or by
+// an earlier request of this batch — was repaired by an earlier (racing)
+// query with the identical group-deterministic fix, so its cells and
+// bookkeeping are dropped. DC requests apply verbatim — the DC clean path is
+// serialized by Session.dcMu, so no duplicates can race. Checked-set growth
+// lands in marks and merges once per (table, rule) at batch end.
+func applyOne(next *snapshot, cloned map[string]bool, req *applyReq, marks *batchMarks) {
 	if cur, ok := next.tables[req.table]; !ok || cur.ident != req.ident {
 		// The table was dropped or replaced after the query took its
 		// snapshot: the write-back belongs to the old registration, and
@@ -290,7 +375,7 @@ func applyOne(next *snapshot, cloned map[string]bool, req *applyReq) {
 	duplicate := false
 	dropped := false
 	if req.isFD {
-		duplicate, dropped = filterCheckedFD(st, req)
+		duplicate, dropped = filterCheckedFD(st, req, marks.pendingGroups(req.table, req.rule))
 	}
 	if req.delta != nil && req.delta.Len() > 0 {
 		if !dropped && req.applied != nil && st.pt == req.base {
@@ -307,10 +392,10 @@ func applyOne(next *snapshot, cloned map[string]bool, req *applyReq) {
 		}
 	}
 	if len(req.groups) > 0 {
-		markGroups(st, req.rule, req.groups)
+		marks.addGroups(st, req.table, req.rule, req.groups)
 	}
 	if len(req.tuples) > 0 {
-		markTuples(st, req.rule, req.tuples)
+		marks.addTuples(st, req.table, req.rule, req.tuples)
 	}
 	if req.estimates != nil {
 		if _, ok := st.dcEstimates[req.rule]; !ok {
@@ -335,18 +420,21 @@ func applyOne(next *snapshot, cloned map[string]bool, req *applyReq) {
 }
 
 // filterCheckedFD drops delta cells and checked-key entries for groups that
-// are already checked at apply time. It reports whether the whole request
-// turned out to be a duplicate of an earlier apply, and whether any part of
-// it was dropped (which disables the adoption fast path).
-func filterCheckedFD(st *tableState, req *applyReq) (duplicate, dropped bool) {
+// are already checked at apply time — in the epoch's published set or in the
+// batch's pending marks (groups an earlier request of the same batch just
+// claimed). It reports whether the whole request turned out to be a
+// duplicate of an earlier apply, and whether any part of it was dropped
+// (which disables the adoption fast path).
+func filterCheckedFD(st *tableState, req *applyReq, pending map[value.MapKey]bool) (duplicate, dropped bool) {
 	checked := st.checkedGroups[req.rule]
-	if len(checked) == 0 {
+	if len(checked) == 0 && len(pending) == 0 {
 		return false, false
 	}
+	isChecked := func(k value.MapKey) bool { return checked[k] || pending[k] }
 	idx := st.fdIdx[req.rule]
 	fresh := req.groups[:0]
 	for _, k := range req.groups {
-		if checked[k] {
+		if isChecked(k) {
 			dropped = true
 			continue
 		}
@@ -356,7 +444,7 @@ func filterCheckedFD(st *tableState, req *applyReq) (duplicate, dropped bool) {
 	if dropped && req.delta != nil && idx != nil {
 		for id := range req.delta.Cells {
 			pos, ok := st.pt.Pos(id)
-			if !ok || checked[idx.keyOf(pos)] {
+			if !ok || isChecked(idx.keyOf(pos)) {
 				delete(req.delta.Cells, id)
 			}
 		}

@@ -184,7 +184,7 @@ func TestIndexStatsMatchCollect(t *testing.T) {
 	_ = fd
 	s := NewSession(Options{})
 	tb := table.New("cities", pt.Schema)
-	for _, tup := range pt.Tuples {
+	for _, tup := range pt.Rows() {
 		row := make(table.Row, len(tup.Cells))
 		for i := range tup.Cells {
 			row[i] = tup.Cells[i].Orig

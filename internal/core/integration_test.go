@@ -110,7 +110,7 @@ func TestProbabilityMassInvariantAfterWorkload(t *testing.T) {
 		}
 	}
 	pt := s.Table("lineorder")
-	for i, tup := range pt.Tuples {
+	for i, tup := range pt.Rows() {
 		for col := range tup.Cells {
 			cell := &tup.Cells[col]
 			if s := cell.ProbSum(); s < 0.999 || s > 1.001 {

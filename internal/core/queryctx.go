@@ -204,7 +204,7 @@ func (qc *queryCtx) CleanSelect(tableName string, rows []int, pred expr.Pred, ru
 			idx = pt.Schema.MustIndex(ref.Col)
 			colIdx[ref.Col] = idx
 		}
-		return &pt.Tuples[row].Cells[idx]
+		return &pt.At(row).Cells[idx]
 	}
 	for _, r := range current {
 		row = r

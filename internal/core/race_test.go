@@ -126,7 +126,66 @@ func TestConcurrentQueriesConvergeToSequentialState(t *testing.T) {
 		if got != want {
 			t.Fatalf("trial %d: converged concurrent state differs from sequential state\nconcurrent:\n%.2000s\nsequential:\n%.2000s", trial, got, want)
 		}
+		// Idempotence: replaying the whole workload against the converged
+		// state must be a no-op — every group is checked, so the writer's
+		// batched coalescing must drop every duplicate write-back without
+		// re-merging a single cell.
+		if trial == 0 {
+			for _, q := range queries {
+				if _, err := conc.Query(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if replay := conc.Table("lineorder").Fingerprint(); replay != want {
+				t.Fatalf("replaying the workload on the converged state changed it (duplicate write-backs not idempotent)")
+			}
+		}
 		conc.Close()
+	}
+}
+
+// TestBatchedWriteBacksCoalesceIdempotently submits two identical FD
+// write-backs (computed against the same snapshot, the racing-duplicate
+// shape) through one submitAll call, so they land in one coalesced batch:
+// the second must be filtered against the first's batch-pending marks and
+// the published state must be byte-identical to applying the fix once.
+func TestBatchedWriteBacksCoalesceIdempotently(t *testing.T) {
+	single := newCitySession(t, Options{Strategy: StrategyIncremental})
+	defer single.Close()
+	singleSnap := single.w.current()
+	singleQC := &queryCtx{s: single, snap: singleSnap, opts: single.opts}
+	var sm detect.Metrics
+	if _, err := singleQC.cleanFD(singleSnap.tables["cities"], "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &sm); err != nil {
+		t.Fatal(err)
+	}
+	singleQC.flush()
+	want := single.Table("cities").Fingerprint()
+
+	s := newCitySession(t, Options{Strategy: StrategyIncremental})
+	defer s.Close()
+	snap := s.w.current()
+	st := snap.tables["cities"]
+	var reqs []*applyReq
+	for i := 0; i < 2; i++ {
+		qc := &queryCtx{s: s, snap: snap, opts: s.opts}
+		var m detect.Metrics
+		if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m); err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, qc.pending...)
+		qc.pending = nil
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("expected 2 buffered write-backs, got %d", len(reqs))
+	}
+	s.w.submitAll(reqs)
+	if got := s.Table("cities").Fingerprint(); got != want {
+		t.Errorf("duplicate write-backs in one batch diverged from a single apply:\n%s\nvs\n%s", got, want)
+	}
+	checked := s.w.current().tables["cities"].checkedGroups[stRule(t).Name]
+	wantChecked := single.w.current().tables["cities"].checkedGroups[stRule(t).Name]
+	if len(checked) != len(wantChecked) {
+		t.Errorf("checked groups = %d, want %d", len(checked), len(wantChecked))
 	}
 }
 

@@ -66,7 +66,7 @@ func (r *Rows) Next() bool {
 // Row returns the current tuple. Valid only after a Next call that returned
 // true; the tuple aliases immutable epoch state and must not be mutated.
 func (r *Rows) Row() *ptable.Tuple {
-	return r.fr.PT.Tuples[r.fr.Rows[r.pos]]
+	return r.fr.PT.At(r.fr.Rows[r.pos])
 }
 
 // All adapts the cursor to a Go 1.23 range-over-func iterator yielding

@@ -56,18 +56,18 @@ type PTableView struct{ P *ptable.PTable }
 func (v PTableView) Len() int { return v.P.Len() }
 
 // ID implements RowView.
-func (v PTableView) ID(i int) int64 { return v.P.Tuples[i].ID }
+func (v PTableView) ID(i int) int64 { return v.P.At(i).ID }
 
 // Value implements RowView.
 func (v PTableView) Value(i int, col string) value.Value {
-	return v.P.Tuples[i].Cells[v.P.Schema.MustIndex(col)].Orig
+	return v.P.At(i).Cells[v.P.Schema.MustIndex(col)].Orig
 }
 
 // ColIndex implements RowView.
 func (v PTableView) ColIndex(col string) int { return v.P.Schema.Index(col) }
 
 // ValueAt implements RowView.
-func (v PTableView) ValueAt(i, idx int) value.Value { return v.P.Tuples[i].Cells[idx].Orig }
+func (v PTableView) ValueAt(i, idx int) value.Value { return v.P.At(i).Cells[idx].Orig }
 
 // PosOf resolves a tuple ID back to its row position (implements the
 // optional position-resolver interface relaxation and repair consult

@@ -98,7 +98,7 @@ func (f *Frame) Materialize() *ptable.PTable {
 	out.Reserve(len(f.Rows))
 	tuples := make([]ptable.Tuple, len(f.Rows))
 	for ti, r := range f.Rows {
-		src := f.PT.Tuples[r]
+		src := f.PT.At(r)
 		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: src.Cells, Lineage: src.Lineage}
 		out.Append(&tuples[ti])
 	}
@@ -184,12 +184,23 @@ func (e *Executor) parallelism(n int) int {
 const parallelThreshold = 2048
 
 // chunkBounds splits n items into w contiguous chunks and returns the chunk
-// boundaries (len w+1). Chunk order is the merge order, so partitioned
-// operators stay deterministic.
+// boundaries (len w+1). When every chunk spans at least one full segment,
+// interior boundaries round down to PTable segment multiples so chunks over
+// base scans (where row position equals row-set index) touch disjoint
+// segment sets — workers then never interleave reads within one segment's
+// tuple block. The width guard keeps rounding from collapsing chunks (each
+// boundary moves by less than one chunk width, so chunks stay non-empty and
+// balanced within a segment), and since chunks still concatenate in order
+// the merged output is byte-identical to the sequential scan.
 func chunkBounds(n, w int) []int {
+	alignSegments := n/w >= ptable.SegmentSize
 	bounds := make([]int, w+1)
 	for i := 0; i <= w; i++ {
-		bounds[i] = i * n / w
+		b := i * n / w
+		if i != 0 && i != w && alignSegments {
+			b &^= ptable.SegmentSize - 1
+		}
+		bounds[i] = b
 	}
 	return bounds
 }
@@ -304,7 +315,7 @@ func (e *Executor) cellGetter(f *frame) func(row int, ref expr.ColRef) *uncertai
 			}
 			cache[ref] = idx
 		}
-		return &f.pt.Tuples[row].Cells[idx]
+		return &f.pt.At(row).Cells[idx]
 	}
 }
 
@@ -375,7 +386,7 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 	if w := e.parallelism(len(matches)); w > 1 {
 		runChunks(e.Ctx, chunkBounds(len(matches), w), w, func(ci, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				fillJoinTuple(&tuples[i], int64(i), lf.pt.Tuples[matches[i].l], rf.pt.Tuples[matches[i].r])
+				fillJoinTuple(&tuples[i], int64(i), lf.pt.At(matches[i].l), rf.pt.At(matches[i].r))
 			}
 		})
 		if err := e.ctxErr(); err != nil {
@@ -383,7 +394,7 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 		}
 	} else {
 		for i, mt := range matches {
-			fillJoinTuple(&tuples[i], int64(i), lf.pt.Tuples[mt.l], rf.pt.Tuples[mt.r])
+			fillJoinTuple(&tuples[i], int64(i), lf.pt.At(mt.l), rf.pt.At(mt.r))
 		}
 	}
 	for i := range tuples {
@@ -702,7 +713,7 @@ func (e *Executor) execProject(node *plan.Project) (*frame, error) {
 	tuples := make([]ptable.Tuple, len(f.rows))
 	cells := make([]uncertain.Cell, len(f.rows)*len(idxs))
 	for ti, r := range f.rows {
-		src := f.pt.Tuples[r]
+		src := f.pt.At(r)
 		tc := cells[ti*len(idxs) : (ti+1)*len(idxs) : (ti+1)*len(idxs)]
 		for i, idx := range idxs {
 			tc[i] = src.Cells[idx]

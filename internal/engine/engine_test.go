@@ -159,7 +159,7 @@ func TestJoinLineageMerged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tup := range out.Tuples {
+	for _, tup := range out.Rows() {
 		if len(tup.Lineage["cities"]) != 1 || len(tup.Lineage["employee"]) != 1 {
 			t.Errorf("join tuple lineage = %v", tup.Lineage)
 		}

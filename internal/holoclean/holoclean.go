@@ -193,7 +193,7 @@ func (r *Repairer) Infer(pt *ptable.PTable) *table.Table {
 	r.Opts.defaults()
 	view := detect.PTableView{P: pt}
 	out := table.New(pt.Name, pt.Schema)
-	for _, tup := range pt.Tuples {
+	for _, tup := range pt.Rows() {
 		row := make(table.Row, len(tup.Cells))
 		for col := range tup.Cells {
 			cell := &tup.Cells[col]

@@ -13,7 +13,10 @@
 // only the leaf primitives with the engine — value/cell representation, SQL
 // front-end, predicate evaluation, and the Lemma 4 merge — so a bug in the
 // index, pruning, relaxation, detection, or snapshot layers shows up as a
-// divergence.
+// divergence. The oracle also keeps its own pre-refactor flat tuple storage
+// (FlatTable, one tuple-pointer slice mutated in place) rather than the
+// engine's segmented copy-on-write PTable, so state-fingerprint comparisons
+// double as a differential test of the segmented storage layer itself.
 package oracle
 
 import (
@@ -47,7 +50,7 @@ type Session struct {
 }
 
 type state struct {
-	pt            *ptable.PTable
+	pt            *FlatTable
 	checkedGroups map[string]map[value.MapKey]bool
 	checkedTuples map[string]map[int64]bool
 }
@@ -63,7 +66,7 @@ func (s *Session) Register(t *table.Table) error {
 		return fmt.Errorf("oracle: table %q already registered", t.Name)
 	}
 	s.tables[t.Name] = &state{
-		pt:            ptable.FromTable(t),
+		pt:            FlatFromTable(t),
 		checkedGroups: make(map[string]map[value.MapKey]bool),
 		checkedTuples: make(map[string]map[int64]bool),
 	}
@@ -79,8 +82,9 @@ func (s *Session) AddRule(rule *dc.Constraint) error {
 	return nil
 }
 
-// Table exposes the current probabilistic state.
-func (s *Session) Table(name string) *ptable.PTable {
+// Table exposes the current probabilistic state (the oracle's flat,
+// pre-refactor storage — see FlatTable).
+func (s *Session) Table(name string) *FlatTable {
 	st, ok := s.tables[name]
 	if !ok {
 		return nil
@@ -183,7 +187,7 @@ func (s *Session) Query(text string) (*Result, error) {
 
 // ruleApplies reports whether the relation has every constraint column —
 // the implicit-binding test for rules without a table qualifier.
-func ruleApplies(rule *dc.Constraint, pt *ptable.PTable) bool {
+func ruleApplies(rule *dc.Constraint, pt *FlatTable) bool {
 	for _, col := range rule.Columns() {
 		if !pt.Schema.Has(col) {
 			return false
@@ -194,7 +198,7 @@ func ruleApplies(rule *dc.Constraint, pt *ptable.PTable) bool {
 
 // evalRow evaluates the predicate over row i's cells (any-candidate
 // semantics, shared with the engine through package expr).
-func evalRow(pt *ptable.PTable, i int, pred expr.Pred) bool {
+func evalRow(pt *FlatTable, i int, pred expr.Pred) bool {
 	return pred.EvalCell(func(ref expr.ColRef) *uncertain.Cell {
 		return &pt.Tuples[i].Cells[pt.Schema.MustIndex(ref.Col)]
 	})
@@ -220,7 +224,7 @@ func queryAttrs(q *sql.Query) map[string]bool {
 // ---- FD cleaning, the naive way -----------------------------------------
 
 // origKey builds a composite key over original values of the given columns.
-func origKey(pt *ptable.PTable, row int, cols []int) value.MapKey {
+func origKey(pt *FlatTable, row int, cols []int) value.MapKey {
 	if len(cols) == 1 {
 		return pt.Tuples[row].Cells[cols[0]].Orig.MapKey()
 	}
@@ -231,7 +235,7 @@ func origKey(pt *ptable.PTable, row int, cols []int) value.MapKey {
 	return value.MapKeyOf(vals...)
 }
 
-func colIndexes(pt *ptable.PTable, names []string) []int {
+func colIndexes(pt *FlatTable, names []string) []int {
 	out := make([]int, len(names))
 	for i, n := range names {
 		out[i] = pt.Schema.MustIndex(n)
@@ -328,7 +332,7 @@ func (s *Session) cleanFD(st *state, rule string, fd dc.FDSpec, rows []int, pred
 
 // relax adds the rows outside seed sharing an lhs group or rhs value with a
 // seed row, by scanning the relation; transitive repeats to fixpoint.
-func (s *Session) relax(pt *ptable.PTable, seed []int, lhsIdx []int, rhsIdx int, transitive bool) []int {
+func (s *Session) relax(pt *FlatTable, seed []int, lhsIdx []int, rhsIdx int, transitive bool) []int {
 	in := make(map[int]bool, len(seed))
 	lhsSeen := make(map[value.MapKey]bool)
 	rhsSeen := make(map[value.MapKey]bool)
@@ -366,7 +370,7 @@ func (s *Session) relax(pt *ptable.PTable, seed []int, lhsIdx []int, rhsIdx int,
 }
 
 // partners returns members of the scope rows' groups outside the result.
-func partners(pt *ptable.PTable, scope, rows []int, lhsIdx []int, members map[value.MapKey][]int) []int {
+func partners(pt *FlatTable, scope, rows []int, lhsIdx []int, members map[value.MapKey][]int) []int {
 	inResult := make(map[int]bool, len(rows))
 	for _, r := range rows {
 		inResult[r] = true
@@ -550,7 +554,7 @@ type pair struct{ t1, t2 int64 }
 // for each unordered pair — the same emission rule as the partitioned
 // theta-join, minus the partitioning. Rows order by the constraint's
 // primary attribute, as the matrix axes do.
-func naivePairs(pt *ptable.PTable, rule *dc.Constraint, delta, rest []int) []pair {
+func naivePairs(pt *FlatTable, rule *dc.Constraint, delta, rest []int) []pair {
 	primary := pt.Schema.MustIndex(rule.Atoms[0].LeftCol)
 	byPrimary := func(idx []int) []int {
 		out := append([]int(nil), idx...)
@@ -642,7 +646,7 @@ func (s *Session) applyDCFixes(st *state, rule *dc.Constraint, pairs []pair) {
 	pt.Apply(delta)
 }
 
-func addRange(delta *ptable.Delta, pt *ptable.PTable, row, col int, op dc.Op, bound value.Value, world int) {
+func addRange(delta *ptable.Delta, pt *FlatTable, row, col int, op dc.Op, bound value.Value, world int) {
 	id := pt.Tuples[row].ID
 	var cell uncertain.Cell
 	if cols, ok := delta.Cells[id]; ok {

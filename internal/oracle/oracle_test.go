@@ -112,7 +112,7 @@ func oracleResultLines(res *Result) []string {
 
 func coreResultLines(rows *ptable.PTable) []string {
 	lines := make([]string, 0, rows.Len())
-	for _, t := range rows.Tuples {
+	for _, t := range rows.Rows() {
 		var b strings.Builder
 		for i := range t.Cells {
 			b.WriteString(ptable.CellFingerprint(&t.Cells[i]))

@@ -1,0 +1,181 @@
+package ptable_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"daisy/internal/dc"
+	"daisy/internal/oracle"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// The differential tests in this file compare the segmented PTable against
+// oracle.FlatTable — the pre-refactor flat tuple storage kept in the oracle
+// package — so segment arithmetic, counter maintenance, and clone sharing
+// are all checked against the naive implementation byte for byte.
+
+// randomDiffTable builds a seeded deterministic relation spanning several
+// segments' worth of rows.
+func randomDiffTable(rng *rand.Rand, n int) *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "a", Kind: value.Int},
+		schema.Column{Name: "b", Kind: value.String},
+		schema.Column{Name: "x", Kind: value.Float},
+	)
+	tb := table.New("t", sch)
+	for i := 0; i < n; i++ {
+		tb.MustAppend(table.Row{
+			value.NewInt(int64(rng.Intn(40))),
+			value.NewString(fmt.Sprintf("s%d", rng.Intn(25))),
+			value.NewFloat(float64(rng.Intn(100))),
+		})
+	}
+	return tb
+}
+
+// randomDiffDelta generates an FD- or DC-shaped delta from a sub-seed. Two
+// calls with the same arguments build structurally identical deltas —
+// required because Apply takes ownership of delta cells, so the segmented
+// and flat runs each need their own copy.
+func randomDiffDelta(seed int64, tb *table.Table) *ptable.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	d := ptable.NewDelta(tb.Name)
+	k := 1 + rng.Intn(6)
+	for i := 0; i < k; i++ {
+		row := rng.Intn(tb.Len())
+		col := rng.Intn(tb.Schema.Len())
+		orig := tb.Rows[row][col]
+		cell := uncertain.Cell{Orig: orig}
+		if rng.Intn(2) == 0 {
+			// FD-shaped fix: a frequency distribution over candidate values.
+			nc := 2 + rng.Intn(2)
+			for c := 0; c < nc; c++ {
+				cell.Candidates = append(cell.Candidates, uncertain.Candidate{
+					Val:     value.NewInt(int64(rng.Intn(40))),
+					Prob:    1.0 / float64(nc),
+					World:   c,
+					Support: 1 + rng.Intn(3),
+				})
+			}
+		} else {
+			// DC-shaped fix: keep-original plus an inverting range candidate.
+			cell.Candidates = []uncertain.Candidate{{Val: orig, Prob: 0.5, World: 0, Support: 1}}
+			op := []dc.Op{dc.Lt, dc.Leq, dc.Gt, dc.Geq}[rng.Intn(4)]
+			cell.Ranges = []uncertain.RangeCandidate{{
+				RangeBound: uncertain.RangeBound{Op: op, Bound: value.NewFloat(float64(rng.Intn(100)))},
+				Prob:       0.5,
+				World:      1,
+			}}
+		}
+		d.Set(int64(row), col, cell)
+	}
+	return d
+}
+
+// compareStates asserts fingerprint byte-equality and that the segmented
+// side's maintained counters equal the flat side's full scans.
+func compareStates(t *testing.T, ctx string, seg *ptable.PTable, flat *oracle.FlatTable) {
+	t.Helper()
+	if got, want := seg.Fingerprint(), flat.Fingerprint(); got != want {
+		t.Fatalf("%s: segmented state diverged from flat reference\nsegmented:\n%.1500s\nflat:\n%.1500s", ctx, got, want)
+	}
+	if got, want := seg.DirtyTuples(), flat.DirtyTuples(); got != want {
+		t.Fatalf("%s: DirtyTuples counter %d, full scan %d", ctx, got, want)
+	}
+	if got, want := seg.CandidateFootprint(), flat.CandidateFootprint(); got != want {
+		t.Fatalf("%s: CandidateFootprint counter %d, full scan %d", ctx, got, want)
+	}
+}
+
+// TestSegmentedMatchesFlatReference drives seeded sequences of FD- and
+// DC-shaped deltas through the segmented PTable and the flat reference:
+// first an in-place phase (the offline/oracle lifecycle), then a
+// copy-on-write phase of generation chains and dropped (canceled-query)
+// branches (the epoch-publication lifecycle — after the first ApplyCOW the
+// relation is frozen for in-place mutation by the enforced invariant).
+// After every step both implementations must be fingerprint-byte-identical
+// and the maintained counters must equal the flat full scans.
+func TestSegmentedMatchesFlatReference(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64 + rng.Intn(3*ptable.SegmentSize)
+		tb := randomDiffTable(rng, n)
+		seg := ptable.FromTable(tb)
+		flat := oracle.FlatFromTable(tb)
+
+		// Phase 1: in-place applies.
+		for step := 0; step < 10; step++ {
+			sub := seed*1000 + int64(step)
+			if u1, u2 := seg.Apply(randomDiffDelta(sub, tb)), flat.Apply(randomDiffDelta(sub, tb)); u1 != u2 {
+				t.Fatalf("seed %d apply step %d: updated %d vs %d", seed, step, u1, u2)
+			}
+			compareStates(t, fmt.Sprintf("seed %d apply step %d", seed, step), seg, flat)
+		}
+
+		// Phase 2: copy-on-write chains with dropped branches.
+		for step := 0; step < 15; step++ {
+			sub := seed*1000 + 500 + int64(step)
+			dSeg := randomDiffDelta(sub, tb)
+			dFlat := randomDiffDelta(sub, tb)
+			if rng.Intn(3) < 2 {
+				var u1, u2 int
+				seg, u1 = seg.ApplyCOW(dSeg)
+				flat, u2 = flat.ApplyCOW(dFlat)
+				if u1 != u2 {
+					t.Fatalf("seed %d cow step %d: COW updated %d vs %d", seed, step, u1, u2)
+				}
+			} else {
+				// Canceled query: a COW branch is built, compared, and dropped
+				// without publishing; the base generation must be untouched.
+				before := seg.Fingerprint()
+				branchSeg, _ := seg.ApplyCOW(dSeg)
+				branchFlat, _ := flat.ApplyCOW(dFlat)
+				if branchSeg.Fingerprint() != branchFlat.Fingerprint() {
+					t.Fatalf("seed %d cow step %d: dropped branch diverged", seed, step)
+				}
+				if seg.Fingerprint() != before {
+					t.Fatalf("seed %d cow step %d: COW branch mutated its base", seed, step)
+				}
+			}
+			compareStates(t, fmt.Sprintf("seed %d cow step %d", seed, step), seg, flat)
+		}
+	}
+}
+
+// TestApplyCOWSmallDeltaAllocs pins small-delta epoch publication to
+// O(segments touched): a one-tuple delta must allocate the same small number
+// of objects on a 16× larger relation — the flat implementation's O(n)
+// pointer copy would instead show up as size-dependent allocation growth.
+func TestApplyCOWSmallDeltaAllocs(t *testing.T) {
+	alloc := func(rows int) float64 {
+		rng := rand.New(rand.NewSource(7))
+		tb := randomDiffTable(rng, rows)
+		p := ptable.FromTable(tb)
+		d := randomDiffDelta(42, tb)
+		// Single-tuple delta: keep only one key.
+		for id := range d.Cells {
+			if len(d.Cells) > 1 {
+				delete(d.Cells, id)
+			}
+		}
+		return testing.AllocsPerRun(50, func() {
+			p.ApplyCOW(d)
+		})
+	}
+	small := alloc(8 * ptable.SegmentSize)
+	large := alloc(128 * ptable.SegmentSize)
+	// out PTable + segs directory + one segment clone (struct + tuple slice)
+	// + tuple clone + cell slice ≈ 6; leave headroom for runtime noise.
+	const maxAllocs = 12
+	if small > maxAllocs || large > maxAllocs {
+		t.Errorf("ApplyCOW small-delta allocs = %.0f (small) / %.0f (large), want <= %d", small, large, maxAllocs)
+	}
+	if large > small+2 {
+		t.Errorf("ApplyCOW allocations grew with relation size: %.0f -> %.0f (publication must be O(segments touched))", small, large)
+	}
+}

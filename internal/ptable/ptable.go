@@ -5,12 +5,26 @@
 // per-query deltas in place (§4, §6 of the paper). Tuples carry lineage —
 // the originating tuple IDs per base relation — so join results can be split
 // back into their qualifying parts (clean⋈, Definition 3).
+//
+// # Segmented copy-on-write storage
+//
+// Tuple pointers live in fixed-size immutable segments of SegmentSize rows.
+// ApplyCOW clones only the segments a delta touches and shares the rest by
+// pointer, so publishing a new epoch generation costs O(delta · SegmentSize)
+// in copies instead of O(n): a three-tuple fix on a 10M-row relation copies
+// a handful of 4KB pointer blocks, not 80MB of tuple pointers. Segments also
+// carry maintained dirty-tuple and candidate-footprint counters, making
+// DirtyTuples and CandidateFootprint O(n/SegmentSize) sums rather than full
+// scans. Positional access goes through At(i) and the Rows iterator; the raw
+// tuple slice of earlier versions no longer exists.
 package ptable
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"daisy/internal/schema"
 	"daisy/internal/table"
@@ -54,94 +68,242 @@ func (t *Tuple) Dirty() bool {
 	return false
 }
 
+// footprint is the tuple's candidate-footprint contribution: candidate plus
+// range counts over its uncertain cells (the "p" of the update-cost term).
+func (t *Tuple) footprint() int {
+	n := 0
+	for i := range t.Cells {
+		if !t.Cells[i].IsCertain() {
+			n += len(t.Cells[i].Candidates) + len(t.Cells[i].Ranges)
+		}
+	}
+	return n
+}
+
+// Segment geometry. SegmentSize is the copy-on-write clone unit: small
+// enough that a sparse delta's publication cost stays near the delta (a
+// segment clone is a SegmentSize pointer copy, 4KB), large enough that the
+// per-relation segment directory stays ~0.2% of a flat tuple-pointer slice.
+const (
+	segShift = 9
+	// SegmentSize is the number of tuples per storage segment.
+	SegmentSize = 1 << segShift
+	segMask     = SegmentSize - 1
+)
+
+// segment is one fixed-size block of tuple pointers plus maintained
+// counters. Every segment except a relation's last holds exactly
+// SegmentSize tuples, so position arithmetic is a shift and a mask.
+type segment struct {
+	tuples []*Tuple
+	// dirty counts member tuples with at least one uncertain cell; cand sums
+	// their candidate footprints. Maintained by Apply/ApplyCOW/Append.
+	dirty int
+	cand  int
+}
+
+// clone copies the segment for a copy-on-write mutation.
+func (s *segment) clone() *segment {
+	return &segment{tuples: append([]*Tuple(nil), s.tuples...), dirty: s.dirty, cand: s.cand}
+}
+
 // PTable is a probabilistic relation.
 type PTable struct {
 	Name   string
 	Schema *schema.Schema
-	Tuples []*Tuple
-	byID   map[int64]int
+
+	segs []*segment
+	n    int
+
+	// dense marks relations whose tuple IDs equal their positions (every
+	// FromTable snapshot and every sequentially-built operator output), in
+	// which case no id→position map is materialized at all — a 10M-row
+	// snapshot carries no 10M-entry index. Appending an out-of-order ID
+	// materializes byID once and clears dense.
+	dense bool
+	byID  map[int64]int
+
+	// shared marks relations participating in copy-on-write sharing — both
+	// ApplyCOW results and their receivers, which share segment structs and
+	// the id index. In-place growth or mutation (Append, Apply) would corrupt
+	// every generation at once and panics instead. Atomic because concurrent
+	// snapshot readers may ApplyCOW the same receiver generation at once.
+	shared atomic.Bool
+
+	// hint is the expected number of upcoming appends (set by Reserve); it
+	// sizes new segments so reserved bulk loads allocate each segment once.
+	hint int
 }
 
 // New creates an empty probabilistic relation.
 func New(name string, s *schema.Schema) *PTable {
-	return &PTable{Name: name, Schema: s, byID: make(map[int64]int)}
+	return &PTable{Name: name, Schema: s, dense: true}
 }
 
 // FromTable snapshots a deterministic table; tuple IDs are row positions and
 // every tuple's lineage points at itself. Tuple structs, cells, and lineage
-// id backing are batch-allocated: snapshotting is the first thing every
-// session does to every relation.
+// id backing are batch-allocated per segment — snapshotting is the first
+// thing every session does to every relation, and segment-aligned batches
+// keep the sequential hot path one allocation per SegmentSize rows while
+// letting ApplyCOW share untouched segments wholesale.
 func FromTable(t *table.Table) *PTable {
 	n := t.Len()
-	p := &PTable{Name: t.Name, Schema: t.Schema, byID: make(map[int64]int, n)}
-	p.Tuples = make([]*Tuple, 0, n)
+	p := &PTable{Name: t.Name, Schema: t.Schema, dense: true, n: n}
 	width := t.Schema.Len()
-	tuples := make([]Tuple, n)
-	cells := make([]uncertain.Cell, n*width)
-	selfIDs := make([]int64, n)
-	for i, row := range t.Rows {
-		tc := cells[i*width : (i+1)*width : (i+1)*width]
-		for j, v := range row {
-			tc[j] = uncertain.Certain(v)
+	p.segs = make([]*segment, 0, (n+segMask)>>segShift)
+	for lo := 0; lo < n; lo += SegmentSize {
+		hi := lo + SegmentSize
+		if hi > n {
+			hi = n
 		}
-		selfIDs[i] = int64(i)
-		tuples[i] = Tuple{
-			ID:      int64(i),
-			Cells:   tc,
-			Lineage: map[string][]int64{t.Name: selfIDs[i : i+1 : i+1]},
+		m := hi - lo
+		tuples := make([]Tuple, m)
+		ptrs := make([]*Tuple, m)
+		cells := make([]uncertain.Cell, m*width)
+		selfIDs := make([]int64, m)
+		for i := 0; i < m; i++ {
+			tc := cells[i*width : (i+1)*width : (i+1)*width]
+			for j, v := range t.Rows[lo+i] {
+				tc[j] = uncertain.Certain(v)
+			}
+			selfIDs[i] = int64(lo + i)
+			tuples[i] = Tuple{
+				ID:      int64(lo + i),
+				Cells:   tc,
+				Lineage: map[string][]int64{t.Name: selfIDs[i : i+1 : i+1]},
+			}
+			ptrs[i] = &tuples[i]
 		}
-		p.byID[int64(i)] = i
-		p.Tuples = append(p.Tuples, &tuples[i])
+		p.segs = append(p.segs, &segment{tuples: ptrs})
 	}
 	return p
 }
 
-// Append adds a tuple. IDs must be unique within the relation.
+// Append adds a tuple. IDs must be unique within the relation. Append
+// panics on a relation that has participated in copy-on-write (an ApplyCOW
+// result or receiver): its segments and id index are shared across epoch
+// generations, so growing it in place would corrupt every generation at
+// once.
 func (p *PTable) Append(t *Tuple) {
-	if p.byID == nil {
-		p.byID = make(map[int64]int)
+	if p.shared.Load() {
+		panic("ptable: Append on a copy-on-write generation (ApplyCOW results and receivers share segments and the id index across epochs); Clone it first")
 	}
-	p.byID[t.ID] = len(p.Tuples)
-	p.Tuples = append(p.Tuples, t)
+	if p.dense {
+		if t.ID != int64(p.n) {
+			p.materializeByID()
+		}
+	}
+	if !p.dense {
+		if p.byID == nil {
+			p.byID = make(map[int64]int)
+		}
+		p.byID[t.ID] = p.n
+	}
+	var seg *segment
+	if len(p.segs) > 0 {
+		if last := p.segs[len(p.segs)-1]; len(last.tuples) < SegmentSize {
+			seg = last
+		}
+	}
+	if seg == nil {
+		seg = &segment{}
+		if p.hint > 0 {
+			c := p.hint
+			if c > SegmentSize {
+				c = SegmentSize
+			}
+			seg.tuples = make([]*Tuple, 0, c)
+		}
+		p.segs = append(p.segs, seg)
+	}
+	seg.tuples = append(seg.tuples, t)
+	if t.Dirty() {
+		seg.dirty++
+	}
+	seg.cand += t.footprint()
+	p.n++
+	if p.hint > 0 {
+		p.hint--
+	}
+}
+
+// materializeByID builds the id→position map when density breaks.
+func (p *PTable) materializeByID() {
+	p.byID = make(map[int64]int, p.n+1)
+	i := 0
+	for _, s := range p.segs {
+		for _, t := range s.tuples {
+			p.byID[t.ID] = i
+			i++
+		}
+	}
+	p.dense = false
 }
 
 // Reserve pre-sizes the relation for n upcoming appends.
 func (p *PTable) Reserve(n int) {
-	if cap(p.Tuples)-len(p.Tuples) < n {
-		grown := make([]*Tuple, len(p.Tuples), len(p.Tuples)+n)
-		copy(grown, p.Tuples)
-		p.Tuples = grown
+	if n > p.hint {
+		p.hint = n
 	}
 }
 
 // Len returns the number of tuples.
-func (p *PTable) Len() int { return len(p.Tuples) }
+func (p *PTable) Len() int { return p.n }
+
+// At returns the tuple at position i.
+func (p *PTable) At(i int) *Tuple {
+	return p.segs[i>>segShift].tuples[i&segMask]
+}
+
+// Rows iterates the relation positionally, yielding (position, tuple) in
+// row order — the replacement for ranging over a raw tuple slice.
+func (p *PTable) Rows() iter.Seq2[int, *Tuple] {
+	return func(yield func(int, *Tuple) bool) {
+		i := 0
+		for _, s := range p.segs {
+			for _, t := range s.tuples {
+				if !yield(i, t) {
+					return
+				}
+				i++
+			}
+		}
+	}
+}
 
 // ByID returns the tuple with the given ID, or nil.
 func (p *PTable) ByID(id int64) *Tuple {
-	if i, ok := p.byID[id]; ok {
-		return p.Tuples[i]
+	if i, ok := p.Pos(id); ok {
+		return p.At(i)
 	}
 	return nil
 }
 
 // Pos returns the row position of the tuple with the given ID. It is the
 // persistent id→position index hot paths use instead of rebuilding their
-// own maps per query.
+// own maps per query; dense relations (IDs are positions) resolve it
+// arithmetically without any map at all.
 func (p *PTable) Pos(id int64) (int, bool) {
+	if p.dense {
+		if id >= 0 && id < int64(p.n) {
+			return int(id), true
+		}
+		return 0, false
+	}
 	i, ok := p.byID[id]
 	return i, ok
 }
 
 // Cell returns the named cell of the tuple at position row.
 func (p *PTable) Cell(row int, col string) *uncertain.Cell {
-	return &p.Tuples[row].Cells[p.Schema.MustIndex(col)]
+	return &p.At(row).Cells[p.Schema.MustIndex(col)]
 }
 
 // Clone deep-copies the relation.
 func (p *PTable) Clone() *PTable {
 	out := New(p.Name, p.Schema)
-	for _, t := range p.Tuples {
+	out.Reserve(p.n)
+	for _, t := range p.Rows() {
 		out.Append(t.Clone())
 	}
 	return out
@@ -172,71 +334,149 @@ func (d *Delta) Set(id int64, col int, c uncertain.Cell) {
 // Len returns the number of touched tuples.
 func (d *Delta) Len() int { return len(d.Cells) }
 
-// Apply merges the delta into the relation in place. Cells that were already
-// probabilistic are merged under Lemma 4 union semantics; clean cells are
-// replaced. Apply takes ownership of the delta's cells — callers must not
-// mutate a delta after applying it. Returns the number of updated cells.
-func (p *PTable) Apply(d *Delta) int {
+// mergeCells merges the delta's cell replacements for one tuple into t's
+// cell slice (Lemma 4 union semantics for already-probabilistic cells,
+// replacement for clean ones) and returns the number of updated cells.
+func mergeCells(t *Tuple, cols map[int]uncertain.Cell) int {
 	updated := 0
-	for id, cols := range d.Cells {
-		t := p.ByID(id)
-		if t == nil {
-			continue
+	for col, cell := range cols {
+		cur := &t.Cells[col]
+		if cur.IsCertain() {
+			*cur = cell
+		} else {
+			cur.Merge(cell)
 		}
-		for col, cell := range cols {
-			cur := &t.Cells[col]
-			if cur.IsCertain() {
-				*cur = cell
-			} else {
-				cur.Merge(cell)
-			}
-			updated++
-		}
+		updated++
 	}
 	return updated
 }
 
-// ApplyCOW merges the delta copy-on-write: untouched tuples are shared with
-// the receiver, touched tuples are cloned before mutation, and a new PTable
-// (sharing the schema and the id→position index) is returned together with
-// the number of updated cells. The receiver is not modified, so snapshots
-// holding it can keep reading concurrently. The returned relation must not
-// be Appended to — it shares the byID index with its ancestors.
-func (p *PTable) ApplyCOW(d *Delta) (*PTable, int) {
-	out := &PTable{Name: p.Name, Schema: p.Schema, byID: p.byID}
-	out.Tuples = append(make([]*Tuple, 0, len(p.Tuples)), p.Tuples...)
+// Apply merges the delta into the relation in place. Cells that were already
+// probabilistic are merged under Lemma 4 union semantics; clean cells are
+// replaced. Apply takes ownership of the delta's cells — callers must not
+// mutate a delta after applying it. Returns the number of updated cells.
+//
+// All cell mutation must flow through Apply/ApplyCOW: the per-segment
+// dirty/footprint counters are maintained here, so writing through a pointer
+// obtained from Cell/At would desynchronize them.
+//
+// Apply panics on a relation that has participated in copy-on-write: its
+// segments are shared across epoch generations, and an in-place merge would
+// leak this delta into every one of them.
+func (p *PTable) Apply(d *Delta) int {
+	if p.shared.Load() {
+		panic("ptable: in-place Apply on a copy-on-write generation (ApplyCOW results and receivers share segments across epochs); use ApplyCOW or Clone first")
+	}
 	updated := 0
 	for id, cols := range d.Cells {
-		i, ok := p.byID[id]
+		i, ok := p.Pos(id)
 		if !ok {
 			continue
 		}
-		src := out.Tuples[i]
+		seg := p.segs[i>>segShift]
+		t := seg.tuples[i&segMask]
+		wasDirty, wasCand := t.Dirty(), t.footprint()
+		updated += mergeCells(t, cols)
+		if t.Dirty() != wasDirty {
+			if wasDirty {
+				seg.dirty--
+			} else {
+				seg.dirty++
+			}
+		}
+		seg.cand += t.footprint() - wasCand
+	}
+	return updated
+}
+
+// ApplyCOW merges the delta copy-on-write: only the segments holding touched
+// tuples are cloned (a SegmentSize pointer copy each); every other segment —
+// and within cloned segments every untouched tuple — is shared with the
+// receiver by pointer. A new PTable (sharing the schema and the id→position
+// index) is returned together with the number of updated cells. Publication
+// cost is therefore O(segments touched), not O(n): the receiver is not
+// modified, so snapshots holding it keep reading concurrently. The returned
+// relation must not be Appended to — it shares segments and the byID index
+// with its ancestors (Append enforces this with a panic).
+func (p *PTable) ApplyCOW(d *Delta) (*PTable, int) {
+	out := &PTable{Name: p.Name, Schema: p.Schema, dense: p.dense, byID: p.byID, n: p.n}
+	out.shared.Store(true)
+	// The receiver now shares segment structs with the new generation, so it
+	// too must reject in-place growth and mutation from here on.
+	p.shared.Store(true)
+	out.segs = append(make([]*segment, 0, len(p.segs)), p.segs...)
+	// Dense deltas clone most of the directory; carving those clones out of
+	// two bulk allocations (one tuple-pointer block, one segment-struct
+	// block) instead of two small allocations per segment keeps the dense
+	// case at flat-copy speed. The extra counting pass only runs when the
+	// delta is large enough for the directory scan to be noise.
+	var bulkTuples []*Tuple
+	var bulkSegs []segment
+	if len(d.Cells) >= SegmentSize/4 && len(p.segs) > 1 {
+		touched := make([]bool, len(p.segs))
+		cnt := 0
+		for id := range d.Cells {
+			if i, ok := p.Pos(id); ok {
+				if si := i >> segShift; !touched[si] {
+					touched[si] = true
+					cnt++
+				}
+			}
+		}
+		if cnt >= len(p.segs)/4 {
+			bulkTuples = make([]*Tuple, 0, cnt*SegmentSize)
+			bulkSegs = make([]segment, 0, cnt)
+		}
+	}
+	updated := 0
+	for id, cols := range d.Cells {
+		i, ok := p.Pos(id)
+		if !ok {
+			continue
+		}
+		si, off := i>>segShift, i&segMask
+		seg := out.segs[si]
+		if seg == p.segs[si] {
+			if bulkSegs != nil && cap(bulkTuples)-len(bulkTuples) >= len(seg.tuples) && cap(bulkSegs) > len(bulkSegs) {
+				lo, hi := len(bulkTuples), len(bulkTuples)+len(seg.tuples)
+				bulkTuples = bulkTuples[:hi]
+				copy(bulkTuples[lo:hi], seg.tuples)
+				bulkSegs = append(bulkSegs, segment{tuples: bulkTuples[lo:hi:hi], dirty: seg.dirty, cand: seg.cand})
+				// bulkSegs never reallocates (capacity pre-counted), so the
+				// element pointer stays valid.
+				seg = &bulkSegs[len(bulkSegs)-1]
+			} else {
+				seg = seg.clone()
+			}
+			out.segs[si] = seg
+		}
+		src := seg.tuples[off]
 		// Shallow write clone: fresh cell slice (the merge below writes into
 		// it) but shared candidate backing and lineage — Cell.Merge copies
 		// before mutating and lineage is immutable after creation.
 		t := &Tuple{ID: src.ID, Cells: append([]uncertain.Cell(nil), src.Cells...), Lineage: src.Lineage}
-		for col, cell := range cols {
-			cur := &t.Cells[col]
-			if cur.IsCertain() {
-				*cur = cell
+		wasDirty, wasCand := src.Dirty(), src.footprint()
+		updated += mergeCells(t, cols)
+		if t.Dirty() != wasDirty {
+			if wasDirty {
+				seg.dirty--
 			} else {
-				cur.Merge(cell)
+				seg.dirty++
 			}
-			updated++
 		}
-		out.Tuples[i] = t
+		seg.cand += t.footprint() - wasCand
+		seg.tuples[off] = t
 	}
 	return out, updated
 }
 
-// DirtyTuples returns the count of tuples with at least one uncertain cell.
+// DirtyTuples returns the count of tuples with at least one uncertain cell,
+// read off the maintained per-segment counters — O(n/SegmentSize), not a
+// full scan.
 func (p *PTable) DirtyTuples() int {
 	n := 0
-	for _, t := range p.Tuples {
-		if t.Dirty() {
-			n++
-		}
+	for _, s := range p.segs {
+		n += s.dirty
 	}
 	return n
 }
@@ -245,7 +485,7 @@ func (p *PTable) DirtyTuples() int {
 // probable candidate (the DaisyP policy of Table 5).
 func (p *PTable) MostProbable() *table.Table {
 	out := table.New(p.Name, p.Schema)
-	for _, t := range p.Tuples {
+	for _, t := range p.Rows() {
 		row := make(table.Row, len(t.Cells))
 		for i := range t.Cells {
 			row[i] = t.Cells[i].Value()
@@ -259,7 +499,7 @@ func (p *PTable) MostProbable() *table.Table {
 // regardless of cleaning (used when new rules arrive, Table 7).
 func (p *PTable) Originals() *table.Table {
 	out := table.New(p.Name, p.Schema)
-	for _, t := range p.Tuples {
+	for _, t := range p.Rows() {
 		row := make(table.Row, len(t.Cells))
 		for i := range t.Cells {
 			row[i] = t.Cells[i].Orig
@@ -270,15 +510,12 @@ func (p *PTable) Originals() *table.Table {
 }
 
 // CandidateFootprint sums candidate counts across all uncertain cells — the
-// "p" of the paper's update-cost term (size of probabilistic values).
+// "p" of the paper's update-cost term (size of probabilistic values) — read
+// off the maintained per-segment counters.
 func (p *PTable) CandidateFootprint() int {
 	n := 0
-	for _, t := range p.Tuples {
-		for i := range t.Cells {
-			if !t.Cells[i].IsCertain() {
-				n += len(t.Cells[i].Candidates) + len(t.Cells[i].Ranges)
-			}
-		}
+	for _, s := range p.segs {
+		n += s.cand
 	}
 	return n
 }
@@ -293,7 +530,7 @@ func (p *PTable) String() string {
 // Get returns the concrete value of a certain cell or the most probable
 // candidate of an uncertain one (row addressed by position).
 func (p *PTable) Get(row int, col string) value.Value {
-	return p.Tuples[row].Cells[p.Schema.MustIndex(col)].Value()
+	return p.At(row).Cells[p.Schema.MustIndex(col)].Value()
 }
 
 // Fingerprint renders the relation's full probabilistic state canonically:
@@ -304,11 +541,12 @@ func (p *PTable) Get(row int, col string) value.Value {
 // changing the distribution — so two states that answer every query
 // identically fingerprint identically. Tests use it to assert that the
 // converged state of a concurrent session is byte-identical to sequential
-// execution.
+// execution (and that segmented storage is byte-identical to the flat
+// reference implementation).
 func (p *PTable) Fingerprint() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%s|%d\n", p.Name, p.Schema, p.Len())
-	for _, t := range p.Tuples {
+	for _, t := range p.Rows() {
 		fmt.Fprintf(&b, "#%d", t.ID)
 		for i := range t.Cells {
 			b.WriteByte('|')

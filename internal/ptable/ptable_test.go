@@ -1,6 +1,8 @@
 package ptable
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"daisy/internal/schema"
@@ -53,8 +55,8 @@ func TestFromTableSnapshot(t *testing.T) {
 	if p.ByID(99) != nil {
 		t.Error("missing id must return nil")
 	}
-	if lin := p.Tuples[1].Lineage["cities"]; len(lin) != 1 || lin[0] != 1 {
-		t.Errorf("self lineage = %v", p.Tuples[1].Lineage)
+	if lin := p.At(1).Lineage["cities"]; len(lin) != 1 || lin[0] != 1 {
+		t.Errorf("self lineage = %v", p.At(1).Lineage)
 	}
 }
 
@@ -184,10 +186,10 @@ func TestApplyCOWLeavesReceiverUntouched(t *testing.T) {
 		t.Error("new generation missing the applied cells")
 	}
 	// Untouched tuples are shared, touched tuples are fresh.
-	if p.Tuples[0] != next.Tuples[0] || p.Tuples[2] != next.Tuples[2] {
+	if p.At(0) != next.At(0) || p.At(2) != next.At(2) {
 		t.Error("untouched tuples must be shared across generations")
 	}
-	if p.Tuples[1] == next.Tuples[1] {
+	if p.At(1) == next.At(1) {
 		t.Error("touched tuple must be cloned")
 	}
 	// The id index is shared and still resolves in both generations.
@@ -255,5 +257,204 @@ func TestFingerprintCanonical(t *testing.T) {
 	}
 	if p.Fingerprint() == ab.Fingerprint() {
 		t.Error("distinct states must fingerprint differently")
+	}
+}
+
+// bigTable builds a deterministic multi-segment relation (zip, city).
+func bigTable(t testing.TB, n int) *table.Table {
+	t.Helper()
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	tb := table.New("big", sch)
+	for i := 0; i < n; i++ {
+		tb.MustAppend(table.Row{value.NewInt(int64(i % 997)), value.NewString("c" + string(rune('a'+i%17)))})
+	}
+	return tb
+}
+
+func TestApplyCOWSharesUntouchedSegments(t *testing.T) {
+	n := 3*SegmentSize + 100
+	p := FromTable(bigTable(t, n))
+	d := NewDelta("big")
+	// One touched tuple in segment 1; segments 0, 2, 3 must be shared.
+	d.Set(int64(SegmentSize+5), 1, dirtyCell())
+	next, updated := p.ApplyCOW(d)
+	if updated != 1 {
+		t.Fatalf("updated = %d", updated)
+	}
+	if len(p.segs) != 4 || len(next.segs) != 4 {
+		t.Fatalf("segments = %d/%d, want 4", len(p.segs), len(next.segs))
+	}
+	for _, si := range []int{0, 2, 3} {
+		if p.segs[si] != next.segs[si] {
+			t.Errorf("untouched segment %d must be shared by pointer", si)
+		}
+	}
+	if p.segs[1] == next.segs[1] {
+		t.Error("touched segment must be cloned")
+	}
+	// Within the cloned segment, untouched tuples are still shared.
+	if p.At(SegmentSize+4) != next.At(SegmentSize+4) {
+		t.Error("untouched tuple inside cloned segment must be shared")
+	}
+	if p.At(SegmentSize+5) == next.At(SegmentSize+5) {
+		t.Error("touched tuple must be fresh")
+	}
+	// Counters follow the generation, not the ancestor.
+	if p.DirtyTuples() != 0 || next.DirtyTuples() != 1 {
+		t.Errorf("dirty = %d/%d, want 0/1", p.DirtyTuples(), next.DirtyTuples())
+	}
+	if p.CandidateFootprint() != 0 || next.CandidateFootprint() != 2 {
+		t.Errorf("footprint = %d/%d, want 0/2", p.CandidateFootprint(), next.CandidateFootprint())
+	}
+}
+
+func TestAppendOnCOWGenerationPanics(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	d := NewDelta("cities")
+	d.Set(1, p.Schema.MustIndex("city"), dirtyCell())
+	next, _ := p.ApplyCOW(d)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append on an ApplyCOW generation must panic: it shares segment storage with ancestor epochs")
+		}
+	}()
+	next.Append(&Tuple{ID: 99, Cells: []uncertain.Cell{uncertain.Certain(value.NewInt(1)), uncertain.Certain(value.NewString("x"))}})
+}
+
+func TestAppendOnCOWReceiverPanics(t *testing.T) {
+	// The receiver of an ApplyCOW shares segment structs with the result, so
+	// growing it in place would corrupt the published generation too.
+	p := FromTable(citiesTable(t))
+	d := NewDelta("cities")
+	d.Set(1, p.Schema.MustIndex("city"), dirtyCell())
+	if next, _ := p.ApplyCOW(d); next == nil {
+		t.Fatal("ApplyCOW returned nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append on an ApplyCOW receiver must panic: it shares segment structs with the new generation")
+		}
+	}()
+	p.Append(&Tuple{ID: 99, Cells: []uncertain.Cell{uncertain.Certain(value.NewInt(1)), uncertain.Certain(value.NewString("x"))}})
+}
+
+func TestApplyOnCOWGenerationPanics(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	d := NewDelta("cities")
+	d.Set(1, p.Schema.MustIndex("city"), dirtyCell())
+	next, _ := p.ApplyCOW(d)
+	d2 := NewDelta("cities")
+	d2.Set(0, p.Schema.MustIndex("city"), dirtyCell())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("in-place Apply on a COW generation must panic: its segments are shared across epochs")
+		}
+	}()
+	next.Apply(d2)
+}
+
+func TestAppendOnCloneOfCOWGenerationAllowed(t *testing.T) {
+	p := FromTable(citiesTable(t))
+	d := NewDelta("cities")
+	d.Set(1, p.Schema.MustIndex("city"), dirtyCell())
+	next, _ := p.ApplyCOW(d)
+	cp := next.Clone()
+	cp.Append(&Tuple{ID: 3, Cells: []uncertain.Cell{uncertain.Certain(value.NewInt(1)), uncertain.Certain(value.NewString("x"))}})
+	if cp.Len() != 4 || next.Len() != 3 {
+		t.Errorf("len = %d/%d, want 4/3", cp.Len(), next.Len())
+	}
+	if cp.DirtyTuples() != 1 {
+		t.Errorf("clone dirty = %d, want 1", cp.DirtyTuples())
+	}
+}
+
+func TestDenseIDIndex(t *testing.T) {
+	p := FromTable(bigTable(t, SegmentSize+10))
+	if !p.dense || p.byID != nil {
+		t.Fatal("FromTable snapshot must use the dense (map-free) id index")
+	}
+	if pos, ok := p.Pos(int64(SegmentSize + 3)); !ok || pos != SegmentSize+3 {
+		t.Errorf("dense Pos = %d,%v", pos, ok)
+	}
+	if _, ok := p.Pos(int64(p.Len())); ok {
+		t.Error("out-of-range id must miss")
+	}
+	if _, ok := p.Pos(-1); ok {
+		t.Error("negative id must miss")
+	}
+	// Sequential appends stay dense; an out-of-order ID materializes the map.
+	q := New("q", p.Schema)
+	q.Append(&Tuple{ID: 0, Cells: []uncertain.Cell{uncertain.Certain(value.NewInt(1)), uncertain.Certain(value.NewString("x"))}})
+	if !q.dense {
+		t.Error("sequential append must stay dense")
+	}
+	q.Append(&Tuple{ID: 42, Cells: []uncertain.Cell{uncertain.Certain(value.NewInt(2)), uncertain.Certain(value.NewString("y"))}})
+	if q.dense {
+		t.Error("out-of-order append must materialize the id map")
+	}
+	if pos, ok := q.Pos(42); !ok || pos != 1 {
+		t.Errorf("Pos(42) = %d,%v", pos, ok)
+	}
+	if pos, ok := q.Pos(0); !ok || pos != 0 {
+		t.Errorf("Pos(0) = %d,%v", pos, ok)
+	}
+	if q.ByID(42) == nil || q.ByID(7) != nil {
+		t.Error("ByID must follow the materialized map")
+	}
+}
+
+func TestRowsIterator(t *testing.T) {
+	n := SegmentSize + 7
+	p := FromTable(bigTable(t, n))
+	i := 0
+	for pos, tup := range p.Rows() {
+		if pos != i {
+			t.Fatalf("position %d, want %d", pos, i)
+		}
+		if tup != p.At(pos) {
+			t.Fatalf("Rows tuple %d differs from At", pos)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("iterated %d rows, want %d", i, n)
+	}
+	// Early break must stop cleanly.
+	count := 0
+	for range p.Rows() {
+		count++
+		if count == 3 {
+			break
+		}
+	}
+	if count != 3 {
+		t.Fatalf("break stopped at %d", count)
+	}
+}
+
+func TestMultiSegmentFingerprintStable(t *testing.T) {
+	// The fingerprint of a segmented table equals the one produced by
+	// iterating positions via At — i.e. segmentation never reorders rows.
+	p := FromTable(bigTable(t, 2*SegmentSize+31))
+	d := NewDelta("big")
+	d.Set(5, 1, dirtyCell())
+	d.Set(int64(SegmentSize+1), 1, dirtyCell())
+	p.Apply(d)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%d\n", p.Name, p.Schema, p.Len())
+	for i := 0; i < p.Len(); i++ {
+		tup := p.At(i)
+		fmt.Fprintf(&b, "#%d", tup.ID)
+		for c := range tup.Cells {
+			b.WriteByte('|')
+			b.WriteString(CellFingerprint(&tup.Cells[c]))
+		}
+		b.WriteByte('\n')
+	}
+	if p.Fingerprint() != b.String() {
+		t.Error("segment iteration order diverged from positional order")
 	}
 }

@@ -185,7 +185,7 @@ func TestFDAppliedDeltaSatisfiesFixRHSWorld(t *testing.T) {
 	}
 	proj := table.New("proj", tb.Schema)
 	zipIdx, cityIdx := tb.Schema.MustIndex("zip"), tb.Schema.MustIndex("city")
-	for _, tup := range p.Tuples {
+	for _, tup := range p.Rows() {
 		proj.MustAppend(table.Row{tup.Cells[zipIdx].Orig, argmax(tup.Cells[cityIdx])})
 	}
 	groups := detect.FDViolations(detect.TableView{T: proj}, zipCity(), nil)
