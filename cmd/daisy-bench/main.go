@@ -7,8 +7,9 @@
 //	daisy-bench -exp all             # everything, paper order
 //	daisy-bench -exp fig7 -scale 0.5 # smaller datasets
 //	daisy-bench -exp qps -parallel 8 # concurrent serving throughput
+//	daisy-bench -exp bgclean         # tail latency at the §5.2.3 switch
 //
-// Experiment ids: fig5..fig13, table5..table8, qps.
+// Experiment ids: fig5..fig13, table5..table8, qps, bgclean.
 //
 // The qps experiment serves a fixed FD-cleaning workload from N concurrent
 // callers against one session (-parallel; 1 = sequential baseline) and
@@ -35,6 +36,9 @@ import (
 	"daisy/internal/core"
 	"daisy/internal/dc"
 	"daisy/internal/experiments"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/value"
 	"daisy/internal/workload"
 )
 
@@ -55,6 +59,13 @@ func main() {
 
 	if *exp == "qps" {
 		if err := runQPS(ctx, *parallel, *queries, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "bgclean" {
+		if err := runBGClean(ctx, *rows); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -86,6 +97,118 @@ func main() {
 		fmt.Println(r)
 	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runBGClean measures the latency cliff at the §5.2.3 strategy switch: the
+// same disjoint-range workload over a modestly dirty relation runs once with
+// the inline switch (the triggering query pays the full clean) and once with
+// the background sweep (the triggering query cleans only its own scope and
+// the sweep publishes one epoch per chunk underneath the remaining queries).
+// It reports the switch point, each run's worst per-query latency, the
+// triggering query's own latency, and whether the two quiesced states are
+// byte-identical — the convergence guarantee CI guards.
+func runBGClean(ctx context.Context, rows int) error {
+	groups := rows / 4
+	if groups < 200 {
+		return fmt.Errorf("bgclean: -rows must be >= 800")
+	}
+	const rangeGroups = 100 // groups per query
+	build := func() *table.Table {
+		sch := schema.MustNew(
+			schema.Column{Name: "orderkey", Kind: value.Int},
+			schema.Column{Name: "suppkey", Kind: value.Int},
+		)
+		tb := table.New("lineorder", sch)
+		for g := 0; g < groups; g++ {
+			for r := 0; r < 4; r++ {
+				supp := int64(1000 + g)
+				if g%5 == 0 && r == 3 {
+					supp = int64(1000 + groups + g) // unique wrong value
+				}
+				tb.MustAppend(table.Row{value.NewInt(int64(g)), value.NewInt(supp)})
+			}
+		}
+		return tb
+	}
+	type runResult struct {
+		lats     []time.Duration
+		switchAt int
+		trigger  time.Duration
+		fp       string
+	}
+	run := func(inline bool) (runResult, error) {
+		res := runResult{switchAt: -1}
+		s := core.NewSession(core.Options{
+			Strategy:               core.StrategyAuto,
+			DisableStatsPruning:    true, // every query charges the model: deterministic switch
+			DisableBackgroundClean: inline,
+		})
+		defer s.Close()
+		if err := s.Register(build()); err != nil {
+			return res, err
+		}
+		if err := s.AddRule(dc.FD("phi", "lineorder", "suppkey", "orderkey")); err != nil {
+			return res, err
+		}
+		for i, lo := 0, 0; lo < groups; i, lo = i+1, lo+rangeGroups {
+			q := fmt.Sprintf("SELECT orderkey, suppkey FROM lineorder WHERE orderkey >= %d AND orderkey < %d",
+				lo, lo+rangeGroups)
+			t0 := time.Now()
+			rs, err := s.QueryContext(ctx, q)
+			lat := time.Since(t0)
+			if err != nil {
+				return res, err
+			}
+			for _, d := range rs.Decisions() {
+				if (d.Strategy == "full" || d.Strategy == "background") && res.switchAt < 0 {
+					res.switchAt = i
+					res.trigger = lat
+				}
+			}
+			rs.Close()
+			res.lats = append(res.lats, lat)
+		}
+		if err := s.WaitCleaning(ctx); err != nil {
+			return res, err
+		}
+		for _, job := range s.CleaningStatus() {
+			fmt.Printf("bgclean: job %s/%s %v %d/%d chunks, %d groups, %d backpressure waits\n",
+				job.Table, job.Rule, job.State, job.ChunksDone, job.ChunksTotal,
+				job.GroupsCleaned, job.BackpressureWaits)
+		}
+		res.fp = s.Table("lineorder").Fingerprint()
+		return res, nil
+	}
+	maxLat := func(lats []time.Duration) time.Duration {
+		var m time.Duration
+		for _, l := range lats {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	inline, err := run(true)
+	if err != nil {
+		return err
+	}
+	async, err := run(false)
+	if err != nil {
+		return err
+	}
+	// A workload that never flips measures nothing — fail loudly instead of
+	// letting the CI guard pass vacuously on two purely incremental runs.
+	if inline.switchAt < 0 || async.switchAt < 0 {
+		return fmt.Errorf("bgclean: workload never hit the §5.2.3 switch (inline=q%d async=q%d)",
+			inline.switchAt, async.switchAt)
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	fmt.Printf("bgclean: rows=%d queries=%d switch_inline=q%d switch_async=q%d gomaxprocs=%d\n",
+		rows, len(inline.lats), inline.switchAt, async.switchAt, runtime.GOMAXPROCS(0))
+	fmt.Printf("bgclean: inline_tail_ms=%.3f async_tail_ms=%.3f inline_trigger_ms=%.3f async_trigger_ms=%.3f converged=%v\n",
+		ms(maxLat(inline.lats)), ms(maxLat(async.lats)), ms(inline.trigger), ms(async.trigger),
+		inline.fp == async.fp)
+	return nil
 }
 
 // runQPS serves an FD-cleaning workload from `parallel` goroutines over one

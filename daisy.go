@@ -59,6 +59,7 @@ import (
 	"io"
 	"time"
 
+	"daisy/internal/bgclean"
 	"daisy/internal/core"
 	"daisy/internal/dc"
 	"daisy/internal/ptable"
@@ -89,6 +90,32 @@ const (
 
 // Result is a cleaned query answer with the per-rule cleaning decisions.
 type Result = core.Result
+
+// CleaningJob is one background full-clean job's status, as reported by
+// Session.CleaningStatus: when the §5.2.3 cost inequality flips under
+// StrategyAuto, the triggering query cleans only its own scope and the
+// remaining dirty part is swept chunk-by-chunk in the background, one
+// published epoch per chunk. The query's Decisions report the switch as
+// strategy "background"; the job carries chunk progress, repaired-group
+// counts, elapsed time, and an ETA. Session.WaitCleaning blocks until every
+// job has quiesced — the state is then byte-identical to having run the
+// full cleans synchronously. PauseCleaning / ResumeCleaning / CancelCleaning
+// control a live job at chunk granularity; Options.DisableBackgroundClean
+// restores the inline switch.
+type CleaningJob = bgclean.Status
+
+// CleaningState is a background job's lifecycle state.
+type CleaningState = bgclean.State
+
+// Background cleaning job states.
+const (
+	CleaningPending  = bgclean.Pending
+	CleaningRunning  = bgclean.Running
+	CleaningPaused   = bgclean.Paused
+	CleaningDone     = bgclean.Done
+	CleaningCanceled = bgclean.Canceled
+	CleaningFailed   = bgclean.Failed
+)
 
 // Rows is a streaming cursor over a cleaned query result: Next/Row/Err/Close
 // plus a Go 1.23 All() iterator. Returned by Session.QueryContext.

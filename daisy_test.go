@@ -287,3 +287,78 @@ func TestConcurrentPublicAPI(t *testing.T) {
 		t.Error("concurrent workload must still clean the dataset")
 	}
 }
+
+// TestBackgroundCleaningPublicAPI drives the async §5.2.3 switch through the
+// facade: a point-query workload over a modestly dirty table flips the cost
+// model, the triggering query reports strategy "background", and
+// WaitCleaning + CleaningStatus observe the sweep to completion.
+func TestBackgroundCleaningPublicAPI(t *testing.T) {
+	tb, err := NewTable("orders",
+		Column{Name: "orderkey", Kind: Int(0).Kind()},
+		Column{Name: "suppkey", Kind: Int(0).Kind()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const groups = 400
+	for g := 0; g < groups; g++ {
+		for r := 0; r < 4; r++ {
+			supp := int64(1000 + g)
+			if g%5 == 0 && r == 3 {
+				supp = int64(1000 + groups + g)
+			}
+			if err := tb.Append(Row{Int(int64(g)), Int(supp)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := New(Options{Strategy: StrategyAuto, DisableStatsPruning: true})
+	defer s.Close()
+	if err := s.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(FD("phi", "orders", "suppkey", "orderkey")); err != nil {
+		t.Fatal(err)
+	}
+	sawBackground := false
+	for lo := 0; lo < groups && !sawBackground; lo += 40 {
+		res, err := s.Query(fmt.Sprintf(
+			"SELECT orderkey, suppkey FROM orders WHERE orderkey >= %d AND orderkey < %d", lo, lo+40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.Decisions {
+			if d.Strategy == "background" {
+				sawBackground = true
+			}
+		}
+	}
+	if !sawBackground {
+		t.Fatal("workload never flipped to a background clean")
+	}
+	if err := s.WaitCleaning(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	jobs := s.CleaningStatus()
+	if len(jobs) == 0 {
+		t.Fatal("CleaningStatus reported no jobs")
+	}
+	var job CleaningJob = jobs[0]
+	if job.State != CleaningDone {
+		t.Fatalf("job state = %v (%s), want done", job.State, job.Err)
+	}
+	if job.ChunksDone != job.ChunksTotal || job.GroupsCleaned == 0 {
+		t.Errorf("job progress = %d/%d chunks, %d groups", job.ChunksDone, job.ChunksTotal, job.GroupsCleaned)
+	}
+	// Quiesced: every violating group is checked, so re-running the first
+	// range finds nothing to clean.
+	res, err := s.Query("SELECT orderkey, suppkey FROM orders WHERE orderkey >= 0 AND orderkey < 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Decisions {
+		if d.Strategy != "skip" {
+			t.Errorf("post-quiesce decision = %q, want skip", d.Strategy)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,13 +44,25 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, d := range res.Decisions {
-			if d.Strategy == "full" {
+			switch d.Strategy {
+			case "full":
 				fmt.Printf("query %d: cost model switched %s/%s to a full clean\n", i+1, d.Table, d.Rule)
+			case "background":
+				fmt.Printf("query %d: cost model scheduled a background full clean of %s/%s\n", i+1, d.Table, d.Rule)
 			}
 		}
 		if i%5 == 0 {
 			fmt.Printf("  q%-2d %-90.90s → %d rows\n", i+1, q, res.Rows.Len())
 		}
+	}
+	// Quiesce: let any scheduled background sweep publish its remaining
+	// chunk epochs before reading the final state.
+	if err := s.WaitCleaning(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	for _, job := range s.CleaningStatus() {
+		fmt.Printf("background clean %s/%s: %v, %d/%d chunks, %d groups repaired\n",
+			job.Table, job.Rule, job.State, job.ChunksDone, job.ChunksTotal, job.GroupsCleaned)
 	}
 	fmt.Printf("\n25 SPJ queries in %s\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("lineorder dirty tuples: %d, supplier dirty tuples: %d\n",

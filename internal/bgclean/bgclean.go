@@ -1,0 +1,437 @@
+// Package bgclean implements the background full-clean scheduler: when the
+// §5.2.3 cost inequality flips from incremental to full cleaning, the session
+// no longer runs the full clean inside the triggering query — it enqueues a
+// job here and returns after cleaning only its own scope. A single runner
+// goroutine sweeps each job's relation chunk by chunk; every chunk routes its
+// delta through the session's single-writer apply loop and publishes one
+// copy-on-write epoch, so concurrent queries ride the advancing epochs and
+// skip the regions the sweep has already cleaned.
+//
+// The scheduler owns job lifecycle only — what a chunk *does* is the Job
+// implementation's business (core supplies the FD sweep). Lifecycle:
+//
+//   - dedup: at most one live (pending/running/paused) job per (table, rule);
+//     re-enqueueing returns the live job's id.
+//   - backpressure: between chunks the runner polls the Options.Backpressure
+//     probe and waits while interactive query traffic is queued on the
+//     writer, so a sweep never starves foreground queries.
+//   - pause/resume: cooperative, at chunk granularity.
+//   - cancellation: Close (Session.Close) or a per-job Cancel stops the sweep
+//     at the next chunk boundary. Chunks are atomic (one apply each), so a
+//     canceled job always leaves a valid state: every completed chunk's
+//     groups are repaired and checked, every untouched group is exactly as
+//     dirty as before, and a later query or re-enqueued job resumes from the
+//     checked-set bookkeeping alone.
+//   - progress: Status reports per-job chunk counts, repaired groups, cell
+//     updates, elapsed time, and an ETA extrapolated from per-chunk pace.
+package bgclean
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job is the body of one background cleaning job, split into equally sized
+// chunks the scheduler drives one at a time. RunChunk must be atomic: either
+// the chunk's repairs are fully published or nothing is (the contract that
+// makes mid-sweep cancellation safe).
+type Job interface {
+	// Chunks returns the fixed number of chunks of the sweep.
+	Chunks() int
+	// RunChunk cleans one chunk and publishes its epoch. It is only called
+	// from the scheduler's runner goroutine, strictly in chunk order.
+	RunChunk(ctx context.Context, chunk int) (ChunkResult, error)
+}
+
+// ChunkResult reports one chunk's work for progress accounting.
+type ChunkResult struct {
+	// Groups is the number of violating groups repaired in this chunk.
+	Groups int
+	// Cells is the number of probabilistic cell updates the chunk published.
+	Cells int
+}
+
+// ErrObsolete is returned (possibly wrapped) by RunChunk when the job's
+// target no longer exists — e.g. the relation was replaced mid-sweep. The
+// scheduler marks the job Canceled rather than Failed.
+var ErrObsolete = errors.New("bgclean: job target gone")
+
+// State is a job's lifecycle state.
+type State int
+
+// Job lifecycle states.
+const (
+	Pending  State = iota // enqueued, not yet started
+	Running               // the runner is sweeping chunks
+	Paused                // paused (explicitly, or parked by Close racing)
+	Done                  // all chunks published
+	Canceled              // stopped at a chunk boundary; state valid, resumable
+	Failed                // RunChunk returned a non-obsolete error
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Paused:
+		return "paused"
+	case Done:
+		return "done"
+	case Canceled:
+		return "canceled"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Canceled || s == Failed }
+
+// Status is a point-in-time snapshot of one job's progress.
+type Status struct {
+	ID    int64
+	Table string
+	Rule  string
+	State State
+
+	// ChunksDone / ChunksTotal measure sweep progress; every completed chunk
+	// published at least one epoch.
+	ChunksDone  int
+	ChunksTotal int
+	// GroupsCleaned / CellsUpdated accumulate the chunks' repair work.
+	GroupsCleaned int
+	CellsUpdated  int
+	// BackpressureWaits counts the chunk boundaries at which the runner
+	// yielded to queued foreground query traffic.
+	BackpressureWaits int
+
+	Enqueued time.Time
+	// Elapsed is the active sweep time so far: chunk execution only, pause
+	// and backpressure waits excluded (final once Terminal).
+	Elapsed time.Duration
+	// ETA estimates the remaining sweep time from the per-chunk pace; zero
+	// until the first chunk completes and once the job is terminal.
+	ETA time.Duration
+
+	// Err describes the failure of a Failed job.
+	Err string
+}
+
+// Options configure a Scheduler.
+type Options struct {
+	// Backpressure, when non-nil, reports that foreground traffic is waiting
+	// on the writer; the runner waits between chunks while it returns true.
+	Backpressure func() bool
+	// PollInterval is the backpressure re-check cadence (default 200µs).
+	PollInterval time.Duration
+}
+
+type job struct {
+	id    int64
+	table string
+	rule  string
+	// gen distinguishes target generations (e.g. table registrations): a
+	// live job only dedups an enqueue of the same generation; a different
+	// generation supersedes it.
+	gen  uint64
+	body Job
+
+	state       State
+	chunksDone  int
+	chunksTotal int
+	groups      int
+	cells       int
+	bpWaits     int
+
+	enqueued time.Time
+	// elapsed accumulates per-chunk RunChunk time only — pause and
+	// backpressure waits are excluded, so ETA extrapolates sweep pace, not
+	// wall time spent parked.
+	elapsed time.Duration
+
+	paused   bool
+	canceled bool // cancel requested; honored at the next chunk boundary
+	err      error
+}
+
+func jobKey(table, rule string) string { return table + "\x00" + rule }
+
+// Scheduler runs background cleaning jobs on a single runner goroutine,
+// started lazily on first Enqueue. All methods are safe for concurrent use.
+type Scheduler struct {
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue is FIFO; active dedups live jobs per (table, rule); jobs keeps
+	// the full history in enqueue order for Status.
+	queue  []*job
+	active map[string]*job
+	jobs   []*job
+	nextID int64
+
+	closed     bool
+	runnerUp   bool
+	runnerDone chan struct{}
+}
+
+// New creates a scheduler. The runner goroutine starts on first Enqueue.
+func New(opts Options) *Scheduler {
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 200 * time.Microsecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		opts: opts, ctx: ctx, cancel: cancel,
+		active: make(map[string]*job), runnerDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Enqueue registers a sweep for (table, rule) over target generation gen
+// (e.g. a table registration identity). At most one live job exists per
+// key: an enqueue matching the live job's generation is deduped — its id is
+// returned with fresh=false and the new body dropped (the live sweep covers
+// the same groups). An enqueue for a *different* generation supersedes the
+// live job: the stale sweep (its target was replaced) is canceled at its
+// next chunk boundary and the fresh job queues behind it. A closed
+// scheduler rejects jobs with id 0.
+func (s *Scheduler) Enqueue(table, rule string, gen uint64, body Job) (id int64, fresh bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, false
+	}
+	if cur, ok := s.active[jobKey(table, rule)]; ok {
+		if cur.gen == gen {
+			return cur.id, false
+		}
+		cur.canceled = true // stale generation: supersede
+	}
+	s.nextID++
+	j := &job{
+		id: s.nextID, table: table, rule: rule, gen: gen, body: body,
+		state: Pending, chunksTotal: body.Chunks(), enqueued: time.Now(),
+	}
+	s.active[jobKey(table, rule)] = j
+	s.jobs = append(s.jobs, j)
+	s.queue = append(s.queue, j)
+	if !s.runnerUp {
+		s.runnerUp = true
+		go s.run()
+	}
+	s.cond.Broadcast()
+	return j.id, true
+}
+
+// Status snapshots every job ever enqueued, in enqueue order.
+func (s *Scheduler) Status() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, len(s.jobs))
+	for i, j := range s.jobs {
+		out[i] = s.statusLocked(j)
+	}
+	return out
+}
+
+func (s *Scheduler) statusLocked(j *job) Status {
+	st := Status{
+		ID: j.id, Table: j.table, Rule: j.rule, State: j.state,
+		ChunksDone: j.chunksDone, ChunksTotal: j.chunksTotal,
+		GroupsCleaned: j.groups, CellsUpdated: j.cells,
+		BackpressureWaits: j.bpWaits, Enqueued: j.enqueued, Elapsed: j.elapsed,
+	}
+	if !j.state.Terminal() && j.chunksDone > 0 && j.chunksDone < j.chunksTotal {
+		perChunk := j.elapsed / time.Duration(j.chunksDone)
+		st.ETA = perChunk * time.Duration(j.chunksTotal-j.chunksDone)
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	return st
+}
+
+// Pause suspends the live job for (table, rule) at its next chunk boundary.
+// It reports whether a live job was found.
+func (s *Scheduler) Pause(table, rule string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.active[jobKey(table, rule)]
+	if !ok {
+		return false
+	}
+	j.paused = true
+	return true
+}
+
+// Resume releases a paused job. It reports whether a live job was found.
+func (s *Scheduler) Resume(table, rule string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.active[jobKey(table, rule)]
+	if !ok {
+		return false
+	}
+	j.paused = false
+	s.cond.Broadcast()
+	return true
+}
+
+// Cancel requests cancellation of the live job for (table, rule); the sweep
+// stops at its next chunk boundary, leaving the valid resumable state
+// described in the package comment. It reports whether a live job was found.
+func (s *Scheduler) Cancel(table, rule string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.active[jobKey(table, rule)]
+	if !ok {
+		return false
+	}
+	j.canceled = true
+	s.cond.Broadcast()
+	return true
+}
+
+// Wait blocks until no job is pending or running (the scheduler has
+// quiesced) or ctx is done.
+func (s *Scheduler) Wait(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.cond.Wait()
+	}
+	return nil
+}
+
+// Close cancels every live job cooperatively and waits for the runner to
+// stop. Idempotent; a chunk in flight completes (and publishes) first.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	up := s.runnerUp
+	s.cancel()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if up {
+		<-s.runnerDone
+	}
+}
+
+// run is the single runner goroutine: pop, sweep, repeat. After Close it
+// drains the queue, canceling whatever it pops.
+func (s *Scheduler) run() {
+	defer close(s.runnerDone)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+func (s *Scheduler) runJob(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for chunk := j.chunksDone; chunk < j.chunksTotal; chunk++ {
+		if !s.gateLocked(j) {
+			s.finishLocked(j, Canceled, nil)
+			return
+		}
+		j.state = Running
+		s.mu.Unlock()
+		t0 := time.Now()
+		res, err := j.body.RunChunk(s.ctx, chunk)
+		s.mu.Lock()
+		j.elapsed += time.Since(t0)
+		if err != nil {
+			if errors.Is(err, ErrObsolete) || errors.Is(err, context.Canceled) {
+				s.finishLocked(j, Canceled, nil)
+			} else {
+				s.finishLocked(j, Failed, err)
+			}
+			return
+		}
+		j.chunksDone++
+		j.groups += res.Groups
+		j.cells += res.Cells
+		s.cond.Broadcast() // progress for Status/Wait pollers
+	}
+	s.finishLocked(j, Done, nil)
+}
+
+// gateLocked blocks (releasing the lock) while the job is paused or the
+// writer reports backpressure. It returns false when the job must stop.
+func (s *Scheduler) gateLocked(j *job) bool {
+	for {
+		if s.closed || j.canceled {
+			return false
+		}
+		if j.paused {
+			j.state = Paused
+			s.cond.Wait()
+			continue
+		}
+		bp := s.opts.Backpressure
+		if bp == nil {
+			return true
+		}
+		s.mu.Unlock()
+		waited := false
+		for bp() && s.ctx.Err() == nil {
+			waited = true
+			time.Sleep(s.opts.PollInterval)
+		}
+		s.mu.Lock()
+		if waited {
+			j.bpWaits++
+			continue // re-check pause/cancel after the wait
+		}
+		return true
+	}
+}
+
+// finishLocked moves a job to a terminal state and releases its body so the
+// scheduler no longer pins the session (an abandoned Session can then be
+// finalized even while the runner goroutine stays parked).
+func (s *Scheduler) finishLocked(j *job, st State, err error) {
+	j.state = st
+	j.err = err
+	j.body = nil
+	// A superseded job's key may already point at its replacement — only
+	// remove the entry this job still owns.
+	if s.active[jobKey(j.table, j.rule)] == j {
+		delete(s.active, jobKey(j.table, j.rule))
+	}
+	s.cond.Broadcast()
+}

@@ -1,0 +1,346 @@
+package bgclean
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeJob is a scriptable Job: per-chunk results, optional error injection,
+// optional gate channel released per chunk.
+type fakeJob struct {
+	chunks int
+	err    map[int]error // chunk → error to return
+	ran    atomic.Int32
+
+	mu      sync.Mutex
+	started chan int      // receives each chunk index as it starts (if set)
+	release chan struct{} // each chunk blocks for one token (if set)
+}
+
+func (f *fakeJob) Chunks() int { return f.chunks }
+
+func (f *fakeJob) RunChunk(ctx context.Context, chunk int) (ChunkResult, error) {
+	if f.started != nil {
+		f.started <- chunk
+	}
+	if f.release != nil {
+		select {
+		case <-f.release:
+		case <-ctx.Done():
+			return ChunkResult{}, ctx.Err()
+		}
+	}
+	if err := f.err[chunk]; err != nil {
+		return ChunkResult{}, err
+	}
+	f.ran.Add(1)
+	return ChunkResult{Groups: 1, Cells: chunk + 1}, nil
+}
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestJobRunsAllChunksAndReportsProgress(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	j := &fakeJob{chunks: 5}
+	id, fresh := s.Enqueue("t", "phi", 1, j)
+	if id == 0 || !fresh {
+		t.Fatalf("Enqueue = (%d, %v), want fresh job", id, fresh)
+	}
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()
+	if len(st) != 1 {
+		t.Fatalf("status len = %d, want 1", len(st))
+	}
+	got := st[0]
+	if got.State != Done || got.ChunksDone != 5 || got.ChunksTotal != 5 {
+		t.Errorf("status = %+v, want done 5/5", got)
+	}
+	if got.GroupsCleaned != 5 || got.CellsUpdated != 1+2+3+4+5 {
+		t.Errorf("work counters = %d groups / %d cells", got.GroupsCleaned, got.CellsUpdated)
+	}
+	if j.ran.Load() != 5 {
+		t.Errorf("chunks run = %d, want 5", j.ran.Load())
+	}
+}
+
+func TestEnqueueDedupsPerTableRule(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	gate := make(chan struct{})
+	j1 := &fakeJob{chunks: 2, release: gate}
+	id1, fresh1 := s.Enqueue("t", "phi", 1, j1)
+	if !fresh1 {
+		t.Fatal("first enqueue must be fresh")
+	}
+	// Same key while live: deduped onto the running job.
+	id2, fresh2 := s.Enqueue("t", "phi", 1, &fakeJob{chunks: 2})
+	if fresh2 || id2 != id1 {
+		t.Fatalf("duplicate enqueue = (%d, %v), want (%d, false)", id2, fresh2, id1)
+	}
+	// Different rule: independent job.
+	if _, fresh3 := s.Enqueue("t", "psi", 1, &fakeJob{chunks: 1}); !fresh3 {
+		t.Fatal("different rule must enqueue fresh")
+	}
+	close(gate)
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	// After the job completes the key is free again.
+	if _, fresh4 := s.Enqueue("t", "phi", 1, &fakeJob{chunks: 1}); !fresh4 {
+		t.Fatal("re-enqueue after completion must be fresh")
+	}
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Status()); n != 3 {
+		t.Errorf("status history = %d jobs, want 3", n)
+	}
+}
+
+func TestPauseResumeAtChunkBoundary(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	started := make(chan int, 16)
+	release := make(chan struct{}, 16)
+	j := &fakeJob{chunks: 3, started: started, release: release}
+	s.Enqueue("t", "phi", 1, j)
+	<-started // chunk 0 started, blocked on its release token
+	if !s.Pause("t", "phi") {
+		t.Fatal("Pause must find the live job")
+	}
+	release <- struct{}{} // chunk 0 completes; the boundary must now park
+	// Chunk 0 finishes; the runner must then park instead of starting chunk 1.
+	deadline := time.After(2 * time.Second)
+	for {
+		st := s.Status()[0]
+		if st.State == Paused && st.ChunksDone == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job did not pause at chunk boundary: %+v", st)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	select {
+	case c := <-started:
+		t.Fatalf("chunk %d started while paused", c)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if !s.Resume("t", "phi") {
+		t.Fatal("Resume must find the live job")
+	}
+	release <- struct{}{}
+	release <- struct{}{}
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Status()[0]; st.State != Done || st.ChunksDone != 3 {
+		t.Errorf("after resume: %+v, want done 3/3", st)
+	}
+}
+
+func TestCancelStopsAtChunkBoundaryAndStateIsTerminal(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	started := make(chan int, 16)
+	release := make(chan struct{}, 16)
+	j := &fakeJob{chunks: 10, started: started, release: release}
+	s.Enqueue("t", "phi", 1, j)
+	<-started // chunk 0 started, blocked on its release token
+	if !s.Cancel("t", "phi") {
+		t.Fatal("Cancel must find the live job")
+	}
+	release <- struct{}{} // chunk 0 completes; the boundary must now cancel
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()[0]
+	if st.State != Canceled {
+		t.Fatalf("state = %v, want canceled", st.State)
+	}
+	if st.ChunksDone >= st.ChunksTotal || st.ChunksDone < 1 {
+		t.Errorf("canceled mid-sweep: %d/%d chunks", st.ChunksDone, st.ChunksTotal)
+	}
+	// The key is free: a fresh job can resume the remaining work.
+	if _, fresh := s.Enqueue("t", "phi", 1, &fakeJob{chunks: 1}); !fresh {
+		t.Error("canceled key must accept a fresh job")
+	}
+}
+
+func TestObsoleteJobCancelsQuietly(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	j := &fakeJob{chunks: 3, err: map[int]error{1: fmt.Errorf("replaced: %w", ErrObsolete)}}
+	s.Enqueue("t", "phi", 1, j)
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()[0]
+	if st.State != Canceled || st.Err != "" {
+		t.Errorf("obsolete job = %+v, want quiet cancel", st)
+	}
+}
+
+func TestFailedJobRecordsError(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	j := &fakeJob{chunks: 3, err: map[int]error{1: errors.New("boom")}}
+	s.Enqueue("t", "phi", 1, j)
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()[0]
+	if st.State != Failed || st.Err != "boom" || st.ChunksDone != 1 {
+		t.Errorf("failed job = %+v", st)
+	}
+}
+
+func TestBackpressureYieldsBetweenChunks(t *testing.T) {
+	var pressured atomic.Bool
+	pressured.Store(true)
+	s := New(Options{
+		Backpressure: func() bool { return pressured.Load() },
+		PollInterval: 100 * time.Microsecond,
+	})
+	defer s.Close()
+	j := &fakeJob{chunks: 2}
+	s.Enqueue("t", "phi", 1, j)
+	// Under pressure no chunk may run.
+	time.Sleep(20 * time.Millisecond)
+	if j.ran.Load() != 0 {
+		t.Fatal("chunk ran despite backpressure")
+	}
+	pressured.Store(false)
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()[0]
+	if st.State != Done || st.BackpressureWaits < 1 {
+		t.Errorf("status = %+v, want done with >=1 backpressure wait", st)
+	}
+}
+
+func TestCloseCancelsPendingAndRunning(t *testing.T) {
+	s := New(Options{})
+	started := make(chan int, 16)
+	release := make(chan struct{}, 16)
+	j1 := &fakeJob{chunks: 4, started: started, release: release}
+	s.Enqueue("t", "phi", 1, j1)
+	s.Enqueue("t", "psi", 1, &fakeJob{chunks: 4}) // stays pending behind j1
+	release <- struct{}{}
+	<-started
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	// Close waits for the in-flight chunk; release it.
+	release <- struct{}{}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	for _, st := range s.Status() {
+		if !st.State.Terminal() {
+			t.Errorf("job %d/%s not terminal after Close: %v", st.ID, st.Rule, st.State)
+		}
+		if st.State == Done {
+			t.Errorf("job %d/%s completed, want canceled", st.ID, st.Rule)
+		}
+	}
+	s.Close() // idempotent
+	if id, fresh := s.Enqueue("t", "phi", 1, &fakeJob{chunks: 1}); id != 0 || fresh {
+		t.Error("Enqueue after Close must be rejected")
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	gate := make(chan struct{})
+	s.Enqueue("t", "phi", 1, &fakeJob{chunks: 1, release: gate})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want deadline exceeded", err)
+	}
+	close(gate)
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusETAAppearsMidSweep(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	started := make(chan int, 16)
+	release := make(chan struct{}, 16)
+	j := &fakeJob{chunks: 3, started: started, release: release}
+	s.Enqueue("t", "phi", 1, j)
+	release <- struct{}{}
+	<-started
+	<-started // chunk 1 started → chunk 0 done
+	st := s.Status()[0]
+	if st.ChunksDone != 1 {
+		t.Fatalf("chunksDone = %d, want 1", st.ChunksDone)
+	}
+	if st.ETA <= 0 {
+		t.Errorf("ETA = %v, want > 0 mid-sweep", st.ETA)
+	}
+	release <- struct{}{}
+	release <- struct{}{}
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Status()[0]; st.ETA != 0 || st.Elapsed <= 0 {
+		t.Errorf("terminal status = %+v, want ETA 0 and Elapsed > 0", st)
+	}
+}
+
+// TestEnqueueSupersedesStaleGeneration: a live job for an old target
+// generation (e.g. a replaced table registration) must not swallow the
+// fresh enqueue — the stale sweep cancels at its boundary and the new
+// generation's job runs to completion.
+func TestEnqueueSupersedesStaleGeneration(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	started := make(chan int, 16)
+	release := make(chan struct{}, 16)
+	stale := &fakeJob{chunks: 4, started: started, release: release}
+	id1, _ := s.Enqueue("t", "phi", 1, stale)
+	<-started // stale job mid-chunk 0
+	fresh := &fakeJob{chunks: 2}
+	id2, isFresh := s.Enqueue("t", "phi", 2, fresh)
+	if !isFresh || id2 == id1 {
+		t.Fatalf("new-generation enqueue = (%d, %v), want a fresh job", id2, isFresh)
+	}
+	release <- struct{}{} // stale chunk 0 completes; boundary cancels it
+	if err := s.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	sts := s.Status()
+	if len(sts) != 2 {
+		t.Fatalf("status = %d jobs, want 2", len(sts))
+	}
+	if sts[0].State != Canceled {
+		t.Errorf("stale job state = %v, want canceled", sts[0].State)
+	}
+	if sts[1].State != Done || sts[1].ChunksDone != 2 {
+		t.Errorf("fresh job = %+v, want done 2/2", sts[1])
+	}
+	if fresh.ran.Load() != 2 {
+		t.Errorf("fresh job ran %d chunks, want 2", fresh.ran.Load())
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"daisy/internal/bgclean"
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/repair"
+	"daisy/internal/value"
+)
+
+// fdSweepJob is the body of one background full-clean job: the §5.2.3
+// strategy switch executed asynchronously. The sweep walks the relation in
+// segment-aligned chunks; each chunk repairs the violating, still-unchecked
+// FD groups anchored in it (a group belongs to the chunk holding its first
+// member) and routes the delta through the session's single-writer apply
+// loop, publishing one copy-on-write epoch per chunk. Concurrent queries
+// ride the advancing epochs: groups a published chunk marked checked are
+// skipped by their scope pass, and a group a racing query fixes first is
+// dropped idempotently by the writer exactly as racing queries coalesce
+// among themselves.
+//
+// Convergence: per-group fixes are pure functions of original values —
+// P(rhs|lhs) over the group's full membership, P(lhs|rhs) over the
+// relation-wide rhs-partner set (the relax support pass) — so the quiesced
+// state is byte-identical to a synchronous full clean from the same
+// pre-switch state, for any chunking, cancellation point, or query
+// interleaving.
+type fdSweepJob struct {
+	s     *Session
+	table string
+	ident uint64 // registration identity; a replaced table obsoletes the job
+	rule  *dc.Constraint
+	fd    dc.FDSpec
+
+	chunkRows int
+	chunks    int
+}
+
+// newFDSweepJob sizes a sweep over the relation's current length (registered
+// relations never grow during serving, so the chunk count is fixed).
+func newFDSweepJob(s *Session, table string, ident uint64, rule *dc.Constraint, fd dc.FDSpec, rows int) *fdSweepJob {
+	chunkRows := s.opts.CleanChunkSize
+	chunks := (rows + chunkRows - 1) / chunkRows
+	if chunks < 1 {
+		chunks = 1
+	}
+	return &fdSweepJob{s: s, table: table, ident: ident, rule: rule, fd: fd,
+		chunkRows: chunkRows, chunks: chunks}
+}
+
+// Chunks implements bgclean.Job.
+func (j *fdSweepJob) Chunks() int { return j.chunks }
+
+// RunChunk implements bgclean.Job: clean the chunk's groups against the
+// latest published epoch and publish the result as one new epoch. Each chunk
+// is atomic — its delta and checked-group marks land in a single writer
+// request — which is what makes mid-sweep cancellation leave a valid,
+// resumable state.
+func (j *fdSweepJob) RunChunk(ctx context.Context, chunk int) (bgclean.ChunkResult, error) {
+	var res bgclean.ChunkResult
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	st, ok := j.s.w.current().tables[j.table]
+	if !ok || st.ident != j.ident {
+		return res, fmt.Errorf("%w: table %q replaced mid-sweep", bgclean.ErrObsolete, j.table)
+	}
+	idx := st.fdIdx[j.rule.Name]
+	if idx == nil {
+		// Replaced-and-re-triggered registrations build lazily; publish the
+		// index once for every future epoch.
+		if idx = j.s.w.ensureFDIndex(j.table, j.ident, j.rule.Name, j.fd); idx == nil {
+			return res, fmt.Errorf("%w: table %q replaced mid-sweep", bgclean.ErrObsolete, j.table)
+		}
+		if st, ok = j.s.w.current().tables[j.table]; !ok || st.ident != j.ident {
+			return res, fmt.Errorf("%w: table %q replaced mid-sweep", bgclean.ErrObsolete, j.table)
+		}
+	}
+
+	checked := st.checkedGroups[j.rule.Name]
+	lo := chunk * j.chunkRows
+	hi := lo + j.chunkRows
+	scope, keys := idx.violatingScopeIn(lo, hi, func(k value.MapKey) bool { return checked[k] })
+
+	req := &applyReq{table: j.table, rule: j.rule.Name, isFD: true, ident: j.ident}
+	var m detect.Metrics
+	if len(scope) > 0 {
+		// Same fix semantics as every other FD path: the support pass makes
+		// P(lhs|rhs) relation-wide, so the chunk's bytes match a monolithic
+		// clean of the same groups.
+		support := idx.relax(scope, false, &m)
+		base := st.pt
+		view := detect.PTableView{P: base}
+		delta := repair.FD(view, scope, support, j.fd, view.P.Schema.MustIndex, &m)
+		applied, updated := base.ApplyCOW(delta)
+		m.Updates += int64(updated)
+		req.delta, req.base, req.applied, req.groups = delta, base, applied, keys
+		res.Groups, res.Cells = len(keys), updated
+	}
+	if chunk == j.chunks-1 && st.cost != nil {
+		// The sweep quiesces with this chunk: record the switch so the cost
+		// model charges subsequent queries only query cost (§5.2.3).
+		req.markSwitched = true
+	}
+	// Publish — one epoch per chunk (racing query write-backs may coalesce
+	// into the same batch; the epoch still advances per batch).
+	j.s.w.submit(req)
+	j.s.metricsMu.Lock()
+	j.s.Metrics.Add(m)
+	j.s.metricsMu.Unlock()
+	return res, nil
+}
+
+// enqueueSweep schedules (dedup per table/rule/registration) a background
+// full clean. Called from queryCtx.flush after the triggering query's own
+// write-backs published, so the sweep starts from a state where the query's
+// scope is already checked. A query whose decision raced a completing sweep
+// — it read the model pre-markSwitched, flushed post-completion — finds the
+// switch already recorded and schedules nothing.
+func (s *Session) enqueueSweep(table string, ident uint64, rule *dc.Constraint, fd dc.FDSpec) {
+	st, ok := s.w.current().tables[table]
+	if !ok || st.ident != ident {
+		return
+	}
+	if st.cost != nil && st.cost.Switched() {
+		return // the sweep (or an inline full clean) already finished
+	}
+	job := newFDSweepJob(s, table, ident, rule, fd, st.pt.Len())
+	s.bg.Enqueue(table, rule.Name, ident, job)
+}
+
+var _ bgclean.Job = (*fdSweepJob)(nil)

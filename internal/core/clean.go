@@ -48,27 +48,42 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 	}
 
 	// Cost model: incremental vs switching to a full clean of the remaining
-	// dirty part (§5.2.3). The decision reads the epoch's frozen model copy;
-	// the model update lands with the delta through the writer.
+	// dirty part (§5.2.3). The decision reads the *latest published* model —
+	// the writer coalesces every query's cost record into one trajectory, so
+	// racing queries that share a stale snapshot still observe the same
+	// accumulated spend a serial run would (per-epoch drift would defer the
+	// switch point under concurrency). The model update itself lands with
+	// the delta through the writer.
 	strategy := qc.opts.Strategy
 	if strategy == StrategyAuto && st.cost != nil {
 		qi := len(rows)
 		epsi := len(scope)
 		ei := estimateExtras(st, rule.Name, epsi)
-		if st.cost.ShouldSwitchToFull(qi, ei, epsi) {
+		if qc.latestState(tableName, st).cost.ShouldSwitchToFull(qi, ei, epsi) {
 			strategy = StrategyFull
 		} else {
 			strategy = StrategyIncremental
 		}
 	}
+	background := false
 	if strategy == StrategyFull {
-		if err := qc.fullCleanFD(st, tableName, rule, fd, idx, checked, localChecked, m); err != nil {
-			return nil, err
+		if qc.opts.Strategy == StrategyAuto && !qc.opts.DisableBackgroundClean {
+			// Async §5.2.3 switch: schedule a background sweep (dedup per
+			// table/rule; enqueued only if this query commits) and fall
+			// through to the incremental path — the triggering query cleans
+			// exactly its own scope and returns, instead of paying the full
+			// clean inline while every concurrent query waits behind it.
+			background = true
+			qc.deferFullClean(tableName, st.ident, rule, fd)
+		} else {
+			if err := qc.fullCleanFD(st, tableName, rule, fd, idx, checked, localChecked, m); err != nil {
+				return nil, err
+			}
+			qc.decisions = append(qc.decisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "full"})
+			// After a full clean, relaxation extras are the other members of
+			// the result's dirty groups (they may qualify probabilistically).
+			return groupPartners(idx, scope, rows), nil
 		}
-		qc.decisions = append(qc.decisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "full"})
-		// After a full clean, relaxation extras are the other members of the
-		// result's dirty groups (they may qualify probabilistically).
-		return groupPartners(idx, scope, rows), nil
 	}
 
 	// Incremental: relax the result (Algorithm 1) through the group index.
@@ -126,8 +141,23 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 		costRecord: st.cost != nil,
 		costQi:     len(rows), costEi: len(extra), costEpsi: len(repairScope),
 	})
-	qc.decisions = append(qc.decisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "incremental"})
+	dec := Decision{Table: tableName, Rule: rule.Name, Strategy: "incremental"}
+	if background {
+		dec.Strategy = "background"
+	}
+	qc.decisions = append(qc.decisions, dec)
 	return extra, nil
+}
+
+// latestState returns the most recently published state of the registration
+// st belongs to — the coalesced-counter view the §5.2.3 decision reads —
+// falling back to the query's own epoch when the table was replaced
+// mid-flight (the write-back will be dropped anyway).
+func (qc *queryCtx) latestState(tableName string, st *tableState) *tableState {
+	if cur, ok := qc.s.w.current().tables[tableName]; ok && cur.ident == st.ident {
+		return cur
+	}
+	return st
 }
 
 // estimateExtras projects the relaxation size for the cost model from the
@@ -161,7 +191,11 @@ func predTouchesLHS(pred expr.Pred, fd dc.FDSpec) bool {
 
 // fullCleanFD cleans every remaining dirty group of the relation in one
 // offline-style pass (the strategy-switch target). Scope comes from the
-// persistent group index instead of a fresh O(n) re-grouping.
+// persistent group index instead of a fresh O(n) re-grouping. The rhs-partner
+// support pass gives P(lhs|rhs) the same relation-wide distribution the
+// incremental path computes, so per-group fixes are identical bytes whether
+// a group is cleaned incrementally, by this inline pass, or by a background
+// sweep chunk — the invariant the async switch's convergence rests on.
 func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, idx *fdIndex, checked func(value.MapKey) bool, localChecked map[value.MapKey]bool, m *detect.Metrics) error {
 	if err := qc.ctxErr(); err != nil {
 		return err
@@ -170,9 +204,13 @@ func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Const
 	var groups []value.MapKey
 	req := &applyReq{table: tableName, rule: rule.Name, isFD: true, ident: st.ident, markSwitched: st.cost != nil}
 	if len(scope) > 0 {
+		support := idx.relax(scope, false, m)
+		if err := qc.ctxErr(); err != nil {
+			return err
+		}
 		base := qc.pt(tableName)
 		view := detect.PTableView{P: base}
-		d := repair.FD(view, scope, nil, fd, view.P.Schema.MustIndex, m)
+		d := repair.FD(view, scope, support, fd, view.P.Schema.MustIndex, m)
 		if err := qc.ctxErr(); err != nil {
 			return err
 		}

@@ -171,6 +171,10 @@ func newWriter() *writer {
 // current returns the latest published epoch.
 func (w *writer) current() *snapshot { return w.snap.Load() }
 
+// depth reports how many apply requests are queued on the loop — the
+// backpressure signal background sweeps yield to between chunks.
+func (w *writer) depth() int { return len(w.applyCh) }
+
 // mutate runs fn against a derived snapshot under the writer lock and
 // publishes the result. Used by the setup APIs (Register, AddRule,
 // ReplaceTable) and lazy index builds; delta application goes through the
@@ -407,9 +411,16 @@ func applyOne(next *snapshot, cloned map[string]bool, req *applyReq, marks *batc
 			st.dcEstimates = est
 		}
 	}
-	if st.cost != nil && !duplicate && (req.costRecord || req.markSwitched) {
+	// A duplicate request suppresses the cost record (the racing winner
+	// already charged the work) but must NOT suppress markSwitched: the
+	// sweep's final chunk may coalesce as a duplicate when racing queries
+	// cleaned its groups first, yet the sweep is complete — dropping the
+	// mark would leave ShouldSwitchToFull flipping forever and every later
+	// query re-enqueueing a redundant sweep.
+	record := req.costRecord && !duplicate
+	if st.cost != nil && (record || req.markSwitched) {
 		c := *st.cost
-		if req.costRecord {
+		if record {
 			c.RecordQuery(req.costQi, req.costEi, req.costEpsi)
 		}
 		if req.markSwitched {

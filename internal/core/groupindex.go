@@ -173,6 +173,32 @@ func (ix *fdIndex) violatingScope(checked func(value.MapKey) bool) []int {
 	return scope
 }
 
+// violatingScopeIn collects the members and lhs keys of every violating,
+// unchecked group whose first member lies in [lo, hi) — one chunk of a
+// background full-clean sweep. Anchoring a group at its first (lowest)
+// member position assigns each group to exactly one chunk, so the union over
+// a sweep's chunks equals violatingScope at the same checked set, and groups
+// whole-sale membership keeps per-group fixes byte-identical to a monolithic
+// clean. Read-only over the index; safe for concurrent snapshot readers.
+func (ix *fdIndex) violatingScopeIn(lo, hi int, checked func(value.MapKey) bool) (scope []int, keys []value.MapKey) {
+	if hi > len(ix.rowKey) {
+		hi = len(ix.rowKey)
+	}
+	for r := lo; r < hi; r++ {
+		key := ix.rowKey[r]
+		g := ix.groups[key]
+		if g == nil || len(g.members) == 0 || g.members[0] != r {
+			continue // not this group's anchor row
+		}
+		if !g.violating() || checked(key) {
+			continue
+		}
+		keys = append(keys, key)
+		scope = append(scope, g.members...)
+	}
+	return scope, keys
+}
+
 // relax is Algorithm 1 over the group index: the rows outside seed that
 // share an lhs group or an rhs value with a seed row. transitive widens the
 // frontier with each addition until fixpoint (Lemma 2); otherwise a single

@@ -40,6 +40,11 @@ type queryCtx struct {
 
 	// pending buffers the query's write-backs until flush.
 	pending []*applyReq
+	// bgJobs buffers background full-clean enqueues (the async §5.2.3
+	// switch). They are scheduled only at flush, after the query's own
+	// write-backs published — a canceled query must leave no trace, not even
+	// a sweep.
+	bgJobs []bgJobSpec
 	// dcHeld records that this query holds Session.dcMu. The first general-DC
 	// clean acquires it and the query keeps it until flush/abort, so the
 	// order-dependent pairwise bookkeeping stays exact even though the
@@ -64,21 +69,42 @@ func (qc *queryCtx) ctxErr() error {
 	return nil
 }
 
+// bgJobSpec is a deferred background full-clean enqueue.
+type bgJobSpec struct {
+	table string
+	ident uint64
+	rule  *dc.Constraint
+	fd    dc.FDSpec
+}
+
 // submit buffers one write-back for publication at query end.
 func (qc *queryCtx) submit(req *applyReq) { qc.pending = append(qc.pending, req) }
 
+// deferFullClean buffers a background-sweep enqueue for flush.
+func (qc *queryCtx) deferFullClean(table string, ident uint64, rule *dc.Constraint, fd dc.FDSpec) {
+	qc.bgJobs = append(qc.bgJobs, bgJobSpec{table: table, ident: ident, rule: rule, fd: fd})
+}
+
 // flush publishes the buffered write-backs through the single-writer apply
-// loop (blocking until the new epoch is live) and releases the DC section.
+// loop (blocking until the new epoch is live), schedules any deferred
+// background sweeps against the just-published state, and releases the DC
+// section.
 func (qc *queryCtx) flush() {
 	qc.s.w.submitAll(qc.pending)
 	qc.pending = nil
+	for _, j := range qc.bgJobs {
+		qc.s.enqueueSweep(j.table, j.ident, j.rule, j.fd)
+	}
+	qc.bgJobs = nil
 	qc.releaseDC()
 }
 
-// abort drops the buffered write-backs — the published epochs never see this
-// query — and releases the DC section.
+// abort drops the buffered write-backs and deferred sweeps — the published
+// epochs and the scheduler never see this query — and releases the DC
+// section.
 func (qc *queryCtx) abort() {
 	qc.pending = nil
+	qc.bgJobs = nil
 	qc.releaseDC()
 }
 

@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"sync"
 
+	"daisy/internal/bgclean"
 	"daisy/internal/cost"
 	"daisy/internal/dc"
 	"daisy/internal/detect"
@@ -84,6 +85,18 @@ type Options struct {
 	// Fig 9 optimization) — ablation knob: every result row then pays
 	// detection work even when its group is clean.
 	DisableStatsPruning bool
+	// DisableBackgroundClean forces the pre-async behavior of the §5.2.3
+	// strategy switch: the triggering query runs the full clean inline
+	// instead of enqueueing a background sweep. The paper-faithful ablation
+	// knob (the experiments use it to measure the inline switch), and the
+	// synchronous reference the background convergence tests compare
+	// against.
+	DisableBackgroundClean bool
+	// CleanChunkSize is the number of rows a background full-clean job
+	// sweeps (and publishes as one copy-on-write epoch) per chunk. Rounded
+	// up to a multiple of ptable.SegmentSize so chunk clones align with
+	// storage segments; default 4096 (8 segments).
+	CleanChunkSize int
 }
 
 // defaults resolves every option exactly once (NewSession); call sites read
@@ -98,13 +111,22 @@ func (o *Options) defaults() {
 	if o.DCThreshold <= 0 {
 		o.DCThreshold = 0.10
 	}
+	if o.CleanChunkSize <= 0 {
+		o.CleanChunkSize = 8 * ptable.SegmentSize
+	}
+	if rem := o.CleanChunkSize % ptable.SegmentSize; rem != 0 {
+		o.CleanChunkSize += ptable.SegmentSize - rem
+	}
 }
 
-// Decision records one cleaning decision taken during a query.
+// Decision records one cleaning decision taken during a query. Strategy
+// "background" means the §5.2.3 inequality flipped and the query scheduled
+// (or joined) a background full-clean sweep, cleaning only its own scope
+// inline; track the sweep through Session.CleaningStatus.
 type Decision struct {
 	Table    string
 	Rule     string
-	Strategy string  // "incremental", "full", "skip"
+	Strategy string  // "incremental", "full", "background", "skip"
 	Accuracy float64 // 1 − estimated dirtiness (DC rules only)
 	Support  float64 // diagonal coverage (DC rules only)
 }
@@ -124,8 +146,9 @@ type Result struct {
 type Session struct {
 	opts Options
 	w    *writer
-	sem  chan struct{} // MaxConcurrentQueries gate (nil: unlimited)
-	dcMu sync.Mutex    // serializes general-DC cleaning sections
+	bg   *bgclean.Scheduler // background full-clean jobs (§5.2.3 gone async)
+	sem  chan struct{}      // MaxConcurrentQueries gate (nil: unlimited)
+	dcMu sync.Mutex         // serializes general-DC cleaning sections
 
 	// Metrics accumulates work across all queries. Reads are only meaningful
 	// once in-flight queries have returned; per-query numbers are on Result.
@@ -137,22 +160,67 @@ type Session struct {
 func NewSession(opts Options) *Session {
 	opts.defaults()
 	s := &Session{opts: opts, w: newWriter()}
+	w := s.w
+	// Background sweeps yield to foreground traffic: the runner waits
+	// between chunks while query write-backs are queued on the writer.
+	bg := bgclean.New(bgclean.Options{Backpressure: func() bool { return w.depth() > 0 }})
+	s.bg = bg
 	if opts.MaxConcurrentQueries > 0 {
 		s.sem = make(chan struct{}, opts.MaxConcurrentQueries)
 	}
-	// The apply goroutine references only the writer, so an unreachable
-	// Session can be finalized even while the goroutine is parked; Close is
-	// still the deterministic way to release it.
-	runtime.SetFinalizer(s, func(s *Session) { s.w.close() })
+	// The apply goroutine references only the writer and the sweep runner
+	// only the scheduler (which drops job bodies — and with them the Session
+	// reference — as jobs reach a terminal state), so an unreachable Session
+	// can be finalized even while both goroutines are parked; Close is still
+	// the deterministic way to release them. One caveat: a job left PAUSED
+	// pins its body (and the Session) until Resume/Cancel/Close — only those
+	// Session methods can release it, so dropping a session mid-pause leaks
+	// it for the process lifetime (see PauseCleaning).
+	runtime.SetFinalizer(s, func(s *Session) { bg.Close(); w.close() })
 	return s
 }
 
-// Close stops the session's apply goroutine and marks the session closed:
-// subsequent Query/QueryContext calls return ErrSessionClosed. Close is
-// idempotent and safe to call concurrently with in-flight queries — a query
-// admitted before Close still completes (its write-backs apply inline); a
-// finalizer covers sessions that are simply dropped.
-func (s *Session) Close() { s.w.close() }
+// Close cancels background cleaning jobs cooperatively (a sweep stops at its
+// next chunk boundary, leaving a valid state), stops the apply goroutine,
+// and marks the session closed: subsequent Query/QueryContext calls return
+// ErrSessionClosed. Close is idempotent and safe to call concurrently with
+// in-flight queries — a query admitted before Close still completes (its
+// write-backs apply inline); a finalizer covers sessions that are simply
+// dropped.
+func (s *Session) Close() {
+	s.bg.Close()
+	s.w.close()
+}
+
+// CleaningStatus reports every background full-clean job the session has
+// scheduled, in enqueue order: lifecycle state, chunk progress (each
+// completed chunk published at least one epoch), repaired-group and
+// cell-update counts, backpressure yields, elapsed time, and an ETA
+// extrapolated from the per-chunk pace.
+func (s *Session) CleaningStatus() []bgclean.Status { return s.bg.Status() }
+
+// WaitCleaning blocks until every scheduled background cleaning job has
+// reached a terminal state (the session has quiesced) or ctx is done. When
+// every job completed (state Done — check CleaningStatus), the published
+// state is byte-identical to having run the switched full cleans
+// synchronously; a job that was canceled or failed instead leaves the valid,
+// resumable partial state described on CancelCleaning.
+func (s *Session) WaitCleaning(ctx context.Context) error { return s.bg.Wait(ctx) }
+
+// PauseCleaning suspends the live background job for (table, rule) at its
+// next chunk boundary; ResumeCleaning releases it. Both report whether a
+// live job was found. A paused job holds its resources until ResumeCleaning,
+// CancelCleaning, or Close — do not drop a session with a sweep paused.
+func (s *Session) PauseCleaning(table, rule string) bool { return s.bg.Pause(table, rule) }
+
+// ResumeCleaning releases a paused background job.
+func (s *Session) ResumeCleaning(table, rule string) bool { return s.bg.Resume(table, rule) }
+
+// CancelCleaning cancels the live background job for (table, rule) at its
+// next chunk boundary. The state stays valid and resumable: completed
+// chunks' groups remain repaired and checked, untouched groups stay dirty,
+// and a later query (or re-triggered switch) finishes the work.
+func (s *Session) CancelCleaning(table, rule string) bool { return s.bg.Cancel(table, rule) }
 
 // Register snapshots a dirty table into the session.
 func (s *Session) Register(t *table.Table) error {

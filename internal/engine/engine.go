@@ -99,7 +99,9 @@ func (f *Frame) Materialize() *ptable.PTable {
 	tuples := make([]ptable.Tuple, len(f.Rows))
 	for ti, r := range f.Rows {
 		src := f.PT.At(r)
-		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: src.Cells, Lineage: src.Lineage}
+		// LineageOf reconstructs the self-lineage flyweight of base tuples;
+		// the result relation has its own name, so nil cannot pass through.
+		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: src.Cells, Lineage: f.PT.LineageOf(r)}
 		out.Append(&tuples[ti])
 	}
 	return out
@@ -386,7 +388,7 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 	if w := e.parallelism(len(matches)); w > 1 {
 		runChunks(e.Ctx, chunkBounds(len(matches), w), w, func(ci, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				fillJoinTuple(&tuples[i], int64(i), lf.pt.At(matches[i].l), rf.pt.At(matches[i].r))
+				fillJoinTuple(&tuples[i], int64(i), lf.pt, matches[i].l, rf.pt, matches[i].r)
 			}
 		})
 		if err := e.ctxErr(); err != nil {
@@ -394,7 +396,7 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 		}
 	} else {
 		for i, mt := range matches {
-			fillJoinTuple(&tuples[i], int64(i), lf.pt.At(mt.l), rf.pt.At(mt.r))
+			fillJoinTuple(&tuples[i], int64(i), lf.pt, mt.l, rf.pt, mt.r)
 		}
 	}
 	for i := range tuples {
@@ -503,17 +505,26 @@ func (e *Executor) probeChunk(lf *frame, ref expr.ColRef, build map[value.MapKey
 	return out
 }
 
-func fillJoinTuple(t *ptable.Tuple, id int64, l, r *ptable.Tuple) {
+func fillJoinTuple(t *ptable.Tuple, id int64, lpt *ptable.PTable, li int, rpt *ptable.PTable, ri int) {
+	l, r := lpt.At(li), rpt.At(ri)
 	t.ID = id
 	t.Lineage = make(map[string][]int64)
 	t.Cells = make([]uncertain.Cell, 0, len(l.Cells)+len(r.Cells))
 	t.Cells = append(t.Cells, l.Cells...)
 	t.Cells = append(t.Cells, r.Cells...)
-	for k, v := range l.Lineage {
-		t.Lineage[k] = append(t.Lineage[k], v...)
+	appendLineage(t.Lineage, lpt, l)
+	appendLineage(t.Lineage, rpt, r)
+}
+
+// appendLineage merges a tuple's lineage into dst, resolving the nil
+// self-lineage flyweight of base tuples without materializing a map.
+func appendLineage(dst map[string][]int64, pt *ptable.PTable, t *ptable.Tuple) {
+	if t.Lineage == nil {
+		dst[pt.Name] = append(dst[pt.Name], t.ID)
+		return
 	}
-	for k, v := range r.Lineage {
-		t.Lineage[k] = append(t.Lineage[k], v...)
+	for k, v := range t.Lineage {
+		dst[k] = append(dst[k], v...)
 	}
 }
 
@@ -718,7 +729,7 @@ func (e *Executor) execProject(node *plan.Project) (*frame, error) {
 		for i, idx := range idxs {
 			tc[i] = src.Cells[idx]
 		}
-		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: tc, Lineage: src.Lineage}
+		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: tc, Lineage: f.pt.LineageOf(r)}
 		out.Append(&tuples[ti])
 	}
 	return &frame{pt: out, rows: seq(out.Len())}, nil

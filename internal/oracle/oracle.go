@@ -98,14 +98,15 @@ type Result struct {
 	Rows    [][]uncertain.Cell
 }
 
-// Query executes a single-table SELECT with cleaning, the naive way.
+// Query executes a single-table SELECT — plain, grouped, or aggregated —
+// with cleaning, the naive way.
 func (s *Session) Query(text string) (*Result, error) {
 	q, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	if len(q.From) != 1 || len(q.GroupBy) > 0 || q.HasAggregate() {
-		return nil, fmt.Errorf("oracle: only plain single-table selects are supported")
+	if len(q.From) != 1 {
+		return nil, fmt.Errorf("oracle: only single-table selects are supported")
 	}
 	st, ok := s.tables[q.From[0]]
 	if !ok {
@@ -157,6 +158,11 @@ func (s *Session) Query(text string) (*Result, error) {
 		}
 	}
 
+	// Aggregation sits above cleaning, exactly as the planner places it.
+	if len(q.GroupBy) > 0 || q.HasAggregate() {
+		return s.groupBy(st, q, out)
+	}
+
 	// Project.
 	res := &Result{}
 	var idxs []int
@@ -205,7 +211,8 @@ func evalRow(pt *FlatTable, i int, pred expr.Pred) bool {
 }
 
 // queryAttrs collects the unqualified attributes the query touches
-// (projection ∪ where; the oracle takes no group-by).
+// (projection ∪ where ∪ group-by — the same footprint the planner uses to
+// pick overlapping rules).
 func queryAttrs(q *sql.Query) map[string]bool {
 	attrs := make(map[string]bool)
 	for _, it := range q.Select {
@@ -218,7 +225,146 @@ func queryAttrs(q *sql.Query) map[string]bool {
 			attrs[ref.Col] = true
 		}
 	}
+	for _, g := range q.GroupBy {
+		attrs[g.Col] = true
+	}
 	return attrs
+}
+
+// groupBy evaluates GROUP BY plus aggregates (or a global aggregate) over
+// the cleaned, re-qualified rows, mirroring the engine's semantics exactly:
+// group keys take each probabilistic cell's representative value, groups
+// order by key values, and output columns are the keys (group-by order)
+// followed by the aggregate items (select order), all certain cells.
+func (s *Session) groupBy(st *state, q *sql.Query, rows []int) (*Result, error) {
+	pt := st.pt
+	keyIdx := make([]int, len(q.GroupBy))
+	for ki, k := range q.GroupBy {
+		idx := pt.Schema.Index(k.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("oracle: unknown group key %q", k.Col)
+		}
+		keyIdx[ki] = idx
+	}
+	type group struct {
+		keyVals []value.Value
+		rows    []int
+	}
+	groups := make(map[value.MapKey]*group)
+	var order []*group
+	keyBuf := make([]value.Value, len(q.GroupBy))
+	for _, r := range rows {
+		for ki, idx := range keyIdx {
+			keyBuf[ki] = pt.Tuples[r].Cells[idx].Value()
+		}
+		key := value.MapKeyOf(keyBuf...)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{keyVals: append([]value.Value(nil), keyBuf...)}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.rows = append(g.rows, r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i].keyVals, order[j].keyVals
+		for k := range a {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+
+	res := &Result{}
+	for _, k := range q.GroupBy {
+		res.Columns = append(res.Columns, k.Col)
+	}
+	for _, it := range q.Select {
+		if it.Agg != sql.AggNone {
+			res.Columns = append(res.Columns, it.String())
+		}
+	}
+	for _, g := range order {
+		row := make([]uncertain.Cell, 0, len(res.Columns))
+		for _, v := range g.keyVals {
+			row = append(row, uncertain.Certain(v))
+		}
+		for _, it := range q.Select {
+			if it.Agg == sql.AggNone {
+				continue
+			}
+			v, err := aggregateRows(pt, g.rows, it)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, uncertain.Certain(v))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// aggregateRows computes one aggregate the naive way: materialize the
+// group's non-null representative values first, then fold each aggregate in
+// its own dedicated pass. Deliberately NOT the engine's shape (one fused
+// loop maintaining count/sum/min/max simultaneously): the semantics are
+// specified identically — COUNT(*) counts rows, other aggregates skip null
+// representatives, SUM/AVG accumulate numeric values as floats, MIN/MAX
+// compare with value order — but a structural bug in either fold (e.g. a
+// count incremented before the null skip) now shows up as a differential
+// divergence instead of being mirrored.
+func aggregateRows(pt *FlatTable, rows []int, it sql.SelectItem) (value.Value, error) {
+	if it.Agg == sql.AggCount && it.Star {
+		return value.NewInt(int64(len(rows))), nil
+	}
+	idx := pt.Schema.Index(it.Ref.Col)
+	if idx < 0 {
+		return value.Value{}, fmt.Errorf("oracle: unknown aggregate column %q", it.Ref.Col)
+	}
+	var vals []value.Value
+	for _, r := range rows {
+		if v := pt.Tuples[r].Cells[idx].Value(); !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	sum := func() float64 {
+		total := 0.0
+		for _, v := range vals {
+			if v.IsNumeric() {
+				total += v.Float()
+			}
+		}
+		return total
+	}
+	switch it.Agg {
+	case sql.AggCount:
+		return value.NewInt(int64(len(vals))), nil
+	case sql.AggSum:
+		return value.NewFloat(sum()), nil
+	case sql.AggAvg:
+		if len(vals) == 0 {
+			return value.NewNull(), nil
+		}
+		return value.NewFloat(sum() / float64(len(vals))), nil
+	case sql.AggMin:
+		best := value.NewNull()
+		for _, v := range vals {
+			if best.IsNull() || v.Less(best) {
+				best = v
+			}
+		}
+		return best, nil
+	case sql.AggMax:
+		best := value.NewNull()
+		for _, v := range vals {
+			if best.IsNull() || best.Less(v) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return value.Value{}, fmt.Errorf("oracle: unsupported aggregate %v", it.Agg)
 }
 
 // ---- FD cleaning, the naive way -----------------------------------------
@@ -283,14 +429,17 @@ func (s *Session) cleanFD(st *state, rule string, fd dc.FDSpec, rows []int, pred
 	}
 
 	if s.strategy == Full {
-		// Clean every remaining violating group in one pass.
+		// Clean every remaining violating group in one pass. The same-rhs
+		// support pass mirrors the engine: P(lhs|rhs) is computed over the
+		// relation-wide rhs-partner set on every path, so full and
+		// incremental cleaning repair a group to identical bytes.
 		var full []int
 		for _, k := range groupOrder {
 			if violating(k) && !checked[k] {
 				full = append(full, members[k]...)
 			}
 		}
-		s.repairFD(st, full, nil, lhsIdx, rhsIdx, fd)
+		s.repairFD(st, full, s.relax(pt, full, lhsIdx, rhsIdx, false), lhsIdx, rhsIdx, fd)
 		for _, r := range full {
 			checked[origKey(pt, r, lhsIdx)] = true
 		}

@@ -39,7 +39,12 @@ type Tuple struct {
 	// Cells is positionally aligned with the table schema.
 	Cells []uncertain.Cell
 	// Lineage maps a base relation name to the originating tuple IDs; join
-	// results reference one tuple per side, base tuples reference themselves.
+	// results reference one tuple per side. Base tuples reference
+	// themselves, and that overwhelmingly common case is stored as nil — a
+	// shared flyweight reconstructed on demand by PTable.LineageOf — so a
+	// 10M-row snapshot carries no 10M lineage maps. Readers that may see
+	// base tuples must resolve lineage through LineageOf (or treat nil as
+	// {owner: [ID]}), never read the field raw.
 	Lineage map[string][]int64
 }
 
@@ -141,11 +146,13 @@ func New(name string, s *schema.Schema) *PTable {
 }
 
 // FromTable snapshots a deterministic table; tuple IDs are row positions and
-// every tuple's lineage points at itself. Tuple structs, cells, and lineage
-// id backing are batch-allocated per segment — snapshotting is the first
-// thing every session does to every relation, and segment-aligned batches
-// keep the sequential hot path one allocation per SegmentSize rows while
-// letting ApplyCOW share untouched segments wholesale.
+// every tuple's lineage points at itself — stored as the nil flyweight
+// (LineageOf reconstructs it on demand), so the snapshot allocates no
+// per-tuple lineage map at all. Tuple structs and cells are batch-allocated
+// per segment — snapshotting is the first thing every session does to every
+// relation, and segment-aligned batches keep the sequential hot path a few
+// allocations per SegmentSize rows while letting ApplyCOW share untouched
+// segments wholesale.
 func FromTable(t *table.Table) *PTable {
 	n := t.Len()
 	p := &PTable{Name: t.Name, Schema: t.Schema, dense: true, n: n}
@@ -160,23 +167,30 @@ func FromTable(t *table.Table) *PTable {
 		tuples := make([]Tuple, m)
 		ptrs := make([]*Tuple, m)
 		cells := make([]uncertain.Cell, m*width)
-		selfIDs := make([]int64, m)
 		for i := 0; i < m; i++ {
 			tc := cells[i*width : (i+1)*width : (i+1)*width]
 			for j, v := range t.Rows[lo+i] {
 				tc[j] = uncertain.Certain(v)
 			}
-			selfIDs[i] = int64(lo + i)
-			tuples[i] = Tuple{
-				ID:      int64(lo + i),
-				Cells:   tc,
-				Lineage: map[string][]int64{t.Name: selfIDs[i : i+1 : i+1]},
-			}
+			tuples[i] = Tuple{ID: int64(lo + i), Cells: tc}
 			ptrs[i] = &tuples[i]
 		}
 		p.segs = append(p.segs, &segment{tuples: ptrs})
 	}
 	return p
+}
+
+// LineageOf resolves the lineage of the tuple at position i, reconstructing
+// the self-lineage flyweight for base tuples stored with a nil Lineage: a
+// base tuple of relation p originates from itself. Derived relations
+// (operator outputs) materialize explicit lineage maps, which are returned
+// as-is and must not be mutated.
+func (p *PTable) LineageOf(i int) map[string][]int64 {
+	t := p.At(i)
+	if t.Lineage != nil {
+		return t.Lineage
+	}
+	return map[string][]int64{p.Name: {t.ID}}
 }
 
 // Append adds a tuple. IDs must be unique within the relation. Append

@@ -28,6 +28,16 @@ func citiesTable(t *testing.T) *table.Table {
 	return tb
 }
 
+// tableWithRows builds an n-row deterministic table over sch for alloc pins.
+func tableWithRows(t *testing.T, sch *schema.Schema, n int) *table.Table {
+	t.Helper()
+	tb := table.New("big", sch)
+	for i := 0; i < n; i++ {
+		tb.MustAppend(table.Row{value.NewInt(int64(i % 97)), value.NewString("city")})
+	}
+	return tb
+}
+
 func dirtyCell() uncertain.Cell {
 	return uncertain.Cell{
 		Orig: value.NewString("San Francisco"),
@@ -55,8 +65,33 @@ func TestFromTableSnapshot(t *testing.T) {
 	if p.ByID(99) != nil {
 		t.Error("missing id must return nil")
 	}
-	if lin := p.At(1).Lineage["cities"]; len(lin) != 1 || lin[0] != 1 {
-		t.Errorf("self lineage = %v", p.At(1).Lineage)
+	// Base tuples store the self-lineage flyweight (nil), reconstructed on
+	// demand through LineageOf.
+	if p.At(1).Lineage != nil {
+		t.Errorf("base tuple must carry the nil lineage flyweight, got %v", p.At(1).Lineage)
+	}
+	if lin := p.LineageOf(1)["cities"]; len(lin) != 1 || lin[0] != 1 {
+		t.Errorf("self lineage = %v", p.LineageOf(1))
+	}
+}
+
+// TestFromTableLineageFlyweightAllocs pins the flyweight win: snapshotting
+// allocates O(segments) blocks, not O(rows) lineage maps — under 10 allocs
+// per 512-row segment where the per-tuple maps alone used to cost 512.
+func TestFromTableLineageFlyweightAllocs(t *testing.T) {
+	const rows = 8 * SegmentSize
+	sch := citiesTable(t).Schema
+	tb := tableWithRows(t, sch, rows)
+	allocs := testing.AllocsPerRun(5, func() {
+		p := FromTable(tb)
+		if p.Len() != rows {
+			t.Fatal("bad snapshot")
+		}
+	})
+	segs := rows / SegmentSize
+	if maxAllocs := float64(10 * segs); allocs > maxAllocs {
+		t.Errorf("FromTable(%d rows) = %.0f allocs, want <= %.0f (O(segments), no per-tuple lineage maps)",
+			rows, allocs, maxAllocs)
 	}
 }
 
