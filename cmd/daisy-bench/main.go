@@ -8,8 +8,9 @@
 //	daisy-bench -exp fig7 -scale 0.5 # smaller datasets
 //	daisy-bench -exp qps -parallel 8 # concurrent serving throughput
 //	daisy-bench -exp bgclean         # tail latency at the §5.2.3 switch
+//	daisy-bench -exp segskip         # sweep throughput vs dirty fraction
 //
-// Experiment ids: fig5..fig13, table5..table8, qps, bgclean.
+// Experiment ids: fig5..fig13, table5..table8, qps, bgclean, segskip.
 //
 // The qps experiment serves a fixed FD-cleaning workload from N concurrent
 // callers against one session (-parallel; 1 = sequential baseline) and
@@ -36,6 +37,7 @@ import (
 	"daisy/internal/core"
 	"daisy/internal/dc"
 	"daisy/internal/experiments"
+	"daisy/internal/ptable"
 	"daisy/internal/schema"
 	"daisy/internal/table"
 	"daisy/internal/value"
@@ -66,6 +68,13 @@ func main() {
 	}
 	if *exp == "bgclean" {
 		if err := runBGClean(ctx, *rows); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "segskip" {
+		if err := runSegSkip(ctx, *rows); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -172,9 +181,9 @@ func runBGClean(ctx context.Context, rows int) error {
 			return res, err
 		}
 		for _, job := range s.CleaningStatus() {
-			fmt.Printf("bgclean: job %s/%s %v %d/%d chunks, %d groups, %d backpressure waits\n",
-				job.Table, job.Rule, job.State, job.ChunksDone, job.ChunksTotal,
-				job.GroupsCleaned, job.BackpressureWaits)
+			fmt.Printf("bgclean: job %s/%s %v %d/%d rows in %d chunks, %d groups, %d backpressure waits\n",
+				job.Table, job.Rule, job.State, job.RowsDone, job.RowsTotal,
+				job.ChunksDone, job.GroupsCleaned, job.BackpressureWaits)
 		}
 		res.fp = s.Table("lineorder").Fingerprint()
 		return res, nil
@@ -208,6 +217,92 @@ func runBGClean(ctx context.Context, rows int) error {
 	fmt.Printf("bgclean: inline_tail_ms=%.3f async_tail_ms=%.3f inline_trigger_ms=%.3f async_trigger_ms=%.3f converged=%v\n",
 		ms(maxLat(inline.lats)), ms(maxLat(async.lats)), ms(inline.trigger), ms(async.trigger),
 		inline.fp == async.fp)
+	return nil
+}
+
+// runSegSkip measures background-sweep scan throughput against the fraction
+// of dirty storage segments: the same relation shape runs with 0%, 1%, and
+// 50% of its segments holding one violating group, each swept to quiescence
+// through Session.CleanInBackground. The per-segment anchor counters let the
+// sweep skip clean segments wholesale, so throughput should rise steeply as
+// the dirty fraction falls. Every run's quiesced state is fingerprint-checked
+// against an inline incremental covering clean of an identical relation —
+// the convergence guarantee that makes the skip path safe to ship.
+func runSegSkip(ctx context.Context, rows int) error {
+	segSize := ptable.SegmentSize
+	segs := rows / segSize
+	if segs < 4 {
+		return fmt.Errorf("segskip: -rows must be >= %d (4 segments)", 4*segSize)
+	}
+	rows = segs * segSize
+	build := func(dirtyPct int) *table.Table {
+		sch := schema.MustNew(
+			schema.Column{Name: "zip", Kind: value.Int},
+			schema.Column{Name: "city", Kind: value.String},
+		)
+		tb := table.New("cities", sch)
+		stride := 0
+		if dirtyPct > 0 {
+			stride = 100 / dirtyPct
+		}
+		for i := 0; i < rows; i++ {
+			city := "LA"
+			if stride > 0 && (i/segSize)%stride == 0 && i%segSize == 0 {
+				city = "SF" // first group of a dirty segment breaks phi
+			}
+			tb.MustAppend(table.Row{value.NewInt(int64(i / 4)), value.NewString(city)})
+		}
+		return tb
+	}
+	rule := func() *dc.Constraint { return dc.FD("phi", "cities", "city", "zip") }
+	allConverged := true
+	for _, pct := range []int{0, 1, 50} {
+		// Inline incremental reference: the convergence target bytes.
+		ref := core.NewSession(core.Options{Strategy: core.StrategyIncremental, DisableStatsPruning: true})
+		if err := ref.Register(build(pct)); err != nil {
+			return err
+		}
+		if err := ref.AddRule(rule()); err != nil {
+			return err
+		}
+		if _, err := ref.Query("SELECT zip, city FROM cities WHERE zip >= 0"); err != nil {
+			ref.Close()
+			return err
+		}
+		want := ref.Table("cities").Fingerprint()
+		ref.Close()
+
+		s := core.NewSession(core.Options{})
+		if err := s.Register(build(pct)); err != nil {
+			s.Close()
+			return err
+		}
+		if err := s.AddRule(rule()); err != nil {
+			s.Close()
+			return err
+		}
+		t0 := time.Now()
+		if !s.CleanInBackground("cities", "phi") {
+			s.Close()
+			return fmt.Errorf("segskip: CleanInBackground refused the sweep")
+		}
+		if err := s.WaitCleaning(ctx); err != nil {
+			s.Close()
+			return err
+		}
+		wall := time.Since(t0)
+		jobs := s.CleaningStatus()
+		job := jobs[len(jobs)-1]
+		converged := s.Table("cities").Fingerprint() == want
+		allConverged = allConverged && converged
+		fmt.Printf("segskip: dirty=%d%% rows=%d sweep_ms=%.3f rows_per_s=%.0f chunks=%d groups=%d converged=%v\n",
+			pct, rows, float64(wall)/float64(time.Millisecond),
+			float64(rows)/wall.Seconds(), job.ChunksDone, job.GroupsCleaned, converged)
+		s.Close()
+	}
+	if !allConverged {
+		return fmt.Errorf("segskip: a sweep diverged from the inline reference bytes")
+	}
 	return nil
 }
 

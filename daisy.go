@@ -95,8 +95,9 @@ type Result = core.Result
 // Session.CleaningStatus: when the §5.2.3 cost inequality flips under
 // StrategyAuto, the triggering query cleans only its own scope and the
 // remaining dirty part is swept chunk-by-chunk in the background, one
-// published epoch per chunk. The query's Decisions report the switch as
-// strategy "background"; the job carries chunk progress, repaired-group
+// published epoch per chunk, with chunk sizes adapting to observed latency
+// and writer backpressure. The query's Decisions report the switch as
+// strategy "background"; the job carries row/chunk progress, repaired-group
 // counts, elapsed time, and an ETA. Session.WaitCleaning blocks until every
 // job has quiesced — the state is then byte-identical to having run the
 // full cleans synchronously. PauseCleaning / ResumeCleaning / CancelCleaning

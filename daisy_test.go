@@ -347,8 +347,8 @@ func TestBackgroundCleaningPublicAPI(t *testing.T) {
 	if job.State != CleaningDone {
 		t.Fatalf("job state = %v (%s), want done", job.State, job.Err)
 	}
-	if job.ChunksDone != job.ChunksTotal || job.GroupsCleaned == 0 {
-		t.Errorf("job progress = %d/%d chunks, %d groups", job.ChunksDone, job.ChunksTotal, job.GroupsCleaned)
+	if job.RowsDone != job.RowsTotal || job.GroupsCleaned == 0 {
+		t.Errorf("job progress = %d/%d rows, %d groups", job.RowsDone, job.RowsTotal, job.GroupsCleaned)
 	}
 	// Quiesced: every violating group is checked, so re-running the first
 	// range finds nothing to clean.

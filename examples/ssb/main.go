@@ -61,8 +61,8 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, job := range s.CleaningStatus() {
-		fmt.Printf("background clean %s/%s: %v, %d/%d chunks, %d groups repaired\n",
-			job.Table, job.Rule, job.State, job.ChunksDone, job.ChunksTotal, job.GroupsCleaned)
+		fmt.Printf("background clean %s/%s: %v, %d/%d rows in %d chunks, %d groups repaired\n",
+			job.Table, job.Rule, job.State, job.RowsDone, job.RowsTotal, job.ChunksDone, job.GroupsCleaned)
 	}
 	fmt.Printf("\n25 SPJ queries in %s\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("lineorder dirty tuples: %d, supplier dirty tuples: %d\n",

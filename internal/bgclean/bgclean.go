@@ -22,8 +22,16 @@
 //     groups are repaired and checked, every untouched group is exactly as
 //     dirty as before, and a later query or re-enqueued job resumes from the
 //     checked-set bookkeeping alone.
-//   - progress: Status reports per-job chunk counts, repaired groups, cell
-//     updates, elapsed time, and an ETA extrapolated from per-chunk pace.
+//   - adaptive chunk sizing: chunks are row ranges whose size adapts to the
+//     observed per-chunk latency (steering toward Options.TargetChunkTime)
+//     and halves after a backpressure yield, clamped to
+//     [MinChunkRows, MaxChunkRows] and aligned to ChunkAlign so chunk clones
+//     stay storage-segment-aligned. A sweep over mostly clean segments — the
+//     common late-sweep regime, where the segment-skip scan makes chunks
+//     nearly free — therefore grows its chunks instead of paying a fixed
+//     epoch-publication toll every 4096 rows.
+//   - progress: Status reports per-job row/chunk progress, repaired groups,
+//     cell updates, elapsed time, and an ETA extrapolated from row pace.
 package bgclean
 
 import (
@@ -34,16 +42,18 @@ import (
 	"time"
 )
 
-// Job is the body of one background cleaning job, split into equally sized
-// chunks the scheduler drives one at a time. RunChunk must be atomic: either
-// the chunk's repairs are fully published or nothing is (the contract that
-// makes mid-sweep cancellation safe).
+// Job is the body of one background cleaning job, driven as row-range chunks
+// the scheduler sizes adaptively. RunChunk must be atomic: either the
+// chunk's repairs are fully published or nothing is (the contract that makes
+// mid-sweep cancellation safe).
 type Job interface {
-	// Chunks returns the fixed number of chunks of the sweep.
-	Chunks() int
-	// RunChunk cleans one chunk and publishes its epoch. It is only called
-	// from the scheduler's runner goroutine, strictly in chunk order.
-	RunChunk(ctx context.Context, chunk int) (ChunkResult, error)
+	// Total returns the number of rows the sweep covers.
+	Total() int
+	// RunChunk cleans rows [lo, hi) and publishes their epoch. It is only
+	// called from the scheduler's runner goroutine, with strictly ascending,
+	// non-overlapping, gap-free ranges. A job over an empty relation still
+	// receives one (0, 0) call so terminal bookkeeping runs.
+	RunChunk(ctx context.Context, lo, hi int) (ChunkResult, error)
 }
 
 // ChunkResult reports one chunk's work for progress accounting.
@@ -100,10 +110,13 @@ type Status struct {
 	Rule  string
 	State State
 
-	// ChunksDone / ChunksTotal measure sweep progress; every completed chunk
-	// published at least one epoch.
-	ChunksDone  int
-	ChunksTotal int
+	// RowsDone / RowsTotal measure sweep progress in rows; ChunksDone counts
+	// the chunks executed so far (every completed chunk published at least
+	// one epoch) and ChunkRows is the current adaptive chunk size.
+	RowsDone   int
+	RowsTotal  int
+	ChunksDone int
+	ChunkRows  int
 	// GroupsCleaned / CellsUpdated accumulate the chunks' repair work.
 	GroupsCleaned int
 	CellsUpdated  int
@@ -130,6 +143,58 @@ type Options struct {
 	Backpressure func() bool
 	// PollInterval is the backpressure re-check cadence (default 200µs).
 	PollInterval time.Duration
+
+	// ChunkAlign rounds chunk sizes down to a multiple of this many rows
+	// (default 512), keeping sweep chunks aligned with the copy-on-write
+	// storage segments so a chunk's clones never straddle an extra segment.
+	ChunkAlign int
+	// InitChunkRows seeds each job's adaptive chunk size (default
+	// 8*ChunkAlign). MinChunkRows/MaxChunkRows clamp it (defaults ChunkAlign
+	// and 128*ChunkAlign).
+	InitChunkRows int
+	MinChunkRows  int
+	MaxChunkRows  int
+	// TargetChunkTime is the per-chunk latency the adaptive sizing steers
+	// toward (default 5ms): chunks that finish faster grow (at most 2x per
+	// step), slower ones shrink, and a backpressure yield halves the next
+	// chunk so foreground queries get boundaries to slot into sooner.
+	TargetChunkTime time.Duration
+}
+
+// clampChunkRows clamps n to the configured bounds and aligns it down to a
+// ChunkAlign multiple.
+func (o Options) clampChunkRows(n int) int {
+	if n > o.MaxChunkRows {
+		n = o.MaxChunkRows
+	}
+	n -= n % o.ChunkAlign
+	if n < o.MinChunkRows {
+		n = o.MinChunkRows
+	}
+	return n
+}
+
+// nextChunkRows adapts the chunk size from the last chunk's observed
+// latency and backpressure: a backpressure yield halves the size; otherwise
+// the size scales toward TargetChunkTime, growing or shrinking by at most 2x
+// per step. Short final chunks (ran < cur) carry no signal and keep the
+// current size.
+func (o Options) nextChunkRows(cur, ran int, took time.Duration, backpressured bool) int {
+	next := cur
+	switch {
+	case backpressured:
+		next = cur / 2
+	case took > 0 && ran == cur:
+		scaled := int(float64(cur) * float64(o.TargetChunkTime) / float64(took))
+		if scaled > 2*cur {
+			scaled = 2 * cur
+		}
+		if scaled < cur/2 {
+			scaled = cur / 2
+		}
+		next = scaled
+	}
+	return o.clampChunkRows(next)
 }
 
 type job struct {
@@ -142,12 +207,14 @@ type job struct {
 	gen  uint64
 	body Job
 
-	state       State
-	chunksDone  int
-	chunksTotal int
-	groups      int
-	cells       int
-	bpWaits     int
+	state      State
+	rowsDone   int
+	rowsTotal  int
+	chunkRows  int // current adaptive chunk size
+	chunksDone int
+	groups     int
+	cells      int
+	bpWaits    int
 
 	enqueued time.Time
 	// elapsed accumulates per-chunk RunChunk time only — pause and
@@ -188,6 +255,25 @@ func New(opts Options) *Scheduler {
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = 200 * time.Microsecond
 	}
+	if opts.ChunkAlign <= 0 {
+		opts.ChunkAlign = 512
+	}
+	if opts.MinChunkRows <= 0 {
+		opts.MinChunkRows = opts.ChunkAlign
+	}
+	if opts.MaxChunkRows <= 0 {
+		opts.MaxChunkRows = 128 * opts.ChunkAlign
+	}
+	if opts.MaxChunkRows < opts.MinChunkRows {
+		opts.MaxChunkRows = opts.MinChunkRows
+	}
+	if opts.InitChunkRows <= 0 {
+		opts.InitChunkRows = 8 * opts.ChunkAlign
+	}
+	opts.InitChunkRows = opts.clampChunkRows(opts.InitChunkRows)
+	if opts.TargetChunkTime <= 0 {
+		opts.TargetChunkTime = 5 * time.Millisecond
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
 		opts: opts, ctx: ctx, cancel: cancel,
@@ -220,7 +306,8 @@ func (s *Scheduler) Enqueue(table, rule string, gen uint64, body Job) (id int64,
 	s.nextID++
 	j := &job{
 		id: s.nextID, table: table, rule: rule, gen: gen, body: body,
-		state: Pending, chunksTotal: body.Chunks(), enqueued: time.Now(),
+		state: Pending, rowsTotal: body.Total(),
+		chunkRows: s.opts.InitChunkRows, enqueued: time.Now(),
 	}
 	s.active[jobKey(table, rule)] = j
 	s.jobs = append(s.jobs, j)
@@ -247,13 +334,14 @@ func (s *Scheduler) Status() []Status {
 func (s *Scheduler) statusLocked(j *job) Status {
 	st := Status{
 		ID: j.id, Table: j.table, Rule: j.rule, State: j.state,
-		ChunksDone: j.chunksDone, ChunksTotal: j.chunksTotal,
+		RowsDone: j.rowsDone, RowsTotal: j.rowsTotal,
+		ChunksDone: j.chunksDone, ChunkRows: j.chunkRows,
 		GroupsCleaned: j.groups, CellsUpdated: j.cells,
 		BackpressureWaits: j.bpWaits, Enqueued: j.enqueued, Elapsed: j.elapsed,
 	}
-	if !j.state.Terminal() && j.chunksDone > 0 && j.chunksDone < j.chunksTotal {
-		perChunk := j.elapsed / time.Duration(j.chunksDone)
-		st.ETA = perChunk * time.Duration(j.chunksTotal-j.chunksDone)
+	if !j.state.Terminal() && j.rowsDone > 0 && j.rowsDone < j.rowsTotal {
+		perRow := j.elapsed / time.Duration(j.rowsDone)
+		st.ETA = perRow * time.Duration(j.rowsTotal-j.rowsDone)
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()
@@ -363,17 +451,26 @@ func (s *Scheduler) run() {
 func (s *Scheduler) runJob(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for chunk := j.chunksDone; chunk < j.chunksTotal; chunk++ {
+	// The `!done` loop always runs at least one chunk, so an empty relation
+	// still gets its (0, 0) call and the job's terminal bookkeeping fires.
+	for done := false; !done; {
+		bpBefore := j.bpWaits
 		if !s.gateLocked(j) {
 			s.finishLocked(j, Canceled, nil)
 			return
 		}
 		j.state = Running
+		lo := j.rowsDone
+		hi := lo + j.chunkRows
+		if hi > j.rowsTotal {
+			hi = j.rowsTotal
+		}
 		s.mu.Unlock()
 		t0 := time.Now()
-		res, err := j.body.RunChunk(s.ctx, chunk)
+		res, err := j.body.RunChunk(s.ctx, lo, hi)
+		took := time.Since(t0)
 		s.mu.Lock()
-		j.elapsed += time.Since(t0)
+		j.elapsed += took
 		if err != nil {
 			if errors.Is(err, ErrObsolete) || errors.Is(err, context.Canceled) {
 				s.finishLocked(j, Canceled, nil)
@@ -382,10 +479,13 @@ func (s *Scheduler) runJob(j *job) {
 			}
 			return
 		}
+		j.rowsDone = hi
 		j.chunksDone++
 		j.groups += res.Groups
 		j.cells += res.Cells
+		j.chunkRows = s.opts.nextChunkRows(j.chunkRows, hi-lo, took, j.bpWaits > bpBefore)
 		s.cond.Broadcast() // progress for Status/Wait pollers
+		done = j.rowsDone >= j.rowsTotal
 	}
 	s.finishLocked(j, Done, nil)
 }

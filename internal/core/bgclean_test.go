@@ -148,17 +148,20 @@ func TestBackgroundFullCleanConvergesToSynchronous(t *testing.T) {
 	if job.State != bgclean.Done {
 		t.Fatalf("job state = %v (%s), want done", job.State, job.Err)
 	}
-	wantChunks := (4*sweepGroups + 511) / 512
-	if job.ChunksTotal != wantChunks || job.ChunksDone != wantChunks {
-		t.Errorf("chunks = %d/%d, want %d/%d", job.ChunksDone, job.ChunksTotal, wantChunks, wantChunks)
+	if job.RowsTotal != 4*sweepGroups || job.RowsDone != job.RowsTotal {
+		t.Errorf("rows = %d/%d, want %d/%d", job.RowsDone, job.RowsTotal, 4*sweepGroups, 4*sweepGroups)
+	}
+	if job.ChunksDone < 1 {
+		t.Errorf("chunksDone = %d, want >= 1", job.ChunksDone)
 	}
 	if job.GroupsCleaned == 0 {
 		t.Error("sweep repaired no groups — the trigger should have left most dirty")
 	}
 	// One epoch per chunk, at least (the final epoch count may include the
-	// racing epochs of queries issued before the flip returned).
-	if got := s.Epoch() - epochAtFlip; got < uint64(wantChunks) {
-		t.Errorf("epochs advanced %d during sweep, want >= %d (one per chunk)", got, wantChunks)
+	// racing epochs of queries issued before the flip returned). The chunk
+	// count itself is adaptive, so the bound comes from the job's own tally.
+	if got := s.Epoch() - epochAtFlip; got < uint64(job.ChunksDone) {
+		t.Errorf("epochs advanced %d during sweep, want >= %d (one per chunk)", got, job.ChunksDone)
 	}
 	if got := s.Table("lineorder").Fingerprint(); got != want {
 		t.Errorf("quiesced background state differs from synchronous full clean\nasync:\n%.1200s\nsync:\n%.1200s", got, want)
@@ -291,15 +294,19 @@ func TestMidSweepCancellationLeavesResumableState(t *testing.T) {
 		return s, newFDSweepJob(s, "lineorder", st.ident, sweepRule(), fd, st.pt.Len())
 	}
 
-	// Resume path 1: run k chunks, "cancel", resume the remaining chunks.
+	// Resume path 1: run the first half in 512-row chunks, "cancel", resume
+	// the rest under a different (unaligned) chunking — group anchoring makes
+	// chunk scopes partition identically for any range choice.
+	const step = 512
 	s1, job1 := build()
 	defer s1.Close()
-	if job1.Chunks() < 3 {
-		t.Fatalf("chunks = %d, want >= 3 for a mid-sweep cut", job1.Chunks())
+	total := job1.Total()
+	if total < 3*step {
+		t.Fatalf("rows = %d, want >= %d for a mid-sweep cut", total, 3*step)
 	}
-	cut := job1.Chunks() / 2
-	for c := 0; c < cut; c++ {
-		if _, err := job1.RunChunk(context.Background(), c); err != nil {
+	cut := (total / step / 2) * step
+	for lo := 0; lo < cut; lo += step {
+		if _, err := job1.RunChunk(context.Background(), lo, lo+step); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -312,8 +319,12 @@ func TestMidSweepCancellationLeavesResumableState(t *testing.T) {
 	st := s1.w.current().tables["lineorder"]
 	fd, _ := sweepRule().AsFD()
 	job1b := newFDSweepJob(s1, "lineorder", st.ident, sweepRule(), fd, st.pt.Len())
-	for c := 0; c < job1b.Chunks(); c++ {
-		if _, err := job1b.RunChunk(context.Background(), c); err != nil {
+	for lo := 0; lo < job1b.Total(); lo += 700 {
+		hi := lo + 700
+		if hi > job1b.Total() {
+			hi = job1b.Total()
+		}
+		if _, err := job1b.RunChunk(context.Background(), lo, hi); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -325,8 +336,8 @@ func TestMidSweepCancellationLeavesResumableState(t *testing.T) {
 	// canceled sweep's work through the epoch bookkeeping alone.
 	s2, job2 := build()
 	defer s2.Close()
-	for c := 0; c < cut; c++ {
-		if _, err := job2.RunChunk(context.Background(), c); err != nil {
+	for lo := 0; lo < cut; lo += step {
+		if _, err := job2.RunChunk(context.Background(), lo, lo+step); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -12,15 +12,15 @@ import (
 )
 
 // fdSweepJob is the body of one background full-clean job: the §5.2.3
-// strategy switch executed asynchronously. The sweep walks the relation in
-// segment-aligned chunks; each chunk repairs the violating, still-unchecked
-// FD groups anchored in it (a group belongs to the chunk holding its first
-// member) and routes the delta through the session's single-writer apply
-// loop, publishing one copy-on-write epoch per chunk. Concurrent queries
-// ride the advancing epochs: groups a published chunk marked checked are
-// skipped by their scope pass, and a group a racing query fixes first is
-// dropped idempotently by the writer exactly as racing queries coalesce
-// among themselves.
+// strategy switch executed asynchronously. The scheduler drives the sweep as
+// adaptively sized, segment-aligned row ranges; each chunk repairs the
+// violating, still-unchecked FD groups anchored in it (a group belongs to
+// the chunk holding its first member) and routes the delta through the
+// session's single-writer apply loop, publishing one copy-on-write epoch per
+// chunk. Concurrent queries ride the advancing epochs: groups a published
+// chunk marked checked are skipped by their scope pass, and a group a racing
+// query fixes first is dropped idempotently by the writer exactly as racing
+// queries coalesce among themselves.
 //
 // Convergence: per-group fixes are pure functions of original values —
 // P(rhs|lhs) over the group's full membership, P(lhs|rhs) over the
@@ -35,31 +35,26 @@ type fdSweepJob struct {
 	rule  *dc.Constraint
 	fd    dc.FDSpec
 
-	chunkRows int
-	chunks    int
+	rows int
 }
 
 // newFDSweepJob sizes a sweep over the relation's current length (registered
-// relations never grow during serving, so the chunk count is fixed).
+// relations never grow during serving, so the row total is fixed).
 func newFDSweepJob(s *Session, table string, ident uint64, rule *dc.Constraint, fd dc.FDSpec, rows int) *fdSweepJob {
-	chunkRows := s.opts.CleanChunkSize
-	chunks := (rows + chunkRows - 1) / chunkRows
-	if chunks < 1 {
-		chunks = 1
-	}
-	return &fdSweepJob{s: s, table: table, ident: ident, rule: rule, fd: fd,
-		chunkRows: chunkRows, chunks: chunks}
+	return &fdSweepJob{s: s, table: table, ident: ident, rule: rule, fd: fd, rows: rows}
 }
 
-// Chunks implements bgclean.Job.
-func (j *fdSweepJob) Chunks() int { return j.chunks }
+// Total implements bgclean.Job.
+func (j *fdSweepJob) Total() int { return j.rows }
 
-// RunChunk implements bgclean.Job: clean the chunk's groups against the
-// latest published epoch and publish the result as one new epoch. Each chunk
-// is atomic — its delta and checked-group marks land in a single writer
-// request — which is what makes mid-sweep cancellation leave a valid,
-// resumable state.
-func (j *fdSweepJob) RunChunk(ctx context.Context, chunk int) (bgclean.ChunkResult, error) {
+// RunChunk implements bgclean.Job: clean the groups anchored in rows
+// [lo, hi) against the latest published epoch and publish the result as one
+// new epoch. Each chunk is atomic — its delta and checked-group marks land
+// in a single writer request — which is what makes mid-sweep cancellation
+// leave a valid, resumable state. Any chunking yields the same converged
+// bytes: groups anchor at their first member, so chunk scopes partition the
+// violating groups however the scheduler sizes the ranges.
+func (j *fdSweepJob) RunChunk(ctx context.Context, lo, hi int) (bgclean.ChunkResult, error) {
 	var res bgclean.ChunkResult
 	if err := ctx.Err(); err != nil {
 		return res, err
@@ -81,8 +76,6 @@ func (j *fdSweepJob) RunChunk(ctx context.Context, chunk int) (bgclean.ChunkResu
 	}
 
 	checked := st.checkedGroups[j.rule.Name]
-	lo := chunk * j.chunkRows
-	hi := lo + j.chunkRows
 	scope, keys := idx.violatingScopeIn(lo, hi, func(k value.MapKey) bool { return checked[k] })
 
 	req := &applyReq{table: j.table, rule: j.rule.Name, isFD: true, ident: j.ident}
@@ -93,14 +86,14 @@ func (j *fdSweepJob) RunChunk(ctx context.Context, chunk int) (bgclean.ChunkResu
 		// clean of the same groups.
 		support := idx.relax(scope, false, &m)
 		base := st.pt
-		view := detect.PTableView{P: base}
+		view := detect.NewPTableView(base)
 		delta := repair.FD(view, scope, support, j.fd, view.P.Schema.MustIndex, &m)
 		applied, updated := base.ApplyCOW(delta)
 		m.Updates += int64(updated)
 		req.delta, req.base, req.applied, req.groups = delta, base, applied, keys
 		res.Groups, res.Cells = len(keys), updated
 	}
-	if chunk == j.chunks-1 && st.cost != nil {
+	if hi >= j.rows && st.cost != nil {
 		// The sweep quiesces with this chunk: record the switch so the cost
 		// model charges subsequent queries only query cost (§5.2.3).
 		req.markSwitched = true
@@ -130,6 +123,35 @@ func (s *Session) enqueueSweep(table string, ident uint64, rule *dc.Constraint, 
 	}
 	job := newFDSweepJob(s, table, ident, rule, fd, st.pt.Len())
 	s.bg.Enqueue(table, rule.Name, ident, job)
+}
+
+// CleanInBackground schedules a background full-clean sweep of one FD rule
+// over one registered relation without waiting for the §5.2.3 cost
+// inequality to flip — the experimental hook direct sweep measurements (e.g.
+// the segment-skip benchmark) use. It reports whether a sweep is now live
+// for (table, rule); a live job for the same registration dedups, so calling
+// it under an already-running sweep joins that sweep. Only FD rules sweep in
+// the background: an unknown table, unknown rule, or general DC returns
+// false. Track the sweep through CleaningStatus / WaitCleaning.
+func (s *Session) CleanInBackground(table, rule string) bool {
+	snap := s.w.current()
+	st, ok := snap.tables[table]
+	if !ok {
+		return false
+	}
+	for _, r := range snap.rules {
+		if r.Name != rule || (r.Table != "" && r.Table != table) {
+			continue
+		}
+		fd, isFD := r.AsFD()
+		if !isFD {
+			return false
+		}
+		job := newFDSweepJob(s, table, st.ident, r, fd, st.pt.Len())
+		id, _ := s.bg.Enqueue(table, rule, st.ident, job)
+		return id != 0
+	}
+	return false
 }
 
 var _ bgclean.Job = (*fdSweepJob)(nil)

@@ -116,7 +116,7 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 	consult = append(consult, support...)
 
 	base := qc.pt(tableName)
-	view := detect.PTableView{P: base}
+	view := detect.NewPTableView(base)
 	delta := repair.FD(view, fix, consult, fd, view.P.Schema.MustIndex, m)
 	if err := qc.ctxErr(); err != nil {
 		// The repair was computed but never applied anywhere: drop it.
@@ -209,7 +209,7 @@ func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Const
 			return err
 		}
 		base := qc.pt(tableName)
-		view := detect.PTableView{P: base}
+		view := detect.NewPTableView(base)
 		d := repair.FD(view, scope, support, fd, view.P.Schema.MustIndex, m)
 		if err := qc.ctxErr(); err != nil {
 			return err
@@ -291,7 +291,7 @@ func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constrain
 		// query from its own epoch; the writer will drop the write-back.
 		latest = st
 	}
-	view := detect.PTableView{P: qc.pt(tableName)}
+	view := detect.NewPTableView(qc.pt(tableName))
 	checked := latest.checkedTuples[rule.Name]
 
 	// Algorithm 2: estimate result dirtiness from precomputed range overlap.

@@ -390,7 +390,7 @@ func applyOne(next *snapshot, cloned map[string]bool, req *applyReq, marks *batc
 		// Index maintenance: cleaning deltas preserve original values, so
 		// this verifies (read-only) rather than re-keys — safe while
 		// concurrent snapshot readers share the indexes.
-		view := detect.PTableView{P: st.pt}
+		view := detect.NewPTableView(st.pt)
 		for _, ix := range st.fdIdx {
 			ix.ApplyDelta(view, req.delta)
 		}

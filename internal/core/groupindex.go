@@ -34,6 +34,15 @@ type fdIndex struct {
 	// order lists group keys in first-appearance (row) order so full-clean
 	// scope collection stays deterministic without sorting.
 	order []value.MapKey
+	// vioSeg counts, per storage segment, the violating-group anchor rows
+	// (first members) whose position falls in that segment. Violation status
+	// is a pure function of original values, which cleaning deltas never
+	// rewrite, so the counts are static under the query path and shared
+	// read-only across epochs like the rest of the index; violatingScopeIn
+	// skips zero-count segments wholesale instead of probing every row.
+	// Rebuilt by extend, adjusted incrementally by rekey (single-threaded
+	// maintenance only, like rekey itself).
+	vioSeg []int32
 }
 
 // fdGroup is one lhs cluster: member row positions and the count of members
@@ -47,7 +56,9 @@ type fdGroup struct {
 func (g *fdGroup) violating() bool { return len(g.rhs) > 1 }
 
 func newFDIndex(pt *ptable.PTable, fd dc.FDSpec) *fdIndex {
-	view := detect.PTableView{P: pt}
+	// The build scan is single-threaded (session writer), so the view can be
+	// cursor-backed: one positional decode per row instead of one per cell.
+	view := detect.NewPTableView(pt)
 	ix := &fdIndex{fd: fd, cols: detect.CompileFD(view, fd),
 		groups: make(map[value.MapKey]*fdGroup), rhsRows: make(map[value.MapKey][]int)}
 	ix.extend(view)
@@ -66,6 +77,32 @@ func (ix *fdIndex) extend(view detect.RowView) {
 		ix.rowRHS = append(ix.rowRHS, rhs)
 		ix.link(i, key, rhs)
 	}
+	// Appended rows can flip existing groups to violating (a second distinct
+	// rhs arrives), so rebuild the per-segment anchor counts wholesale —
+	// O(groups), and extend runs only at build time and on explicit appends.
+	ix.rebuildVioSeg()
+}
+
+// rebuildVioSeg recomputes the per-segment violating-anchor counts.
+func (ix *fdIndex) rebuildVioSeg() {
+	ix.vioSeg = make([]int32, (len(ix.rowKey)+ptable.SegmentSize-1)/ptable.SegmentSize)
+	for _, g := range ix.groups {
+		if len(g.members) > 0 && g.violating() {
+			ix.vioSeg[ptable.SegOf(g.members[0])]++
+		}
+	}
+}
+
+// anchorDelta adds d to the segment count of key's group anchor, if the
+// group currently counts (non-empty and violating). rekey brackets its
+// mutations with a -1/+1 pair per affected group so the counts track anchor
+// moves and violation flips exactly.
+func (ix *fdIndex) anchorDelta(key value.MapKey, d int32) {
+	g, ok := ix.groups[key]
+	if !ok || len(g.members) == 0 || !g.violating() {
+		return
+	}
+	ix.vioSeg[ptable.SegOf(g.members[0])] += d
 }
 
 func (ix *fdIndex) link(i int, key, rhs value.MapKey) {
@@ -87,12 +124,15 @@ func (ix *fdIndex) link(i int, key, rhs value.MapKey) {
 // snapshot readers share the index. It still re-keys faithfully if a caller
 // rewrites provenance out-of-band (single-threaded maintenance only).
 func (ix *fdIndex) ApplyDelta(view detect.PTableView, d *ptable.Delta) {
+	// Box the two-word view into the interface once, not once per rekeyed
+	// row — per-call conversion shows up as an allocation per touched tuple.
+	rv := detect.RowView(view)
 	for id := range d.Cells {
 		pos, ok := view.P.Pos(id)
 		if !ok || pos >= len(ix.rowKey) {
 			continue
 		}
-		ix.rekey(view, pos)
+		ix.rekey(rv, pos)
 	}
 }
 
@@ -103,6 +143,12 @@ func (ix *fdIndex) rekey(view detect.RowView, pos int) {
 	oldKey, oldRHS := ix.rowKey[pos], ix.rowRHS[pos]
 	if newKey == oldKey && newRHS == oldRHS {
 		return
+	}
+	// Retract both affected groups' anchor contributions before mutating;
+	// re-added (under their new anchors and violation status) at the end.
+	ix.anchorDelta(oldKey, -1)
+	if newKey != oldKey {
+		ix.anchorDelta(newKey, -1)
 	}
 	if g, ok := ix.groups[oldKey]; ok {
 		g.members = removeRow(g.members, pos)
@@ -129,6 +175,10 @@ func (ix *fdIndex) rekey(view detect.RowView, pos int) {
 	}
 	if rows := ix.rhsRows[newRHS]; len(rows) > 1 {
 		sort.Ints(rows)
+	}
+	ix.anchorDelta(oldKey, 1)
+	if newKey != oldKey {
+		ix.anchorDelta(newKey, 1)
 	}
 }
 
@@ -179,8 +229,46 @@ func (ix *fdIndex) violatingScope(checked func(value.MapKey) bool) []int {
 // member position assigns each group to exactly one chunk, so the union over
 // a sweep's chunks equals violatingScope at the same checked set, and groups
 // whole-sale membership keeps per-group fixes byte-identical to a monolithic
-// clean. Read-only over the index; safe for concurrent snapshot readers.
+// clean. Storage segments whose maintained vioSeg count is zero hold no
+// violating-group anchors at all and are skipped wholesale — on a mostly
+// clean relation the scan touches only the dirty segments' rows. Skipping is
+// valid for any [lo, hi): a zero count means no anchor anywhere in the
+// segment, including a partial overlap. Read-only over the index; safe for
+// concurrent snapshot readers.
 func (ix *fdIndex) violatingScopeIn(lo, hi int, checked func(value.MapKey) bool) (scope []int, keys []value.MapKey) {
+	if hi > len(ix.rowKey) {
+		hi = len(ix.rowKey)
+	}
+	for r := lo; r < hi; {
+		s := ptable.SegOf(r)
+		if ix.vioSeg[s] == 0 {
+			r = (s + 1) * ptable.SegmentSize
+			continue
+		}
+		segEnd := (s + 1) * ptable.SegmentSize
+		if segEnd > hi {
+			segEnd = hi
+		}
+		for ; r < segEnd; r++ {
+			key := ix.rowKey[r]
+			g := ix.groups[key]
+			if g == nil || len(g.members) == 0 || g.members[0] != r {
+				continue // not this group's anchor row
+			}
+			if !g.violating() || checked(key) {
+				continue
+			}
+			keys = append(keys, key)
+			scope = append(scope, g.members...)
+		}
+	}
+	return scope, keys
+}
+
+// violatingScopeScanIn is the exhaustive per-row reference implementation of
+// violatingScopeIn, kept as the differential oracle the property tests and
+// the dirty-fraction benchmark compare the segment-skip path against.
+func (ix *fdIndex) violatingScopeScanIn(lo, hi int, checked func(value.MapKey) bool) (scope []int, keys []value.MapKey) {
 	if hi > len(ix.rowKey) {
 		hi = len(ix.rowKey)
 	}

@@ -69,6 +69,22 @@ func assertIndexMatchesGroupBy(t *testing.T, ix *fdIndex, pt *ptable.PTable, fd 
 			t.Errorf("row %d cached key mismatch", i)
 		}
 	}
+	assertVioSegConsistent(t, ix)
+}
+
+// assertVioSegConsistent recomputes the per-segment violating-anchor counts
+// from the group map and compares them to the incrementally maintained ones.
+func assertVioSegConsistent(t *testing.T, ix *fdIndex) {
+	t.Helper()
+	want := make([]int32, (len(ix.rowKey)+ptable.SegmentSize-1)/ptable.SegmentSize)
+	for _, g := range ix.groups {
+		if len(g.members) > 0 && g.violating() {
+			want[ptable.SegOf(g.members[0])]++
+		}
+	}
+	if !reflect.DeepEqual(ix.vioSeg, want) {
+		t.Errorf("vioSeg = %v, want recomputed %v", ix.vioSeg, want)
+	}
 }
 
 func TestFDIndexMatchesGroupBy(t *testing.T) {

@@ -221,8 +221,11 @@ func (qc *queryCtx) CleanSelect(tableName string, rows []int, pred expr.Pred, ru
 		return pt, current, nil
 	}
 	var out []int
-	// One closure over a mutable row, with column resolution memoized.
+	// One closure over a mutable row, with column resolution memoized and
+	// rows read through a segment-caching cursor (current is ascending, so
+	// the positional decode amortizes across each segment).
 	row := 0
+	cur := pt.Cursor()
 	colIdx := make(map[string]int, 2)
 	cellOf := func(ref expr.ColRef) *uncertain.Cell {
 		idx, ok := colIdx[ref.Col]
@@ -230,7 +233,7 @@ func (qc *queryCtx) CleanSelect(tableName string, rows []int, pred expr.Pred, ru
 			idx = pt.Schema.MustIndex(ref.Col)
 			colIdx[ref.Col] = idx
 		}
-		return &pt.At(row).Cells[idx]
+		return &cur.At(row).Cells[idx]
 	}
 	for _, r := range current {
 		row = r

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"daisy/internal/bgclean"
+	"daisy/internal/dc"
+	"daisy/internal/detect"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+)
+
+// randSkipFixture builds a relation with sparse violations — most lhs groups
+// certain, so whole storage segments carry no violating anchors and the
+// segment-skip fast path actually exercises its skip branch.
+func randSkipFixture(rng *rand.Rand, rows, groups int) (*ptable.PTable, dc.FDSpec) {
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	tb := table.New("cities", sch)
+	cities := []string{"LA", "SF", "NY", "CHI"}
+	for i := 0; i < rows; i++ {
+		zip := int64(rng.Intn(groups))
+		city := cities[0]
+		if rng.Intn(16) == 0 {
+			city = cities[1+rng.Intn(3)]
+		}
+		tb.MustAppend(table.Row{value.NewInt(zip), value.NewString(city)})
+	}
+	spec, _ := dc.FD("phi", "cities", "city", "zip").AsFD()
+	return ptable.FromTable(tb), spec
+}
+
+func sameScope(gotScope []int, gotKeys []value.MapKey, wantScope []int, wantKeys []value.MapKey) bool {
+	if len(gotScope) != len(wantScope) || len(gotKeys) != len(wantKeys) {
+		return false
+	}
+	for i := range wantScope {
+		if gotScope[i] != wantScope[i] {
+			return false
+		}
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestViolatingScopeSegmentSkipMatchesScan is the seeded differential oracle
+// for the segment-skip scan: on random relations, checked sets, and
+// sub-ranges, violatingScopeIn must return exactly what the exhaustive
+// per-row reference returns — including with a checked set that grows
+// between chunks (the stale-counter adversarial case: a segment's groups all
+// transition dirty→clean mid-sweep while its anchor counter stays nonzero)
+// and after provenance rekeys move anchors between segments.
+func TestViolatingScopeSegmentSkipMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		rows := 1 + rng.Intn(4*ptable.SegmentSize)
+		groups := 1 + rng.Intn(rows)
+		pt, fd := randSkipFixture(rng, rows, groups)
+		ix := newFDIndex(pt, fd)
+
+		// Fixed random checked subset, random sub-ranges (hi may overshoot n).
+		checkedSet := make(map[value.MapKey]bool)
+		for _, key := range ix.order {
+			if rng.Intn(3) == 0 {
+				checkedSet[key] = true
+			}
+		}
+		checked := func(k value.MapKey) bool { return checkedSet[k] }
+		for i := 0; i < 16; i++ {
+			lo := rng.Intn(rows + 1)
+			hi := lo + rng.Intn(rows+ptable.SegmentSize-lo)
+			gs, gk := ix.violatingScopeIn(lo, hi, checked)
+			ws, wk := ix.violatingScopeScanIn(lo, hi, checked)
+			if !sameScope(gs, gk, ws, wk) {
+				t.Fatalf("trial %d [%d,%d): skip scope %v/%v != scan scope %v/%v", trial, lo, hi, gs, gk, ws, wk)
+			}
+		}
+
+		// Chunked sweep with a checked set that grows between chunks: after
+		// each chunk, mark a random half of its groups (and some random other
+		// groups — segments ahead of the sweep going fully clean) as checked.
+		// Skip and scan must agree chunk by chunk, and the union over chunks
+		// must equal the full-range scan at the same checked sequence.
+		adversarial := make(map[value.MapKey]bool)
+		advChecked := func(k value.MapKey) bool { return adversarial[k] }
+		var unionSkip, unionScan []int
+		for lo := 0; lo < rows; {
+			hi := lo + 1 + rng.Intn(2*ptable.SegmentSize)
+			if hi > rows {
+				hi = rows
+			}
+			gs, gk := ix.violatingScopeIn(lo, hi, advChecked)
+			ws, wk := ix.violatingScopeScanIn(lo, hi, advChecked)
+			if !sameScope(gs, gk, ws, wk) {
+				t.Fatalf("trial %d adversarial [%d,%d): skip %v/%v != scan %v/%v", trial, lo, hi, gs, gk, ws, wk)
+			}
+			unionSkip = append(unionSkip, gs...)
+			unionScan = append(unionScan, ws...)
+			for _, k := range gk {
+				if rng.Intn(2) == 0 {
+					adversarial[k] = true
+				}
+			}
+			for _, key := range ix.order {
+				if rng.Intn(8) == 0 {
+					adversarial[key] = true
+				}
+			}
+			lo = hi
+		}
+		if !reflect.DeepEqual(unionSkip, unionScan) {
+			t.Fatalf("trial %d: chunk unions diverge", trial)
+		}
+
+		// Provenance rekeys move anchors across segments and flip violation
+		// status; the maintained counters must keep the fast path exact.
+		for m := 0; m < 8; m++ {
+			pos := rng.Intn(rows)
+			d := ptable.NewDelta("cities")
+			d.Set(int64(pos), 0, uncertain.Cell{Orig: value.NewInt(int64(rng.Intn(groups)))})
+			pt.Apply(d)
+			ix.ApplyDelta(detect.PTableView{P: pt}, d)
+		}
+		gs, gk := ix.violatingScopeIn(0, rows, checked)
+		ws, wk := ix.violatingScopeScanIn(0, rows, checked)
+		if !sameScope(gs, gk, ws, wk) {
+			t.Fatalf("trial %d post-rekey: skip %v/%v != scan %v/%v", trial, gs, gk, ws, wk)
+		}
+		// And against the order-driven full scope as a set.
+		full := ix.violatingScope(checked)
+		sortedGot := append([]int(nil), gs...)
+		sortedWant := append([]int(nil), full...)
+		sort.Ints(sortedGot)
+		sort.Ints(sortedWant)
+		if !reflect.DeepEqual(sortedGot, sortedWant) {
+			t.Fatalf("trial %d post-rekey: skip set %v != violatingScope set %v", trial, sortedGot, sortedWant)
+		}
+	}
+}
+
+// TestSegmentSkipSweepConvergesByteIdentical is the adversarial end-to-end
+// case: after the switch flips, the sweep is paused and incremental queries
+// clean every remaining group first — so by resume time whole segments have
+// transitioned dirty→clean while their anchor counters (which track
+// violations, not checked state) stay nonzero. The resumed sweep must walk
+// its remaining rows finding nothing to do and the quiesced state must be
+// byte-identical to the pure-incremental reference. Run under -race in CI.
+func TestSegmentSkipSweepConvergesByteIdentical(t *testing.T) {
+	ref := newSweepSession(t, Options{Strategy: StrategyIncremental, DisableStatsPruning: true}, sweepGroups, sweepDirtyGroups)
+	defer ref.Close()
+	if _, err := ref.Query("SELECT orderkey, suppkey FROM lineorder WHERE orderkey >= 0"); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Table("lineorder").Fingerprint()
+
+	s := newSweepSession(t, sweepOpts(), sweepGroups, sweepDirtyGroups)
+	defer s.Close()
+	queries := sweepQueries(sweepGroups, sweepRangeGroups)
+	flip, strategy := runUntilFlip(t, s, queries)
+	if flip < 0 || strategy != "background" {
+		t.Fatalf("workload did not flip to background (flip=%d strategy=%q)", flip, strategy)
+	}
+	// Hold the sweep (best effort — fast chunks may already have run) and
+	// clean everything it would have swept through the incremental path.
+	paused := s.PauseCleaning("lineorder", "phi")
+	for _, q := range queries {
+		rows, err := s.QueryContext(context.Background(), q, WithStrategy(StrategyIncremental))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows.Close()
+	}
+	if paused {
+		s.ResumeCleaning("lineorder", "phi")
+	}
+	if err := s.WaitCleaning(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range s.CleaningStatus() {
+		if job.State != bgclean.Done {
+			t.Fatalf("job state = %v (%s), want done", job.State, job.Err)
+		}
+		if job.RowsDone != job.RowsTotal {
+			t.Errorf("job rows = %d/%d, want full sweep", job.RowsDone, job.RowsTotal)
+		}
+	}
+	if got := s.Table("lineorder").Fingerprint(); got != want {
+		t.Error("segment-skip sweep state differs from incremental reference bytes")
+	}
+	// Post-quiesce queries skip outright.
+	res, err := s.Query(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Decisions {
+		if d.Strategy != "skip" {
+			t.Errorf("post-quiesce decision = %q, want skip", d.Strategy)
+		}
+	}
+}

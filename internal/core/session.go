@@ -92,10 +92,12 @@ type Options struct {
 	// synchronous reference the background convergence tests compare
 	// against.
 	DisableBackgroundClean bool
-	// CleanChunkSize is the number of rows a background full-clean job
-	// sweeps (and publishes as one copy-on-write epoch) per chunk. Rounded
-	// up to a multiple of ptable.SegmentSize so chunk clones align with
-	// storage segments; default 4096 (8 segments).
+	// CleanChunkSize seeds the number of rows a background full-clean job
+	// sweeps (and publishes as one copy-on-write epoch) per chunk; the
+	// scheduler then adapts the size per chunk from observed latency and
+	// writer backpressure (see bgclean.Options). Rounded up to a multiple
+	// of ptable.SegmentSize so chunk clones align with storage segments;
+	// default 4096 (8 segments).
 	CleanChunkSize int
 }
 
@@ -163,7 +165,11 @@ func NewSession(opts Options) *Session {
 	w := s.w
 	// Background sweeps yield to foreground traffic: the runner waits
 	// between chunks while query write-backs are queued on the writer.
-	bg := bgclean.New(bgclean.Options{Backpressure: func() bool { return w.depth() > 0 }})
+	bg := bgclean.New(bgclean.Options{
+		Backpressure:  func() bool { return w.depth() > 0 },
+		ChunkAlign:    ptable.SegmentSize,
+		InitChunkRows: opts.CleanChunkSize,
+	})
 	s.bg = bg
 	if opts.MaxConcurrentQueries > 0 {
 		s.sem = make(chan struct{}, opts.MaxConcurrentQueries)

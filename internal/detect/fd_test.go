@@ -125,7 +125,7 @@ func TestPTableViewUsesOriginals(t *testing.T) {
 		},
 	})
 	p.Apply(d)
-	v := PTableView{p}
+	v := PTableView{P: p}
 	if v.Value(1, "city").Str() != "San Francisco" {
 		t.Errorf("PTableView must read originals, got %v", v.Value(1, "city"))
 	}

@@ -47,27 +47,65 @@ func (v TableView) ColIndex(col string) int { return v.T.Schema.Index(col) }
 // ValueAt implements RowView.
 func (v TableView) ValueAt(i, idx int) value.Value { return v.T.Rows[i][idx] }
 
+// ScanCol implements ColScanner; deterministic rows are already flat.
+func (v TableView) ScanCol(dst []value.Value, idx, lo, hi int) []value.Value {
+	for _, row := range v.T.Rows[lo:hi] {
+		dst = append(dst, row[idx])
+	}
+	return dst
+}
+
 // PTableView adapts a probabilistic table. Detection sees each cell's
 // original (provenance) value: rules are always checked against original
 // data and merged into the probabilistic state afterwards (§4.3).
-type PTableView struct{ P *ptable.PTable }
+type PTableView struct {
+	P *ptable.PTable
+	// cur, when set (NewPTableView), caches the storage segment of the last
+	// accessed row so a scan pays one positional decode per segment run, not
+	// one per cell. Cursor-backed views are confined to a single goroutine;
+	// the zero-cursor composite literal PTableView{P: p} stays safe to share
+	// across workers.
+	cur *ptable.Cursor
+}
+
+// NewPTableView returns a cursor-backed view for single-goroutine scans:
+// positional reads go through a private segment-caching cursor. Views shared
+// across goroutines must use the plain composite literal PTableView{P: p}
+// instead — the cursor is mutable state.
+func NewPTableView(p *ptable.PTable) PTableView {
+	c := p.Cursor()
+	return PTableView{P: p, cur: &c}
+}
+
+func (v PTableView) at(i int) *ptable.Tuple {
+	if v.cur != nil {
+		return v.cur.At(i)
+	}
+	return v.P.At(i)
+}
 
 // Len implements RowView.
 func (v PTableView) Len() int { return v.P.Len() }
 
 // ID implements RowView.
-func (v PTableView) ID(i int) int64 { return v.P.At(i).ID }
+func (v PTableView) ID(i int) int64 { return v.at(i).ID }
 
 // Value implements RowView.
 func (v PTableView) Value(i int, col string) value.Value {
-	return v.P.At(i).Cells[v.P.Schema.MustIndex(col)].Orig
+	return v.at(i).Cells[v.P.Schema.MustIndex(col)].Orig
 }
 
 // ColIndex implements RowView.
 func (v PTableView) ColIndex(col string) int { return v.P.Schema.Index(col) }
 
 // ValueAt implements RowView.
-func (v PTableView) ValueAt(i, idx int) value.Value { return v.P.At(i).Cells[idx].Orig }
+func (v PTableView) ValueAt(i, idx int) value.Value { return v.at(i).Cells[idx].Orig }
+
+// ScanCol implements ColScanner: original values of one column over [lo, hi)
+// are extracted in segment-sized runs straight off the storage blocks.
+func (v PTableView) ScanCol(dst []value.Value, idx, lo, hi int) []value.Value {
+	return v.P.ScanColOrig(dst, idx, lo, hi)
+}
 
 // PosOf resolves a tuple ID back to its row position (implements the
 // optional position-resolver interface relaxation and repair consult
@@ -99,6 +137,15 @@ func (v SubsetView) ValueAt(i, idx int) value.Value { return v.Base.ValueAt(v.Id
 // positions; PTableView implements it via the relation's ID index.
 type PosResolver interface {
 	PosOf(id int64) (int, bool)
+}
+
+// ColScanner is the optional batch column-extraction fast path: views backed
+// by segmented storage copy one column's values for rows [lo, hi) in
+// segment-sized runs instead of a positional decode per cell. Detection
+// passes that project a couple of columns out of a wide schema (theta-join
+// axis builds, FD key scans) test for it before falling back to ValueAt.
+type ColScanner interface {
+	ScanCol(dst []value.Value, idx, lo, hi int) []value.Value
 }
 
 // PosIndex returns a position-lookup function for the view: the view's own

@@ -97,12 +97,22 @@ func (f *Frame) Materialize() *ptable.PTable {
 	out := ptable.New("result", f.PT.Schema)
 	out.Reserve(len(f.Rows))
 	tuples := make([]ptable.Tuple, len(f.Rows))
+	srcIDs := make([]int64, len(f.Rows))
+	srcName := ""
+	cur := f.PT.Cursor()
 	for ti, r := range f.Rows {
-		src := f.PT.At(r)
-		// LineageOf reconstructs the self-lineage flyweight of base tuples;
-		// the result relation has its own name, so nil cannot pass through.
-		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: src.Cells, Lineage: f.PT.LineageOf(r)}
+		src := cur.At(r)
+		// Base tuples keep the nil lineage flyweight; the result relation
+		// records one redirected (source, id) pair per row instead of
+		// materializing a map per tuple. Join tuples carry their own maps.
+		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: src.Cells, Lineage: src.Lineage}
+		if src.Lineage == nil {
+			srcName, srcIDs[ti] = f.PT.LineageRef(src)
+		}
 		out.Append(&tuples[ti])
+	}
+	if srcName != "" {
+		out.SetLineageSource(srcName, srcIDs)
 	}
 	return out
 }
@@ -185,22 +195,26 @@ func (e *Executor) parallelism(n int) int {
 // sequentially.
 const parallelThreshold = 2048
 
-// chunkBounds splits n items into w contiguous chunks and returns the chunk
-// boundaries (len w+1). When every chunk spans at least one full segment,
-// interior boundaries round down to PTable segment multiples so chunks over
-// base scans (where row position equals row-set index) touch disjoint
-// segment sets — workers then never interleave reads within one segment's
-// tuple block. The width guard keeps rounding from collapsing chunks (each
-// boundary moves by less than one chunk width, so chunks stay non-empty and
-// balanced within a segment), and since chunks still concatenate in order
-// the merged output is byte-identical to the sequential scan.
+// chunkBounds splits n items into at most w contiguous chunks whose interior
+// boundaries are PTable segment multiples: parallel tasks are segment
+// ranges, so chunks over base scans (where row position equals row-set
+// index) touch disjoint segment sets and workers never interleave reads
+// within one segment's tuple block — and per-chunk cursors reload the
+// segment directory exactly once per segment. Distributing whole segments
+// (i*segs/w) keeps chunks balanced to within one segment; fewer segments
+// than workers simply yields fewer chunks (runChunks caps its pool at the
+// chunk count). Chunks concatenate in order, so the merged output is
+// byte-identical to the sequential scan for every worker count.
 func chunkBounds(n, w int) []int {
-	alignSegments := n/w >= ptable.SegmentSize
+	segs := (n + ptable.SegmentSize - 1) / ptable.SegmentSize
+	if w > segs {
+		w = segs
+	}
 	bounds := make([]int, w+1)
 	for i := 0; i <= w; i++ {
-		b := i * n / w
-		if i != 0 && i != w && alignSegments {
-			b &^= ptable.SegmentSize - 1
+		b := (i * segs / w) * ptable.SegmentSize
+		if b > n {
+			b = n
 		}
 		bounds[i] = b
 	}
@@ -303,10 +317,15 @@ func resolveRef(s *schema.Schema, ref expr.ColRef) int {
 }
 
 // cellGetter returns a cell accessor for the frame that memoizes column
-// resolution: each distinct reference pays the name lookup (and the
-// qualified-name concatenation) once, not once per cell.
+// resolution — each distinct reference pays the name lookup (and the
+// qualified-name concatenation) once, not once per cell — and reads rows
+// through a private segment-caching cursor, so a chunk scan decodes the
+// segment directory once per segment instead of once per cell. The getter is
+// single-goroutine state (cursor and memo map alike); parallel operators
+// create one per chunk.
 func (e *Executor) cellGetter(f *frame) func(row int, ref expr.ColRef) *uncertain.Cell {
 	s := f.pt.Schema
+	cur := f.pt.Cursor()
 	cache := make(map[expr.ColRef]int, 4)
 	return func(row int, ref expr.ColRef) *uncertain.Cell {
 		idx, ok := cache[ref]
@@ -317,7 +336,7 @@ func (e *Executor) cellGetter(f *frame) func(row int, ref expr.ColRef) *uncertai
 			}
 			cache[ref] = idx
 		}
-		return &f.pt.At(row).Cells[idx]
+		return &cur.At(row).Cells[idx]
 	}
 }
 
@@ -387,16 +406,20 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 	tuples := make([]ptable.Tuple, len(matches))
 	if w := e.parallelism(len(matches)); w > 1 {
 		runChunks(e.Ctx, chunkBounds(len(matches), w), w, func(ci, lo, hi int) {
+			// Per-chunk cursors: match rows arrive in near-ascending left
+			// order, so the segment cache amortizes the positional decodes.
+			lcur, rcur := lf.pt.Cursor(), rf.pt.Cursor()
 			for i := lo; i < hi; i++ {
-				fillJoinTuple(&tuples[i], int64(i), lf.pt, matches[i].l, rf.pt, matches[i].r)
+				fillJoinTuple(&tuples[i], int64(i), lf.pt, lcur.At(matches[i].l), rf.pt, rcur.At(matches[i].r))
 			}
 		})
 		if err := e.ctxErr(); err != nil {
 			return nil, err
 		}
 	} else {
+		lcur, rcur := lf.pt.Cursor(), rf.pt.Cursor()
 		for i, mt := range matches {
-			fillJoinTuple(&tuples[i], int64(i), lf.pt, mt.l, rf.pt, mt.r)
+			fillJoinTuple(&tuples[i], int64(i), lf.pt, lcur.At(mt.l), rf.pt, rcur.At(mt.r))
 		}
 	}
 	for i := range tuples {
@@ -505,8 +528,7 @@ func (e *Executor) probeChunk(lf *frame, ref expr.ColRef, build map[value.MapKey
 	return out
 }
 
-func fillJoinTuple(t *ptable.Tuple, id int64, lpt *ptable.PTable, li int, rpt *ptable.PTable, ri int) {
-	l, r := lpt.At(li), rpt.At(ri)
+func fillJoinTuple(t *ptable.Tuple, id int64, lpt *ptable.PTable, l *ptable.Tuple, rpt *ptable.PTable, r *ptable.Tuple) {
 	t.ID = id
 	t.Lineage = make(map[string][]int64)
 	t.Cells = make([]uncertain.Cell, 0, len(l.Cells)+len(r.Cells))
@@ -520,7 +542,8 @@ func fillJoinTuple(t *ptable.Tuple, id int64, lpt *ptable.PTable, li int, rpt *p
 // self-lineage flyweight of base tuples without materializing a map.
 func appendLineage(dst map[string][]int64, pt *ptable.PTable, t *ptable.Tuple) {
 	if t.Lineage == nil {
-		dst[pt.Name] = append(dst[pt.Name], t.ID)
+		name, id := pt.LineageRef(t)
+		dst[name] = append(dst[name], id)
 		return
 	}
 	for k, v := range t.Lineage {
@@ -723,14 +746,26 @@ func (e *Executor) execProject(node *plan.Project) (*frame, error) {
 	out.Reserve(len(f.rows))
 	tuples := make([]ptable.Tuple, len(f.rows))
 	cells := make([]uncertain.Cell, len(f.rows)*len(idxs))
+	srcIDs := make([]int64, len(f.rows))
+	srcName := ""
+	cur := f.pt.Cursor()
 	for ti, r := range f.rows {
-		src := f.pt.At(r)
+		src := cur.At(r)
 		tc := cells[ti*len(idxs) : (ti+1)*len(idxs) : (ti+1)*len(idxs)]
 		for i, idx := range idxs {
 			tc[i] = src.Cells[idx]
 		}
-		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: tc, Lineage: f.pt.LineageOf(r)}
+		// Base tuples keep the nil lineage flyweight — the projection
+		// records one redirected (source, id) pair per row instead of a map
+		// per tuple. Join tuples pass their explicit maps through by pointer.
+		tuples[ti] = ptable.Tuple{ID: int64(ti), Cells: tc, Lineage: src.Lineage}
+		if src.Lineage == nil {
+			srcName, srcIDs[ti] = f.pt.LineageRef(src)
+		}
 		out.Append(&tuples[ti])
+	}
+	if srcName != "" {
+		out.SetLineageSource(srcName, srcIDs)
 	}
 	return &frame{pt: out, rows: seq(out.Len())}, nil
 }

@@ -69,6 +69,65 @@ func TestParallelHashJoinDeterministic(t *testing.T) {
 	}
 }
 
+// TestChunkBoundsSegmentGranular pins the chunking invariants every parallel
+// operator relies on: bounds cover [0, n] exactly, never decrease, interior
+// boundaries are segment multiples (tasks are segment ranges), and the chunk
+// count never exceeds the requested workers. Near-threshold sizes — where
+// the deleted ">=1 segment per chunk" special case used to switch alignment
+// off — get the same treatment as everything else.
+func TestChunkBoundsSegmentGranular(t *testing.T) {
+	seg := ptable.SegmentSize
+	for _, tc := range []struct{ n, w int }{
+		{parallelThreshold, 2}, {parallelThreshold, 8}, {parallelThreshold, 16},
+		{parallelThreshold + 1, 8}, {parallelThreshold - 1, 7},
+		{2*seg + 1, 8}, {seg, 4}, {seg + 1, 4}, {3 * seg, 3},
+		{4*seg + 13, 16}, {1 << 16, 5}, {(1 << 16) + 511, 12},
+	} {
+		bounds := chunkBounds(tc.n, tc.w)
+		if len(bounds)-1 > tc.w {
+			t.Errorf("chunkBounds(%d,%d): %d chunks > %d workers", tc.n, tc.w, len(bounds)-1, tc.w)
+		}
+		if bounds[0] != 0 || bounds[len(bounds)-1] != tc.n {
+			t.Fatalf("chunkBounds(%d,%d) = %v: must cover [0,n]", tc.n, tc.w, bounds)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				t.Fatalf("chunkBounds(%d,%d) = %v: decreasing", tc.n, tc.w, bounds)
+			}
+			if i < len(bounds)-1 && bounds[i]%seg != 0 {
+				t.Errorf("chunkBounds(%d,%d) = %v: interior boundary %d not segment-aligned", tc.n, tc.w, bounds, bounds[i])
+			}
+			if i < len(bounds)-1 && bounds[i] == bounds[i-1] {
+				t.Errorf("chunkBounds(%d,%d) = %v: empty interior chunk", tc.n, tc.w, bounds)
+			}
+		}
+	}
+}
+
+// TestParallelFilterNearThreshold sweeps input sizes around the parallel
+// threshold and odd segment remainders with worker counts exceeding the
+// segment count — the regime the old alignment special case guarded — and
+// asserts every configuration stays byte-identical to sequential execution.
+func TestParallelFilterNearThreshold(t *testing.T) {
+	seg := ptable.SegmentSize
+	for _, n := range []int{parallelThreshold - 1, parallelThreshold, parallelThreshold + 1, 4*seg + 1, 5*seg - 1, 5*seg + 13} {
+		pt := bigPT("big", n)
+		var want string
+		for _, workers := range []int{1, 2, 7, 16, 64} {
+			e := &Executor{Tables: map[string]*ptable.PTable{"big": pt}, Workers: workers}
+			out := run(t, e, "SELECT k, v FROM big WHERE v >= 10 AND v <= 4000")
+			got := out.Fingerprint()
+			if workers == 1 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("n=%d workers=%d filter output differs from sequential", n, workers)
+			}
+		}
+	}
+}
+
 // TestParallelThresholdKeepsSmallInputsSequential pins that tiny inputs do
 // not pay goroutine fan-out, and that the engine treats Workers<=1 as
 // sequential (0 resolves to GOMAXPROCS in core.NewSession, not here).

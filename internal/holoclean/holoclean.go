@@ -85,7 +85,7 @@ func dirtyCells(view detect.RowView, sch interface{ MustIndex(string) int }, rul
 func (r *Repairer) Clean(pt *ptable.PTable, rules []*dc.Constraint) (Report, error) {
 	r.Opts.defaults()
 	var rep Report
-	view := detect.PTableView{P: pt}
+	view := detect.NewPTableView(pt)
 	dirty := dirtyCells(view, pt.Schema, rules, &rep.Metrics)
 
 	delta := ptable.NewDelta(pt.Name)
@@ -191,7 +191,7 @@ func (r *Repairer) domain(view detect.RowView, pt *ptable.PTable, id int64, col 
 // plain HoloClean; with domains generated by Daisy it is the DaisyH hybrid.
 func (r *Repairer) Infer(pt *ptable.PTable) *table.Table {
 	r.Opts.defaults()
-	view := detect.PTableView{P: pt}
+	view := detect.NewPTableView(pt)
 	out := table.New(pt.Name, pt.Schema)
 	for _, tup := range pt.Rows() {
 		row := make(table.Row, len(tup.Cells))

@@ -64,7 +64,7 @@ func (c *Cleaner) CleanFDContext(ctx context.Context, pt *ptable.PTable, rule *d
 	if !ok {
 		return rep, fmt.Errorf("offline: rule %s is not an FD", rule.Name)
 	}
-	view := detect.PTableView{P: pt}
+	view := detect.NewPTableView(pt)
 	groups := detect.FDViolations(view, fd, &rep.Metrics)
 	rep.ViolatingGroups = len(groups)
 
@@ -170,7 +170,7 @@ func (c *Cleaner) CleanDC(pt *ptable.PTable, rule *dc.Constraint) (Report, error
 // the theta-join partition loops; no fixes apply when detection aborts.
 func (c *Cleaner) CleanDCContext(ctx context.Context, pt *ptable.PTable, rule *dc.Constraint) (Report, error) {
 	var rep Report
-	view := detect.PTableView{P: pt}
+	view := detect.NewPTableView(pt)
 	pairs, err := thetajoin.DetectWorkersCtx(ctx, view, rule, c.partitions(), 0, &rep.Metrics)
 	if err != nil {
 		return rep, err

@@ -78,12 +78,12 @@ func (f *FlatTable) Apply(d *ptable.Delta) int {
 			continue
 		}
 		t := f.Tuples[i]
-		for col, cell := range cols {
-			cur := &t.Cells[col]
+		for _, cc := range cols {
+			cur := &t.Cells[cc.Col]
 			if cur.IsCertain() {
-				*cur = cell
+				*cur = cc.Cell
 			} else {
-				cur.Merge(cell)
+				cur.Merge(cc.Cell)
 			}
 			updated++
 		}
@@ -107,12 +107,12 @@ func (f *FlatTable) ApplyCOW(d *ptable.Delta) (*FlatTable, int) {
 		}
 		src := out.Tuples[i]
 		t := &ptable.Tuple{ID: src.ID, Cells: append([]uncertain.Cell(nil), src.Cells...), Lineage: src.Lineage}
-		for col, cell := range cols {
-			cur := &t.Cells[col]
+		for _, cc := range cols {
+			cur := &t.Cells[cc.Col]
 			if cur.IsCertain() {
-				*cur = cell
+				*cur = cc.Cell
 			} else {
-				cur.Merge(cell)
+				cur.Merge(cc.Cell)
 			}
 			updated++
 		}

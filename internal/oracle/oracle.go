@@ -780,8 +780,8 @@ func (s *Session) applyDCFixes(st *state, rule *dc.Constraint, pairs []pair) {
 	}
 	// Weight: keep-original plus k distinct ranges share mass evenly.
 	for _, cols := range delta.Cells {
-		for col := range cols {
-			cell := cols[col]
+		for ci := range cols {
+			cell := &cols[ci].Cell
 			p := 1.0 / float64(len(cell.Ranges)+1)
 			for i := range cell.Candidates {
 				cell.Candidates[i].Prob = p
@@ -789,7 +789,6 @@ func (s *Session) applyDCFixes(st *state, rule *dc.Constraint, pairs []pair) {
 			for i := range cell.Ranges {
 				cell.Ranges[i].Prob = p
 			}
-			cols[col] = cell
 		}
 	}
 	pt.Apply(delta)
@@ -797,12 +796,7 @@ func (s *Session) applyDCFixes(st *state, rule *dc.Constraint, pairs []pair) {
 
 func addRange(delta *ptable.Delta, pt *FlatTable, row, col int, op dc.Op, bound value.Value, world int) {
 	id := pt.Tuples[row].ID
-	var cell uncertain.Cell
-	if cols, ok := delta.Cells[id]; ok {
-		if existing, ok2 := cols[col]; ok2 {
-			cell = existing
-		}
-	}
+	cell, _ := delta.Get(id, col)
 	if len(cell.Candidates) == 0 {
 		cell.Orig = pt.Tuples[row].Cells[col].Orig
 		cell.Candidates = []uncertain.Candidate{{Val: cell.Orig, Prob: 0.5, World: 0, Support: 1}}

@@ -15,8 +15,11 @@
 // a handful of 4KB pointer blocks, not 80MB of tuple pointers. Segments also
 // carry maintained dirty-tuple and candidate-footprint counters, making
 // DirtyTuples and CandidateFootprint O(n/SegmentSize) sums rather than full
-// scans. Positional access goes through At(i) and the Rows iterator; the raw
-// tuple slice of earlier versions no longer exists.
+// scans. Positional access goes through At(i) and the Rows iterator; batch
+// operators iterate segment-natively instead — a Cursor amortizes the
+// positional decode across a segment, Seg exposes a segment's tuple block as
+// a flat slice, and ScanColOrig extracts one column's values in segment runs.
+// The raw tuple slice of earlier versions no longer exists.
 package ptable
 
 import (
@@ -138,6 +141,15 @@ type PTable struct {
 	// hint is the expected number of upcoming appends (set by Reserve); it
 	// sizes new segments so reserved bulk loads allocate each segment once.
 	hint int
+
+	// srcName/srcIDs, when set (SetLineageSource), redirect the nil-lineage
+	// flyweight of a derived single-source relation: the tuple with ID i
+	// (IDs of derived relations are dense positions) originates from srcName
+	// tuple srcIDs[i]. Operator outputs set this instead of materializing a
+	// lineage map per result tuple; tuples carrying an explicit Lineage map
+	// (join results) bypass the redirect.
+	srcName string
+	srcIDs  []int64
 }
 
 // New creates an empty probabilistic relation.
@@ -186,11 +198,37 @@ func FromTable(t *table.Table) *PTable {
 // (operator outputs) materialize explicit lineage maps, which are returned
 // as-is and must not be mutated.
 func (p *PTable) LineageOf(i int) map[string][]int64 {
-	t := p.At(i)
+	return p.LineageOfTuple(p.At(i))
+}
+
+// LineageOfTuple resolves the lineage of a tuple already in hand (fetched
+// through a Cursor or segment view), without a second positional decode.
+func (p *PTable) LineageOfTuple(t *Tuple) map[string][]int64 {
 	if t.Lineage != nil {
 		return t.Lineage
 	}
-	return map[string][]int64{p.Name: {t.ID}}
+	name, id := p.LineageRef(t)
+	return map[string][]int64{name: {id}}
+}
+
+// LineageRef resolves the single (relation, tuple ID) origin of a
+// nil-lineage tuple without materializing the flyweight map: the tuple
+// itself for base relations, the redirected source for derived relations
+// (SetLineageSource). Callers must check t.Lineage == nil first — tuples
+// carrying an explicit lineage map may reference several origins.
+func (p *PTable) LineageRef(t *Tuple) (string, int64) {
+	if p.srcIDs != nil && t.ID >= 0 && int(t.ID) < len(p.srcIDs) {
+		return p.srcName, p.srcIDs[t.ID]
+	}
+	return p.Name, t.ID
+}
+
+// SetLineageSource marks the relation as a derived single-source result:
+// the nil-lineage tuple with ID i originates from tuple ids[i] of relation
+// name. Operator outputs (projections, materialized frames) use this so a
+// large result carries one id slice instead of one lineage map per tuple.
+func (p *PTable) SetLineageSource(name string, ids []int64) {
+	p.srcName, p.srcIDs = name, ids
 }
 
 // Append adds a tuple. IDs must be unique within the relation. Append
@@ -269,6 +307,82 @@ func (p *PTable) At(i int) *Tuple {
 	return p.segs[i>>segShift].tuples[i&segMask]
 }
 
+// SegOf returns the index of the storage segment holding row position i.
+func SegOf(i int) int { return i >> segShift }
+
+// Segments returns the number of storage segments.
+func (p *PTable) Segments() int { return len(p.segs) }
+
+// SegSpan returns the [lo, hi) row-position range covered by segment k.
+func (p *PTable) SegSpan(k int) (lo, hi int) {
+	lo = k << segShift
+	return lo, lo + len(p.segs[k].tuples)
+}
+
+// Seg returns segment k's tuple block — the flat-slice view batch operators
+// iterate instead of decoding positions one At(i) at a time. The slice is
+// storage shared across copy-on-write generations: callers must treat it as
+// strictly read-only.
+func (p *PTable) Seg(k int) []*Tuple { return p.segs[k].tuples }
+
+// SegDirty returns segment k's maintained count of tuples with at least one
+// uncertain cell (tuples a cleaning delta has already touched).
+func (p *PTable) SegDirty(k int) int { return p.segs[k].dirty }
+
+// SegCand returns segment k's maintained candidate-footprint sum.
+func (p *PTable) SegCand(k int) int { return p.segs[k].cand }
+
+// Cursor is a positional reader that caches the segment of the last accessed
+// row, so a scan pays one segment-directory decode per SegmentSize rows
+// instead of a shift+mask+double pointer chase per tuple. It reads the
+// segment directory as of creation — exactly the snapshot semantics of the
+// owning PTable generation, whose directory is immutable once shared.
+// A Cursor is not safe for concurrent use; create one per goroutine (they
+// are cheap: two words and a slice header).
+type Cursor struct {
+	segs   []*segment
+	si     int
+	tuples []*Tuple
+}
+
+// Cursor returns a segment-caching positional reader over the relation.
+func (p *PTable) Cursor() Cursor {
+	return Cursor{segs: p.segs, si: -1}
+}
+
+// At returns the tuple at position i. Sequential and segment-local access
+// patterns hit the cached segment; crossing a segment boundary reloads it.
+func (c *Cursor) At(i int) *Tuple {
+	if si := i >> segShift; si != c.si {
+		c.si = si
+		c.tuples = c.segs[si].tuples
+	}
+	return c.tuples[i&segMask]
+}
+
+// ScanColOrig appends the original (provenance) values of column col over
+// rows [lo, hi) to dst and returns it — the column-projected batch accessor:
+// a rule touching two of twelve columns extracts just those cells in
+// segment-sized runs instead of decoding every row positionally per cell.
+func (p *PTable) ScanColOrig(dst []value.Value, col, lo, hi int) []value.Value {
+	if hi > p.n {
+		hi = p.n
+	}
+	for lo < hi {
+		seg := p.segs[lo>>segShift]
+		off := lo & segMask
+		end := off + (hi - lo)
+		if end > len(seg.tuples) {
+			end = len(seg.tuples)
+		}
+		for _, t := range seg.tuples[off:end] {
+			dst = append(dst, t.Cells[col].Orig)
+		}
+		lo += end - off
+	}
+	return dst
+}
+
 // Rows iterates the relation positionally, yielding (position, tuple) in
 // row order — the replacement for ranging over a raw tuple slice.
 func (p *PTable) Rows() iter.Seq2[int, *Tuple] {
@@ -316,6 +430,7 @@ func (p *PTable) Cell(row int, col string) *uncertain.Cell {
 // Clone deep-copies the relation.
 func (p *PTable) Clone() *PTable {
 	out := New(p.Name, p.Schema)
+	out.srcName, out.srcIDs = p.srcName, p.srcIDs
 	out.Reserve(p.n)
 	for _, t := range p.Rows() {
 		out.Append(t.Clone())
@@ -323,26 +438,74 @@ func (p *PTable) Clone() *PTable {
 	return out
 }
 
+// ColCell is one replacement cell of a delta, tagged with its column index.
+type ColCell struct {
+	Col  int
+	Cell uncertain.Cell
+}
+
 // Delta is a set of per-tuple cell replacements keyed by tuple ID, the
-// isolated changes a cleaning operator produces for one query.
+// isolated changes a cleaning operator produces for one query. Each tuple's
+// replacements are a small slice, not a map: FD fixes touch one or two
+// columns, and a slice of two entries costs one flat allocation where a
+// per-tuple map costs a bucket array — on a clean pass repairing thousands
+// of tuples the difference dominates the allocation profile.
 type Delta struct {
 	Table string
-	Cells map[int64]map[int]uncertain.Cell // tuple ID → column index → new cell
+	Cells map[int64][]ColCell // tuple ID → replacement cells
+	// block is the carve-from arena for per-tuple cell slices: a tuple's
+	// first Set carves a zero-length, capacity-deltaTupleCells slice out of
+	// it, so the common repair shape (two cells per tuple) appends in place
+	// instead of allocating and regrowing a tiny slice per tuple.
+	block []ColCell
 }
+
+// deltaTupleCells is the carved capacity per touched tuple — FD repair
+// writes at most an lhs and an rhs cell per tuple; wider tuples fall back
+// to ordinary append growth.
+const deltaTupleCells = 2
+
+// deltaBlockTuples caps the arena block size (in tuples) so a small delta
+// does not allocate a huge block.
+const deltaBlockTuples = 512
 
 // NewDelta creates an empty delta for a relation.
 func NewDelta(tableName string) *Delta {
-	return &Delta{Table: tableName, Cells: make(map[int64]map[int]uncertain.Cell)}
+	return &Delta{Table: tableName, Cells: make(map[int64][]ColCell)}
 }
 
-// Set records a replacement cell for (tuple, column).
+// Set records a replacement cell for (tuple, column), overwriting an earlier
+// replacement of the same cell.
 func (d *Delta) Set(id int64, col int, c uncertain.Cell) {
-	m, ok := d.Cells[id]
-	if !ok {
-		m = make(map[int]uncertain.Cell, 2) // FD fixes touch rhs + lhs
-		d.Cells[id] = m
+	s := d.Cells[id]
+	for i := range s {
+		if s[i].Col == col {
+			s[i].Cell = c
+			return
+		}
 	}
-	m[col] = c
+	if s == nil {
+		// First cell for this tuple: carve its slice from the arena. The
+		// full-capacity carve means appends up to deltaTupleCells stay
+		// inside the carved region and cannot touch a neighbor's cells.
+		if cap(d.block)-len(d.block) < deltaTupleCells {
+			d.block = make([]ColCell, 0, deltaBlockTuples*deltaTupleCells)
+		}
+		n := len(d.block)
+		s = d.block[n:n : n+deltaTupleCells]
+		d.block = d.block[:n+deltaTupleCells]
+	}
+	d.Cells[id] = append(s, ColCell{Col: col, Cell: c})
+}
+
+// Get returns the replacement cell recorded for (tuple, column), if any.
+func (d *Delta) Get(id int64, col int) (uncertain.Cell, bool) {
+	for _, cc := range d.Cells[id] {
+		if cc.Col == col {
+			return cc.Cell, true
+		}
+	}
+	return uncertain.Cell{}, false
 }
 
 // Len returns the number of touched tuples.
@@ -351,18 +514,16 @@ func (d *Delta) Len() int { return len(d.Cells) }
 // mergeCells merges the delta's cell replacements for one tuple into t's
 // cell slice (Lemma 4 union semantics for already-probabilistic cells,
 // replacement for clean ones) and returns the number of updated cells.
-func mergeCells(t *Tuple, cols map[int]uncertain.Cell) int {
-	updated := 0
-	for col, cell := range cols {
-		cur := &t.Cells[col]
+func mergeCells(t *Tuple, cols []ColCell) int {
+	for _, cc := range cols {
+		cur := &t.Cells[cc.Col]
 		if cur.IsCertain() {
-			*cur = cell
+			*cur = cc.Cell
 		} else {
-			cur.Merge(cell)
+			cur.Merge(cc.Cell)
 		}
-		updated++
 	}
-	return updated
+	return len(cols)
 }
 
 // Apply merges the delta into the relation in place. Cells that were already
@@ -413,7 +574,8 @@ func (p *PTable) Apply(d *Delta) int {
 // relation must not be Appended to — it shares segments and the byID index
 // with its ancestors (Append enforces this with a panic).
 func (p *PTable) ApplyCOW(d *Delta) (*PTable, int) {
-	out := &PTable{Name: p.Name, Schema: p.Schema, dense: p.dense, byID: p.byID, n: p.n}
+	out := &PTable{Name: p.Name, Schema: p.Schema, dense: p.dense, byID: p.byID, n: p.n,
+		srcName: p.srcName, srcIDs: p.srcIDs}
 	out.shared.Store(true)
 	// The receiver now shares segment structs with the new generation, so it
 	// too must reject in-place growth and mutation from here on.
@@ -442,6 +604,17 @@ func (p *PTable) ApplyCOW(d *Delta) (*PTable, int) {
 			bulkSegs = make([]segment, 0, cnt)
 		}
 	}
+	// Shallow write clones are carved out of block allocations: a clean pass
+	// repairing thousands of tuples would otherwise pay two heap objects per
+	// tuple (struct + cell slice), which dominates the allocation profile of
+	// dense deltas. Appends below never reallocate a block (capacity is
+	// checked first), so carved pointers and slices stay valid.
+	blockTuples := len(d.Cells)
+	if blockTuples > 1024 {
+		blockTuples = 1024
+	}
+	var tupBlock []Tuple
+	var cellBlock []uncertain.Cell
 	updated := 0
 	for id, cols := range d.Cells {
 		i, ok := p.Pos(id)
@@ -468,7 +641,17 @@ func (p *PTable) ApplyCOW(d *Delta) (*PTable, int) {
 		// Shallow write clone: fresh cell slice (the merge below writes into
 		// it) but shared candidate backing and lineage — Cell.Merge copies
 		// before mutating and lineage is immutable after creation.
-		t := &Tuple{ID: src.ID, Cells: append([]uncertain.Cell(nil), src.Cells...), Lineage: src.Lineage}
+		if len(tupBlock) == cap(tupBlock) {
+			tupBlock = make([]Tuple, 0, blockTuples)
+		}
+		if cap(cellBlock)-len(cellBlock) < len(src.Cells) {
+			cellBlock = make([]uncertain.Cell, 0, blockTuples*len(src.Cells))
+		}
+		tupBlock = append(tupBlock, Tuple{ID: src.ID, Lineage: src.Lineage})
+		t := &tupBlock[len(tupBlock)-1]
+		clo := len(cellBlock)
+		cellBlock = append(cellBlock, src.Cells...)
+		t.Cells = cellBlock[clo:len(cellBlock):len(cellBlock)]
 		wasDirty, wasCand := src.Dirty(), src.footprint()
 		updated += mergeCells(t, cols)
 		if t.Dirty() != wasDirty {

@@ -470,6 +470,134 @@ func TestRowsIterator(t *testing.T) {
 	}
 }
 
+func TestCursorMatchesAt(t *testing.T) {
+	n := 3*SegmentSize + 41
+	p := FromTable(bigTable(t, n))
+	cur := p.Cursor()
+	// Sequential scan, then a boundary-hopping access pattern: the cursor
+	// must agree with At everywhere, including repeated segment reloads.
+	for i := 0; i < n; i++ {
+		if cur.At(i) != p.At(i) {
+			t.Fatalf("sequential Cursor.At(%d) != At(%d)", i, i)
+		}
+	}
+	for _, i := range []int{n - 1, 0, SegmentSize, SegmentSize - 1, 2 * SegmentSize, 5, n - 1, 5} {
+		if cur.At(i) != p.At(i) {
+			t.Fatalf("random Cursor.At(%d) != At(%d)", i, i)
+		}
+	}
+	// A cursor created before an ApplyCOW keeps reading the old generation:
+	// segment directories are immutable once shared.
+	d := NewDelta("big")
+	d.Set(7, 1, dirtyCell())
+	next, _ := p.ApplyCOW(d)
+	if cur.At(7) != p.At(7) {
+		t.Error("cursor must keep reading its creation-time generation")
+	}
+	ncur := next.Cursor()
+	if ncur.At(7) != next.At(7) || ncur.At(7) == p.At(7) {
+		t.Error("new generation's cursor must read the fresh tuple")
+	}
+}
+
+func TestSegmentAccessors(t *testing.T) {
+	n := 2*SegmentSize + 13
+	p := FromTable(bigTable(t, n))
+	if p.Segments() != 3 {
+		t.Fatalf("Segments = %d, want 3", p.Segments())
+	}
+	rows := 0
+	for k := 0; k < p.Segments(); k++ {
+		lo, hi := p.SegSpan(k)
+		if lo != k*SegmentSize {
+			t.Fatalf("SegSpan(%d) lo = %d", k, lo)
+		}
+		seg := p.Seg(k)
+		if hi-lo != len(seg) {
+			t.Fatalf("SegSpan(%d) width %d != len(Seg) %d", k, hi-lo, len(seg))
+		}
+		for off, tup := range seg {
+			if tup != p.At(lo+off) {
+				t.Fatalf("Seg(%d)[%d] != At(%d)", k, off, lo+off)
+			}
+			if SegOf(lo+off) != k {
+				t.Fatalf("SegOf(%d) = %d, want %d", lo+off, SegOf(lo+off), k)
+			}
+		}
+		rows += len(seg)
+	}
+	if rows != n {
+		t.Fatalf("segments cover %d rows, want %d", rows, n)
+	}
+	if _, hi := p.SegSpan(2); hi != n {
+		t.Errorf("tail SegSpan hi = %d, want %d", hi, n)
+	}
+}
+
+func TestSegDirtyAndCandCounters(t *testing.T) {
+	n := 2*SegmentSize + 10
+	p := FromTable(bigTable(t, n))
+	d := NewDelta("big")
+	d.Set(3, 1, dirtyCell())
+	d.Set(int64(SegmentSize+8), 1, dirtyCell())
+	d.Set(int64(SegmentSize+9), 1, dirtyCell())
+	p.Apply(d)
+	wantDirty := []int{1, 2, 0}
+	wantCand := []int{2, 4, 0}
+	for k := 0; k < p.Segments(); k++ {
+		if p.SegDirty(k) != wantDirty[k] || p.SegCand(k) != wantCand[k] {
+			t.Errorf("segment %d counters = dirty %d cand %d, want %d/%d",
+				k, p.SegDirty(k), p.SegCand(k), wantDirty[k], wantCand[k])
+		}
+	}
+	// The per-segment reads must sum to the whole-relation counters.
+	sumD, sumC := 0, 0
+	for k := 0; k < p.Segments(); k++ {
+		sumD += p.SegDirty(k)
+		sumC += p.SegCand(k)
+	}
+	if sumD != p.DirtyTuples() || sumC != p.CandidateFootprint() {
+		t.Errorf("segment sums %d/%d != totals %d/%d", sumD, sumC, p.DirtyTuples(), p.CandidateFootprint())
+	}
+}
+
+func TestScanColOrig(t *testing.T) {
+	n := 2*SegmentSize + 29
+	p := FromTable(bigTable(t, n))
+	// A cleaning delta must not leak into the provenance scan: ScanColOrig
+	// reads Orig, which fixes never rewrite.
+	d := NewDelta("big")
+	d.Set(int64(SegmentSize+2), 1, dirtyCell())
+	p.Apply(d)
+	col := p.Schema.MustIndex("city")
+	for _, span := range [][2]int{{0, n}, {0, 0}, {5, 5}, {3, SegmentSize + 7}, {SegmentSize, 2 * SegmentSize}, {n - 3, n}, {n - 3, n + 99}} {
+		lo, hi := span[0], span[1]
+		got := p.ScanColOrig(nil, col, lo, hi)
+		end := hi
+		if end > n {
+			end = n
+		}
+		want := make([]value.Value, 0, end-lo)
+		for i := lo; i < end; i++ {
+			want = append(want, p.At(i).Cells[col].Orig)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ScanColOrig[%d,%d) len = %d, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("ScanColOrig[%d,%d)[%d] = %v, want %v", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+	// Append semantics: dst is extended, not replaced.
+	pre := []value.Value{value.NewInt(-1)}
+	out := p.ScanColOrig(pre, col, 0, 3)
+	if len(out) != 4 || out[0].Int() != -1 {
+		t.Errorf("ScanColOrig must append to dst, got %v", out)
+	}
+}
+
 func TestMultiSegmentFingerprintStable(t *testing.T) {
 	// The fingerprint of a segmented table equals the one produced by
 	// iterating positions via At — i.e. segmentation never reorders rows.

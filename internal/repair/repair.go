@@ -38,40 +38,65 @@ const (
 // position. The returned delta holds one probabilistic cell per repaired
 // attribute, keyed by tuple ID.
 func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(string) int, m *detect.Metrics) *ptable.Delta {
-	all := append(append([]int{}, scope...), support...)
+	all := append(append(make([]int, 0, len(scope)+len(support)), scope...), support...)
 	allView := detect.SubsetView{Base: view, Idx: all}
 	cols := detect.CompileFD(view, fd)
-	groups := detect.GroupByFD(allView, fd, m)
-	byRHS := detect.GroupByRHS(allView, fd, m)
+	if m != nil {
+		m.Scanned += 2 * int64(len(all)) // lhs- and rhs-grouping passes
+	}
 
-	inScope := make(map[int]bool, len(scope))
+	// One grouping pass specialized to what repair consumes: member rows and
+	// the rhs tally per lhs cluster, plus the rhs-partner lists feeding
+	// P(lhs|rhs). detect.GroupByFD would also materialize tuple IDs and lhs
+	// values per group — dead weight here — and a separate GroupByRHS pass
+	// would rescan every row and rehash every rhs value.
+	groups := make(map[value.MapKey]*fdRepairGroup)
+	singleLHS := len(fd.LHS) == 1
+	var byRHS map[value.MapKey][]int
+	if singleLHS {
+		byRHS = make(map[value.MapKey][]int)
+	}
+	for j := range all {
+		key := cols.LHSKey(allView, j)
+		g := groups[key]
+		if g == nil {
+			g = &fdRepairGroup{}
+			groups[key] = g
+		}
+		g.members = append(g.members, j)
+		rv := allView.ValueAt(j, cols.RHS)
+		rk := rv.MapKey()
+		g.addRHS(rk, rv)
+		if singleLHS {
+			byRHS[rk] = append(byRHS[rk], j)
+		}
+	}
+
+	// Dense membership flags: scope positions index the base view, so one
+	// flat []bool beats a hash set on the per-member hot path.
+	inScope := make([]bool, view.Len())
 	for _, i := range scope {
 		inScope[i] = true
 	}
 
 	delta := ptable.NewDelta("")
 	rhsCol := schemaIdx(fd.RHS)
+	lhsCol := -1
+	if singleLHS {
+		lhsCol = schemaIdx(fd.LHS[0])
+	}
 	// Memoized P(lhs|rhs) distributions: one computation per distinct rhs
 	// value instead of one per repaired tuple.
 	lhsDistCache := make(map[value.MapKey][]uncertain.Candidate)
 	for _, g := range groups {
-		if !g.Violating() {
-			continue
+		if len(g.rhs) < 2 {
+			continue // not violating
 		}
-		vals, counts := g.RHSDistribution()
-		total := 0
-		for _, c := range counts {
-			total += c
-		}
-		// One shared P(rhs|lhs) candidate slice for the whole group: cells
-		// may alias distribution backing (Merge copies before mutating).
-		rhsCands := make([]uncertain.Candidate, len(vals))
-		for k, v := range vals {
-			rhsCands[k] = uncertain.Candidate{
-				Val: v, Prob: float64(counts[k]) / float64(total), World: WorldFixRHS, Support: counts[k],
-			}
-		}
-		for _, member := range g.Members {
+		// One shared P(rhs|lhs) candidate slice for the whole group (cells
+		// may alias distribution backing; Merge copies before mutating),
+		// emitted in value order like detect.(*Group).RHSDistribution.
+		rhsCands := g.rhsDistribution()
+		for _, member := range g.members {
 			pos := all[member] // position in the base view
 			if !inScope[pos] {
 				continue // support-only tuples are consulted, not repaired
@@ -92,28 +117,7 @@ func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(
 			rhsKey := cols.RHSKey(view, pos)
 			cands, ok := lhsDistCache[rhsKey]
 			if !ok {
-				partners := byRHS[rhsKey]
-				lhsCounts := make(map[value.MapKey]int)
-				lhsVals := make(map[value.MapKey]value.Value)
-				for _, p := range partners {
-					lv := allView.ValueAt(p, cols.LHS[0])
-					lk := lv.MapKey()
-					lhsCounts[lk]++
-					lhsVals[lk] = lv
-				}
-				if len(lhsCounts) >= 2 {
-					lhsTotal := 0
-					for _, c := range lhsCounts {
-						lhsTotal += c
-					}
-					for _, lv := range sortedVals(lhsVals) {
-						k := lv.MapKey()
-						cands = append(cands, uncertain.Candidate{
-							Val: lv, Prob: float64(lhsCounts[k]) / float64(lhsTotal),
-							World: WorldFixLHS, Support: lhsCounts[k],
-						})
-					}
-				}
+				cands = lhsDistribution(allView, byRHS[rhsKey], cols.LHS[0])
 				lhsDistCache[rhsKey] = cands
 			}
 			if len(cands) < 2 {
@@ -121,13 +125,140 @@ func FD(view detect.RowView, scope, support []int, fd dc.FDSpec, schemaIdx func(
 			}
 			// The memoized distribution is shared across cells, not copied.
 			lhsCell := uncertain.Cell{Orig: view.ValueAt(pos, cols.LHS[0]), Candidates: cands}
-			delta.Set(id, schemaIdx(fd.LHS[0]), lhsCell)
+			delta.Set(id, lhsCol, lhsCell)
 			if m != nil {
 				m.Repairs++
 			}
 		}
 	}
 	return delta
+}
+
+// fdRepairGroup is the per-lhs cluster record FD builds while grouping:
+// member rows plus the distinct-rhs tally. It mirrors detect.Group minus the
+// tuple IDs and lhs values repair never reads, and its distribution is
+// emitted directly as candidates instead of parallel value/count slices.
+type fdRepairGroup struct {
+	members []int
+	// rhs tallies the distinct rhs values. FD groups have few distinct rhs
+	// values (the candidate-set size p), so a linear-probed slice beats a
+	// map; rhsIdx spills to a map only for degenerate groups.
+	rhs    []rhsTally
+	rhsIdx map[value.MapKey]int
+}
+
+// rhsTally is one distinct rhs value of a group with its member count.
+type rhsTally struct {
+	key value.MapKey
+	val value.Value
+	n   int
+}
+
+// rhsSpillThreshold matches detect's: the distinct-rhs count past which a
+// group switches from linear probing to a map index.
+const rhsSpillThreshold = 8
+
+// addRHS tallies one member's rhs value.
+func (g *fdRepairGroup) addRHS(key value.MapKey, val value.Value) {
+	if g.rhsIdx != nil {
+		if i, ok := g.rhsIdx[key]; ok {
+			g.rhs[i].n++
+			return
+		}
+		g.rhsIdx[key] = len(g.rhs)
+		g.rhs = append(g.rhs, rhsTally{key: key, val: val, n: 1})
+		return
+	}
+	for i := range g.rhs {
+		if g.rhs[i].key == key {
+			g.rhs[i].n++
+			return
+		}
+	}
+	g.rhs = append(g.rhs, rhsTally{key: key, val: val, n: 1})
+	if len(g.rhs) > rhsSpillThreshold {
+		g.rhsIdx = make(map[value.MapKey]int, len(g.rhs))
+		for i := range g.rhs {
+			g.rhsIdx[g.rhs[i].key] = i
+		}
+	}
+}
+
+// rhsDistribution emits the group's P(rhs|lhs) candidates in value order.
+// The stable insertion sort over the tally (insertion order = row scan
+// order) makes the output byte-identical to building it from
+// detect.(*Group).RHSDistribution. Sorts the tally in place: the group is
+// not consulted again after its distribution is taken.
+func (g *fdRepairGroup) rhsDistribution() []uncertain.Candidate {
+	tmp := g.rhs
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j].val.Less(tmp[j-1].val); j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	total := 0
+	for i := range tmp {
+		total += tmp[i].n
+	}
+	cands := make([]uncertain.Candidate, len(tmp))
+	for i := range tmp {
+		cands[i] = uncertain.Candidate{
+			Val: tmp[i].val, Prob: float64(tmp[i].n) / float64(total),
+			World: WorldFixRHS, Support: tmp[i].n,
+		}
+	}
+	return cands
+}
+
+// lhsDistribution tallies the distinct lhs values over one rhs-partner set
+// and emits the P(lhs|rhs) candidates in value order. Distinct-value counts
+// are small (the candidate-set size p), so a linear-probed slice replaces
+// the two hash maps a tally would otherwise allocate per distinct rhs.
+func lhsDistribution(v detect.RowView, partners []int, lhsIdx int) []uncertain.Candidate {
+	type tally struct {
+		key value.MapKey
+		val value.Value
+		n   int
+	}
+	var buf [8]tally
+	tallies := buf[:0]
+	for _, p := range partners {
+		lv := v.ValueAt(p, lhsIdx)
+		lk := lv.MapKey()
+		found := false
+		for i := range tallies {
+			if tallies[i].key == lk {
+				tallies[i].n++
+				found = true
+				break
+			}
+		}
+		if !found {
+			tallies = append(tallies, tally{key: lk, val: lv, n: 1})
+		}
+	}
+	if len(tallies) < 2 {
+		return nil
+	}
+	// Insertion sort by value order: distributions are emitted sorted for
+	// determinism, and the sets are small.
+	for i := 1; i < len(tallies); i++ {
+		for j := i; j > 0 && tallies[j].val.Less(tallies[j-1].val); j-- {
+			tallies[j], tallies[j-1] = tallies[j-1], tallies[j]
+		}
+	}
+	total := 0
+	for i := range tallies {
+		total += tallies[i].n
+	}
+	cands := make([]uncertain.Candidate, len(tallies))
+	for i, tl := range tallies {
+		cands[i] = uncertain.Candidate{
+			Val: tl.val, Prob: float64(tl.n) / float64(total),
+			World: WorldFixLHS, Support: tl.n,
+		}
+	}
+	return cands
 }
 
 // sortedVals orders a key→value map's values deterministically by value
@@ -230,17 +361,15 @@ func DCFixes(view detect.RowView, pairs []thetajoin.Pair, c *dc.Constraint, sche
 	// Weight candidates: each touched cell has 1 keep-candidate and k range
 	// candidates; frequency-based probability 1/(k+1) each.
 	for _, cols := range delta.Cells {
-		for col := range cols {
-			cell := cols[col]
-			k := len(cell.Ranges)
-			p := 1.0 / float64(k+1)
+		for ci := range cols {
+			cell := &cols[ci].Cell
+			p := 1.0 / float64(len(cell.Ranges)+1)
 			for i := range cell.Candidates {
 				cell.Candidates[i].Prob = p
 			}
 			for i := range cell.Ranges {
 				cell.Ranges[i].Prob = p
 			}
-			cols[col] = cell
 		}
 	}
 	return delta
@@ -264,13 +393,7 @@ func mirror(op dc.Op) dc.Op {
 // addRangeFix appends a range candidate to the delta cell for (id, col),
 // creating the keep-original candidate on first touch.
 func addRangeFix(delta *ptable.Delta, id int64, col int, orig value.Value, op dc.Op, bound value.Value, world int) {
-	cols, ok := delta.Cells[id]
-	var cell uncertain.Cell
-	if ok {
-		if existing, ok2 := cols[col]; ok2 {
-			cell = existing
-		}
-	}
+	cell, _ := delta.Get(id, col)
 	if len(cell.Candidates) == 0 {
 		cell.Orig = orig
 		cell.Candidates = []uncertain.Candidate{{Val: orig, Prob: 0.5, World: WorldKeep, Support: 1}}

@@ -67,7 +67,7 @@ func TestExample2Table2b(t *testing.T) {
 
 	// Tuple 1 (9001, SF): City candidates {LA 67%, SF 33%},
 	// Zip candidates {9001 50%, 10001 50%} — the paper's Table 2b.
-	cityCell := delta.Cells[1][tb.Schema.MustIndex("city")]
+	cityCell, _ := delta.Get(1, tb.Schema.MustIndex("city"))
 	la, ok := findCand(cityCell, "Los Angeles")
 	if !ok || math.Abs(la.Prob-2.0/3) > 1e-9 {
 		t.Errorf("P(LA|9001) = %v, want 0.667", la.Prob)
@@ -79,7 +79,7 @@ func TestExample2Table2b(t *testing.T) {
 	if la.World != WorldFixRHS || sf.World != WorldFixRHS {
 		t.Error("city candidates must carry the fix-rhs world id")
 	}
-	zipCell := delta.Cells[1][tb.Schema.MustIndex("zip")]
+	zipCell, _ := delta.Get(1, tb.Schema.MustIndex("zip"))
 	z1, ok1 := findCand(zipCell, "9001")
 	z2, ok2 := findCand(zipCell, "10001")
 	if !ok1 || !ok2 || math.Abs(z1.Prob-0.5) > 1e-9 || math.Abs(z2.Prob-0.5) > 1e-9 {
@@ -92,10 +92,10 @@ func TestExample2Table2b(t *testing.T) {
 	// Tuples 0 and 2 (9001, LA): city candidates 67/33, zip stays certain
 	// (every LA row has zip 9001).
 	for _, id := range []int64{0, 2} {
-		if _, ok := delta.Cells[id][tb.Schema.MustIndex("zip")]; ok {
+		if _, ok := delta.Get(id, tb.Schema.MustIndex("zip")); ok {
 			t.Errorf("tuple %d zip must stay certain", id)
 		}
-		cc := delta.Cells[id][tb.Schema.MustIndex("city")]
+		cc, _ := delta.Get(id, tb.Schema.MustIndex("city"))
 		if len(cc.Candidates) != 2 {
 			t.Errorf("tuple %d city candidates = %v", id, cc)
 		}
@@ -121,19 +121,19 @@ func TestExample3Table3FullCluster(t *testing.T) {
 	delta := FD(v, scope, nil, zipCity(), idx(tb), nil)
 
 	// Row 3 (10001, SF): city {SF 50, NY 50}, zip {9001 50, 10001 50}.
-	cc := delta.Cells[3][tb.Schema.MustIndex("city")]
+	cc, _ := delta.Get(3, tb.Schema.MustIndex("city"))
 	if len(cc.Candidates) != 2 {
 		t.Fatalf("row 3 city = %v", cc)
 	}
-	zc := delta.Cells[3][tb.Schema.MustIndex("zip")]
+	zc, _ := delta.Get(3, tb.Schema.MustIndex("zip"))
 	if len(zc.Candidates) != 2 {
 		t.Fatalf("row 3 zip = %v", zc)
 	}
 	// Row 4 (10001, NY): city candidates 50/50; zip certain (only 10001 has NY).
-	if _, ok := delta.Cells[4][tb.Schema.MustIndex("zip")]; ok {
+	if _, ok := delta.Get(4, tb.Schema.MustIndex("zip")); ok {
 		t.Error("row 4 zip must stay certain")
 	}
-	if cc4 := delta.Cells[4][tb.Schema.MustIndex("city")]; len(cc4.Candidates) != 2 {
+	if cc4, _ := delta.Get(4, tb.Schema.MustIndex("city")); len(cc4.Candidates) != 2 {
 		t.Errorf("row 4 city = %v", cc4)
 	}
 }
@@ -144,12 +144,12 @@ func TestFDProbabilitiesSumToOne(t *testing.T) {
 	scope := []int{0, 1, 2, 3, 4}
 	delta := FD(v, scope, nil, zipCity(), idx(tb), nil)
 	for id, cols := range delta.Cells {
-		for col, cell := range cols {
-			if s := cell.ProbSum(); math.Abs(s-1) > 1e-9 {
-				t.Errorf("tuple %d col %d ProbSum = %v", id, col, s)
+		for _, cc := range cols {
+			if s := cc.Cell.ProbSum(); math.Abs(s-1) > 1e-9 {
+				t.Errorf("tuple %d col %d ProbSum = %v", id, cc.Col, s)
 			}
-			if cell.Orig.IsNull() {
-				t.Errorf("tuple %d col %d lost provenance", id, col)
+			if cc.Cell.Orig.IsNull() {
+				t.Errorf("tuple %d col %d lost provenance", id, cc.Col)
 			}
 		}
 	}
@@ -266,7 +266,7 @@ func TestDCFixesExample5(t *testing.T) {
 	}
 	delta := DCFixes(v, pairs, c, idx(tb), nil)
 
-	salCell := delta.Cells[1][tb.Schema.MustIndex("salary")]
+	salCell, _ := delta.Get(1, tb.Schema.MustIndex("salary"))
 	if len(salCell.Candidates) != 1 || len(salCell.Ranges) != 1 {
 		t.Fatalf("row1 salary cell = %v", salCell.String())
 	}
@@ -277,18 +277,18 @@ func TestDCFixesExample5(t *testing.T) {
 	if salCell.Ranges[0].Op != dc.Leq || salCell.Ranges[0].Bound.Float() != 2000 {
 		t.Errorf("salary range = %s%s", salCell.Ranges[0].Op, salCell.Ranges[0].Bound)
 	}
-	taxCell := delta.Cells[1][tb.Schema.MustIndex("tax")]
+	taxCell, _ := delta.Get(1, tb.Schema.MustIndex("tax"))
 	// Role t2 tax inverts t1.tax>t2.tax → t2.tax ≥ 0.3.
 	if taxCell.Ranges[0].Op != dc.Geq || taxCell.Ranges[0].Bound.Float() != 0.3 {
 		t.Errorf("tax range = %s%s", taxCell.Ranges[0].Op, taxCell.Ranges[0].Bound)
 	}
 
 	// Row 2 (role t1): salary must rise (≥3000), tax must drop (≤0.2).
-	sal2 := delta.Cells[2][tb.Schema.MustIndex("salary")]
+	sal2, _ := delta.Get(2, tb.Schema.MustIndex("salary"))
 	if sal2.Ranges[0].Op != dc.Geq || sal2.Ranges[0].Bound.Float() != 3000 {
 		t.Errorf("row2 salary range = %s%s", sal2.Ranges[0].Op, sal2.Ranges[0].Bound)
 	}
-	tax2 := delta.Cells[2][tb.Schema.MustIndex("tax")]
+	tax2, _ := delta.Get(2, tb.Schema.MustIndex("tax"))
 	if tax2.Ranges[0].Op != dc.Leq || tax2.Ranges[0].Bound.Float() != 0.2 {
 		t.Errorf("row2 tax range = %s%s", tax2.Ranges[0].Op, tax2.Ranges[0].Bound)
 	}
@@ -301,9 +301,9 @@ func TestDCFixesProbMass(t *testing.T) {
 	pairs := thetajoin.Detect(v, c, 4, nil)
 	delta := DCFixes(v, pairs, c, idx(tb), nil)
 	for id, cols := range delta.Cells {
-		for col, cell := range cols {
-			if s := cell.ProbSum(); math.Abs(s-1) > 1e-9 {
-				t.Errorf("tuple %d col %d mass = %v", id, col, s)
+		for _, cc := range cols {
+			if s := cc.Cell.ProbSum(); math.Abs(s-1) > 1e-9 {
+				t.Errorf("tuple %d col %d mass = %v", id, cc.Col, s)
 			}
 		}
 	}
@@ -319,7 +319,7 @@ func TestDCFixesSatisfyConstraintInvariant(t *testing.T) {
 	delta := DCFixes(v, pairs, c, idx(tb), nil)
 	// Row 1 salary ≤2000 vs partner (row 2) salary 2000: atom t1.salary <
 	// t2.salary with t1=2000 … bound chosen so the atom becomes false.
-	salCell := delta.Cells[1][tb.Schema.MustIndex("salary")]
+	salCell, _ := delta.Get(1, tb.Schema.MustIndex("salary"))
 	bound := salCell.Ranges[0].Bound
 	partner := value.NewFloat(2000)
 	if dc.Lt.Eval(partner, bound) {

@@ -67,39 +67,62 @@ func compile(c *dc.Constraint) compiled {
 	return cc
 }
 
-// axis is a relation view sorted by the primary column, with the compiled
-// column positions resolved against the view's schema.
+// axis is the relation sorted by the primary column, materialized into flat
+// per-column value slices (canonical column order) plus tuple IDs. Only the
+// columns the constraint references are extracted — a rule touching 2 of 12
+// columns never reads the other 10 — and extraction happens once, in the
+// single-threaded build; the scan workers are pure slice computation and
+// never touch the view, so cursor-backed (single-goroutine) views are safe
+// to pass in.
 type axis struct {
-	view detect.RowView
-	idx  []int // positions into view, sorted by primary column
-	cols []int // view column index per canonical column position
+	ids  []int64         // stable tuple IDs, axis order
+	cols [][]value.Value // canonical column position → values, axis order
 }
 
 func buildAxis(v detect.RowView, cc compiled) axis {
-	cols := make([]int, len(cc.cols))
-	for i, name := range cc.cols {
+	n := v.Len()
+	raw := make([][]value.Value, len(cc.cols))
+	for ci, name := range cc.cols {
 		idx := v.ColIndex(name)
 		if idx < 0 {
 			panic("thetajoin: column " + name + " not in view schema")
 		}
-		cols[i] = idx
+		col := make([]value.Value, 0, n)
+		if sc, ok := v.(detect.ColScanner); ok {
+			col = sc.ScanCol(col, idx, 0, n)
+		} else {
+			for i := 0; i < n; i++ {
+				col = append(col, v.ValueAt(i, idx))
+			}
+		}
+		raw[ci] = col
 	}
-	idx := make([]int, v.Len())
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	pc := cols[cc.primary]
-	sort.SliceStable(idx, func(a, b int) bool {
-		return v.ValueAt(idx[a], pc).Less(v.ValueAt(idx[b], pc))
-	})
-	return axis{view: v, idx: idx, cols: cols}
+	pc := raw[cc.primary]
+	sort.SliceStable(idx, func(a, b int) bool { return pc[idx[a]].Less(pc[idx[b]]) })
+	// Permute into axis order so the scan hot loops read contiguous memory.
+	a := axis{ids: make([]int64, n), cols: make([][]value.Value, len(raw))}
+	for i, r := range idx {
+		a.ids[i] = v.ID(r)
+	}
+	for ci, col := range raw {
+		sorted := make([]value.Value, n)
+		for i, r := range idx {
+			sorted[i] = col[r]
+		}
+		a.cols[ci] = sorted
+	}
+	return a
 }
 
-func (a axis) len() int       { return len(a.idx) }
-func (a axis) id(i int) int64 { return a.view.ID(a.idx[i]) }
+func (a axis) len() int       { return len(a.ids) }
+func (a axis) id(i int) int64 { return a.ids[i] }
 
-// valAt reads the canonical column cpos of axis row i positionally.
-func (a axis) valAt(i, cpos int) value.Value { return a.view.ValueAt(a.idx[i], a.cols[cpos]) }
+// valAt reads the canonical column cpos of axis row i off the flat slices.
+func (a axis) valAt(i, cpos int) value.Value { return a.cols[cpos][i] }
 
 // block is one axis segment with per-column min/max bounds, indexed by
 // canonical column position.
