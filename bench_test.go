@@ -9,6 +9,8 @@ package daisy
 
 import (
 	"context"
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"daisy/internal/experiments"
@@ -154,4 +156,85 @@ func BenchmarkQueryContextStreamCleanFD(b *testing.B) {
 		}
 		rows.Close()
 	}
+}
+
+// benchLocalTyposTable builds the apply-overhead workload: 2000 zip groups,
+// every tenth row carrying a typo unique to that row. Unlike
+// benchCitiesTable's shared typo value (whose relation-wide support pass
+// inflates every repair delta), violations here are group-local, so a
+// query's repair delta — and hence its WAL record — is proportional to the
+// groups it actually fixed.
+func benchLocalTyposTable(b *testing.B) *Table {
+	b.Helper()
+	tb, err := NewTable("cities",
+		Column{Name: "zip", Kind: Int(0).Kind()},
+		Column{Name: "city", Kind: Str("").Kind()},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		city := Str("City-" + strconv.Itoa(i%2000))
+		if i%10 == 0 {
+			city = Str("Typo-" + strconv.Itoa(i))
+		}
+		tb.MustAppend(Row{Int(int64(i % 2000)), city})
+	}
+	return tb
+}
+
+// benchQueryCleanFDDurable measures per-query cleaning cost against a
+// long-lived session over the group-local-typos workload. Session setup —
+// open, register, bind — and Close stay outside the timer: a durable
+// session's registration image and final fsync are one-time costs, while the
+// guard is about the steady-state apply path. Each timed iteration queries a
+// disjoint 100-group zip range, so at CI's -benchtime=20x every op repairs
+// fresh groups (and journals a real O(delta) record on the WAL twin);
+// iterations past the twentieth wrap to already-clean ranges identically for
+// both twins.
+func benchQueryCleanFDDurable(b *testing.B, open func() (*Session, error)) {
+	b.Helper()
+	s, err := open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Register(benchLocalTyposTable(b)); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.AddRule(FD("phi", "cities", "city", "zip")); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * 100) % 2000
+		q := "SELECT zip, city FROM cities WHERE zip >= " + strconv.Itoa(lo) +
+			" AND zip < " + strconv.Itoa(lo+100)
+		if _, err := s.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkQueryCleanFDMem is the in-memory twin of the durability-overhead
+// pair (see benchQueryCleanFDDurable).
+func BenchmarkQueryCleanFDMem(b *testing.B) {
+	benchQueryCleanFDDurable(b, func() (*Session, error) {
+		return New(Options{Strategy: StrategyIncremental}), nil
+	})
+}
+
+// BenchmarkQueryCleanFDWAL is the durable twin: identical but for
+// Options.Dir, so every apply batch journals one O(delta) record before
+// publishing. CI's benchstat guard bounds its median against
+// BenchmarkQueryCleanFDMem (apply overhead <= 1.15x).
+func BenchmarkQueryCleanFDWAL(b *testing.B) {
+	benchQueryCleanFDDurable(b, func() (*Session, error) {
+		return Open(Options{
+			Strategy: StrategyIncremental,
+			Dir:      filepath.Join(b.TempDir(), "wal"),
+		})
+	})
 }

@@ -9,8 +9,20 @@
 //	daisy-bench -exp qps -parallel 8 # concurrent serving throughput
 //	daisy-bench -exp bgclean         # tail latency at the §5.2.3 switch
 //	daisy-bench -exp segskip         # sweep throughput vs dirty fraction
+//	daisy-bench -exp durability -dir /tmp/d -phase run     # durable workload + sweep
+//	daisy-bench -exp durability -dir /tmp/d -phase verify  # reopen, resume, check
 //
-// Experiment ids: fig5..fig13, table5..table8, qps, bgclean, segskip.
+// Experiment ids: fig5..fig13, table5..table8, qps, bgclean, segskip,
+// durability.
+//
+// The durability experiment is the crash-recovery smoke: -phase run opens a
+// durable session in -dir, registers a seeded dirty relation, runs queries,
+// starts a background sweep, prints `sweep_running=true`, and waits for
+// quiescence — CI SIGKILLs it at that marker, mid-sweep. -phase verify
+// reopens the directory (replaying WAL and resuming the sweep), waits for
+// quiescence, and compares the recovered state fingerprint against an
+// uninterrupted in-memory oracle run of the same workload, printing
+// `fingerprint_match=true` on success.
 //
 // The qps experiment serves a fixed FD-cleaning workload from N concurrent
 // callers against one session (-parallel; 1 = sequential baseline) and
@@ -51,6 +63,8 @@ func main() {
 	parallel := flag.Int("parallel", 1, "qps: number of concurrent query callers")
 	queries := flag.Int("queries", 400, "qps: total queries across all callers")
 	rows := flag.Int("rows", 20000, "qps: relation size")
+	dir := flag.String("dir", "", "durability: WAL/checkpoint directory")
+	phase := flag.String("phase", "run", "durability: run|verify")
 	flag.Parse()
 
 	// Ctrl-C cancels in-flight queries through the context path; the qps
@@ -75,6 +89,13 @@ func main() {
 	}
 	if *exp == "segskip" {
 		if err := runSegSkip(ctx, *rows); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "durability" {
+		if err := runDurability(ctx, *dir, *phase, *rows); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -304,6 +325,117 @@ func runSegSkip(ctx context.Context, rows int) error {
 		return fmt.Errorf("segskip: a sweep diverged from the inline reference bytes")
 	}
 	return nil
+}
+
+// durabilityTable builds the durability experiment's relation: zip groups of
+// four rows, every group carrying one row-unique typo, so both the query
+// repairs and the background sweep have deterministic work in every group.
+func durabilityTable(rows int) *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "zip", Kind: value.Int},
+		schema.Column{Name: "city", Kind: value.String},
+	)
+	groups := rows / 4
+	tb := table.New("cities", sch)
+	for i := 0; i < rows; i++ {
+		city := "City-" + fmt.Sprint(i%groups)
+		if i%4 == 3 {
+			city = "Typo-" + fmt.Sprint(i)
+		}
+		tb.MustAppend(table.Row{value.NewInt(int64(i % groups)), value.NewString(city)})
+	}
+	return tb
+}
+
+// runDurability is the crash-recovery smoke behind CI's durability job. The
+// run phase journals a deterministic workload (register + FD rule + range
+// queries) into -dir, starts a full background sweep, announces
+// sweep_running=true, and waits — the harness SIGKILLs it there, mid-sweep.
+// The verify phase reopens the directory: recovery replays the WAL, resumes
+// the interrupted sweep from its checked-set bookkeeping, and after
+// quiescence the durable state fingerprint must equal an uninterrupted
+// in-memory oracle run of the same workload.
+func runDurability(ctx context.Context, dir, phase string, rows int) error {
+	if dir == "" {
+		return fmt.Errorf("durability: -dir is required")
+	}
+	if rows < 400 {
+		return fmt.Errorf("durability: -rows must be >= 400")
+	}
+	queries := []string{
+		"SELECT zip, city FROM cities WHERE zip < 50",
+		"SELECT zip, city FROM cities WHERE zip >= 50 AND zip < 100",
+	}
+	rule := func() *dc.Constraint { return dc.FD("phi", "cities", "city", "zip") }
+	workload := func(s *core.Session) error {
+		if s.Table("cities") == nil {
+			if err := s.Register(durabilityTable(rows)); err != nil {
+				return err
+			}
+			if err := s.AddRule(rule()); err != nil {
+				return err
+			}
+		}
+		for _, q := range queries {
+			rs, err := s.QueryContext(ctx, q)
+			if err != nil {
+				return err
+			}
+			rs.Close()
+		}
+		s.CleanInBackground("cities", "phi")
+		return nil
+	}
+	switch phase {
+	case "run":
+		s, err := core.Open(core.Options{Dir: dir, Strategy: core.StrategyIncremental})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		if err := workload(s); err != nil {
+			return err
+		}
+		// The marker the harness kills on: the sweep is live past this line.
+		fmt.Printf("durability: sweep_running=true dir=%s rows=%d\n", dir, rows)
+		if err := s.WaitCleaning(ctx); err != nil {
+			return err
+		}
+		fmt.Println("durability: sweep completed without interruption")
+		return nil
+	case "verify":
+		s, err := core.Open(core.Options{Dir: dir, Strategy: core.StrategyIncremental})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		resumed := len(s.CleaningStatus())
+		// Re-requesting the sweep is a no-op when recovery already resumed
+		// it, and covers the window where the kill landed after quiescence.
+		s.CleanInBackground("cities", "phi")
+		if err := s.WaitCleaning(ctx); err != nil {
+			return err
+		}
+		got := s.StateFingerprint()
+
+		oracle := core.NewSession(core.Options{Strategy: core.StrategyIncremental})
+		defer oracle.Close()
+		if err := workload(oracle); err != nil {
+			return err
+		}
+		if err := oracle.WaitCleaning(ctx); err != nil {
+			return err
+		}
+		want := oracle.StateFingerprint()
+		fmt.Printf("durability: resumed_jobs=%d epoch=%d fingerprint_match=%v\n",
+			resumed, s.Epoch(), got == want)
+		if got != want {
+			return fmt.Errorf("durability: recovered state diverged from the oracle run")
+		}
+		return nil
+	default:
+		return fmt.Errorf("durability: unknown -phase %q (run|verify)", phase)
+	}
 }
 
 // runQPS serves an FD-cleaning workload from `parallel` goroutines over one

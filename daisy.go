@@ -183,8 +183,29 @@ type Value = value.Value
 // Rule is a denial constraint ∀t1,t2 ¬(p1 ∧ ... ∧ pm).
 type Rule = dc.Constraint
 
+// SyncMode selects how eagerly a durable session's write-ahead log reaches
+// stable storage.
+type SyncMode = core.SyncMode
+
+// Sync modes: SyncOS (default) leaves WAL records in the OS page cache —
+// state survives a process crash but the un-checkpointed tail may be lost on
+// power failure; SyncAlways fsyncs every record.
+const (
+	SyncOS     = core.SyncOS
+	SyncAlways = core.SyncAlways
+)
+
 // New creates a cleaning session.
 func New(opts Options) *Session { return core.NewSession(opts) }
+
+// Open creates a session backed by the durable directory opts.Dir: every
+// apply batch journals one O(delta) record to a write-ahead log, full-state
+// checkpoints publish in the background, and reopening the same directory
+// recovers the cleaned state, checked-set bookkeeping, and unfinished
+// background sweeps (which resume where they left off). With an empty Dir it
+// is New with an error return. See Options.Dir, Options.Sync, and
+// Options.CheckpointBytes.
+func Open(opts Options) (*Session, error) { return core.Open(opts) }
 
 // NewTable creates an empty relation with the given columns.
 func NewTable(name string, cols ...Column) (*Table, error) {

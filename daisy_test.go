@@ -362,3 +362,89 @@ func TestBackgroundCleaningPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+func TestDurableSessionPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	tb, err := NewTable("cities",
+		Column{Name: "zip", Kind: Int(0).Kind()},
+		Column{Name: "city", Kind: Str("").Kind()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{Int(9001), Str("Los Angeles")},
+		{Int(9001), Str("San Francisco")},
+		{Int(9001), Str("Los Angeles")},
+		{Int(10001), Str("New York")},
+		{Int(10001), Str("New York")},
+	}
+	for _, r := range rows {
+		if err := tb.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(MustRule("phi@cities: !(t1.zip=t2.zip & t1.city!=t2.city)")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("SELECT zip, city FROM cities WHERE zip = 9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", res.Rows.Len())
+	}
+	if err := s.DurabilityError(); err != nil {
+		t.Fatalf("durability degraded: %v", err)
+	}
+	s.Close()
+
+	// Reopen: the probabilistic repair state, the rule, and the checked-set
+	// bookkeeping must all come back from the journal.
+	r, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	pt := r.Table("cities")
+	if pt == nil {
+		t.Fatal("reopened session lost the cities table")
+	}
+	if pt.DirtyTuples() == 0 {
+		t.Error("reopened session lost the probabilistic repair state")
+	}
+	if got := len(r.Rules()); got != 1 {
+		t.Fatalf("reopened session has %d rules, want 1", got)
+	}
+	res, err = r.Query("SELECT zip, city FROM cities WHERE zip = 9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Decisions {
+		if d.Strategy != "skip" {
+			t.Errorf("reopened decision = %q, want skip (checked set recovered)", d.Strategy)
+		}
+	}
+	// Fresh work on the recovered session journals and cleans normally.
+	if _, err := r.Query("SELECT zip, city FROM cities WHERE zip = 10001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open with no Dir is New with an error return.
+	mem, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.Close()
+}

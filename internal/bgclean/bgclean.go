@@ -177,14 +177,20 @@ func (o Options) clampChunkRows(n int) int {
 // nextChunkRows adapts the chunk size from the last chunk's observed
 // latency and backpressure: a backpressure yield halves the size; otherwise
 // the size scales toward TargetChunkTime, growing or shrinking by at most 2x
-// per step. Short final chunks (ran < cur) carry no signal and keep the
+// per step. A full chunk that observed zero latency (a coarse monotonic
+// clock can resolve a fast chunk to 0ns) is by definition far under
+// TargetChunkTime, so it takes the maximum growth step — treating it as
+// no-signal would freeze the size at its seed forever on fast machines.
+// Short final chunks (ran < cur) genuinely carry no signal and keep the
 // current size.
 func (o Options) nextChunkRows(cur, ran int, took time.Duration, backpressured bool) int {
 	next := cur
 	switch {
 	case backpressured:
 		next = cur / 2
-	case took > 0 && ran == cur:
+	case ran == cur && took <= 0:
+		next = 2 * cur
+	case ran == cur:
 		scaled := int(float64(cur) * float64(o.TargetChunkTime) / float64(took))
 		if scaled > 2*cur {
 			scaled = 2 * cur
@@ -339,7 +345,10 @@ func (s *Scheduler) statusLocked(j *job) Status {
 		GroupsCleaned: j.groups, CellsUpdated: j.cells,
 		BackpressureWaits: j.bpWaits, Enqueued: j.enqueued, Elapsed: j.elapsed,
 	}
-	if !j.state.Terminal() && j.rowsDone > 0 && j.rowsDone < j.rowsTotal {
+	// j.elapsed can be 0 with chunks done (coarse clock, same pathology
+	// nextChunkRows guards): no pace signal exists yet, so leave ETA at its
+	// documented "unknown" zero instead of extrapolating from a 0 rate.
+	if !j.state.Terminal() && j.rowsDone > 0 && j.rowsDone < j.rowsTotal && j.elapsed > 0 {
 		perRow := j.elapsed / time.Duration(j.rowsDone)
 		st.ETA = perRow * time.Duration(j.rowsTotal-j.rowsDone)
 	}

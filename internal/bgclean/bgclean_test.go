@@ -398,6 +398,8 @@ func TestNextChunkRowsAdaptation(t *testing.T) {
 		want int
 	}{
 		{"fast chunk grows at most 2x", 4096, 4096, time.Millisecond, false, 8192},
+		{"zero-latency full chunk grows 2x", 4096, 4096, 0, false, 8192},
+		{"negative-latency full chunk grows 2x", 4096, 4096, -time.Millisecond, false, 8192},
 		{"slow chunk shrinks at most 2x", 4096, 4096, 40 * time.Millisecond, false, 2048},
 		{"near target scales and aligns down", 4096, 4096, 4 * time.Millisecond, false, 5120},
 		{"backpressure halves", 4096, 4096, time.Millisecond, true, 2048},
@@ -410,6 +412,23 @@ func TestNextChunkRowsAdaptation(t *testing.T) {
 			t.Errorf("%s: nextChunkRows(%d, %d, %v, %v) = %d, want %d",
 				tc.name, tc.cur, tc.ran, tc.took, tc.bp, got, tc.want)
 		}
+	}
+}
+
+// TestStatusETAWithoutPaceSignal: a mid-flight job whose chunks all resolved
+// to 0ns on a coarse clock has no pace signal — ETA must stay at its
+// documented "unknown" zero instead of extrapolating a zero rate.
+func TestStatusETAWithoutPaceSignal(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	j := &job{id: 1, table: "t", rule: "phi", state: Running,
+		rowsDone: 512, rowsTotal: 4096, chunksDone: 1}
+	if st := s.statusLocked(j); st.ETA != 0 {
+		t.Errorf("ETA with zero elapsed = %v, want 0 (unknown)", st.ETA)
+	}
+	j.elapsed = 10 * time.Millisecond
+	if st := s.statusLocked(j); st.ETA <= 0 {
+		t.Errorf("ETA with pace signal = %v, want > 0", st.ETA)
 	}
 }
 

@@ -122,7 +122,11 @@ func (s *Session) enqueueSweep(table string, ident uint64, rule *dc.Constraint, 
 		return // the sweep (or an inline full clean) already finished
 	}
 	job := newFDSweepJob(s, table, ident, rule, fd, st.pt.Len())
-	s.bg.Enqueue(table, rule.Name, ident, job)
+	if _, fresh := s.bg.Enqueue(table, rule.Name, ident, job); fresh {
+		// Journal the enqueue so a crash mid-sweep resumes the clean on Open
+		// (from the recovered checked-set bookkeeping, not from scratch).
+		s.w.logSweep(table, rule.Name)
+	}
 }
 
 // CleanInBackground schedules a background full-clean sweep of one FD rule
@@ -148,7 +152,10 @@ func (s *Session) CleanInBackground(table, rule string) bool {
 			return false
 		}
 		job := newFDSweepJob(s, table, st.ident, r, fd, st.pt.Len())
-		id, _ := s.bg.Enqueue(table, rule, st.ident, job)
+		id, fresh := s.bg.Enqueue(table, rule, st.ident, job)
+		if fresh {
+			s.w.logSweep(table, rule)
+		}
 		return id != 0
 	}
 	return false

@@ -1,0 +1,564 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"daisy/internal/dc"
+	"daisy/internal/schema"
+	"daisy/internal/table"
+	"daisy/internal/value"
+	"daisy/internal/wal"
+)
+
+// Crash-injection harness. The oracle run executes a seeded FD+DC scenario in
+// a durable directory, capturing the state fingerprint at every WAL-logged
+// publish (onPublish fires under the writer mutex, so the pair (lsn,
+// fingerprint) is exact). The kill loop then reconstructs, for every record
+// boundary, the directory a SIGKILL at that instant would have left —
+// checkpoint files published at or before the boundary plus the WAL prefix —
+// reopens it, and asserts the recovered fingerprint matches the oracle's at
+// that exact record.
+
+// durableOpts is the common durable configuration of the crash tests:
+// automatic checkpointing off (tests place checkpoints deterministically) and
+// one worker so detection-order-dependent DC scenarios are reproducible.
+func durableOpts(dir string) Options {
+	return Options{Dir: dir, Strategy: StrategyIncremental, Workers: 1, CheckpointBytes: -1}
+}
+
+// captureFingerprints hooks the writer's publish path; every logged publish
+// records the fingerprint the state had the instant that LSN hit the log.
+// Install before any mutation.
+func captureFingerprints(s *Session) map[uint64]string {
+	fps := make(map[uint64]string)
+	s.w.onPublish = func(lsn uint64, snap *snapshot) {
+		if lsn != 0 {
+			fps[lsn] = stateFingerprint(snap)
+		}
+	}
+	return fps
+}
+
+// empTable is the general-DC half of the seeded scenario (salary/tax
+// monotonicity inversions).
+func empTable() *table.Table {
+	sch := schema.MustNew(
+		schema.Column{Name: "salary", Kind: value.Float},
+		schema.Column{Name: "tax", Kind: value.Float},
+	)
+	tb := table.New("emp", sch)
+	for i := 0; i < 20; i++ {
+		tax := 0.1 + float64(i)*0.01
+		if i%5 == 0 {
+			tax = 0.5 - tax
+		}
+		tb.MustAppend(table.Row{value.NewFloat(float64(1000 + i*100)), value.NewFloat(tax)})
+	}
+	return tb
+}
+
+// runCrashScenario drives the seeded FD+DC workload against an open durable
+// session: registrations, rule binds, FD range queries that repair, repeated
+// queries that coalesce to skips, DC queries that grow the checked-tuple
+// sets, and a ReplaceTable. mid, when non-nil, runs between the two query
+// phases (the checkpoint tests inject a checkpoint there).
+func runCrashScenario(t *testing.T, s *Session, mid func()) {
+	t.Helper()
+	if err := s.Register(citiesTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(dc.FD("phi", "cities", "city", "zip")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(dc.MustParse("psi@emp: !(t1.salary<t2.salary & t1.tax>t2.tax)")); err != nil {
+		t.Fatal(err)
+	}
+	phase1 := []string{
+		"SELECT zip, city FROM cities WHERE city = 'Los Angeles'",
+		"SELECT salary FROM emp WHERE salary < 1500",
+	}
+	for _, q := range phase1 {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mid != nil {
+		mid()
+	}
+	phase2 := []string{
+		"SELECT zip, city FROM cities WHERE zip = 9001", // repaired + skip mix
+		"SELECT salary FROM emp WHERE salary >= 1500 AND salary < 2500",
+		"SELECT salary FROM emp WHERE salary < 1500", // converging repeat
+	}
+	for _, q := range phase2 {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replace one relation mid-history: replay must restore the replacement,
+	// not the original registration.
+	small := citiesTable()
+	sess2 := NewSession(Options{Strategy: StrategyIncremental})
+	defer sess2.Close()
+	if err := sess2.Register(small); err != nil {
+		t.Fatal(err)
+	}
+	s.ReplaceTable("cities", sess2.Table("cities"))
+	if err := s.AddRule(dc.FD("phi2", "cities", "city", "zip")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// killDir reconstructs the directory a crash at the end of record k would
+// have left: every checkpoint published at or before that LSN (a checkpoint
+// file with a later LSN cannot exist yet at that instant), every WAL file
+// before the record's, and the record's own file truncated at the record
+// boundary.
+func killDir(t *testing.T, src string, recs []wal.Record, k int) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".ckpt") {
+			var lsn uint64
+			if _, err := fmt.Sscanf(name, "ckpt-%016x.ckpt", &lsn); err != nil || lsn > recs[k].LSN {
+				continue
+			}
+			copyFile(t, filepath.Join(src, name), filepath.Join(dst, name))
+		}
+	}
+	for i := 0; i <= k; i++ {
+		if recs[i].File == recs[k].File {
+			// Truncate the boundary file at the record's end offset.
+			buf, err := os.ReadFile(recs[k].File)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, filepath.Base(recs[k].File)), buf[:recs[k].End], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if i == 0 || recs[i].File != recs[i-1].File {
+			copyFile(t, recs[i].File, filepath.Join(dst, filepath.Base(recs[i].File)))
+		}
+	}
+	return dst
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	buf, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// expectedAt returns the oracle fingerprint as of record k: the fingerprint
+// captured at its LSN, or — for records that publish no state change (sweep
+// markers) — at the nearest earlier logged publish.
+func expectedAt(t *testing.T, fps map[uint64]string, recs []wal.Record, k int) string {
+	t.Helper()
+	for i := k; i >= 0; i-- {
+		if fp, ok := fps[recs[i].LSN]; ok {
+			return fp
+		}
+	}
+	t.Fatalf("no oracle fingerprint at or before record %d (lsn %d)", k, recs[k].LSN)
+	return ""
+}
+
+// TestDurableRoundTrip: close/reopen restores the exact state and the
+// reopened session keeps serving and journaling.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCrashScenario(t, s, nil)
+	if err := s.DurabilityError(); err != nil {
+		t.Fatalf("durability degraded: %v", err)
+	}
+	want := s.StateFingerprint()
+	s.Close()
+
+	s2, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.StateFingerprint(); got != want {
+		t.Fatalf("reopened fingerprint differs from pre-close state:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The reopened session serves and journals further work.
+	if _, err := s2.Query("SELECT zip, city FROM cities WHERE zip = 10001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.DurabilityError(); err != nil {
+		t.Fatalf("durability degraded after reopen: %v", err)
+	}
+}
+
+// TestCrashAtEveryRecordBoundary is the kill-anywhere property: for every
+// record boundary in the scenario's WAL, a session reopened from exactly that
+// prefix fingerprints byte-identically to the in-memory oracle at the instant
+// the record was logged.
+func TestCrashAtEveryRecordBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := captureFingerprints(s)
+	runCrashScenario(t, s, nil)
+	s.Close()
+
+	recs, err := wal.Records(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 8 {
+		t.Fatalf("scenario produced only %d records", len(recs))
+	}
+	for k := range recs {
+		sub := killDir(t, dir, recs, k)
+		s2, err := Open(durableOpts(sub))
+		if err != nil {
+			t.Fatalf("kill at record %d (lsn %d): reopen: %v", k, recs[k].LSN, err)
+		}
+		got := s2.StateFingerprint()
+		s2.Close()
+		if want := expectedAt(t, fps, recs, k); got != want {
+			t.Fatalf("kill at record %d (lsn %d): recovered state diverges from oracle", k, recs[k].LSN)
+		}
+	}
+}
+
+// TestCrashAtCheckpointBoundaries kills around a mid-scenario checkpoint: at
+// the checkpoint exactly (no WAL suffix), at every record boundary after it
+// (checkpoint + suffix replay), and with an interrupted later checkpoint
+// publication (stale .tmp) that recovery must ignore.
+func TestCrashAtCheckpointBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := captureFingerprints(s)
+	var fpAtCkpt string
+	runCrashScenario(t, s, func() {
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		fpAtCkpt = s.StateFingerprint()
+	})
+	s.Close()
+
+	ckLSN, _, ok, err := wal.LatestCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint after scenario: %v", err)
+	}
+
+	// Kill exactly at the checkpoint: recovery from the image alone.
+	atCkpt := t.TempDir()
+	copyFile(t, filepath.Join(dir, fmt.Sprintf("ckpt-%016x.ckpt", ckLSN)), filepath.Join(atCkpt, fmt.Sprintf("ckpt-%016x.ckpt", ckLSN)))
+	s2, err := Open(durableOpts(atCkpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.StateFingerprint(); got != fpAtCkpt {
+		t.Fatal("checkpoint-only recovery diverges from the checkpointed state")
+	}
+	// The LSN sequence must not restart below the checkpoint. The full scan
+	// repairs the still-dirty 10001 group — guaranteed fresh durable work at
+	// this recovery point (phase1 only cleaned the Los Angeles scope).
+	if _, err := s2.Query("SELECT zip, city FROM cities"); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if recs, err := wal.Records(atCkpt, ckLSN); err != nil || len(recs) == 0 {
+		t.Fatalf("post-recovery journaling: recs=%d err=%v", len(recs), err)
+	}
+
+	// Kill at every record boundary past the checkpoint (the checkpoint's
+	// prune already retired the covered files, so all remaining records
+	// replay on top of the image).
+	recs, err := wal.Records(dir, ckLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("only %d records after checkpoint", len(recs))
+	}
+	for k := range recs {
+		sub := killDir(t, dir, recs, k)
+		s3, err := Open(durableOpts(sub))
+		if err != nil {
+			t.Fatalf("kill at post-ckpt record %d: reopen: %v", k, err)
+		}
+		got := s3.StateFingerprint()
+		s3.Close()
+		if want := expectedAt(t, fps, recs, k); got != want {
+			t.Fatalf("kill at post-ckpt record %d (lsn %d): recovered state diverges", k, recs[k].LSN)
+		}
+	}
+
+	// A crash mid-checkpoint-publication leaves a stale .tmp; recovery must
+	// use the valid checkpoint and the full suffix.
+	tornDir := killDir(t, dir, recs, len(recs)-1)
+	if err := os.WriteFile(filepath.Join(tornDir, fmt.Sprintf("ckpt-%016x.ckpt.tmp", recs[len(recs)-1].LSN)), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4, err := Open(durableOpts(tornDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s4.StateFingerprint()
+	s4.Close()
+	if want := expectedAt(t, fps, recs, len(recs)-1); got != want {
+		t.Fatal("recovery with a torn checkpoint publication diverges")
+	}
+}
+
+// TestCrashMidSweepResumes: a kill while a background full-clean sweep is in
+// flight must, on reopen, resume the sweep from the recovered checked-set
+// bookkeeping — cleaning only the remainder — and converge to the same bytes
+// as the uninterrupted run.
+func TestCrashMidSweepResumes(t *testing.T) {
+	dir := t.TempDir()
+	opts := sweepOpts()
+	opts.Dir = dir
+	opts.CheckpointBytes = -1
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Register(sweepTable(sweepGroups, sweepDirtyGroups))
+	s.AddRule(sweepRule())
+	queries := sweepQueries(sweepGroups, sweepRangeGroups)
+	if i, strat := runUntilFlip(t, s, queries); i < 0 || strat != "background" {
+		t.Fatalf("no background switch (i=%d strat=%q)", i, strat)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.WaitCleaning(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var oracleSweepGroups int
+	for _, st := range s.CleaningStatus() {
+		oracleSweepGroups += st.GroupsCleaned
+	}
+	if oracleSweepGroups == 0 {
+		t.Fatal("oracle sweep repaired nothing; scenario is mis-seeded")
+	}
+	want := s.StateFingerprint()
+	s.Close()
+
+	recs, err := wal.Records(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepIdx := -1
+	for i, r := range recs {
+		if len(r.Payload) > 0 && r.Payload[0] == recSweep {
+			sweepIdx = i
+			break
+		}
+	}
+	if sweepIdx < 0 || sweepIdx >= len(recs)-2 {
+		t.Fatalf("no mid-sweep kill window (sweep record at %d of %d)", sweepIdx, len(recs))
+	}
+
+	// Two kill points: right at the sweep-enqueue record (nothing swept yet)
+	// and just before the final chunk (almost everything swept).
+	for _, k := range []int{sweepIdx, len(recs) - 2} {
+		sub := killDir(t, dir, recs, k)
+		s2, err := Open(Options{Dir: sub, Strategy: StrategyAuto, DisableStatsPruning: true,
+			CleanChunkSize: 512, CheckpointBytes: -1})
+		if err != nil {
+			t.Fatalf("kill at record %d: reopen: %v", k, err)
+		}
+		if err := s2.WaitCleaning(ctx); err != nil {
+			t.Fatal(err)
+		}
+		var resumedGroups int
+		for _, st := range s2.CleaningStatus() {
+			resumedGroups += st.GroupsCleaned
+		}
+		got := s2.StateFingerprint()
+		s2.Close()
+		if got != want {
+			t.Fatalf("kill at record %d: resumed sweep diverges from uninterrupted run", k)
+		}
+		if k == len(recs)-2 && resumedGroups >= oracleSweepGroups {
+			t.Fatalf("kill just before the final chunk: resumed sweep repaired %d groups (oracle sweep total %d) — it restarted instead of resuming",
+				resumedGroups, oracleSweepGroups)
+		}
+	}
+}
+
+// TestApplyRecordBytesODelta: the WAL cost of a fix is a function of the
+// delta, not the relation — a 1-group repair journals comparable bytes at 2k
+// and 64k rows.
+func TestApplyRecordBytesODelta(t *testing.T) {
+	applyBytes := func(rows int) int {
+		dir := t.TempDir()
+		s, err := Open(durableOpts(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Register(sweepTable(rows/4, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddRule(sweepRule()); err != nil {
+			t.Fatal(err)
+		}
+		// Group 0 is the single dirty group; repair it.
+		if _, err := s.Query("SELECT orderkey, suppkey FROM lineorder WHERE orderkey >= 0 AND orderkey < 1"); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		recs, err := wal.Records(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, r := range recs {
+			if len(r.Payload) > 0 && r.Payload[0] == recApply {
+				total += len(r.Payload)
+			}
+		}
+		if total == 0 {
+			t.Fatal("no apply record journaled")
+		}
+		return total
+	}
+	small := applyBytes(2048)
+	big := applyBytes(65536)
+	if big > 2*small {
+		t.Fatalf("apply-record bytes grew with relation size: %d bytes at 2k rows, %d at 64k", small, big)
+	}
+}
+
+// TestCloseRacesSweepSubmit (satellite: Close/finalizer ordering) hammers
+// Close from several goroutines while background sweep chunks are submitting
+// through the writer and queries are in flight. Must be race-free (run under
+// -race), deadlock-free, and idempotent; every Close returns only after the
+// teardown fully finished.
+func TestCloseRacesSweepSubmit(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		s := NewSession(Options{Strategy: StrategyIncremental, CleanChunkSize: 512})
+		if err := s.Register(sweepTable(768, 150)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddRule(sweepRule()); err != nil {
+			t.Fatal(err)
+		}
+		if !s.CleanInBackground("lineorder", "phi") {
+			t.Fatal("sweep did not start")
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _ = s.Query("SELECT orderkey, suppkey FROM lineorder WHERE orderkey < 40")
+			}()
+		}
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Close()
+			}()
+		}
+		wg.Wait()
+		s.Close() // late close after full teardown is a no-op
+		if _, err := s.Query("SELECT orderkey FROM lineorder"); err != ErrSessionClosed {
+			t.Fatalf("query after close = %v, want ErrSessionClosed", err)
+		}
+	}
+}
+
+// TestWALAppendFailureDetachesLog pins the degradation contract: the first
+// append failure must detach the log entirely — a failed write does not
+// consume its LSN, so journaling anything afterwards would replay a history
+// with the failed record's state change missing. The session keeps serving
+// from memory, DurabilityError surfaces the fault, and a reopen recovers
+// exactly the pre-failure prefix.
+func TestWALAppendFailureDetachesLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(citiesTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(dc.FD("phi", "cities", "city", "zip")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'"); err != nil {
+		t.Fatal(err)
+	}
+	prefix := s.StateFingerprint()
+
+	boom := fmt.Errorf("injected disk failure")
+	s.w.mu.Lock()
+	s.w.wlog.FailNextAppend(boom)
+	s.w.mu.Unlock()
+
+	// Fresh repair work forces an apply record; its append fails.
+	if _, err := s.Query("SELECT zip, city FROM cities WHERE zip = 10001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DurabilityError(); err == nil || !strings.Contains(err.Error(), "injected disk failure") {
+		t.Fatalf("DurabilityError = %v, want injected failure", err)
+	}
+	s.w.mu.Lock()
+	detached := s.w.wlog == nil
+	s.w.mu.Unlock()
+	if !detached {
+		t.Fatal("log still attached after append failure")
+	}
+	// Memory-only operation continues: more repair work, no new error.
+	if _, err := s.Query("SELECT zip, city FROM cities"); err != nil {
+		t.Fatal(err)
+	}
+	degraded := s.StateFingerprint()
+	if degraded == prefix {
+		t.Fatal("post-failure queries made no in-memory progress")
+	}
+	s.Close()
+
+	// The directory holds exactly the pre-failure prefix.
+	r, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.StateFingerprint(); got != prefix {
+		t.Fatalf("reopened fingerprint is not the pre-failure prefix:\ngot:\n%s\nwant:\n%s", got, prefix)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +12,7 @@ import (
 	"daisy/internal/stats"
 	"daisy/internal/thetajoin"
 	"daisy/internal/value"
+	"daisy/internal/wal"
 )
 
 // snapshot is one immutable epoch of the session's cleaning state. Queries
@@ -148,7 +150,9 @@ type applyReq struct {
 // the goroutine is parked.
 type writer struct {
 	// mu serializes every mutation of the canonical state: the apply loop,
-	// registration, rule binding, and lazy index builds.
+	// registration, rule binding, lazy index builds — and, in a durable
+	// session, every WAL append, so the log's record order IS the state's
+	// mutation order.
 	mu   sync.Mutex
 	snap atomic.Pointer[snapshot]
 
@@ -160,12 +164,97 @@ type writer struct {
 	// inline — never both, never neither.
 	sendMu sync.Mutex
 	closed atomic.Bool
+
+	// loopRunning records (under sendMu, where started.Do runs) that the
+	// apply goroutine exists; close waits on loopDone only then. closeDone
+	// lets concurrent/racing close calls block until the first closer has
+	// fully drained the loop and closed the log — idempotent AND ordered.
+	loopRunning bool
+	loopDone    chan struct{}
+	closeDone   chan struct{}
+
+	// wlog, when non-nil, is the session's write-ahead log; every apply
+	// batch and logged mutation appends one record under mu before the
+	// snapshot publishes. walErr (under mu) keeps the first append failure —
+	// the session then degrades to in-memory operation rather than failing
+	// queries. ckptNudge (non-nil iff durable) pokes the checkpointer after
+	// appends; onPublish is a test hook observing (lsn, snapshot) pairs.
+	wlog      *wal.Log
+	walErr    error
+	ckptNudge chan struct{}
+	onPublish func(lsn uint64, snap *snapshot)
 }
 
 func newWriter() *writer {
-	w := &writer{applyCh: make(chan *applyReq, 64), quit: make(chan struct{})}
+	w := &writer{
+		applyCh:   make(chan *applyReq, 64),
+		quit:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		closeDone: make(chan struct{}),
+	}
 	w.snap.Store(&snapshot{tables: make(map[string]*tableState)})
 	return w
+}
+
+// appendLocked appends one record to the WAL (caller holds mu). A nil log or
+// empty record is a no-op; an append error is remembered (first one wins)
+// and the session continues in memory. Appends racing Close lose silently:
+// the post-close inline-apply path keeps queries converging in memory, but
+// their write-backs are not durable — documented on Session.Close.
+//
+// Journaling is all-or-nothing past the first failure: a failed write does
+// not consume its LSN, so a later successful append would reuse it and the
+// journal would replay a history with the failed record's state change
+// missing. The log is therefore detached on the first error — the directory
+// keeps its last consistent prefix (a torn tail frame is truncated on the
+// next open) and every subsequent mutation is memory-only.
+func (w *writer) appendLocked(rec []byte) uint64 {
+	if w.wlog == nil || len(rec) == 0 {
+		return 0
+	}
+	lsn, err := w.wlog.Append(rec)
+	if err != nil {
+		if !errors.Is(err, wal.ErrClosed) {
+			if w.walErr == nil {
+				w.walErr = err
+			}
+			l := w.wlog
+			w.wlog = nil
+			_ = l.Close()
+		}
+		return 0
+	}
+	return lsn
+}
+
+// logSweep appends a sweep-enqueued record so recovery can resume the
+// background clean.
+func (w *writer) logSweep(table, rule string) {
+	w.mu.Lock()
+	w.appendLocked(encodeSweepRecord(table, rule))
+	w.mu.Unlock()
+	w.nudgeCheckpoint()
+}
+
+// logTail reports bytes appended since the last checkpoint rotation.
+func (w *writer) logTail() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.wlog == nil {
+		return 0
+	}
+	return w.wlog.TailSize()
+}
+
+// nudgeCheckpoint pokes the checkpointer without blocking.
+func (w *writer) nudgeCheckpoint() {
+	if w.ckptNudge == nil {
+		return
+	}
+	select {
+	case w.ckptNudge <- struct{}{}:
+	default:
+	}
 }
 
 // current returns the latest published epoch.
@@ -176,17 +265,33 @@ func (w *writer) current() *snapshot { return w.snap.Load() }
 func (w *writer) depth() int { return len(w.applyCh) }
 
 // mutate runs fn against a derived snapshot under the writer lock and
-// publishes the result. Used by the setup APIs (Register, AddRule,
-// ReplaceTable) and lazy index builds; delta application goes through the
-// batching apply loop instead.
+// publishes the result. Used by lazy index builds (whose results are
+// derivable and never logged); the setup APIs log through mutateLogged.
 func (w *writer) mutate(fn func(next *snapshot, cloned map[string]bool) error) error {
+	return w.mutateLogged(nil, fn)
+}
+
+// mutateLogged is mutate plus durability: when fn succeeds and the session
+// has a WAL, rec() renders the record (after fn, so it can close over state
+// fn created — e.g. the freshly drawn registration) and it appends before
+// the snapshot publishes.
+func (w *writer) mutateLogged(rec func() []byte, fn func(next *snapshot, cloned map[string]bool) error) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	next := w.current().derive()
 	if err := fn(next, make(map[string]bool)); err != nil {
+		w.mu.Unlock()
 		return err
 	}
+	var lsn uint64
+	if rec != nil && w.wlog != nil {
+		lsn = w.appendLocked(rec())
+	}
 	w.snap.Store(next)
+	if w.onPublish != nil {
+		w.onPublish(lsn, next)
+	}
+	w.mu.Unlock()
+	w.nudgeCheckpoint()
 	return nil
 }
 
@@ -217,7 +322,10 @@ func (w *writer) submitAll(reqs []*applyReq) {
 		w.applyBatch(reqs)
 		return
 	}
-	w.started.Do(func() { go w.loop() })
+	w.started.Do(func() {
+		w.loopRunning = true // under sendMu; close() reads it there
+		go w.loop()
+	})
 	for _, req := range reqs {
 		w.applyCh <- req
 	}
@@ -235,6 +343,7 @@ func (w *writer) submitAll(reqs []*applyReq) {
 // drained to completion — every enqueued request was sent before close, and
 // its sender is blocked on the ack.
 func (w *writer) loop() {
+	defer close(w.loopDone)
 	for {
 		var first *applyReq
 		select {
@@ -268,15 +377,31 @@ func (w *writer) applyBatch(batch []*applyReq) {
 	next := w.current().derive()
 	cloned := make(map[string]bool)
 	marks := newBatchMarks()
+	var logged []loggedReq
 	for _, req := range batch {
-		applyOne(next, cloned, req, marks)
+		applied, duplicate := applyOne(next, cloned, req, marks)
+		if w.wlog != nil && applied {
+			// Log post-filter: filterCheckedFD has already dropped duplicate
+			// groups/cells in place, and the effective costRecord bit is
+			// resolved here — so replaying the record from the identical
+			// pre-state reproduces this exact application (see persist.go).
+			logged = append(logged, loggedReq{req: req, costRecord: req.costRecord && !duplicate})
+		}
 	}
 	marks.flush()
+	var lsn uint64
+	if len(logged) > 0 {
+		lsn = w.appendLocked(encodeApplyRecord(logged))
+	}
 	w.snap.Store(next)
+	if w.onPublish != nil {
+		w.onPublish(lsn, next)
+	}
 	w.mu.Unlock()
 	for _, req := range batch {
 		close(req.done)
 	}
+	w.nudgeCheckpoint()
 }
 
 // batchMarks coalesces the write-ahead bookkeeping of one apply batch: the
@@ -367,13 +492,17 @@ func (m *batchMarks) flush() {
 // bookkeeping are dropped. DC requests apply verbatim — the DC clean path is
 // serialized by Session.dcMu, so no duplicates can race. Checked-set growth
 // lands in marks and merges once per (table, rule) at batch end.
-func applyOne(next *snapshot, cloned map[string]bool, req *applyReq, marks *batchMarks) {
+//
+// It reports whether the request applied at all (false: stale registration,
+// dropped wholesale) and whether it coalesced to a duplicate — the WAL
+// logging in applyBatch needs both to record exactly what happened.
+func applyOne(next *snapshot, cloned map[string]bool, req *applyReq, marks *batchMarks) (applied, wasDuplicate bool) {
 	if cur, ok := next.tables[req.table]; !ok || cur.ident != req.ident {
 		// The table was dropped or replaced after the query took its
 		// snapshot: the write-back belongs to the old registration, and
 		// merging it would mark never-cleaned groups of the fresh data as
 		// checked. The query's own result (served from its epoch) stands.
-		return
+		return false, false
 	}
 	st := next.mutableTable(req.table, cloned)
 	duplicate := false
@@ -428,6 +557,7 @@ func applyOne(next *snapshot, cloned map[string]bool, req *applyReq, marks *batc
 		}
 		st.cost = &c
 	}
+	return true, duplicate
 }
 
 // filterCheckedFD drops delta cells and checked-key entries for groups that
@@ -498,13 +628,45 @@ func markTuples(st *tableState, rule string, ids []int64) {
 	st.checkedTuples = ct
 }
 
-// close stops the apply goroutine. Idempotent.
+// close stops the apply goroutine, waits for it to drain every enqueued
+// request, then syncs and closes the write-ahead log. The ordering matters
+// once durability sits under the loop: closing the log before the drain
+// would lose acked write-backs that were still queued. Taking sendMu first
+// makes the closed flag and in-flight channel sends mutually exclusive — a
+// submitter that observed closed=false finishes its sends before close
+// proceeds, and the loop's shutdown drain consumes them. Idempotent and
+// safe for concurrent callers: late closers block until the first one has
+// fully torn down (finalizer racing an explicit Close, or a bgclean chunk
+// racing Close, both resolve to one orderly shutdown).
 func (w *writer) close() {
 	w.sendMu.Lock()
-	if w.closed.CompareAndSwap(false, true) {
-		close(w.quit)
+	if !w.closed.CompareAndSwap(false, true) {
+		w.sendMu.Unlock()
+		<-w.closeDone
+		return
 	}
+	close(w.quit)
+	running := w.loopRunning
 	w.sendMu.Unlock()
+	if running {
+		<-w.loopDone
+	}
+	w.mu.Lock()
+	if w.wlog != nil {
+		if err := w.wlog.Close(); err != nil && w.walErr == nil {
+			w.walErr = err
+		}
+	}
+	w.mu.Unlock()
+	close(w.closeDone)
+}
+
+// durabilityErr returns the first WAL failure the writer swallowed (nil in
+// healthy and in-memory sessions).
+func (w *writer) durabilityErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.walErr
 }
 
 // ensureFDIndex returns the persistent group index of the rule over the

@@ -1,0 +1,856 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"daisy/internal/bgclean"
+	"daisy/internal/cost"
+	"daisy/internal/dc"
+	"daisy/internal/ptable"
+	"daisy/internal/schema"
+	"daisy/internal/uncertain"
+	"daisy/internal/value"
+	"daisy/internal/wal"
+)
+
+// This file encodes and decodes the session's durable forms: the per-batch
+// WAL records the writer appends under its mutex, and the full-state
+// checkpoint images the background checkpointer publishes. The framing,
+// torn-tail, and retention mechanics live in internal/wal; this file owns
+// only what the bytes mean.
+//
+// Replay correctness rests on one invariant: applyOne is a deterministic
+// function of (pre-state, request). Apply records therefore store requests
+// *post-filter* — after filterCheckedFD dropped duplicate groups — together
+// with the effective costRecord bit the original apply resolved. Replaying
+// them from the identical pre-state re-filters to a no-op and charges the
+// cost model exactly as the original run did, so the recovered state is
+// byte-identical without logging any pre-state. Requests that carried only
+// derivable side state (DC estimate caches, which EstimateErrors recomputes
+// from originals) are not logged at all; that keeps a 1-tuple fix O(delta)
+// bytes on disk regardless of relation size.
+
+// WAL record types.
+const (
+	recRegister byte = 1 // Register: table name + full pristine image
+	recRule     byte = 2 // AddRule: constraint text (name@table: body)
+	recReplace  byte = 3 // ReplaceTable: table name + full probabilistic image
+	recApply    byte = 4 // one coalesced apply batch: deltas + marks + cost
+	recSweep    byte = 5 // background sweep enqueued for (table, rule)
+)
+
+// checkpoint payload version.
+const ckptVersion byte = 1
+
+// sweepRef names one live background sweep for checkpoint/replay resume.
+type sweepRef struct {
+	table, rule string
+}
+
+// ---------------------------------------------------------------------------
+// primitives
+
+func appendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func appendVarint(buf []byte, v int64) []byte { return binary.AppendVarint(buf, v) }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func appendValue(buf []byte, v value.Value) []byte {
+	buf = append(buf, byte(v.Kind()))
+	switch v.Kind() {
+	case value.Null:
+	case value.Int:
+		buf = appendVarint(buf, v.Int())
+	case value.Float:
+		buf = appendFloat(buf, v.Float())
+	case value.String:
+		buf = appendString(buf, v.Str())
+	}
+	return buf
+}
+
+func appendCell(buf []byte, c *uncertain.Cell) []byte {
+	buf = appendValue(buf, c.Orig)
+	buf = appendUvarint(buf, uint64(len(c.Candidates)))
+	for _, cand := range c.Candidates {
+		buf = appendValue(buf, cand.Val)
+		buf = appendFloat(buf, cand.Prob)
+		buf = appendVarint(buf, int64(cand.World))
+		buf = appendVarint(buf, int64(cand.Support))
+	}
+	buf = appendUvarint(buf, uint64(len(c.Ranges)))
+	for _, r := range c.Ranges {
+		buf = appendVarint(buf, int64(r.Op))
+		buf = appendValue(buf, r.Bound)
+		buf = appendFloat(buf, r.Prob)
+		buf = appendVarint(buf, int64(r.World))
+	}
+	return buf
+}
+
+// dec is a cursor over one record payload; the first decode error sticks and
+// every subsequent read returns zero values, so decoders read linearly and
+// check err once.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("core: corrupt durable record: truncated %s", what)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) value() value.Value {
+	switch value.Kind(d.byte()) {
+	case value.Int:
+		return value.NewInt(d.varint())
+	case value.Float:
+		return value.NewFloat(d.float())
+	case value.String:
+		return value.NewString(d.string())
+	default:
+		return value.NewNull()
+	}
+}
+
+func (d *dec) cell() uncertain.Cell {
+	c := uncertain.Cell{Orig: d.value()}
+	if n := d.uvarint(); n > 0 && d.err == nil {
+		c.Candidates = make([]uncertain.Candidate, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			c.Candidates = append(c.Candidates, uncertain.Candidate{
+				Val: d.value(), Prob: d.float(),
+				World: int(d.varint()), Support: int(d.varint()),
+			})
+		}
+	}
+	if n := d.uvarint(); n > 0 && d.err == nil {
+		c.Ranges = make([]uncertain.RangeCandidate, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			c.Ranges = append(c.Ranges, uncertain.RangeCandidate{
+				RangeBound: uncertain.RangeBound{Op: dc.Op(d.varint()), Bound: d.value()},
+				Prob:       d.float(), World: int(d.varint()),
+			})
+		}
+	}
+	return c
+}
+
+func (d *dec) mapKey() value.MapKey {
+	if d.err != nil {
+		return value.MapKey{}
+	}
+	k, rest, err := value.DecodeMapKey(d.b)
+	if err != nil {
+		d.err = err
+		return value.MapKey{}
+	}
+	d.b = rest
+	return k
+}
+
+// ---------------------------------------------------------------------------
+// relation image (register / replace records, checkpoint tables)
+
+func appendPTImage(buf []byte, pt *ptable.PTable) []byte {
+	buf = appendString(buf, pt.Name)
+	sc := pt.Schema
+	buf = appendUvarint(buf, uint64(sc.Len()))
+	for i := 0; i < sc.Len(); i++ {
+		col := sc.Col(i)
+		buf = appendString(buf, col.Name)
+		buf = append(buf, byte(col.Kind))
+	}
+	srcName, srcIDs := pt.LineageSource()
+	if srcIDs != nil {
+		buf = append(buf, 1)
+		buf = appendString(buf, srcName)
+		buf = appendUvarint(buf, uint64(len(srcIDs)))
+		for _, id := range srcIDs {
+			buf = appendVarint(buf, id)
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendUvarint(buf, uint64(pt.Len()))
+	for _, t := range pt.Rows() {
+		buf = appendVarint(buf, t.ID)
+		if t.Lineage != nil {
+			buf = append(buf, 1)
+			buf = appendUvarint(buf, uint64(len(t.Lineage)))
+			names := make([]string, 0, len(t.Lineage))
+			for name := range t.Lineage {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				buf = appendString(buf, name)
+				ids := t.Lineage[name]
+				buf = appendUvarint(buf, uint64(len(ids)))
+				for _, id := range ids {
+					buf = appendVarint(buf, id)
+				}
+			}
+		} else {
+			buf = append(buf, 0)
+		}
+		for i := range t.Cells {
+			buf = appendCell(buf, &t.Cells[i])
+		}
+	}
+	return buf
+}
+
+func (d *dec) ptImage() *ptable.PTable {
+	name := d.string()
+	ncols := d.uvarint()
+	cols := make([]schema.Column, 0, ncols)
+	for i := uint64(0); i < ncols && d.err == nil; i++ {
+		cols = append(cols, schema.Column{Name: d.string(), Kind: value.Kind(d.byte())})
+	}
+	if d.err != nil {
+		return nil
+	}
+	sc, err := schema.New(cols...)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	pt := ptable.New(name, sc)
+	var srcName string
+	var srcIDs []int64
+	if d.byte() == 1 {
+		srcName = d.string()
+		n := d.uvarint()
+		srcIDs = make([]int64, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			srcIDs = append(srcIDs, d.varint())
+		}
+	}
+	ntuples := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	pt.Reserve(int(ntuples))
+	width := sc.Len()
+	for i := uint64(0); i < ntuples && d.err == nil; i++ {
+		t := &ptable.Tuple{ID: d.varint(), Cells: make([]uncertain.Cell, width)}
+		if d.byte() == 1 {
+			n := d.uvarint()
+			t.Lineage = make(map[string][]int64, n)
+			for j := uint64(0); j < n && d.err == nil; j++ {
+				lname := d.string()
+				nids := d.uvarint()
+				ids := make([]int64, 0, nids)
+				for k := uint64(0); k < nids && d.err == nil; k++ {
+					ids = append(ids, d.varint())
+				}
+				t.Lineage[lname] = ids
+			}
+		}
+		for j := 0; j < width; j++ {
+			t.Cells[j] = d.cell()
+		}
+		if d.err == nil {
+			pt.Append(t)
+		}
+	}
+	if d.err != nil {
+		return nil
+	}
+	if srcIDs != nil {
+		pt.SetLineageSource(srcName, srcIDs)
+	}
+	return pt
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+
+// ruleText renders a constraint in the form dc.Parse round-trips, including
+// the @table binding Constraint.String omits.
+func ruleText(c *dc.Constraint) string {
+	s := c.String()
+	if c.Table == "" || c.Name == "" {
+		return s
+	}
+	body := strings.TrimSpace(strings.TrimPrefix(s, c.Name+":"))
+	return c.Name + "@" + c.Table + ": " + body
+}
+
+func encodeRegisterRecord(name string, pt *ptable.PTable) []byte {
+	buf := append(make([]byte, 0, 256), recRegister)
+	buf = appendString(buf, name)
+	return appendPTImage(buf, pt)
+}
+
+func encodeReplaceRecord(name string, pt *ptable.PTable) []byte {
+	buf := append(make([]byte, 0, 256), recReplace)
+	buf = appendString(buf, name)
+	return appendPTImage(buf, pt)
+}
+
+func encodeRuleRecord(c *dc.Constraint) []byte {
+	return appendString([]byte{recRule}, ruleText(c))
+}
+
+func encodeSweepRecord(table, rule string) []byte {
+	return appendString(appendString([]byte{recSweep}, table), rule)
+}
+
+const (
+	applyFlagFD       byte = 1 << 0
+	applyFlagCost     byte = 1 << 1
+	applyFlagSwitched byte = 1 << 2
+	applyFlagDelta    byte = 1 << 3
+)
+
+// loggedReq is one applied request as the WAL stores it: post-filter fields
+// plus the effective costRecord bit applyOne resolved.
+type loggedReq struct {
+	req        *applyReq
+	costRecord bool
+}
+
+// encodeApplyRecord renders one apply batch. Requests that ended up pure
+// no-ops (estimate-only caches, fully coalesced duplicates without a switch
+// mark) are skipped; a batch with nothing durable returns nil and appends no
+// record at all.
+func encodeApplyRecord(reqs []loggedReq) []byte {
+	durable := reqs[:0:0]
+	for _, lr := range reqs {
+		r := lr.req
+		hasDelta := r.delta != nil && r.delta.Len() > 0
+		if !hasDelta && len(r.groups) == 0 && len(r.tuples) == 0 && !lr.costRecord && !r.markSwitched {
+			continue
+		}
+		durable = append(durable, lr)
+	}
+	if len(durable) == 0 {
+		return nil
+	}
+	buf := append(make([]byte, 0, 256), recApply)
+	buf = appendUvarint(buf, uint64(len(durable)))
+	for _, lr := range durable {
+		r := lr.req
+		buf = appendString(buf, r.table)
+		buf = appendString(buf, r.rule)
+		var flags byte
+		if r.isFD {
+			flags |= applyFlagFD
+		}
+		if lr.costRecord {
+			flags |= applyFlagCost
+		}
+		if r.markSwitched {
+			flags |= applyFlagSwitched
+		}
+		hasDelta := r.delta != nil && r.delta.Len() > 0
+		if hasDelta {
+			flags |= applyFlagDelta
+		}
+		buf = append(buf, flags)
+		if hasDelta {
+			buf = appendUvarint(buf, uint64(len(r.delta.Cells)))
+			for id, cols := range r.delta.Cells {
+				buf = appendVarint(buf, id)
+				buf = appendUvarint(buf, uint64(len(cols)))
+				for i := range cols {
+					buf = appendUvarint(buf, uint64(cols[i].Col))
+					buf = appendCell(buf, &cols[i].Cell)
+				}
+			}
+		}
+		buf = appendUvarint(buf, uint64(len(r.groups)))
+		for _, k := range r.groups {
+			buf = k.AppendBinary(buf)
+		}
+		buf = appendUvarint(buf, uint64(len(r.tuples)))
+		for _, id := range r.tuples {
+			buf = appendVarint(buf, id)
+		}
+		if lr.costRecord {
+			buf = appendUvarint(buf, uint64(r.costQi))
+			buf = appendUvarint(buf, uint64(r.costEi))
+			buf = appendUvarint(buf, uint64(r.costEpsi))
+		}
+	}
+	return buf
+}
+
+// decodeApplyRecord rebuilds the batch's requests. idents are left zero; the
+// replay path stamps each request with the current registration identity of
+// its table (only requests that actually applied were logged, so the table
+// the record names is, at this point of the replay, the registration the
+// original apply targeted).
+func (d *dec) applyRecord() []*applyReq {
+	n := d.uvarint()
+	reqs := make([]*applyReq, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r := &applyReq{table: d.string(), rule: d.string()}
+		flags := d.byte()
+		r.isFD = flags&applyFlagFD != 0
+		r.costRecord = flags&applyFlagCost != 0
+		r.markSwitched = flags&applyFlagSwitched != 0
+		if flags&applyFlagDelta != 0 {
+			delta := ptable.NewDelta(r.table)
+			ncells := d.uvarint()
+			for j := uint64(0); j < ncells && d.err == nil; j++ {
+				id := d.varint()
+				ncols := d.uvarint()
+				for k := uint64(0); k < ncols && d.err == nil; k++ {
+					col := int(d.uvarint())
+					delta.Set(id, col, d.cell())
+				}
+			}
+			r.delta = delta
+		}
+		if ng := d.uvarint(); ng > 0 && d.err == nil {
+			r.groups = make([]value.MapKey, 0, ng)
+			for j := uint64(0); j < ng && d.err == nil; j++ {
+				r.groups = append(r.groups, d.mapKey())
+			}
+		}
+		if nt := d.uvarint(); nt > 0 && d.err == nil {
+			r.tuples = make([]int64, 0, nt)
+			for j := uint64(0); j < nt && d.err == nil; j++ {
+				r.tuples = append(r.tuples, d.varint())
+			}
+		}
+		if r.costRecord {
+			r.costQi = int(d.uvarint())
+			r.costEi = int(d.uvarint())
+			r.costEpsi = int(d.uvarint())
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint image
+
+// encodeCheckpoint renders the full session state of one published snapshot
+// plus the live background sweeps: everything Open needs to rebuild a
+// session without any WAL prefix. Derived structures (FD indexes, optimizer
+// stats, DC estimate caches) are not stored — they are deterministic
+// functions of original values and rebuild on recovery.
+func encodeCheckpoint(snap *snapshot, sweeps []sweepRef) []byte {
+	buf := []byte{ckptVersion}
+	buf = appendUvarint(buf, snap.epoch)
+	buf = appendUvarint(buf, uint64(len(snap.rules)))
+	for _, c := range snap.rules {
+		buf = appendString(buf, ruleText(c))
+	}
+	names := make([]string, 0, len(snap.tables))
+	for name := range snap.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = appendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		st := snap.tables[name]
+		buf = appendString(buf, name)
+		buf = appendPTImage(buf, st.pt)
+		buf = appendUvarint(buf, uint64(len(st.rules)))
+		for _, c := range st.rules {
+			buf = appendString(buf, c.Name)
+		}
+		if st.cost != nil {
+			cs := st.cost.State()
+			buf = append(buf, 1)
+			buf = appendUvarint(buf, uint64(cs.N))
+			buf = appendUvarint(buf, uint64(cs.Epsilon))
+			buf = appendFloat(buf, cs.P)
+			buf = appendUvarint(buf, uint64(cs.Seen))
+			buf = appendUvarint(buf, uint64(cs.CleanedErr))
+			buf = appendFloat(buf, cs.CumIncremental)
+			buf = appendUvarint(buf, uint64(cs.Queries))
+			if cs.Switched {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = appendUvarint(buf, uint64(len(st.checkedGroups)))
+		for _, rule := range sortedKeys(st.checkedGroups) {
+			set := st.checkedGroups[rule]
+			buf = appendString(buf, rule)
+			buf = appendUvarint(buf, uint64(len(set)))
+			for k := range set {
+				buf = k.AppendBinary(buf)
+			}
+		}
+		buf = appendUvarint(buf, uint64(len(st.checkedTuples)))
+		for _, rule := range sortedKeys(st.checkedTuples) {
+			set := st.checkedTuples[rule]
+			buf = appendString(buf, rule)
+			buf = appendUvarint(buf, uint64(len(set)))
+			for id := range set {
+				buf = appendVarint(buf, id)
+			}
+		}
+	}
+	buf = appendUvarint(buf, uint64(len(sweeps)))
+	for _, sw := range sweeps {
+		buf = appendString(buf, sw.table)
+		buf = appendString(buf, sw.rule)
+	}
+	return buf
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// decodeCheckpoint rebuilds the snapshot (fresh registration identities,
+// rebuilt indexes and stats) and returns it with the live-sweep list.
+func decodeCheckpoint(payload []byte) (*snapshot, []sweepRef, error) {
+	d := &dec{b: payload}
+	if v := d.byte(); v != ckptVersion {
+		return nil, nil, fmt.Errorf("core: unsupported checkpoint version %d", v)
+	}
+	snap := &snapshot{epoch: d.uvarint(), tables: make(map[string]*tableState)}
+	nrules := d.uvarint()
+	for i := uint64(0); i < nrules && d.err == nil; i++ {
+		c, err := dc.Parse(d.string())
+		if err != nil {
+			if d.err == nil {
+				d.err = err
+			}
+			break
+		}
+		snap.rules = append(snap.rules, c)
+	}
+	byName := make(map[string]*dc.Constraint, len(snap.rules))
+	for _, c := range snap.rules {
+		byName[c.Name] = c
+	}
+	ntables := d.uvarint()
+	for i := uint64(0); i < ntables && d.err == nil; i++ {
+		name := d.string()
+		pt := d.ptImage()
+		if d.err != nil {
+			break
+		}
+		st := newTableState(pt)
+		nbound := d.uvarint()
+		for j := uint64(0); j < nbound && d.err == nil; j++ {
+			rname := d.string()
+			c, ok := byName[rname]
+			if !ok {
+				d.err = fmt.Errorf("core: checkpoint binds unknown rule %q on %q", rname, name)
+				break
+			}
+			st.rules = append(st.rules, c)
+			if spec, isFD := c.AsFD(); isFD {
+				st.fdIdx[c.Name] = newFDIndex(pt, spec)
+			}
+		}
+		if len(st.rules) > 0 {
+			st.stats = collectStats(st)
+		}
+		if d.byte() == 1 {
+			cs := cost.State{
+				N: int(d.uvarint()), Epsilon: int(d.uvarint()), P: d.float(),
+				Seen: int(d.uvarint()), CleanedErr: int(d.uvarint()),
+				CumIncremental: d.float(), Queries: int(d.uvarint()),
+				Switched: d.byte() == 1,
+			}
+			st.cost = cost.FromState(cs)
+		}
+		ncg := d.uvarint()
+		for j := uint64(0); j < ncg && d.err == nil; j++ {
+			rule := d.string()
+			nkeys := d.uvarint()
+			set := make(map[value.MapKey]bool, nkeys)
+			for k := uint64(0); k < nkeys && d.err == nil; k++ {
+				set[d.mapKey()] = true
+			}
+			st.checkedGroups[rule] = set
+		}
+		nct := d.uvarint()
+		for j := uint64(0); j < nct && d.err == nil; j++ {
+			rule := d.string()
+			nids := d.uvarint()
+			set := make(map[int64]bool, nids)
+			for k := uint64(0); k < nids && d.err == nil; k++ {
+				set[d.varint()] = true
+			}
+			st.checkedTuples[rule] = set
+		}
+		snap.tables[name] = st
+	}
+	nsweeps := d.uvarint()
+	var sweeps []sweepRef
+	for i := uint64(0); i < nsweeps && d.err == nil; i++ {
+		sweeps = append(sweeps, sweepRef{table: d.string(), rule: d.string()})
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return snap, sweeps, nil
+}
+
+// ---------------------------------------------------------------------------
+// state fingerprint
+
+// stateFingerprint renders everything durable about a snapshot canonically:
+// per-table probabilistic state, checked-set bookkeeping, cost-model state,
+// bound rules, and the global rule list. Registration identities, epoch
+// counters, and derived caches (FD indexes, stats, DC estimates) are
+// excluded — they are session-local or recomputed. The crash-injection
+// tests assert a recovered session fingerprints byte-identically to the
+// uninterrupted oracle run.
+func stateFingerprint(snap *snapshot) string {
+	var b strings.Builder
+	names := make([]string, 0, len(snap.tables))
+	for name := range snap.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := snap.tables[name]
+		fmt.Fprintf(&b, "== table %s\n", name)
+		b.WriteString(st.pt.Fingerprint())
+		for _, c := range st.rules {
+			fmt.Fprintf(&b, "rule %s\n", c.Name)
+		}
+		for _, rule := range sortedKeys(st.checkedGroups) {
+			set := st.checkedGroups[rule]
+			keys := make([]string, 0, len(set))
+			for k := range set {
+				keys = append(keys, fmt.Sprintf("%x", k.AppendBinary(nil)))
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&b, "checkedGroups[%s]=%s\n", rule, strings.Join(keys, ","))
+		}
+		for _, rule := range sortedKeys(st.checkedTuples) {
+			set := st.checkedTuples[rule]
+			ids := make([]int64, 0, len(set))
+			for id := range set {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			fmt.Fprintf(&b, "checkedTuples[%s]=%v\n", rule, ids)
+		}
+		if st.cost != nil {
+			fmt.Fprintf(&b, "cost=%+v\n", st.cost.State())
+		}
+	}
+	for _, c := range snap.rules {
+		fmt.Fprintf(&b, "rule: %s\n", ruleText(c))
+	}
+	return b.String()
+}
+
+// StateFingerprint renders the current epoch's durable state canonically —
+// the comparison unit of the crash-recovery tests and the durability
+// experiment in cmd/daisy-bench.
+func (s *Session) StateFingerprint() string {
+	return stateFingerprint(s.w.current())
+}
+
+// ---------------------------------------------------------------------------
+// checkpointer
+
+// checkpointer publishes full-state checkpoints in the background, rotating
+// and pruning the WAL behind each one. It holds the writer and the bgclean
+// scheduler — never the Session — so a dropped session can still be
+// finalized while the goroutine is parked.
+type checkpointer struct {
+	w         *writer
+	dir       string
+	threshold int64
+	sched     *bgclean.Scheduler
+
+	quit     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	started  bool
+
+	mu      sync.Mutex // serializes whole checkpoint cycles
+	lastErr error
+}
+
+func newCheckpointer(w *writer, sched *bgclean.Scheduler, dir string, threshold int64) *checkpointer {
+	return &checkpointer{
+		w: w, sched: sched, dir: dir, threshold: threshold,
+		quit: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// start launches the automatic trigger loop (skipped when automatic
+// checkpointing is disabled; manual Session.Checkpoint still works).
+func (c *checkpointer) start() {
+	if c.threshold <= 0 {
+		return
+	}
+	c.started = true
+	go c.run()
+}
+
+func (c *checkpointer) run() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.w.ckptNudge:
+			if c.w.logTail() >= c.threshold {
+				_ = c.checkpoint()
+			}
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// stop halts the trigger loop and waits for an in-flight checkpoint cycle to
+// finish, so Session.Close can close the log without racing a checkpoint
+// append. Idempotent.
+func (c *checkpointer) stop() {
+	c.stopOnce.Do(func() {
+		close(c.quit)
+		if c.started {
+			<-c.done
+		}
+		// Barrier: an in-flight checkpoint() holds c.mu until its writes end.
+		c.mu.Lock()
+		c.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	})
+}
+
+// errState returns the last checkpoint failure.
+func (c *checkpointer) errState() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// checkpoint captures (snapshot, lastLSN) atomically under the writer mutex
+// — appends publish their snapshot before releasing it, so the image covers
+// exactly the records up to lastLSN — writes the checkpoint file, rotates
+// the log, and prunes covered files. Safe to run concurrently with appends:
+// records landing after lastLSN stay in un-pruned files and replay on top.
+func (c *checkpointer) checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.mu.Lock()
+	if c.w.wlog == nil {
+		c.w.mu.Unlock()
+		return nil
+	}
+	snap := c.w.current()
+	lsn := c.w.wlog.LastLSN()
+	c.w.mu.Unlock()
+	var sweeps []sweepRef
+	if c.sched != nil {
+		for _, st := range c.sched.Status() {
+			if !st.State.Terminal() {
+				sweeps = append(sweeps, sweepRef{table: st.Table, rule: st.Rule})
+			}
+		}
+	}
+	payload := encodeCheckpoint(snap, sweeps)
+	if err := wal.WriteCheckpoint(c.dir, lsn, payload); err != nil {
+		c.lastErr = err
+		return err
+	}
+	c.w.mu.Lock()
+	if c.w.wlog != nil {
+		_ = c.w.wlog.Rotate()
+	}
+	c.w.mu.Unlock()
+	if err := wal.Prune(c.dir, lsn); err != nil {
+		c.lastErr = err
+		return err
+	}
+	return nil
+}

@@ -45,6 +45,19 @@ import (
 	"daisy/internal/schema"
 	"daisy/internal/sql"
 	"daisy/internal/table"
+	"daisy/internal/wal"
+)
+
+// SyncMode selects how eagerly a durable session's write-ahead log reaches
+// stable storage; see the constants on package wal.
+type SyncMode = wal.SyncMode
+
+// Sync modes: SyncOS (default) leaves records in the OS page cache — state
+// survives a process crash but the tail since the last checkpoint may be
+// lost on power failure; SyncAlways fsyncs every record.
+const (
+	SyncOS     = wal.SyncOS
+	SyncAlways = wal.SyncAlways
 )
 
 // Strategy selects how cleaning work is scheduled.
@@ -99,6 +112,20 @@ type Options struct {
 	// of ptable.SegmentSize so chunk clones align with storage segments;
 	// default 4096 (8 segments).
 	CleanChunkSize int
+	// Dir, when set, makes the session durable: every apply batch appends
+	// one O(delta) record to a write-ahead log in Dir, full-state
+	// checkpoints publish in the background, and Open(Options{Dir: ...})
+	// recovers the cleaned state, checked-set bookkeeping, and in-flight
+	// sweep progress after a crash. Empty (default) keeps the session
+	// purely in memory.
+	Dir string
+	// Sync selects the WAL sync mode of a durable session (default SyncOS).
+	Sync SyncMode
+	// CheckpointBytes triggers an automatic background checkpoint once the
+	// WAL tail since the previous checkpoint exceeds this many bytes
+	// (default 4MB). Negative disables automatic checkpointing; explicit
+	// Checkpoint calls still work.
+	CheckpointBytes int64
 }
 
 // defaults resolves every option exactly once (NewSession); call sites read
@@ -118,6 +145,9 @@ func (o *Options) defaults() {
 	}
 	if rem := o.CleanChunkSize % ptable.SegmentSize; rem != 0 {
 		o.CleanChunkSize += ptable.SegmentSize - rem
+	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 4 << 20
 	}
 }
 
@@ -149,6 +179,7 @@ type Session struct {
 	opts Options
 	w    *writer
 	bg   *bgclean.Scheduler // background full-clean jobs (§5.2.3 gone async)
+	ckpt *checkpointer      // durable sessions only (nil: in-memory)
 	sem  chan struct{}      // MaxConcurrentQueries gate (nil: unlimited)
 	dcMu sync.Mutex         // serializes general-DC cleaning sections
 
@@ -158,44 +189,121 @@ type Session struct {
 	metricsMu sync.Mutex
 }
 
-// NewSession creates an empty session.
+// NewSession creates an empty session. With Options.Dir set it behaves as
+// Open — recovering any existing durable state — and panics on a recovery
+// error; services that need to handle that error call Open directly.
 func NewSession(opts Options) *Session {
+	if opts.Dir != "" {
+		s, err := Open(opts)
+		if err != nil {
+			panic(fmt.Sprintf("core: open durable session %q: %v", opts.Dir, err))
+		}
+		return s
+	}
+	s := newMemSession(opts)
+	s.arm()
+	return s
+}
+
+// Open creates a session backed by the durable directory opts.Dir (created
+// if needed): it loads the latest checkpoint, replays the write-ahead log
+// since it, re-enqueues unfinished background sweeps (which resume from the
+// recovered checked-set bookkeeping rather than restarting), and then
+// attaches the log so new work is journaled. With an empty Dir it is
+// NewSession with an error return.
+func Open(opts Options) (*Session, error) {
+	s := newMemSession(opts)
+	if s.opts.Dir != "" {
+		if err := s.recoverDurable(); err != nil {
+			s.bg.Close()
+			s.w.close()
+			return nil, err
+		}
+	}
+	s.arm()
+	return s, nil
+}
+
+// newMemSession builds the in-memory core every session starts from.
+func newMemSession(opts Options) *Session {
 	opts.defaults()
 	s := &Session{opts: opts, w: newWriter()}
 	w := s.w
 	// Background sweeps yield to foreground traffic: the runner waits
 	// between chunks while query write-backs are queued on the writer.
-	bg := bgclean.New(bgclean.Options{
+	s.bg = bgclean.New(bgclean.Options{
 		Backpressure:  func() bool { return w.depth() > 0 },
 		ChunkAlign:    ptable.SegmentSize,
 		InitChunkRows: opts.CleanChunkSize,
 	})
-	s.bg = bg
 	if opts.MaxConcurrentQueries > 0 {
 		s.sem = make(chan struct{}, opts.MaxConcurrentQueries)
 	}
-	// The apply goroutine references only the writer and the sweep runner
-	// only the scheduler (which drops job bodies — and with them the Session
-	// reference — as jobs reach a terminal state), so an unreachable Session
-	// can be finalized even while both goroutines are parked; Close is still
-	// the deterministic way to release them. One caveat: a job left PAUSED
-	// pins its body (and the Session) until Resume/Cancel/Close — only those
-	// Session methods can release it, so dropping a session mid-pause leaks
-	// it for the process lifetime (see PauseCleaning).
-	runtime.SetFinalizer(s, func(s *Session) { bg.Close(); w.close() })
 	return s
 }
 
+// arm installs the finalizer once the session is fully assembled (including
+// the checkpointer of a durable session). The apply goroutine references
+// only the writer, the sweep runner only the scheduler (which drops job
+// bodies — and with them the Session reference — as jobs reach a terminal
+// state), and the checkpointer only the writer and scheduler, so an
+// unreachable Session can be finalized even while all three goroutines are
+// parked; Close is still the deterministic way to release them. One caveat:
+// a job left PAUSED pins its body (and the Session) until
+// Resume/Cancel/Close — only those Session methods can release it, so
+// dropping a session mid-pause leaks it for the process lifetime (see
+// PauseCleaning). The teardown order mirrors Close and is safe against a
+// concurrent explicit Close: writer.close waits for the apply loop to drain
+// before closing the log, and late closers block until the first finishes.
+func (s *Session) arm() {
+	w, bg, ck := s.w, s.bg, s.ckpt
+	runtime.SetFinalizer(s, func(s *Session) {
+		bg.Close()
+		if ck != nil {
+			ck.stop()
+		}
+		w.close()
+	})
+}
+
 // Close cancels background cleaning jobs cooperatively (a sweep stops at its
-// next chunk boundary, leaving a valid state), stops the apply goroutine,
-// and marks the session closed: subsequent Query/QueryContext calls return
-// ErrSessionClosed. Close is idempotent and safe to call concurrently with
-// in-flight queries — a query admitted before Close still completes (its
-// write-backs apply inline); a finalizer covers sessions that are simply
-// dropped.
+// next chunk boundary, leaving a valid state), stops the checkpointer,
+// drains and stops the apply goroutine, syncs and closes the write-ahead
+// log, and marks the session closed: subsequent Query/QueryContext calls
+// return ErrSessionClosed. Close is idempotent and safe to call concurrently
+// with in-flight queries — a query admitted before Close still completes
+// (its write-backs apply inline, in memory only: a write-back that loses the
+// race with Close is not journaled); a finalizer covers sessions that are
+// simply dropped.
 func (s *Session) Close() {
 	s.bg.Close()
+	if s.ckpt != nil {
+		s.ckpt.stop()
+	}
 	s.w.close()
+}
+
+// Checkpoint forces a full-state checkpoint of the current epoch now,
+// rotating and pruning the write-ahead log behind it. A no-op for in-memory
+// sessions.
+func (s *Session) Checkpoint() error {
+	if s.ckpt == nil {
+		return nil
+	}
+	return s.ckpt.checkpoint()
+}
+
+// DurabilityError reports the first write-ahead-log or checkpoint failure
+// the session swallowed (the session degrades to in-memory operation rather
+// than failing queries); nil while healthy and for in-memory sessions.
+func (s *Session) DurabilityError() error {
+	if err := s.w.durabilityErr(); err != nil {
+		return err
+	}
+	if s.ckpt != nil {
+		return s.ckpt.errState()
+	}
+	return nil
 }
 
 // CleaningStatus reports every background full-clean job the session has
@@ -230,13 +338,17 @@ func (s *Session) CancelCleaning(table, rule string) bool { return s.bg.Cancel(t
 
 // Register snapshots a dirty table into the session.
 func (s *Session) Register(t *table.Table) error {
-	return s.w.mutate(func(next *snapshot, cloned map[string]bool) error {
-		if _, dup := next.tables[t.Name]; dup {
-			return fmt.Errorf("core: table %q already registered", t.Name)
-		}
-		next.tables[t.Name] = newTableState(ptable.FromTable(t))
-		return nil
-	})
+	var st *tableState
+	return s.w.mutateLogged(
+		func() []byte { return encodeRegisterRecord(t.Name, st.pt) },
+		func(next *snapshot, cloned map[string]bool) error {
+			if _, dup := next.tables[t.Name]; dup {
+				return fmt.Errorf("core: table %q already registered", t.Name)
+			}
+			st = newTableState(ptable.FromTable(t))
+			next.tables[t.Name] = st
+			return nil
+		})
 }
 
 // AddRule binds a denial constraint and precomputes its statistics (the
@@ -246,58 +358,62 @@ func (s *Session) AddRule(rule *dc.Constraint) error {
 	if rule.Name == "" {
 		return fmt.Errorf("core: rule must be named")
 	}
-	return s.w.mutate(func(next *snapshot, cloned map[string]bool) error {
-		bound := false
-		for name := range next.tables {
-			st := next.tables[name]
-			if rule.Table != "" && rule.Table != name {
-				continue
-			}
-			ok := true
-			for _, col := range rule.Columns() {
-				if !st.pt.Schema.Has(col) {
-					ok = false
-					break
+	return s.w.mutateLogged(
+		func() []byte { return encodeRuleRecord(rule) },
+		func(next *snapshot, cloned map[string]bool) error {
+			bound := false
+			for name := range next.tables {
+				st := next.tables[name]
+				if rule.Table != "" && rule.Table != name {
+					continue
 				}
-			}
-			if !ok {
-				if rule.Table == name {
-					return fmt.Errorf("core: rule %s references columns missing from %s", rule.Name, name)
+				ok := true
+				for _, col := range rule.Columns() {
+					if !st.pt.Schema.Has(col) {
+						ok = false
+						break
+					}
 				}
-				continue
-			}
-			st = next.mutableTable(name, cloned)
-			st.rules = append(append([]*dc.Constraint(nil), st.rules...), rule)
-			if spec, isFD := rule.AsFD(); isFD {
-				idx := make(map[string]*fdIndex, len(st.fdIdx)+1)
-				for r, ix := range st.fdIdx {
-					idx[r] = ix
+				if !ok {
+					if rule.Table == name {
+						return fmt.Errorf("core: rule %s references columns missing from %s", rule.Name, name)
+					}
+					continue
 				}
-				if idx[rule.Name] == nil {
-					idx[rule.Name] = newFDIndex(st.pt, spec)
+				st = next.mutableTable(name, cloned)
+				st.rules = append(append([]*dc.Constraint(nil), st.rules...), rule)
+				if spec, isFD := rule.AsFD(); isFD {
+					idx := make(map[string]*fdIndex, len(st.fdIdx)+1)
+					for r, ix := range st.fdIdx {
+						idx[r] = ix
+					}
+					if idx[rule.Name] == nil {
+						idx[rule.Name] = newFDIndex(st.pt, spec)
+					}
+					st.fdIdx = idx
 				}
-				st.fdIdx = idx
+				st.stats = collectStats(st)
+				st.cost = cost.New(st.stats.N, st.stats.Epsilon(), st.stats.P())
+				bound = true
 			}
-			st.stats = collectStats(st)
-			st.cost = cost.New(st.stats.N, st.stats.Epsilon(), st.stats.P())
-			bound = true
-		}
-		if !bound {
-			return fmt.Errorf("core: rule %s matches no registered table", rule.Name)
-		}
-		next.rules = append(append([]*dc.Constraint(nil), next.rules...), rule)
-		return nil
-	})
+			if !bound {
+				return fmt.Errorf("core: rule %s matches no registered table", rule.Name)
+			}
+			next.rules = append(append([]*dc.Constraint(nil), next.rules...), rule)
+			return nil
+		})
 }
 
 // ReplaceTable installs an externally prepared probabilistic relation under
 // its name, replacing any existing registration. Baselines use it to query
 // data they cleaned offline.
 func (s *Session) ReplaceTable(name string, pt *ptable.PTable) {
-	_ = s.w.mutate(func(next *snapshot, cloned map[string]bool) error {
-		next.tables[name] = newTableState(pt)
-		return nil
-	})
+	_ = s.w.mutateLogged(
+		func() []byte { return encodeReplaceRecord(name, pt) },
+		func(next *snapshot, cloned map[string]bool) error {
+			next.tables[name] = newTableState(pt)
+			return nil
+		})
 }
 
 // Table exposes the current probabilistic state of a relation (the latest

@@ -37,6 +37,41 @@ func New(n, epsilon int, p float64) *Model {
 	return &Model{N: n, Epsilon: epsilon, P: p}
 }
 
+// State is the complete serializable state of a Model. The durability layer
+// checkpoints it and restores the decision trajectory exactly: a model
+// rebuilt from its State answers every future ShouldSwitchToFull call the
+// same way the original would have.
+type State struct {
+	N              int
+	Epsilon        int
+	P              float64
+	Seen           int
+	CleanedErr     int
+	CumIncremental float64
+	Queries        int
+	Switched       bool
+}
+
+// State snapshots the model.
+func (m *Model) State() State {
+	return State{
+		N: m.N, Epsilon: m.Epsilon, P: m.P,
+		Seen: m.seen, CleanedErr: m.cleanedErr,
+		CumIncremental: m.cumIncremental, Queries: m.queries,
+		Switched: m.switched,
+	}
+}
+
+// FromState rebuilds a model from a snapshot taken by State.
+func FromState(st State) *Model {
+	return &Model{
+		N: st.N, Epsilon: st.Epsilon, P: st.P,
+		seen: st.Seen, cleanedErr: st.CleanedErr,
+		cumIncremental: st.CumIncremental, queries: st.Queries,
+		switched: st.Switched,
+	}
+}
+
 // OfflineCost is the traditional cleaning cost of §5.2.1 plus the query
 // execution cost: q·n + d_f + ε·n + n + ε·p, with d_f = n for FDs (hash
 // grouping).

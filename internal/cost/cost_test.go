@@ -129,3 +129,28 @@ func TestPFloor(t *testing.T) {
 		t.Errorf("P floor = %v, want 1", m.P)
 	}
 }
+
+// TestStateRoundTripPreservesTrajectory: a model rebuilt from its State must
+// answer every future decision exactly as the original — the recovery path
+// depends on the restored trajectory, not just the counters.
+func TestStateRoundTripPreservesTrajectory(t *testing.T) {
+	m := New(10000, 400, 25)
+	for i := 0; i < 7; i++ {
+		m.RecordQuery(200+i, 12, 9)
+	}
+	r := FromState(m.State())
+	if *r != *m {
+		t.Fatalf("round trip changed model: %+v -> %+v", *m, *r)
+	}
+	for _, probe := range [][3]int{{100, 5, 4}, {5000, 300, 250}, {50, 0, 0}} {
+		want := m.ShouldSwitchToFull(probe[0], probe[1], probe[2])
+		if got := r.ShouldSwitchToFull(probe[0], probe[1], probe[2]); got != want {
+			t.Errorf("restored model decides %v for %v, original %v", got, probe, want)
+		}
+	}
+	// Switched state survives too.
+	m.MarkSwitched()
+	if r2 := FromState(m.State()); !r2.Switched() {
+		t.Error("Switched flag lost in round trip")
+	}
+}

@@ -231,6 +231,14 @@ func (p *PTable) SetLineageSource(name string, ids []int64) {
 	p.srcName, p.srcIDs = name, ids
 }
 
+// LineageSource returns the single-source redirect installed by
+// SetLineageSource (empty name and nil ids on base relations). The
+// durability layer persists it so a checkpointed derived relation replays
+// lineage identically.
+func (p *PTable) LineageSource() (string, []int64) {
+	return p.srcName, p.srcIDs
+}
+
 // Append adds a tuple. IDs must be unique within the relation. Append
 // panics on a relation that has participated in copy-on-write (an ApplyCOW
 // result or receiver): its segments and id index are shared across epoch
@@ -492,7 +500,7 @@ func (d *Delta) Set(id int64, col int, c uncertain.Cell) {
 			d.block = make([]ColCell, 0, deltaBlockTuples*deltaTupleCells)
 		}
 		n := len(d.block)
-		s = d.block[n:n : n+deltaTupleCells]
+		s = d.block[n : n : n+deltaTupleCells]
 		d.block = d.block[:n+deltaTupleCells]
 	}
 	d.Cells[id] = append(s, ColCell{Col: col, Cell: c})

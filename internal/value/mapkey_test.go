@@ -92,3 +92,58 @@ func TestScalarMapKeyAllocs(t *testing.T) {
 		t.Errorf("scalar MapKey/Key64 allocated %v times per run, want 0", n)
 	}
 }
+
+// TestMapKeyBinaryRoundTrip: AppendBinary/DecodeMapKey must round-trip every
+// corpus key (scalar and composite) exactly, preserving equality structure,
+// and reject truncated or unknown-kind input — the WAL stores checked-group
+// keys in this encoding.
+func TestMapKeyBinaryRoundTrip(t *testing.T) {
+	vals := keyCorpus()
+	keys := make([]MapKey, 0, len(vals)+4)
+	for _, v := range vals {
+		keys = append(keys, v.MapKey())
+	}
+	keys = append(keys,
+		CompositeKeyFromBytes(AppendKeyBytes(nil, NewInt(1), NewString("a"))),
+		CompositeKeyFromBytes(AppendKeyBytes(nil, NewString("a"), NewInt(1))),
+		CompositeKeyFromBytes(AppendKeyBytes(nil, NewNull())),
+		CompositeKeyFromBytes(nil),
+	)
+	for _, k := range keys {
+		buf := k.AppendBinary([]byte("prefix"))
+		got, rest, err := DecodeMapKey(buf[len("prefix"):])
+		if err != nil {
+			t.Fatalf("decode %v: %v", k, err)
+		}
+		if got != k {
+			t.Errorf("round trip changed key: %v -> %v", k, got)
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode of %v left %d bytes", k, len(rest))
+		}
+	}
+	// Concatenated keys decode in sequence.
+	var buf []byte
+	for _, k := range keys {
+		buf = k.AppendBinary(buf)
+	}
+	rest := buf
+	for i, k := range keys {
+		var got MapKey
+		var err error
+		got, rest, err = DecodeMapKey(rest)
+		if err != nil || got != k {
+			t.Fatalf("sequential decode %d: got %v err %v, want %v", i, got, err, k)
+		}
+	}
+	// Truncations fail cleanly rather than mis-decoding.
+	full := NewString("hello").MapKey().AppendBinary(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeMapKey(full[:cut]); err == nil && cut < len(full) {
+			t.Errorf("truncation at %d decoded successfully", cut)
+		}
+	}
+	if _, _, err := DecodeMapKey([]byte{0xee}); err == nil {
+		t.Error("unknown kind byte decoded successfully")
+	}
+}

@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Checkpoint files carry a full-state image covering every record with
+// LSN <= the checkpoint's LSN. Format: [magic:4 | lsn:8 | payloadLen:8 |
+// CRC32C(payload):4 | payload], written to a .tmp sibling, fsynced, and
+// renamed into place so a checkpoint is either wholly present or absent —
+// a crash mid-checkpoint leaves the previous checkpoint authoritative.
+
+var ckptMagic = [4]byte{'D', 'C', 'K', 'P'}
+
+const ckptHeader = 4 + 8 + 8 + 4
+
+// WriteCheckpoint atomically publishes a checkpoint covering records <= lsn.
+func WriteCheckpoint(dir string, lsn uint64, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, ckptFileName(lsn))
+	tmp := final + ".tmp"
+	buf := make([]byte, ckptHeader, ckptHeader+len(payload))
+	copy(buf[0:4], ckptMagic[:])
+	binary.LittleEndian.PutUint64(buf[4:12], lsn)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.Checksum(payload, crcTable))
+	buf = append(buf, payload...)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LatestCheckpoint returns the newest valid checkpoint in dir. Invalid
+// candidates — torn payloads, CRC failures, leftover .tmp files — are
+// skipped, falling back to the next-newest, so a crash at any point of
+// checkpoint publication recovers from the previous one.
+func LatestCheckpoint(dir string) (lsn uint64, payload []byte, ok bool, err error) {
+	lsns, err := ckptLSNs(dir)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for i := len(lsns) - 1; i >= 0; i-- {
+		payload, ok := readCheckpoint(filepath.Join(dir, ckptFileName(lsns[i])), lsns[i])
+		if ok {
+			return lsns[i], payload, true, nil
+		}
+	}
+	return 0, nil, false, nil
+}
+
+// readCheckpoint validates and decodes one checkpoint file; any structural
+// problem reports !ok rather than an error (the caller falls back).
+func readCheckpoint(path string, want uint64) ([]byte, bool) {
+	buf, err := os.ReadFile(path)
+	if err != nil || len(buf) < ckptHeader {
+		return nil, false
+	}
+	if [4]byte(buf[0:4]) != ckptMagic {
+		return nil, false
+	}
+	lsn := binary.LittleEndian.Uint64(buf[4:12])
+	n := binary.LittleEndian.Uint64(buf[12:20])
+	sum := binary.LittleEndian.Uint32(buf[20:24])
+	if lsn != want || n != uint64(len(buf)-ckptHeader) {
+		return nil, false
+	}
+	payload := buf[ckptHeader:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Prune removes files made redundant by a valid checkpoint at lsn: older
+// checkpoints, leftover .tmp files, and every rotated log file whose records
+// are all covered (a file is covered when the next file's first LSN is
+// <= lsn+1, i.e. every record it holds has LSN <= lsn). The current tail
+// file is never removed. Best-effort: removal errors are ignored — a
+// leftover file only costs replay time, never correctness.
+func Prune(dir string, lsn uint64) error {
+	lsns, err := ckptLSNs(dir)
+	if err != nil {
+		return err
+	}
+	for _, l := range lsns {
+		if l < lsn {
+			os.Remove(filepath.Join(dir, ckptFileName(l)))
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	files, err := logFiles(dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(files); i++ {
+		if files[i+1].start <= lsn+1 {
+			os.Remove(files[i].path)
+		}
+	}
+	return syncDir(dir)
+}
+
+func ckptFileName(lsn uint64) string {
+	return fmt.Sprintf("ckpt-%016x.ckpt", lsn)
+}
+
+// ckptLSNs lists checkpoint LSNs present in dir in ascending order.
+func ckptLSNs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		var lsn uint64
+		if _, err := fmt.Sscanf(name, "ckpt-%016x.ckpt", &lsn); err != nil {
+			continue
+		}
+		out = append(out, lsn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// syncDir fsyncs the directory so renames and removals are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	// Some platforms refuse fsync on directories; durability of the rename
+	// then rides the next file fsync, which is acceptable for SyncOS and a
+	// documented caveat for SyncAlways.
+	if err != nil && os.IsPermission(err) {
+		return nil
+	}
+	return err
+}

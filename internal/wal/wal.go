@@ -1,0 +1,278 @@
+// Package wal implements the on-disk durability substrate under Daisy's
+// single-writer apply loop: an append-only, CRC-framed write-ahead log plus
+// atomically written checkpoint files. The package is deliberately ignorant
+// of what the payloads mean — record encoding of epochs, deltas, and checked
+// sets lives with the writer in internal/core — and owns only the framing,
+// torn-tail recovery, rotation, and file-retention mechanics.
+//
+// Layout of a durable session directory:
+//
+//	wal-<firstLSN>.log   append-only record files; rotated at checkpoints
+//	ckpt-<lsn>.ckpt      full-state checkpoints covering every record <= lsn
+//
+// Each record is framed as [LSN:8 | payloadLen:4 | CRC32C(payload):4 |
+// payload]. LSNs start at 1 and increase by one per record across file
+// rotations. A crash can tear only the final record of the final file; the
+// reader detects the tear by length/CRC and the writer truncates it on open,
+// so the log always reopens at a record boundary.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SyncMode selects how eagerly records reach stable storage.
+type SyncMode int
+
+const (
+	// SyncOS writes records to the OS page cache without fsync. State
+	// survives a process crash (SIGKILL, panic) — the kernel completes the
+	// write — but the tail since the last checkpoint may be lost on power
+	// failure or kernel panic. This is the default: it keeps the WAL off the
+	// apply path's critical latency.
+	SyncOS SyncMode = iota
+	// SyncAlways fsyncs after every record: records survive power failure at
+	// the cost of one fsync per apply batch.
+	SyncAlways
+)
+
+const frameHeader = 8 + 4 + 4 // LSN + length + CRC
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by Append and Sync after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// maxRecordLen bounds a single record payload (a full-relation replace image
+// is the largest legitimate record); anything above it in a frame header is
+// treated as corruption rather than allocated.
+const maxRecordLen = 1 << 31
+
+// Log is the append side of a write-ahead log directory. All methods are
+// safe for concurrent use, though Daisy serializes appends under the writer
+// mutex anyway.
+type Log struct {
+	dir  string
+	mode SyncMode
+
+	mu      sync.Mutex
+	f       *os.File // current file; nil until the first append after open/rotate
+	start   uint64   // first LSN of the current file
+	nextLSN uint64
+	tail    int64 // bytes appended since the last rotation (checkpoint trigger input)
+	closed  bool
+
+	// failAppend, when non-nil, fails the next Append without writing or
+	// consuming an LSN — the fault-injection hook behind the engine's
+	// degradation tests (an I/O error must detach the log, not hole the
+	// journal).
+	failAppend error
+}
+
+// FailNextAppend arms the append fault injector: the next Append returns err
+// with nothing written. Testing hook.
+func (l *Log) FailNextAppend(err error) {
+	l.mu.Lock()
+	l.failAppend = err
+	l.mu.Unlock()
+}
+
+// OpenLog opens (creating if needed) the log in dir for appending. Existing
+// files are scanned; a torn final record is truncated away. minNext floors
+// the next LSN — pass the latest checkpoint's LSN so a fully pruned log
+// (all records covered by the checkpoint) does not reissue old LSNs.
+func OpenLog(dir string, mode SyncMode, minNext uint64) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	files, err := logFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, mode: mode, nextLSN: minNext + 1}
+	if n := len(files); n > 0 {
+		last := files[n-1]
+		recs, valid, err := scanFile(last.path, 0)
+		if err != nil {
+			return nil, err
+		}
+		if info, err := os.Stat(last.path); err == nil && info.Size() > valid {
+			// Torn tail from a crash mid-append: cut back to the last whole
+			// record so the file reopens at a frame boundary.
+			if err := os.Truncate(last.path, valid); err != nil {
+				return nil, err
+			}
+		}
+		next := last.start // empty file: continue its LSN range
+		if len(recs) > 0 {
+			next = recs[len(recs)-1].LSN + 1
+		}
+		if next > l.nextLSN {
+			l.nextLSN = next
+		}
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.f, l.start, l.tail = f, last.start, valid
+	}
+	return l, nil
+}
+
+// Append frames payload as the next record and writes it, returning the
+// record's LSN. Under SyncAlways the record is fsynced before return.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.failAppend; err != nil {
+		l.failAppend = nil
+		return 0, err
+	}
+	if l.f == nil {
+		if err := l.openFileLocked(l.nextLSN); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN
+	frame := make([]byte, frameHeader, frameHeader+len(payload))
+	binary.LittleEndian.PutUint64(frame[0:8], lsn)
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[12:16], crc32.Checksum(payload, crcTable))
+	frame = append(frame, payload...)
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, err
+	}
+	if l.mode == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	l.nextLSN++
+	l.tail += int64(len(frame))
+	return lsn, nil
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 if none
+// were ever appended to this directory).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// TailSize returns the bytes appended since the last rotation — the input to
+// the automatic-checkpoint trigger.
+func (l *Log) TailSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+// Sync flushes the current file to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Rotate fsyncs and closes the current file; the next Append starts a fresh
+// one. Called after a checkpoint so Prune can retire fully covered files.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.f, l.tail = nil, 0
+	return nil
+}
+
+// Close fsyncs and closes the log. Idempotent; appends after Close return
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+func (l *Log) openFileLocked(start uint64) error {
+	path := filepath.Join(l.dir, logFileName(start))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.start, l.tail = f, start, 0
+	return nil
+}
+
+func logFileName(start uint64) string {
+	return fmt.Sprintf("wal-%016x.log", start)
+}
+
+type logFile struct {
+	path  string
+	start uint64
+}
+
+// logFiles lists the directory's wal files ordered by first LSN.
+func logFiles(dir string) ([]logFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []logFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var start uint64
+		if _, err := fmt.Sscanf(name, "wal-%016x.log", &start); err != nil {
+			continue
+		}
+		out = append(out, logFile{path: filepath.Join(dir, name), start: start})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	return out, nil
+}

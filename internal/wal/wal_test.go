@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppendReadRoundTrip: records come back in order with their LSNs and
+// payloads across a close/reopen cycle.
+func TestAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Records(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || string(r.Payload) != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("record %d = {%d %q}", i, r.LSN, r.Payload)
+		}
+	}
+	// The `after` filter skips covered records.
+	recs, err = Records(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].LSN != 4 {
+		t.Fatalf("after=3: got %v", recs)
+	}
+	// Reopen continues the LSN sequence.
+	l2, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	lsn, err := l2.Append([]byte("rec-5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 6 {
+		t.Fatalf("post-reopen lsn = %d, want 6", lsn)
+	}
+}
+
+// TestTornTailTruncatedOnOpen: a crash mid-append leaves a partial frame;
+// reading stops at the boundary and reopening truncates the tear so new
+// appends land on a clean boundary.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("will-be-torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, logFileName(1))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record 3 bytes short.
+	if err := os.WriteFile(path, buf[:len(buf)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Records(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "whole" {
+		t.Fatalf("torn log read = %v", recs)
+	}
+	l2, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn, err := l2.Append([]byte("after-crash")); err != nil || lsn != 2 {
+		t.Fatalf("append after tear: lsn=%d err=%v, want 2", lsn, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Records(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[1].Payload) != "after-crash" {
+		t.Fatalf("post-recovery read = %v", recs)
+	}
+}
+
+// TestCorruptPayloadStopsRead: a bit flip in the final record's payload
+// fails the CRC and reads as a torn tail.
+func TestCorruptPayloadStopsRead(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("flipped")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, logFileName(1))
+	buf, _ := os.ReadFile(path)
+	buf[len(buf)-1] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Records(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "good" {
+		t.Fatalf("corrupt-tail read = %v", recs)
+	}
+}
+
+// TestRotateAndPrune: rotation starts a fresh file, a checkpoint covering
+// the old file lets Prune retire it, and replay after the checkpoint sees
+// only the tail records.
+func TestRotateAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckLSN := l.LastLSN()
+	if err := WriteCheckpoint(dir, ckLSN, []byte("state@3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.TailSize() != 0 {
+		t.Fatalf("tail after rotate = %d", l.TailSize())
+	}
+	if _, err := l.Append([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Prune(dir, ckLSN); err != nil {
+		t.Fatal(err)
+	}
+	files, err := logFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].start != 4 {
+		t.Fatalf("post-prune files = %v", files)
+	}
+	lsn, payload, ok, err := LatestCheckpoint(dir)
+	if err != nil || !ok || lsn != ckLSN || string(payload) != "state@3" {
+		t.Fatalf("checkpoint = (%d, %q, %v, %v)", lsn, payload, ok, err)
+	}
+	recs, err := Records(dir, lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "new" {
+		t.Fatalf("records after checkpoint = %v", recs)
+	}
+}
+
+// TestCheckpointFallback: a corrupt newest checkpoint (simulating a crash
+// mid-publication that somehow renamed, or disk corruption) falls back to
+// the previous valid one; leftover .tmp files are ignored and pruned.
+func TestCheckpointFallback(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 5, []byte("good@5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, 9, bytes.Repeat([]byte("x"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest checkpoint's payload.
+	path := filepath.Join(dir, ckptFileName(9))
+	buf, _ := os.ReadFile(path)
+	buf[len(buf)-1] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And leave a stale tmp behind, as an interrupted publication would.
+	if err := os.WriteFile(filepath.Join(dir, ckptFileName(12)+".tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lsn, payload, ok, err := LatestCheckpoint(dir)
+	if err != nil || !ok || lsn != 5 || string(payload) != "good@5" {
+		t.Fatalf("fallback checkpoint = (%d, %q, %v, %v)", lsn, payload, ok, err)
+	}
+	if err := Prune(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ckptFileName(12)+".tmp")); !os.IsNotExist(err) {
+		t.Fatal("stale .tmp survived Prune")
+	}
+}
+
+// TestMinNextFloorsLSN: with every record pruned by a checkpoint, a reopened
+// log must not reissue covered LSNs.
+func TestMinNextFloorsLSN(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncOS, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lsn, err := l.Append([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 8 {
+		t.Fatalf("floored lsn = %d, want 8", lsn)
+	}
+}
+
+// TestRecordBoundaries: Record.End offsets let a harness truncate the log at
+// any record boundary — the resulting prefix must read back exactly.
+func TestRecordBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Records(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < len(recs); k++ {
+		sub := t.TempDir()
+		buf, err := os.ReadFile(recs[k].File)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, filepath.Base(recs[k].File)), buf[:recs[k].End], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Records(sub, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k+1 || got[k].LSN != recs[k].LSN {
+			t.Fatalf("truncation at record %d read %d records", k, len(got))
+		}
+	}
+}
