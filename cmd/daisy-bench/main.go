@@ -63,8 +63,9 @@ func main() {
 	parallel := flag.Int("parallel", 1, "qps: number of concurrent query callers")
 	queries := flag.Int("queries", 400, "qps: total queries across all callers")
 	rows := flag.Int("rows", 20000, "qps: relation size")
-	dir := flag.String("dir", "", "durability: WAL/checkpoint directory")
-	phase := flag.String("phase", "run", "durability: run|verify")
+	dir := flag.String("dir", "", "durability/serve: WAL/checkpoint directory (serve: tenant root)")
+	phase := flag.String("phase", "run", "durability/serve: run|verify")
+	url := flag.String("url", "", "serve: target a running daisy-serve instead of an in-process server")
 	flag.Parse()
 
 	// Ctrl-C cancels in-flight queries through the context path; the qps
@@ -96,6 +97,13 @@ func main() {
 	}
 	if *exp == "durability" {
 		if err := runDurability(ctx, *dir, *phase, *rows); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "serve" {
+		if err := runServe(ctx, *parallel, *queries, *rows, *dir, *url, *phase); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

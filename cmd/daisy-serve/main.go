@@ -1,0 +1,96 @@
+// Command daisy-serve runs the Daisy HTTP front-end: per-tenant cleaning
+// sessions behind bounded admission control, with Prometheus metrics and
+// graceful drain.
+//
+//	daisy-serve -addr :8080 -root /var/lib/daisy
+//
+// Tenants are selected by the X-Daisy-Tenant header (default "default");
+// with -root each tenant is a durable session directory under the root,
+// recovered on first use and checkpointed on idle eviction and shutdown.
+// SIGTERM/SIGINT starts the drain: new work is rejected with 503 +
+// Retry-After, in-flight query streams run to their trailers, background
+// cleaning completes, durable state checkpoints, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"daisy/internal/core"
+	"daisy/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		root         = flag.String("root", "", "durable tenant root directory (empty: in-memory tenants)")
+		sync         = flag.String("sync", "os", "WAL sync mode of durable tenants: os|always")
+		maxInflight  = flag.Int("max-inflight", 32, "max queries executing or streaming at once")
+		maxQueue     = flag.Int("max-queue", 64, "max queries waiting for an execution slot")
+		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "max wait for an execution slot")
+		idleTimeout  = flag.Duration("idle-timeout", 10*time.Minute, "evict a durable tenant session after this long idle (<0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time for graceful drain on SIGTERM")
+		workers      = flag.Int("workers", 0, "per-query worker parallelism (0: all CPUs)")
+	)
+	flag.Parse()
+
+	opts := core.Options{Workers: *workers}
+	switch *sync {
+	case "os":
+		opts.Sync = core.SyncOS
+	case "always":
+		opts.Sync = core.SyncAlways
+	default:
+		log.Fatalf("daisy-serve: -sync must be os or always, got %q", *sync)
+	}
+
+	srv := server.New(server.Config{
+		Root:         *root,
+		Session:      opts,
+		MaxInflight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+		IdleTimeout:  *idleTimeout,
+		Logf:         log.Printf,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("daisy-serve: listening on %s (root=%q inflight=%d queue=%d)",
+			*addr, *root, *maxInflight, *maxQueue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("daisy-serve: %v", err)
+	case sig := <-sigCh:
+		log.Printf("daisy-serve: %v: draining (timeout %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain first — in-flight NDJSON streams finish their trailers and every
+	// tenant quiesces (cleaning done, checkpoint, close) — then shut the
+	// listener down; its remaining keep-alive connections are idle by now.
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("daisy-serve: drain: %v", err)
+		_ = httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("daisy-serve: shutdown: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("daisy-serve: drained cleanly")
+}

@@ -62,8 +62,10 @@ import (
 	"daisy/internal/bgclean"
 	"daisy/internal/core"
 	"daisy/internal/dc"
+	"daisy/internal/metrics"
 	"daisy/internal/ptable"
 	"daisy/internal/schema"
+	"daisy/internal/server"
 	"daisy/internal/sql"
 	"daisy/internal/table"
 	"daisy/internal/uncertain"
@@ -194,6 +196,32 @@ const (
 	SyncOS     = core.SyncOS
 	SyncAlways = core.SyncAlways
 )
+
+// MetricSnapshot is one instrument's point-in-time state, as returned by
+// Session.MetricsSnapshot: counters and gauges carry Value, histograms carry
+// Count/Sum and interpolated P50/P95/P99.
+type MetricSnapshot = metrics.Snapshot
+
+// MetricsRegistry is a session's instrument registry — every counter, gauge,
+// and latency histogram Daisy publishes (writer apply loop, WAL, background
+// cleaning, query path). Render it with WriteJSON or WritePrometheus, or
+// scrape it through the serving layer's /metrics endpoint.
+type MetricsRegistry = metrics.Registry
+
+// Server is the HTTP front-end: per-tenant sessions behind bounded admission
+// control, NDJSON query streaming, /metrics, and graceful drain. Mount
+// Handler() on an http.Server; call Drain then Close on shutdown. The
+// daisy-serve command is a thin main around this type.
+type Server = server.Server
+
+// ServerConfig tunes a Server: tenant root directory (durable sessions),
+// session option template, admission bounds (MaxInflight, MaxQueue,
+// QueueTimeout), body limits, and idle eviction.
+type ServerConfig = server.Config
+
+// NewServer builds the HTTP serving layer. It performs no I/O: tenant
+// sessions open lazily on first request.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // New creates a cleaning session.
 func New(opts Options) *Session { return core.NewSession(opts) }

@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"daisy/internal/metrics"
 )
 
 // Job is the body of one background cleaning job, driven as row-range chunks
@@ -136,6 +138,21 @@ type Status struct {
 	Err string
 }
 
+// Instruments are the scheduler's optional metrics hooks. The zero value
+// disables instrumentation (every field is a nil instrument, and nil
+// instruments no-op).
+type Instruments struct {
+	// Chunks counts executed chunks; RowsSwept accumulates the rows they
+	// covered (rows/sec is their ratio over the scrape interval).
+	Chunks    *metrics.Counter
+	RowsSwept *metrics.Counter
+	// Yields counts chunk boundaries at which the runner waited out writer
+	// backpressure before proceeding.
+	Yields *metrics.Counter
+	// ChunkSec observes per-chunk RunChunk latency in seconds.
+	ChunkSec *metrics.Histogram
+}
+
 // Options configure a Scheduler.
 type Options struct {
 	// Backpressure, when non-nil, reports that foreground traffic is waiting
@@ -159,6 +176,9 @@ type Options struct {
 	// step), slower ones shrink, and a backpressure yield halves the next
 	// chunk so foreground queries get boundaries to slot into sooner.
 	TargetChunkTime time.Duration
+
+	// Instr, when set, feeds the session's metrics registry.
+	Instr Instruments
 }
 
 // clampChunkRows clamps n to the configured bounds and aligns it down to a
@@ -478,6 +498,9 @@ func (s *Scheduler) runJob(j *job) {
 		t0 := time.Now()
 		res, err := j.body.RunChunk(s.ctx, lo, hi)
 		took := time.Since(t0)
+		s.opts.Instr.Chunks.Inc()
+		s.opts.Instr.RowsSwept.Add(int64(hi - lo))
+		s.opts.Instr.ChunkSec.ObserveDuration(took)
 		s.mu.Lock()
 		j.elapsed += took
 		if err != nil {
@@ -524,6 +547,7 @@ func (s *Scheduler) gateLocked(j *job) bool {
 		s.mu.Lock()
 		if waited {
 			j.bpWaits++
+			s.opts.Instr.Yields.Inc()
 			continue // re-check pause/cancel after the wait
 		}
 		return true

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"daisy/internal/cost"
 	"daisy/internal/dc"
@@ -183,14 +184,19 @@ type writer struct {
 	walErr    error
 	ckptNudge chan struct{}
 	onPublish func(lsn uint64, snap *snapshot)
+
+	// instr carries the session's apply-loop instruments (never nil — the
+	// writer is only constructed by newMemSession).
+	instr *sessionInstr
 }
 
-func newWriter() *writer {
+func newWriter(instr *sessionInstr) *writer {
 	w := &writer{
 		applyCh:   make(chan *applyReq, 64),
 		quit:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
 		closeDone: make(chan struct{}),
+		instr:     instr,
 	}
 	w.snap.Store(&snapshot{tables: make(map[string]*tableState)})
 	return w
@@ -287,6 +293,7 @@ func (w *writer) mutateLogged(rec func() []byte, fn func(next *snapshot, cloned 
 		lsn = w.appendLocked(rec())
 	}
 	w.snap.Store(next)
+	w.instr.epoch.Set(int64(next.epoch))
 	if w.onPublish != nil {
 		w.onPublish(lsn, next)
 	}
@@ -373,6 +380,8 @@ func (w *writer) loop() {
 }
 
 func (w *writer) applyBatch(batch []*applyReq) {
+	t0 := time.Now()
+	var coalesced int64
 	w.mu.Lock()
 	next := w.current().derive()
 	cloned := make(map[string]bool)
@@ -380,6 +389,9 @@ func (w *writer) applyBatch(batch []*applyReq) {
 	var logged []loggedReq
 	for _, req := range batch {
 		applied, duplicate := applyOne(next, cloned, req, marks)
+		if duplicate {
+			coalesced++
+		}
 		if w.wlog != nil && applied {
 			// Log post-filter: filterCheckedFD has already dropped duplicate
 			// groups/cells in place, and the effective costRecord bit is
@@ -394,6 +406,7 @@ func (w *writer) applyBatch(batch []*applyReq) {
 		lsn = w.appendLocked(encodeApplyRecord(logged))
 	}
 	w.snap.Store(next)
+	w.instr.epoch.Set(int64(next.epoch))
 	if w.onPublish != nil {
 		w.onPublish(lsn, next)
 	}
@@ -401,6 +414,11 @@ func (w *writer) applyBatch(batch []*applyReq) {
 	for _, req := range batch {
 		close(req.done)
 	}
+	w.instr.applyBatches.Inc()
+	w.instr.applyRequests.Add(int64(len(batch)))
+	w.instr.applyCoalesced.Add(coalesced)
+	w.instr.batchSize.Observe(float64(len(batch)))
+	w.instr.publishSec.ObserveDuration(time.Since(t0))
 	w.nudgeCheckpoint()
 }
 

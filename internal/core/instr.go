@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"daisy/internal/bgclean"
+	"daisy/internal/metrics"
+	"daisy/internal/wal"
+)
+
+// sessionInstr is the session's instrumentation: every counter, gauge, and
+// histogram daisy publishes lives in one registry owned by the Session, so a
+// serving layer can scrape a per-tenant registry without any global state.
+// All instruments are wired unconditionally — an observation is one or two
+// atomic adds, cheap enough for the apply loop and the per-row stream path.
+type sessionInstr struct {
+	reg *metrics.Registry
+
+	// Query path.
+	queries      *metrics.Counter
+	queryErrors  *metrics.Counter
+	queryCancels *metrics.Counter
+	rowsStreamed *metrics.Counter
+	inflight     *metrics.Gauge
+	admissionSec *metrics.Histogram
+	parseSec     *metrics.Histogram
+	planSec      *metrics.Histogram
+	execSec      *metrics.Histogram
+
+	// Writer apply loop.
+	applyBatches   *metrics.Counter
+	applyRequests  *metrics.Counter
+	applyCoalesced *metrics.Counter
+	batchSize      *metrics.Histogram
+	publishSec     *metrics.Histogram
+	epoch          *metrics.Gauge
+}
+
+func newSessionInstr() *sessionInstr {
+	reg := metrics.NewRegistry()
+	return &sessionInstr{
+		reg: reg,
+
+		queries:      reg.Counter("daisy_queries_total", "queries accepted for execution"),
+		queryErrors:  reg.Counter("daisy_query_errors_total", "queries that returned an error (incl. cancellations)"),
+		queryCancels: reg.Counter("daisy_query_cancellations_total", "queries aborted by context cancellation or deadline"),
+		rowsStreamed: reg.Counter("daisy_query_rows_streamed_total", "result rows enumerated through Rows cursors"),
+		inflight:     reg.Gauge("daisy_queries_inflight", "queries currently executing or streaming"),
+		admissionSec: reg.Histogram("daisy_query_admission_wait_seconds", "time spent waiting on the MaxConcurrentQueries gate", metrics.LatencyBuckets),
+		parseSec:     reg.Histogram("daisy_query_parse_seconds", "SQL parse latency", metrics.LatencyBuckets),
+		planSec:      reg.Histogram("daisy_query_plan_seconds", "plan build latency", metrics.LatencyBuckets),
+		execSec:      reg.Histogram("daisy_query_exec_seconds", "execution latency (operators + cleaning)", metrics.LatencyBuckets),
+
+		applyBatches:   reg.Counter("daisy_writer_apply_batches_total", "apply batches published by the single-writer loop"),
+		applyRequests:  reg.Counter("daisy_writer_apply_requests_total", "write-back requests routed through the apply loop"),
+		applyCoalesced: reg.Counter("daisy_writer_coalesced_requests_total", "write-backs dropped as duplicates of a racing query's identical fix"),
+		batchSize:      reg.Histogram("daisy_writer_batch_size", "write-back requests coalesced per published batch", metrics.SizeBuckets),
+		publishSec:     reg.Histogram("daisy_writer_publish_seconds", "apply-batch latency: derive, merge, journal, publish", metrics.LatencyBuckets),
+		epoch:          reg.Gauge("daisy_epoch", "latest published snapshot epoch"),
+	}
+}
+
+// bgInstruments builds the background-clean scheduler's instrument set on the
+// session registry.
+func (in *sessionInstr) bgInstruments() bgclean.Instruments {
+	return bgclean.Instruments{
+		Chunks:    in.reg.Counter("daisy_bgclean_chunks_total", "background sweep chunks executed (each published >= 1 epoch)"),
+		RowsSwept: in.reg.Counter("daisy_bgclean_rows_swept_total", "rows covered by background sweep chunks"),
+		Yields:    in.reg.Counter("daisy_bgclean_backpressure_yields_total", "chunk boundaries at which the sweep yielded to queued foreground traffic"),
+		ChunkSec:  in.reg.Histogram("daisy_bgclean_chunk_seconds", "background sweep per-chunk latency", metrics.LatencyBuckets),
+	}
+}
+
+// walInstruments builds the write-ahead log's instrument set on the session
+// registry.
+func (in *sessionInstr) walInstruments() wal.Instruments {
+	return wal.Instruments{
+		Appends:       in.reg.Counter("daisy_wal_appends_total", "records appended to the write-ahead log"),
+		AppendedBytes: in.reg.Counter("daisy_wal_appended_bytes_total", "framed bytes appended to the write-ahead log"),
+		Rotations:     in.reg.Counter("daisy_wal_rotations_total", "log file rotations (one per checkpoint)"),
+		SyncSec:       in.reg.Histogram("daisy_wal_fsync_seconds", "fsync latency on the log file", metrics.LatencyBuckets),
+	}
+}
+
+// recordQueryError classifies a failed query for the error/cancellation
+// counters.
+func (in *sessionInstr) recordQueryError(err error) {
+	in.queryErrors.Inc()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		in.queryCancels.Inc()
+	}
+}
+
+// MetricsRegistry exposes the session's instrument registry — counters and
+// gauges for the writer apply loop, WAL, background cleaning, and the query
+// path, plus latency histograms with p50/p95/p99 estimates. The serving layer
+// renders it at /metrics; embedders can render JSON or Prometheus text via
+// the registry directly.
+func (s *Session) MetricsRegistry() *metrics.Registry { return s.instr.reg }
+
+// MetricsSnapshot captures every session instrument's point-in-time state.
+func (s *Session) MetricsSnapshot() []metrics.Snapshot { return s.instr.reg.Snapshot() }

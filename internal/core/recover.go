@@ -54,6 +54,7 @@ func (s *Session) recoverDurable() error {
 	if err != nil {
 		return fmt.Errorf("core: recover %s: %w", dir, err)
 	}
+	wlog.SetInstruments(s.instr.walInstruments())
 	s.w.mu.Lock()
 	s.w.wlog = wlog
 	s.w.ckptNudge = make(chan struct{}, 1)

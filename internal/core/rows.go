@@ -7,6 +7,7 @@ import (
 
 	"daisy/internal/detect"
 	"daisy/internal/engine"
+	"daisy/internal/metrics"
 	"daisy/internal/ptable"
 	"daisy/internal/schema"
 )
@@ -38,6 +39,17 @@ type Rows struct {
 	err    error
 	closed bool
 
+	// release returns the query's MaxConcurrentQueries slot (and decrements
+	// the inflight gauge). A streaming query holds its slot for the lifetime
+	// of the cursor — admission bounds streams, not just execution — so the
+	// slot is freed on Close, on a context error observed by Next, or (for an
+	// abandoned cursor) by the context.AfterFunc registered as stop. The
+	// closure is idempotent: every path may call it.
+	release func()
+	stop    func() bool // cancels the AfterFunc; nil when ctx can never fire
+
+	streamed *metrics.Counter // rows enumerated; nil-safe
+
 	plan      string
 	decisions []Decision
 	metrics   detect.Metrics
@@ -53,6 +65,9 @@ func (r *Rows) Next() bool {
 	if r.ctx != nil {
 		if err := r.ctx.Err(); err != nil {
 			r.err = fmt.Errorf("core: result enumeration aborted: %w", err)
+			if r.release != nil {
+				r.release()
+			}
 			return false
 		}
 	}
@@ -60,6 +75,7 @@ func (r *Rows) Next() bool {
 		return false
 	}
 	r.pos++
+	r.streamed.Inc()
 	return true
 }
 
@@ -86,15 +102,22 @@ func (r *Rows) All() iter.Seq2[int, *ptable.Tuple] {
 // expired context surfaces here once Next returns false).
 func (r *Rows) Err() error { return r.err }
 
-// Close releases the cursor. It is idempotent and safe on a nil receiver;
-// enumerated tuples remain valid afterwards.
+// Close releases the cursor and returns the query's concurrency slot. It is
+// idempotent and safe on a nil receiver; enumerated tuples remain valid
+// afterwards.
 func (r *Rows) Close() error {
 	if r == nil || r.closed {
 		return nil
 	}
 	r.closed = true
+	if r.stop != nil {
+		r.stop()
+	}
 	if r.cancel != nil {
 		r.cancel()
+	}
+	if r.release != nil {
+		r.release()
 	}
 	return nil
 }

@@ -33,7 +33,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"daisy/internal/bgclean"
 	"daisy/internal/cost"
@@ -176,12 +179,13 @@ type Result struct {
 // may run at any time but queries already in flight keep their epoch and do
 // not see the change.
 type Session struct {
-	opts Options
-	w    *writer
-	bg   *bgclean.Scheduler // background full-clean jobs (§5.2.3 gone async)
-	ckpt *checkpointer      // durable sessions only (nil: in-memory)
-	sem  chan struct{}      // MaxConcurrentQueries gate (nil: unlimited)
-	dcMu sync.Mutex         // serializes general-DC cleaning sections
+	opts  Options
+	w     *writer
+	bg    *bgclean.Scheduler // background full-clean jobs (§5.2.3 gone async)
+	ckpt  *checkpointer      // durable sessions only (nil: in-memory)
+	sem   chan struct{}      // MaxConcurrentQueries gate (nil: unlimited)
+	dcMu  sync.Mutex         // serializes general-DC cleaning sections
+	instr *sessionInstr      // metrics registry + instruments (never nil)
 
 	// Metrics accumulates work across all queries. Reads are only meaningful
 	// once in-flight queries have returned; per-query numbers are on Result.
@@ -227,7 +231,8 @@ func Open(opts Options) (*Session, error) {
 // newMemSession builds the in-memory core every session starts from.
 func newMemSession(opts Options) *Session {
 	opts.defaults()
-	s := &Session{opts: opts, w: newWriter()}
+	instr := newSessionInstr()
+	s := &Session{opts: opts, w: newWriter(instr), instr: instr}
 	w := s.w
 	// Background sweeps yield to foreground traffic: the runner waits
 	// between chunks while query write-backs are queued on the writer.
@@ -235,6 +240,7 @@ func newMemSession(opts Options) *Session {
 		Backpressure:  func() bool { return w.depth() > 0 },
 		ChunkAlign:    ptable.SegmentSize,
 		InitChunkRows: opts.CleanChunkSize,
+		Instr:         s.instr.bgInstruments(),
 	})
 	if opts.MaxConcurrentQueries > 0 {
 		s.sem = make(chan struct{}, opts.MaxConcurrentQueries)
@@ -429,6 +435,17 @@ func (s *Session) Table(name string) *ptable.PTable {
 // Rules returns the bound constraints.
 func (s *Session) Rules() []*dc.Constraint { return s.w.current().rules }
 
+// TableNames returns the registered relation names, sorted.
+func (s *Session) TableNames() []string {
+	tables := s.w.current().tables
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Epoch returns the current snapshot version — it advances by one per
 // published apply batch. Diagnostics only.
 func (s *Session) Epoch() uint64 { return s.w.current().epoch }
@@ -479,8 +496,11 @@ func (s *Session) Run(q *sql.Query) (*Result, error) {
 // of the offending token (errors.As), and wrapped context.Canceled /
 // context.DeadlineExceeded for aborted queries.
 func (s *Session) QueryContext(ctx context.Context, text string, opts ...QueryOption) (*Rows, error) {
+	t0 := time.Now()
 	q, err := sql.Parse(text)
+	s.instr.parseSec.ObserveDuration(time.Since(t0))
 	if err != nil {
+		s.instr.queryErrors.Inc()
 		return nil, err
 	}
 	return s.RunContext(ctx, q, opts...)
@@ -502,14 +522,40 @@ func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOpt
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 	}
 	if s.sem != nil {
+		wait := time.Now()
 		select {
 		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
+			s.instr.admissionSec.ObserveDuration(time.Since(wait))
 		case <-ctx.Done():
 			cancel()
+			s.instr.recordQueryError(ctx.Err())
 			return nil, fmt.Errorf("core: query aborted awaiting admission: %w", ctx.Err())
 		}
 	}
+	// The query now owns its MaxConcurrentQueries slot (and the inflight
+	// gauge). The slot is held for as long as the query pins its snapshot
+	// epoch and result buffers — which, for a streaming query, is the
+	// lifetime of the returned Rows cursor, not of this call. release is
+	// idempotent; ownership transfers to the Rows on success and the
+	// deferred safety net covers every error return and panic unwind.
+	s.instr.queries.Inc()
+	s.instr.inflight.Add(1)
+	var released atomic.Bool
+	release := func() {
+		if !released.CompareAndSwap(false, true) {
+			return
+		}
+		s.instr.inflight.Add(-1)
+		if s.sem != nil {
+			<-s.sem
+		}
+	}
+	handedOff := false
+	defer func() {
+		if !handedOff {
+			release()
+		}
+	}()
 	snap := s.w.current()
 	qc := &queryCtx{s: s, snap: snap, ctx: ctx, opts: cfg.opts}
 	// abort is idempotent and a no-op after flush; deferring it guarantees
@@ -517,20 +563,26 @@ func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOpt
 	// (e.g. a schema-resolution panic in the engine) and the caller recovers
 	// per request.
 	defer qc.abort()
+	t0 := time.Now()
 	node, err := plan.Build(q, qc, snap.rules)
+	s.instr.planSec.ObserveDuration(time.Since(t0))
 	if err != nil {
 		cancel()
+		s.instr.recordQueryError(err)
 		return nil, err
 	}
 	if cfg.explain {
 		cancel()
-		return &Rows{plan: node.String()}, nil
+		handedOff = true
+		return &Rows{plan: node.String(), release: release}, nil
 	}
 	ex := &engine.Executor{Tables: qc.ptables(), Workers: cfg.opts.Workers, Ctx: ctx}
 	if !cfg.opts.DisableCleaning {
 		ex.Cleaner = qc
 	}
+	t0 = time.Now()
 	fr, err := ex.RunFrame(node)
+	s.instr.execSec.ObserveDuration(time.Since(t0))
 	if err == nil {
 		// Last poll before committing: a cancellation that raced the final
 		// operator must still abort without publishing.
@@ -541,6 +593,7 @@ func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOpt
 		// published epochs never saw this query.
 		qc.abort()
 		cancel()
+		s.instr.recordQueryError(err)
 		return nil, err
 	}
 	// Commit: publish the query's buffered write-backs through the
@@ -550,8 +603,14 @@ func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOpt
 	s.metricsMu.Lock()
 	s.Metrics.Add(ex.Metrics)
 	s.metricsMu.Unlock()
-	return &Rows{
+	handedOff = true
+	rows := &Rows{
 		fr: fr, pos: -1, ctx: ctx, cancel: cancel,
 		plan: node.String(), decisions: qc.decisions, metrics: ex.Metrics,
-	}, nil
+		release: release, streamed: s.instr.rowsStreamed,
+	}
+	// An abandoned stream must not pin its slot: a context canceled or timed
+	// out mid-stream releases even if the caller never calls Close.
+	rows.stop = context.AfterFunc(ctx, release)
+	return rows, nil
 }

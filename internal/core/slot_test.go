@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// drainSem asserts the admission semaphore is fully free by acquiring every
+// slot without blocking, then returns them. Slot release on abandoned streams
+// rides context.AfterFunc, which runs on its own goroutine after cancel — so
+// the fill is retried briefly before declaring a leak.
+func drainSem(t *testing.T, s *Session) {
+	t.Helper()
+	capacity := cap(s.sem)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := 0
+		for got < capacity {
+			select {
+			case s.sem <- struct{}{}:
+				got++
+				continue
+			default:
+			}
+			break
+		}
+		for i := 0; i < got; i++ {
+			<-s.sem
+		}
+		if got == capacity {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission semaphore leaked: only %d of %d slots free", got, capacity)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamingReleasesConcurrencySlot pins the slot-lifetime contract: a
+// streaming query holds its MaxConcurrentQueries slot until the Rows cursor
+// is done, and EVERY way a stream ends — Close, a context canceled mid-stream,
+// or an abandoned cursor whose context fires with no Close ever called —
+// returns the slot. 100 canceled streams (half abandoned without Close) must
+// leak nothing and publish nothing.
+func TestStreamingReleasesConcurrencySlot(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental, MaxConcurrentQueries: 2})
+	defer s.Close()
+
+	// Settle the state first so canceled runs can't race a commit.
+	if _, err := s.Query("SELECT zip, city FROM cities"); err != nil {
+		t.Fatal(err)
+	}
+	epoch := s.Epoch()
+
+	for i := 0; i < 100; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		rows, err := s.QueryContext(ctx, "SELECT zip, city FROM cities")
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		rows.Next() // start streaming, then abort mid-result
+		cancel()
+		if i%2 == 0 {
+			// Close path: the caller cleans up properly.
+			rows.Close()
+		}
+		// Odd iterations abandon the cursor entirely: no Close, no further
+		// Next — only the canceled context can return the slot.
+		_ = rows
+	}
+
+	drainSem(t, s)
+	if got := s.instr.inflight.Value(); got != 0 {
+		t.Fatalf("inflight gauge = %d after all streams ended, want 0", got)
+	}
+	if s.Epoch() != epoch {
+		t.Fatalf("canceled streams moved the epoch %d -> %d; aborted queries must publish nothing", epoch, s.Epoch())
+	}
+
+	// The session must still run MaxConcurrentQueries streams side by side.
+	r1, err := s.QueryContext(context.Background(), "SELECT zip, city FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.QueryContext(context.Background(), "SELECT zip, city FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	r2.Close()
+	drainSem(t, s)
+}
+
+// TestNextAfterCtxErrorReleasesSlot covers the third release path: the caller
+// keeps the cursor, never cancels explicitly, but a deadline fires and a
+// subsequent Next observes it.
+func TestNextAfterCtxErrorReleasesSlot(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental, MaxConcurrentQueries: 1})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := s.QueryContext(ctx, "SELECT zip, city FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("want at least one row before cancellation")
+	}
+	cancel()
+	if rows.Next() {
+		t.Fatal("Next must observe the canceled context")
+	}
+	if rows.Err() == nil {
+		t.Fatal("Err must report the cancellation")
+	}
+	drainSem(t, s)
+}
+
+// TestExplainReleasesSlot pins the WithExplain fast path: an explain-only
+// Rows carries no frame but still owns a slot until Close.
+func TestExplainReleasesSlot(t *testing.T) {
+	s := newCitySession(t, Options{MaxConcurrentQueries: 1})
+	defer s.Close()
+	rows, err := s.QueryContext(context.Background(), "SELECT zip, city FROM cities", WithExplain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Plan() == "" {
+		t.Fatal("explain must return a plan")
+	}
+	rows.Close()
+	drainSem(t, s)
+}

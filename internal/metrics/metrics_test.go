@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("inflight", "in-flight")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Re-registration returns the same instrument.
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatal("re-registered counter is a different instance")
+	}
+}
+
+func TestNilReceiversAreNoops(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	// 90 fast (≤1ms bucket), 9 medium (≤10ms), 1 slow (≤100ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.005)
+	}
+	h.Observe(0.05)
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 <= 0 || p50 > 0.001 {
+		t.Fatalf("p50 = %v, want in (0, 0.001]", p50)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 <= 0.001 || p95 > 0.01 {
+		t.Fatalf("p95 = %v, want in (0.001, 0.01]", p95)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= 0.001 || p99 > 0.1 {
+		t.Fatalf("p99 = %v, want in (0.001, 0.1]", p99)
+	}
+	// Observations above every bound land in +Inf and report the top bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf bucket quantile = %v, want top bound 2", got)
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := NewHistogram(SizeBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+	if got := h.Sum(); got != 16000 {
+		t.Fatalf("sum = %v, want 16000 (CAS accumulation lost updates)", got)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("daisy_queries_total", "queries served").Add(3)
+	r.Gauge("daisy_epoch", "current epoch").Set(12)
+	h := r.Histogram("daisy_query_seconds", "query latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b bytes.Buffer
+	r.WritePrometheus(&b, "")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE daisy_queries_total counter",
+		"daisy_queries_total 3",
+		"# TYPE daisy_epoch gauge",
+		"daisy_epoch 12",
+		"# TYPE daisy_query_seconds histogram",
+		`daisy_query_seconds_bucket{le="0.01"} 1`,
+		`daisy_query_seconds_bucket{le="0.1"} 2`,
+		`daisy_query_seconds_bucket{le="+Inf"} 3`,
+		"daisy_query_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Label injection merges into every sample.
+	b.Reset()
+	r.WritePrometheus(&b, `tenant="acme"`)
+	out = b.String()
+	for _, want := range []string{
+		`daisy_queries_total{tenant="acme"} 3`,
+		`daisy_query_seconds_bucket{tenant="acme",le="0.01"} 1`,
+		`daisy_query_seconds_count{tenant="acme"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("labeled prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "a counter").Add(2)
+	r.Histogram("h", "a histogram", LatencyBuckets).ObserveDuration(3 * time.Millisecond)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal(b.Bytes(), &snaps); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(snaps) != 2 || snaps[0].Name != "c" || snaps[0].Value != 2 {
+		t.Fatalf("unexpected snapshot: %+v", snaps)
+	}
+	if snaps[1].Count != 1 || snaps[1].P99 <= 0 {
+		t.Fatalf("histogram snapshot missing quantiles: %+v", snaps[1])
+	}
+}

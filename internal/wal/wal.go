@@ -27,6 +27,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"daisy/internal/metrics"
 )
 
 // SyncMode selects how eagerly records reach stable storage.
@@ -75,6 +78,34 @@ type Log struct {
 	// degradation tests (an I/O error must detach the log, not hole the
 	// journal).
 	failAppend error
+
+	// instr are the optional metrics hooks; the zero value no-ops.
+	instr Instruments
+}
+
+// Instruments are the log's optional metrics hooks (nil instruments no-op):
+// append counts/bytes, fsync latency, and file rotations.
+type Instruments struct {
+	Appends       *metrics.Counter
+	AppendedBytes *metrics.Counter
+	Rotations     *metrics.Counter
+	SyncSec       *metrics.Histogram
+}
+
+// SetInstruments installs the metrics hooks; call once after OpenLog, before
+// serving traffic.
+func (l *Log) SetInstruments(in Instruments) {
+	l.mu.Lock()
+	l.instr = in
+	l.mu.Unlock()
+}
+
+// syncTimed fsyncs the current file, observing the latency.
+func (l *Log) syncTimed() error {
+	t0 := time.Now()
+	err := l.f.Sync()
+	l.instr.SyncSec.ObserveDuration(time.Since(t0))
+	return err
 }
 
 // FailNextAppend arms the append fault injector: the next Append returns err
@@ -154,12 +185,14 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		return 0, err
 	}
 	if l.mode == SyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncTimed(); err != nil {
 			return 0, err
 		}
 	}
 	l.nextLSN++
 	l.tail += int64(len(frame))
+	l.instr.Appends.Inc()
+	l.instr.AppendedBytes.Add(int64(len(frame)))
 	return lsn, nil
 }
 
@@ -189,7 +222,7 @@ func (l *Log) Sync() error {
 	if l.f == nil {
 		return nil
 	}
-	return l.f.Sync()
+	return l.syncTimed()
 }
 
 // Rotate fsyncs and closes the current file; the next Append starts a fresh
@@ -203,13 +236,14 @@ func (l *Log) Rotate() error {
 	if l.f == nil {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncTimed(); err != nil {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
 		return err
 	}
 	l.f, l.tail = nil, 0
+	l.instr.Rotations.Inc()
 	return nil
 }
 
