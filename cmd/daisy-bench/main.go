@@ -11,9 +11,10 @@
 //	daisy-bench -exp segskip         # sweep throughput vs dirty fraction
 //	daisy-bench -exp durability -dir /tmp/d -phase run     # durable workload + sweep
 //	daisy-bench -exp durability -dir /tmp/d -phase verify  # reopen, resume, check
+//	daisy-bench -exp faults                                # ENOSPC mid-load, heal, verify
 //
 // Experiment ids: fig5..fig13, table5..table8, qps, bgclean, segskip,
-// durability.
+// durability, faults.
 //
 // The durability experiment is the crash-recovery smoke: -phase run opens a
 // durable session in -dir, registers a seeded dirty relation, runs queries,
@@ -22,6 +23,15 @@
 // reopens the directory (replaying WAL and resuming the sweep), waits for
 // quiescence, and compares the recovered state fingerprint against an
 // uninterrupted in-memory oracle run of the same workload, printing
+// `fingerprint_match=true` on success. After its own clean shutdown the
+// verify phase also scans the directory for leftover half-published `.tmp`
+// checkpoint files and exits non-zero if any remain.
+//
+// The faults experiment is the degraded-operation smoke: it runs a durable
+// workload through an injected ENOSPC (every WAL and checkpoint write fails
+// mid-load), confirms the session degrades instead of dying, keeps working
+// from memory, heals the disk, re-attaches via a fresh checkpoint, and then
+// proves a clean reopen reproduces the exact final state, printing
 // `fingerprint_match=true` on success.
 //
 // The qps experiment serves a fixed FD-cleaning workload from N concurrent
@@ -40,7 +50,9 @@ import (
 	"hash/fnv"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -53,6 +65,7 @@ import (
 	"daisy/internal/schema"
 	"daisy/internal/table"
 	"daisy/internal/value"
+	"daisy/internal/vfs"
 	"daisy/internal/workload"
 )
 
@@ -97,6 +110,13 @@ func main() {
 	}
 	if *exp == "durability" {
 		if err := runDurability(ctx, *dir, *phase, *rows); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "faults" {
+		if err := runFaults(ctx, *dir, *rows); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -440,10 +460,134 @@ func runDurability(ctx context.Context, dir, phase string, rows int) error {
 		if got != want {
 			return fmt.Errorf("durability: recovered state diverged from the oracle run")
 		}
+		// A clean shutdown must leave no half-published checkpoint behind —
+		// every .tmp is either renamed into place or removed on the error
+		// path. (Before this Close, a leftover is legitimate: the run phase
+		// was SIGKILLed and may have died mid-publication.)
+		s.Close()
+		leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+		if err != nil {
+			return err
+		}
+		if len(leftovers) > 0 {
+			return fmt.Errorf("durability: %d leftover .tmp checkpoint file(s) after clean shutdown: %v",
+				len(leftovers), leftovers)
+		}
+		fmt.Println("durability: clean shutdown left no .tmp files")
 		return nil
 	default:
 		return fmt.Errorf("durability: unknown -phase %q (run|verify)", phase)
 	}
+}
+
+// runFaults is the degraded-operation smoke behind CI's chaos job: a durable
+// workload hits a full disk mid-load (every WAL and checkpoint write returns
+// ENOSPC), the session degrades rather than dying, serves further mutating
+// work from memory, and — once the fault clears — re-attaches through a
+// fresh full checkpoint. A clean reopen of the directory must then reproduce
+// the exact final state: the degraded window lost nothing that survived to
+// re-attach.
+func runFaults(ctx context.Context, dir string, rows int) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "daisy-faults-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	if rows < 800 {
+		return fmt.Errorf("faults: -rows must be >= 800")
+	}
+	ffs := vfs.NewFaultFS(vfs.OS{})
+	s, err := core.Open(core.Options{
+		Dir:      dir,
+		Strategy: core.StrategyIncremental,
+		FS:       ffs,
+		// Degrade on the first failed append: the smoke tests the degraded
+		// path, not the retry loop (the core chaos suite covers retries).
+		WALRetries: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := s.Register(durabilityTable(rows)); err != nil {
+		return err
+	}
+	if err := s.AddRule(dc.FD("phi", "cities", "city", "zip")); err != nil {
+		return err
+	}
+	query := func(lo, hi int) error {
+		q := fmt.Sprintf("SELECT zip, city FROM cities WHERE zip >= %d AND zip < %d", lo, hi)
+		rs, err := s.QueryContext(ctx, q)
+		if err != nil {
+			return err
+		}
+		rs.Close()
+		return nil
+	}
+	// Healthy load: the first query's repairs journal normally.
+	if err := query(0, 50); err != nil {
+		return err
+	}
+
+	// Disk fills mid-load: every WAL and checkpoint write now fails.
+	ffs.Arm(vfs.Fault{
+		Count: -1,
+		Err:   vfs.ENOSPC("disk"),
+		Match: func(op vfs.Op, name string) bool {
+			base := filepath.Base(name)
+			return op == vfs.OpWrite &&
+				(strings.HasPrefix(base, "wal-") || strings.HasPrefix(base, "ckpt-"))
+		},
+	})
+	if err := query(50, 100); err != nil {
+		return fmt.Errorf("faults: query under ENOSPC must degrade, not fail: %w", err)
+	}
+	if st := s.DurabilityState(); st != core.DurabilityDegraded {
+		return fmt.Errorf("faults: state after failed append = %s, want degraded", st)
+	}
+	fmt.Printf("faults: injected=ENOSPC state=%s err=%q\n",
+		s.DurabilityState(), s.DurabilityError())
+	// Degraded service: mutating queries keep working from memory.
+	if err := query(100, 150); err != nil {
+		return fmt.Errorf("faults: degraded session refused memory-only work: %w", err)
+	}
+
+	// Disk heals; a full checkpoint covers the degraded window and re-attaches.
+	ffs.Disarm()
+	if err := s.Checkpoint(); err != nil {
+		return fmt.Errorf("faults: re-attach checkpoint failed: %w", err)
+	}
+	if st := s.DurabilityState(); st != core.DurabilityReattached && st != core.DurabilityHealthy {
+		return fmt.Errorf("faults: state after heal = %s, want reattached", st)
+	}
+	fmt.Printf("faults: healed state=%s faults_fired=%d\n", s.DurabilityState(), ffs.Fired())
+
+	// Post-heal load journals into the fresh log; quiesce and snapshot.
+	if err := query(150, 200); err != nil {
+		return err
+	}
+	s.CleanInBackground("cities", "phi")
+	if err := s.WaitCleaning(ctx); err != nil {
+		return err
+	}
+	want := s.StateFingerprint()
+	s.Close()
+
+	// The proof: a clean reopen replays to the exact final state.
+	r, err := core.Open(core.Options{Dir: dir, Strategy: core.StrategyIncremental})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	got := r.StateFingerprint()
+	fmt.Printf("faults: rows=%d ops=%d fingerprint_match=%v\n", rows, ffs.Ops(), got == want)
+	if got != want {
+		return fmt.Errorf("faults: recovered state diverged from the pre-close state")
+	}
+	return nil
 }
 
 // runQPS serves an FD-cleaning workload from `parallel` goroutines over one

@@ -10,6 +10,11 @@
 // SIGTERM/SIGINT starts the drain: new work is rejected with 503 +
 // Retry-After, in-flight query streams run to their trailers, background
 // cleaning completes, durable state checkpoints, and the process exits 0.
+//
+// Durable tenants survive disk faults in degraded mode (serving from memory
+// while the WAL is detached); -fail-closed instead rejects mutating requests
+// with 503 + Retry-After until the background re-attach cycle restores
+// logging. /healthz reports per-tenant durability state either way.
 package main
 
 import (
@@ -38,10 +43,14 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 10*time.Minute, "evict a durable tenant session after this long idle (<0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time for graceful drain on SIGTERM")
 		workers      = flag.Int("workers", 0, "per-query worker parallelism (0: all CPUs)")
+		failClosed   = flag.Bool("fail-closed", false, "reject mutating requests with 503 while a tenant's durability is degraded (default: keep serving from memory)")
 	)
 	flag.Parse()
 
 	opts := core.Options{Workers: *workers}
+	if *failClosed {
+		opts.Policy = core.FailClosed
+	}
 	switch *sync {
 	case "os":
 		opts.Sync = core.SyncOS

@@ -70,6 +70,7 @@ import (
 	"daisy/internal/table"
 	"daisy/internal/uncertain"
 	"daisy/internal/value"
+	"daisy/internal/vfs"
 )
 
 // Session is a query-driven cleaning session. See core.Session for the full
@@ -196,6 +197,40 @@ const (
 	SyncOS     = core.SyncOS
 	SyncAlways = core.SyncAlways
 )
+
+// DurabilityState is a durable session's logging health, as reported by
+// Session.DurabilityState: healthy → retrying (bounded in-place retries with
+// backoff, off the query path) → degraded (log detached; the session keeps
+// serving from memory while the directory holds the last consistent prefix)
+// → reattached (a later full checkpoint succeeded, logging resumed on a
+// fresh WAL). In-memory sessions report DurabilityMemory.
+type DurabilityState = core.DurabilityState
+
+// Durability states, in escalation order.
+const (
+	DurabilityMemory     = core.DurabilityMemory
+	DurabilityHealthy    = core.DurabilityHealthy
+	DurabilityRetrying   = core.DurabilityRetrying
+	DurabilityDegraded   = core.DurabilityDegraded
+	DurabilityReattached = core.DurabilityReattached
+)
+
+// DurabilityPolicy selects what a degraded session's owner wants mutating
+// work to do: FailOpen (default) keeps serving from memory; FailClosed lets
+// the serving layer reject mutating requests with 503 + Retry-After until
+// the log re-attaches. See Options.Policy and ServerConfig.PolicyFor.
+type DurabilityPolicy = core.DurabilityPolicy
+
+// Durability policies.
+const (
+	FailOpen   = core.FailOpen
+	FailClosed = core.FailClosed
+)
+
+// FS is the filesystem seam durable sessions run on (Options.FS; nil means
+// the real filesystem). The vfs package provides OS and a fault-injecting
+// wrapper used by the chaos suite.
+type FS = vfs.FS
 
 // MetricSnapshot is one instrument's point-in-time state, as returned by
 // Session.MetricsSnapshot: counters and gauges carry Value, histograms carry

@@ -14,6 +14,7 @@ import (
 	"daisy/internal/schema"
 	"daisy/internal/table"
 	"daisy/internal/value"
+	"daisy/internal/vfs"
 	"daisy/internal/wal"
 )
 
@@ -501,15 +502,21 @@ func TestCloseRacesSweepSubmit(t *testing.T) {
 	}
 }
 
-// TestWALAppendFailureDetachesLog pins the degradation contract: the first
-// append failure must detach the log entirely — a failed write does not
-// consume its LSN, so journaling anything afterwards would replay a history
-// with the failed record's state change missing. The session keeps serving
-// from memory, DurabilityError surfaces the fault, and a reopen recovers
-// exactly the pre-failure prefix.
-func TestWALAppendFailureDetachesLog(t *testing.T) {
+// TestWALAppendFailureDegradesAndReattaches pins the full degraded-mode
+// lifecycle: with retries disabled, the first append failure detaches the
+// log — a failed write does not consume its LSN, so journaling anything
+// afterwards would replay a history with the failed record's state change
+// missing. The session keeps serving from memory with DurabilityError set
+// and the directory frozen at the pre-failure prefix; once the fault heals,
+// a full checkpoint re-attaches the log and subsequent mutations journal
+// again.
+func TestWALAppendFailureDegradesAndReattaches(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(durableOpts(dir))
+	ffs := vfs.NewFaultFS(vfs.OS{})
+	opts := durableOpts(dir)
+	opts.FS = ffs
+	opts.WALRetries = -1 // degrade on the first failure, no retry episode
+	s, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -524,17 +531,21 @@ func TestWALAppendFailureDetachesLog(t *testing.T) {
 	}
 	prefix := s.StateFingerprint()
 
-	boom := fmt.Errorf("injected disk failure")
-	s.w.mu.Lock()
-	s.w.wlog.FailNextAppend(boom)
-	s.w.mu.Unlock()
+	// Disk full, forever (until healed), on log-file writes only.
+	ffs.Arm(vfs.Fault{Count: -1, Err: vfs.ENOSPC("wal"), Match: func(op vfs.Op, name string) bool {
+		return op == vfs.OpWrite && strings.Contains(name, "wal-")
+	}})
 
-	// Fresh repair work forces an apply record; its append fails.
+	// Fresh repair work forces an apply record; its append fails and, with
+	// retries disabled, degrades immediately.
 	if _, err := s.Query("SELECT zip, city FROM cities WHERE zip = 10001"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.DurabilityError(); err == nil || !strings.Contains(err.Error(), "injected disk failure") {
-		t.Fatalf("DurabilityError = %v, want injected failure", err)
+	if st := s.DurabilityState(); st != DurabilityDegraded {
+		t.Fatalf("DurabilityState = %v, want degraded", st)
+	}
+	if err := s.DurabilityError(); err == nil || !strings.Contains(err.Error(), "no space") {
+		t.Fatalf("DurabilityError = %v, want ENOSPC", err)
 	}
 	s.w.mu.Lock()
 	detached := s.w.wlog == nil
@@ -550,15 +561,33 @@ func TestWALAppendFailureDetachesLog(t *testing.T) {
 	if degraded == prefix {
 		t.Fatal("post-failure queries made no in-memory progress")
 	}
+
+	// The fault heals; a full checkpoint supersedes the holed history and
+	// re-attaches the log.
+	ffs.Disarm()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after heal: %v", err)
+	}
+	if st := s.DurabilityState(); st != DurabilityReattached {
+		t.Fatalf("DurabilityState after checkpoint = %v, want reattached", st)
+	}
+	if err := s.DurabilityError(); err != nil {
+		t.Fatalf("DurabilityError after re-attach = %v, want nil", err)
+	}
+	// Journaling resumed: a post-reattach mutation must survive reopen via
+	// the fresh WAL (it is not in the checkpoint image).
+	if err := s.Register(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	final := s.StateFingerprint()
 	s.Close()
 
-	// The directory holds exactly the pre-failure prefix.
 	r, err := Open(durableOpts(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if got := r.StateFingerprint(); got != prefix {
-		t.Fatalf("reopened fingerprint is not the pre-failure prefix:\ngot:\n%s\nwant:\n%s", got, prefix)
+	if got := r.StateFingerprint(); got != final {
+		t.Fatalf("reopened fingerprint is not the healed state:\ngot:\n%s\nwant:\n%s", got, final)
 	}
 }

@@ -176,12 +176,22 @@ type writer struct {
 
 	// wlog, when non-nil, is the session's write-ahead log; every apply
 	// batch and logged mutation appends one record under mu before the
-	// snapshot publishes. walErr (under mu) keeps the first append failure —
-	// the session then degrades to in-memory operation rather than failing
-	// queries. ckptNudge (non-nil iff durable) pokes the checkpointer after
-	// appends; onPublish is a test hook observing (lsn, snapshot) pairs.
+	// snapshot publishes. The durability state machine lives in
+	// durability.go: durState tracks where the session sits
+	// (healthy/retrying/degraded/reattached), walErr (under mu) keeps the
+	// first failure of the current unhealthy period (cleared on recovery),
+	// pending buffers records while a retry episode (retryDone non-nil) is
+	// live, and lastLSN is the highest durably appended LSN — tracked here
+	// because the checkpointer needs it even while the log is detached.
+	// ckptNudge (non-nil iff durable) pokes the checkpointer after appends;
+	// onPublish is a test hook observing (lsn, snapshot) pairs.
 	wlog      *wal.Log
 	walErr    error
+	durState  DurabilityState
+	durCfg    durabilityConfig
+	pending   [][]byte
+	retryDone chan struct{}
+	lastLSN   uint64
 	ckptNudge chan struct{}
 	onPublish func(lsn uint64, snap *snapshot)
 
@@ -190,46 +200,49 @@ type writer struct {
 	instr *sessionInstr
 }
 
-func newWriter(instr *sessionInstr) *writer {
+func newWriter(instr *sessionInstr, durCfg durabilityConfig) *writer {
 	w := &writer{
 		applyCh:   make(chan *applyReq, 64),
 		quit:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
 		closeDone: make(chan struct{}),
+		durCfg:    durCfg,
 		instr:     instr,
 	}
 	w.snap.Store(&snapshot{tables: make(map[string]*tableState)})
 	return w
 }
 
-// appendLocked appends one record to the WAL (caller holds mu). A nil log or
-// empty record is a no-op; an append error is remembered (first one wins)
-// and the session continues in memory. Appends racing Close lose silently:
-// the post-close inline-apply path keeps queries converging in memory, but
-// their write-backs are not durable — documented on Session.Close.
+// appendLocked appends one record to the WAL (caller holds mu). A nil
+// (detached/degraded) log or empty record is a no-op; queries never fail on
+// a storage fault. Appends racing Close lose silently: the post-close
+// inline-apply path keeps queries converging in memory, but their
+// write-backs are not durable — documented on Session.Close.
 //
-// Journaling is all-or-nothing past the first failure: a failed write does
-// not consume its LSN, so a later successful append would reuse it and the
-// journal would replay a history with the failed record's state change
-// missing. The log is therefore detached on the first error — the directory
-// keeps its last consistent prefix (a torn tail frame is truncated on the
-// next open) and every subsequent mutation is memory-only.
+// Failure handling is the durability state machine (durability.go): the WAL
+// undoes a failed append by truncation so no LSN is consumed, which makes
+// in-order retry safe — the record buffers in pending and a bounded backoff
+// episode re-appends it off the query path. While an episode is live,
+// subsequent records buffer behind it so mutation order is preserved.
+// Exhausted retries (or an unrepairable torn tail) degrade: the log
+// detaches, the directory keeps its last consistent prefix, and the
+// checkpointer later re-attaches via a fresh full checkpoint.
 func (w *writer) appendLocked(rec []byte) uint64 {
 	if w.wlog == nil || len(rec) == 0 {
+		return 0
+	}
+	if w.durState == DurabilityRetrying {
+		w.pending = append(w.pending, rec)
 		return 0
 	}
 	lsn, err := w.wlog.Append(rec)
 	if err != nil {
 		if !errors.Is(err, wal.ErrClosed) {
-			if w.walErr == nil {
-				w.walErr = err
-			}
-			l := w.wlog
-			w.wlog = nil
-			_ = l.Close()
+			w.failAppendLocked(rec, err)
 		}
 		return 0
 	}
+	w.lastLSN = lsn
 	return lsn
 }
 
@@ -669,7 +682,18 @@ func (w *writer) close() {
 	if running {
 		<-w.loopDone
 	}
+	// A live retry episode observes quit and exits promptly; its buffered
+	// records get one final inline flush so a fault that healed before Close
+	// still ends durable. If the flush cannot drain, degrade — dropping the
+	// suffix keeps the directory at its last consistent prefix.
+	w.waitRetryEpisode()
 	w.mu.Lock()
+	if w.durState == DurabilityRetrying {
+		w.instr.walRetries.Inc()
+		if !w.flushPendingLocked() {
+			w.degradeLocked()
+		}
+	}
 	if w.wlog != nil {
 		if err := w.wlog.Close(); err != nil && w.walErr == nil {
 			w.walErr = err

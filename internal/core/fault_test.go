@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"daisy/internal/dc"
+	"daisy/internal/vfs"
+)
+
+// Chaos harness. A clean oracle run executes the seeded crash scenario over a
+// counting FaultFS, recording the total operation count, the fingerprint at
+// every journaled publish, and the final state. The sweep tests then re-run
+// the identical workload once per I/O call site with a fault injected at that
+// operation index and assert the durability contract: the in-memory state
+// never diverges, and the directory a faulted run leaves behind always
+// reopens to a consistent prefix of the oracle history (the full history,
+// when the session healed).
+
+// chaosOpts configures the swept sessions: single worker (deterministic
+// repair order, so operation indices line up across runs), manual
+// checkpoints, SyncAlways (maximizing faultable call sites), and a fast
+// retry schedule so episodes settle in milliseconds.
+func chaosOpts(dir string, fsys vfs.FS) Options {
+	return Options{
+		Dir: dir, Strategy: StrategyIncremental, Workers: 1,
+		CheckpointBytes: -1, Sync: SyncAlways, FS: fsys,
+		WALRetries: 2, WALRetryBackoff: time.Millisecond,
+	}
+}
+
+// chaosBaseline is the oracle: operation bounds of the clean run, the final
+// fingerprint, and the fingerprint at every LSN (fps[0] is the empty state).
+type chaosBaseline struct {
+	baseOps int64 // ops consumed by Open itself; faults are swept after it
+	opsEnd  int64 // ops consumed by Open + scenario (before Close)
+	clean   string
+	fps     map[uint64]string
+}
+
+// prefixes returns the set of fingerprints a consistent durable prefix may
+// reopen to. Faulted runs diverge from the oracle only in *which* records
+// reached disk, never in their order or content, so every valid directory
+// matches one of these.
+func (bl *chaosBaseline) prefixes() map[string]bool {
+	set := make(map[string]bool, len(bl.fps))
+	for _, fp := range bl.fps {
+		set[fp] = true
+	}
+	return set
+}
+
+func runChaosBaseline(t *testing.T) *chaosBaseline {
+	t.Helper()
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS{})
+	s, err := Open(chaosOpts(dir, ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bl := &chaosBaseline{baseOps: ffs.Ops(), fps: captureFingerprints(s)}
+	bl.fps[0] = s.StateFingerprint()
+	runCrashScenario(t, s, func() {
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bl.clean = s.StateFingerprint()
+	bl.opsEnd = ffs.Ops()
+	if err := s.DurabilityError(); err != nil {
+		t.Fatalf("clean run not durable: %v", err)
+	}
+	return bl
+}
+
+// reopenClean reopens a faulted run's directory on the real filesystem and
+// returns its as-recovered fingerprint, asserting it came up healthy and can
+// serve. The fingerprint is taken before the probe query — queries repair,
+// so probing first would walk the state past the recovered prefix.
+func reopenClean(t *testing.T, dir string) string {
+	t.Helper()
+	r, err := Open(chaosOpts(dir, vfs.OS{}))
+	if err != nil {
+		t.Fatalf("faulted directory did not reopen: %v", err)
+	}
+	defer r.Close()
+	if st := r.DurabilityState(); st != DurabilityHealthy {
+		t.Fatalf("reopened session state = %v, want healthy", st)
+	}
+	fp := r.StateFingerprint()
+	if r.Table("cities") != nil {
+		// The registration survived; the recovered session must serve from it.
+		if _, err := r.Query("SELECT zip, city FROM cities"); err != nil {
+			t.Fatalf("reopened session cannot serve: %v", err)
+		}
+	}
+	return fp
+}
+
+// TestFaultSweepTransient injects a single failing operation at every I/O
+// call site of the seeded workload. One failure is always recoverable — a
+// retry episode (or the close-time flush) re-appends the undone record — so
+// unless a cascade detached the log, the directory must reopen to the exact
+// no-fault state; a degraded end still must reopen to a consistent prefix.
+func TestFaultSweepTransient(t *testing.T) {
+	bl := runChaosBaseline(t)
+	prefixes := bl.prefixes()
+	for i := bl.baseOps + 1; i <= bl.opsEnd; i++ {
+		t.Run(fmt.Sprintf("op%03d", i), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(vfs.OS{})
+			s, err := Open(chaosOpts(dir, ffs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ffs.Ops(); got != bl.baseOps {
+				t.Fatalf("open consumed %d ops, oracle %d: workload not deterministic", got, bl.baseOps)
+			}
+			ffs.Arm(vfs.Fault{From: i, Count: 1})
+			runCrashScenario(t, s, func() { _ = s.Checkpoint() })
+			if got := s.StateFingerprint(); got != bl.clean {
+				t.Errorf("in-memory state diverged under injected fault")
+			}
+			s.Close()
+			st := s.DurabilityState()
+			if ffs.Fired() == 0 {
+				t.Fatalf("fault at op %d never fired", i)
+			}
+			got := reopenClean(t, dir)
+			if st == DurabilityDegraded {
+				if !prefixes[got] {
+					t.Fatalf("degraded directory reopened to a state outside the oracle history")
+				}
+			} else if got != bl.clean {
+				t.Fatalf("single transient fault lost durable state (end state %v)", st)
+			}
+		})
+	}
+}
+
+// TestFaultSweepPersistent turns every I/O call site into the first casualty
+// of a disk that stays down forever (even-indexed points fail with ENOSPC,
+// odd ones with torn writes). The session must keep serving from memory with
+// an unchanged final state, and the abandoned directory must reopen — on a
+// healthy disk — to a consistent prefix of the oracle history.
+func TestFaultSweepPersistent(t *testing.T) {
+	bl := runChaosBaseline(t)
+	prefixes := bl.prefixes()
+	for i := bl.baseOps + 1; i <= bl.opsEnd; i++ {
+		t.Run(fmt.Sprintf("op%03d", i), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(vfs.OS{})
+			s, err := Open(chaosOpts(dir, ffs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ffs.Ops(); got != bl.baseOps {
+				t.Fatalf("open consumed %d ops, oracle %d: workload not deterministic", got, bl.baseOps)
+			}
+			ft := vfs.Fault{From: i, Count: -1, Err: vfs.ENOSPC("disk")}
+			if i%2 == 1 {
+				ft.Err, ft.Torn = nil, true
+			}
+			ffs.Arm(ft)
+			runCrashScenario(t, s, func() { _ = s.Checkpoint() })
+			if got := s.StateFingerprint(); got != bl.clean {
+				t.Errorf("in-memory state diverged under injected faults")
+			}
+			s.Close()
+			if ffs.Fired() == 0 {
+				t.Fatalf("fault at op %d never fired", i)
+			}
+			if got := reopenClean(t, dir); !prefixes[got] {
+				t.Fatalf("directory after permanent fault reopened to a state outside the oracle history")
+			}
+		})
+	}
+}
+
+// TestFaultSweepReattach opens a six-operation failure window at every I/O
+// call site — long enough to exhaust the retry budget and degrade — then
+// lets the disk heal and drives checkpoint cycles until the session exits
+// degraded mode. Wherever the window landed, the healed session must end
+// healthy or re-attached with the exact no-fault state, durably.
+func TestFaultSweepReattach(t *testing.T) {
+	bl := runChaosBaseline(t)
+	for i := bl.baseOps + 1; i <= bl.opsEnd; i++ {
+		t.Run(fmt.Sprintf("op%03d", i), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(vfs.OS{})
+			s, err := Open(chaosOpts(dir, ffs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ffs.Arm(vfs.Fault{From: i, Count: 6})
+			runCrashScenario(t, s, func() { _ = s.Checkpoint() })
+			ffs.Disarm() // the disk heals
+			var st DurabilityState
+			for attempt := 0; attempt < 100; attempt++ {
+				st = s.DurabilityState()
+				if st == DurabilityHealthy || st == DurabilityReattached {
+					break
+				}
+				if st == DurabilityDegraded {
+					_ = s.Checkpoint()
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if st != DurabilityHealthy && st != DurabilityReattached {
+				t.Fatalf("session did not heal: state %v, durability error %v", st, s.DurabilityError())
+			}
+			if s.DurabilityError() != nil {
+				// A failed checkpoint cycle's error sticks until the next
+				// cycle succeeds; on the healed disk it must clear.
+				if err := s.Checkpoint(); err != nil {
+					t.Fatalf("checkpoint on healed disk: %v", err)
+				}
+			}
+			if err := s.DurabilityError(); err != nil {
+				t.Fatalf("healed session still reports %v", err)
+			}
+			if got := s.StateFingerprint(); got != bl.clean {
+				t.Errorf("in-memory state diverged under injected faults")
+			}
+			s.Close()
+			if got := reopenClean(t, dir); got != bl.clean {
+				t.Fatalf("healed session lost durable state")
+			}
+		})
+	}
+}
+
+// TestTransientFsyncFailureStaysHealthy pins the acceptance contract for the
+// common real-world fault: one fsync fails, the retry succeeds. The session
+// must pass through retrying back to healthy — never degraded, never
+// detached — and every record must reach disk.
+func TestTransientFsyncFailureStaysHealthy(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS{})
+	s, err := Open(chaosOpts(dir, ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(citiesTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(dc.FD("phi", "cities", "city", "zip")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm(vfs.Fault{Count: 1, Match: func(op vfs.Op, name string) bool {
+		return op == vfs.OpSync && strings.Contains(filepath.Base(name), "wal-")
+	}})
+	// Repair work forces an apply record whose fsync fails once.
+	if _, err := s.Query("SELECT zip, city FROM cities WHERE city = 'Los Angeles'"); err != nil {
+		t.Fatal(err)
+	}
+	if ffs.Fired() != 1 {
+		t.Fatalf("fsync fault fired %d times, want 1", ffs.Fired())
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	st := s.DurabilityState()
+	for st == DurabilityRetrying && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		st = s.DurabilityState()
+	}
+	if st != DurabilityHealthy {
+		t.Fatalf("state after transient fsync failure = %v, want healthy", st)
+	}
+	if err := s.DurabilityError(); err != nil {
+		t.Fatalf("DurabilityError after recovery = %v, want nil", err)
+	}
+	if got := s.instr.walRetries.Value(); got < 1 {
+		t.Fatalf("wal_retries counter = %d, want >= 1", got)
+	}
+	// More work journals normally; the whole history reopens.
+	if _, err := s.Query("SELECT zip, city FROM cities"); err != nil {
+		t.Fatal(err)
+	}
+	want := s.StateFingerprint()
+	s.Close()
+	if got := reopenClean(t, dir); got != want {
+		t.Fatalf("transient fsync failure lost durable state")
+	}
+}
+
+// TestCheckpointCorruptionFallsBack corrupts the newest checkpoint image
+// after a clean shutdown — a flipped payload byte (bit rot) and a truncated
+// file (torn publication) — and asserts Open silently falls back to the
+// previous retained checkpoint, paying a longer WAL replay for the exact
+// same state.
+func TestCheckpointCorruptionFallsBack(t *testing.T) {
+	for _, mode := range []string{"bitflip", "truncate"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(durableOpts(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runCrashScenario(t, s, func() {
+				if err := s.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			want := s.StateFingerprint()
+			s.Close()
+
+			cks, err := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(cks)
+			if len(cks) < 2 {
+				t.Fatalf("prune retained %d checkpoints, want >= 2 for fallback", len(cks))
+			}
+			newest := cks[len(cks)-1]
+			switch mode {
+			case "bitflip":
+				buf, err := os.ReadFile(newest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf[len(buf)/2] ^= 0x40
+				if err := os.WriteFile(newest, buf, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			case "truncate":
+				info, err := os.Stat(newest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(newest, info.Size()/2); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			r, err := Open(durableOpts(dir))
+			if err != nil {
+				t.Fatalf("open with corrupt newest checkpoint: %v", err)
+			}
+			defer r.Close()
+			if got := r.StateFingerprint(); got != want {
+				t.Fatalf("fallback recovery diverged:\ngot:\n%s\nwant:\n%s", got, want)
+			}
+			if _, err := r.Query("SELECT zip, city FROM cities"); err != nil {
+				t.Fatalf("recovered session cannot serve: %v", err)
+			}
+		})
+	}
+}

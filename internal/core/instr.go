@@ -35,6 +35,13 @@ type sessionInstr struct {
 	batchSize      *metrics.Histogram
 	publishSec     *metrics.Histogram
 	epoch          *metrics.Gauge
+
+	// Durability state machine.
+	walRetries    *metrics.Counter
+	checkpoints   *metrics.Counter
+	ckptFailures  *metrics.Counter
+	pruneFailures *metrics.Counter
+	durState      *metrics.Gauge
 }
 
 func newSessionInstr() *sessionInstr {
@@ -58,6 +65,12 @@ func newSessionInstr() *sessionInstr {
 		batchSize:      reg.Histogram("daisy_writer_batch_size", "write-back requests coalesced per published batch", metrics.SizeBuckets),
 		publishSec:     reg.Histogram("daisy_writer_publish_seconds", "apply-batch latency: derive, merge, journal, publish", metrics.LatencyBuckets),
 		epoch:          reg.Gauge("daisy_epoch", "latest published snapshot epoch"),
+
+		walRetries:    reg.Counter("daisy_wal_retries_total", "re-append attempts made by WAL retry episodes"),
+		checkpoints:   reg.Counter("daisy_checkpoints_total", "full-state checkpoints written successfully"),
+		ckptFailures:  reg.Counter("daisy_checkpoint_failures_total", "checkpoint or re-attach attempts that failed"),
+		pruneFailures: reg.Counter("daisy_wal_prune_failures_total", "retired WAL/checkpoint files whose removal failed"),
+		durState:      reg.Gauge("daisy_durability_state", "durability state (0 memory, 1 healthy, 2 retrying, 3 degraded, 4 reattached)"),
 	}
 }
 
@@ -78,6 +91,7 @@ func (in *sessionInstr) walInstruments() wal.Instruments {
 	return wal.Instruments{
 		Appends:       in.reg.Counter("daisy_wal_appends_total", "records appended to the write-ahead log"),
 		AppendedBytes: in.reg.Counter("daisy_wal_appended_bytes_total", "framed bytes appended to the write-ahead log"),
+		AppendErrors:  in.reg.Counter("daisy_wal_append_errors_total", "WAL appends that failed (write or fsync error)"),
 		Rotations:     in.reg.Counter("daisy_wal_rotations_total", "log file rotations (one per checkpoint)"),
 		SyncSec:       in.reg.Histogram("daisy_wal_fsync_seconds", "fsync latency on the log file", metrics.LatencyBuckets),
 	}

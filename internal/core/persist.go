@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"daisy/internal/bgclean"
 	"daisy/internal/cost"
@@ -15,6 +16,7 @@ import (
 	"daisy/internal/schema"
 	"daisy/internal/uncertain"
 	"daisy/internal/value"
+	"daisy/internal/vfs"
 	"daisy/internal/wal"
 )
 
@@ -743,33 +745,42 @@ func (s *Session) StateFingerprint() string {
 // checkpointer
 
 // checkpointer publishes full-state checkpoints in the background, rotating
-// and pruning the WAL behind each one. It holds the writer and the bgclean
-// scheduler — never the Session — so a dropped session can still be
-// finalized while the goroutine is parked.
+// and pruning the WAL behind each one — and, when the session has degraded,
+// runs the re-attach cycle: a successful full checkpoint supersedes the
+// holed WAL history, so the log can rotate to a fresh file and resume. It
+// holds the writer and the bgclean scheduler — never the Session — so a
+// dropped session can still be finalized while the goroutine is parked.
 type checkpointer struct {
-	w         *writer
-	dir       string
-	threshold int64
-	sched     *bgclean.Scheduler
+	w             *writer
+	fs            vfs.FS
+	dir           string
+	mode          SyncMode
+	threshold     int64
+	reattachEvery time.Duration
+	sched         *bgclean.Scheduler
 
 	quit     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
 	started  bool
 
+	lastAttempt time.Time // re-attach pacing; run goroutine only
+
 	mu      sync.Mutex // serializes whole checkpoint cycles
 	lastErr error
 }
 
-func newCheckpointer(w *writer, sched *bgclean.Scheduler, dir string, threshold int64) *checkpointer {
+func newCheckpointer(w *writer, sched *bgclean.Scheduler, opts *Options) *checkpointer {
 	return &checkpointer{
-		w: w, sched: sched, dir: dir, threshold: threshold,
+		w: w, sched: sched, fs: opts.FS, dir: opts.Dir, mode: opts.Sync,
+		threshold: opts.CheckpointBytes, reattachEvery: opts.ReattachInterval,
 		quit: make(chan struct{}), done: make(chan struct{}),
 	}
 }
 
 // start launches the automatic trigger loop (skipped when automatic
-// checkpointing is disabled; manual Session.Checkpoint still works).
+// checkpointing is disabled; manual Session.Checkpoint still works, and is
+// then also the only path out of degraded mode).
 func (c *checkpointer) start() {
 	if c.threshold <= 0 {
 		return
@@ -780,16 +791,38 @@ func (c *checkpointer) start() {
 
 func (c *checkpointer) run() {
 	defer close(c.done)
+	// The ticker drives degraded-mode re-attach attempts even when no
+	// traffic nudges the loop — a fail-closed tenant with its writes
+	// rejected must still find its way back to healthy.
+	tick := time.NewTicker(c.reattachEvery)
+	defer tick.Stop()
 	for {
 		select {
 		case <-c.w.ckptNudge:
-			if c.w.logTail() >= c.threshold {
+			if c.w.durabilityState() == DurabilityDegraded {
+				c.tryReattach()
+			} else if c.w.logTail() >= c.threshold {
 				_ = c.checkpoint()
+			}
+		case <-tick.C:
+			if c.w.durabilityState() == DurabilityDegraded {
+				c.tryReattach()
 			}
 		case <-c.quit:
 			return
 		}
 	}
+}
+
+// tryReattach runs a checkpoint cycle to exit degraded mode, paced by
+// reattachEvery so a hard-down disk is not hammered with full-state writes
+// on every nudge.
+func (c *checkpointer) tryReattach() {
+	if time.Since(c.lastAttempt) < c.reattachEvery {
+		return
+	}
+	c.lastAttempt = time.Now()
+	_ = c.checkpoint()
 }
 
 // stop halts the trigger loop and waits for an in-flight checkpoint cycle to
@@ -817,19 +850,15 @@ func (c *checkpointer) errState() error {
 // checkpoint captures (snapshot, lastLSN) atomically under the writer mutex
 // — appends publish their snapshot before releasing it, so the image covers
 // exactly the records up to lastLSN — writes the checkpoint file, rotates
-// the log, and prunes covered files. Safe to run concurrently with appends:
-// records landing after lastLSN stay in un-pruned files and replay on top.
+// the log (or, when degraded, re-attaches a fresh one), and prunes covered
+// files. Safe to run concurrently with appends: records landing after
+// lastLSN stay in un-pruned files and replay on top. Capture waits out any
+// live retry episode first (see captureForCheckpoint) — a flush racing the
+// capture would put effects inside the image AND records above its LSN.
 func (c *checkpointer) checkpoint() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.w.mu.Lock()
-	if c.w.wlog == nil {
-		c.w.mu.Unlock()
-		return nil
-	}
-	snap := c.w.current()
-	lsn := c.w.wlog.LastLSN()
-	c.w.mu.Unlock()
+	snap, lsn, degraded := c.w.captureForCheckpoint()
 	var sweeps []sweepRef
 	if c.sched != nil {
 		for _, st := range c.sched.Status() {
@@ -839,18 +868,68 @@ func (c *checkpointer) checkpoint() error {
 		}
 	}
 	payload := encodeCheckpoint(snap, sweeps)
-	if err := wal.WriteCheckpoint(c.dir, lsn, payload); err != nil {
+	if err := wal.WriteCheckpointFS(c.fs, c.dir, lsn, payload); err != nil {
+		c.lastErr = err
+		c.w.instr.ckptFailures.Inc()
+		return err
+	}
+	c.w.instr.checkpoints.Inc()
+	if degraded {
+		// The checkpoint covers the whole degraded era (memory state included),
+		// superseding the holed journal: re-attach and resume logging.
+		if err := c.reattach(lsn); err != nil {
+			c.lastErr = err
+			c.w.instr.ckptFailures.Inc()
+			return err
+		}
+	} else {
+		c.w.mu.Lock()
+		if c.w.wlog != nil {
+			_ = c.w.wlog.Rotate()
+		}
+		c.w.mu.Unlock()
+	}
+	st, err := wal.PruneFS(c.fs, c.dir, lsn)
+	if err != nil {
 		c.lastErr = err
 		return err
 	}
-	c.w.mu.Lock()
-	if c.w.wlog != nil {
-		_ = c.w.wlog.Rotate()
+	if st.Failed > 0 {
+		// Surface stuck files: they grow the directory forever, and only
+		// cost replay time — so count and report, don't fail the cycle.
+		c.w.instr.pruneFailures.Add(int64(st.Failed))
+		c.lastErr = fmt.Errorf("core: wal prune left %d file(s) behind: %w", st.Failed, st.FirstErr)
+	} else {
+		c.lastErr = nil
 	}
-	c.w.mu.Unlock()
-	if err := wal.Prune(c.dir, lsn); err != nil {
-		c.lastErr = err
+	return nil
+}
+
+// reattach opens a fresh append view of the directory after a degraded
+// period and rotates it so post-reattach records land in a fresh WAL file.
+// ckLSN — the just-published checkpoint's cover — floors the LSN sequence;
+// records before it were either durable (still on disk, now redundant) or
+// dropped while degraded (their effects are inside the checkpoint image).
+// Records *past* ckLSN are zombies — frames whose bytes landed but whose
+// append was never acknowledged (fsync failed and the undo-truncate failed
+// too); their effects are also inside the image, so they are trimmed away
+// before the log reopens, or replay would double-apply them.
+func (c *checkpointer) reattach(ckLSN uint64) error {
+	if err := wal.TrimAfterFS(c.fs, c.dir, ckLSN); err != nil {
 		return err
+	}
+	wlog, err := wal.OpenLogFS(c.fs, c.dir, c.mode, ckLSN)
+	if err != nil {
+		return err
+	}
+	if err := wlog.Rotate(); err != nil {
+		wlog.Close()
+		return err
+	}
+	wlog.SetInstruments(c.w.instr.walInstruments())
+	if !c.w.reattachLog(wlog) {
+		// The writer is closing (or recovered by other means): back out.
+		wlog.Close()
 	}
 	return nil
 }

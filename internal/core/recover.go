@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"os"
 
 	"daisy/internal/dc"
 	"daisy/internal/wal"
@@ -19,13 +18,13 @@ import (
 // durability machinery. Called from Open before the finalizer is installed;
 // on error the caller tears the half-built session down.
 func (s *Session) recoverDurable() error {
-	dir := s.opts.Dir
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	dir, fsys := s.opts.Dir, s.opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	var ckLSN uint64
 	pending := make(map[string]sweepRef)
-	if lsn, payload, ok, err := wal.LatestCheckpoint(dir); err != nil {
+	if lsn, payload, ok, err := wal.LatestCheckpointFS(fsys, dir); err != nil {
 		return err
 	} else if ok {
 		snap, sweeps, err := decodeCheckpoint(payload)
@@ -38,7 +37,7 @@ func (s *Session) recoverDurable() error {
 		}
 		ckLSN = lsn
 	}
-	recs, err := wal.Records(dir, ckLSN)
+	recs, err := wal.RecordsFS(fsys, dir, ckLSN)
 	if err != nil {
 		return fmt.Errorf("core: recover %s: %w", dir, err)
 	}
@@ -50,16 +49,16 @@ func (s *Session) recoverDurable() error {
 	// Attach the log (flooring the LSN sequence at the checkpoint, for the
 	// case where pruning emptied the directory): from here on, every mutation
 	// journals.
-	wlog, err := wal.OpenLog(dir, s.opts.Sync, ckLSN)
+	wlog, err := wal.OpenLogFS(fsys, dir, s.opts.Sync, ckLSN)
 	if err != nil {
 		return fmt.Errorf("core: recover %s: %w", dir, err)
 	}
 	wlog.SetInstruments(s.instr.walInstruments())
 	s.w.mu.Lock()
-	s.w.wlog = wlog
 	s.w.ckptNudge = make(chan struct{}, 1)
 	s.w.mu.Unlock()
-	s.ckpt = newCheckpointer(s.w, s.bg, dir, s.opts.CheckpointBytes)
+	s.w.attachLog(wlog)
+	s.ckpt = newCheckpointer(s.w, s.bg, &s.opts)
 	s.ckpt.start()
 	// Resume unfinished sweeps. The recovered checked-set bookkeeping makes
 	// the resumed sweep skip every group a pre-crash chunk already published —

@@ -48,6 +48,7 @@ import (
 	"daisy/internal/schema"
 	"daisy/internal/sql"
 	"daisy/internal/table"
+	"daisy/internal/vfs"
 	"daisy/internal/wal"
 )
 
@@ -126,9 +127,33 @@ type Options struct {
 	Sync SyncMode
 	// CheckpointBytes triggers an automatic background checkpoint once the
 	// WAL tail since the previous checkpoint exceeds this many bytes
-	// (default 4MB). Negative disables automatic checkpointing; explicit
-	// Checkpoint calls still work.
+	// (default 4MB). Negative disables automatic checkpointing (explicit
+	// Checkpoint calls still work) — which also disables the automatic
+	// re-attach cycle of a degraded session.
 	CheckpointBytes int64
+	// Policy declares how callers should treat the session while its
+	// durability is degraded. The engine itself always degrades and
+	// continues in memory (queries never fail on a storage fault); the
+	// serving layer reads this policy to decide whether to keep accepting
+	// mutating requests (FailOpen, default) or reject them with 503 +
+	// Retry-After until the session re-attaches (FailClosed).
+	Policy DurabilityPolicy
+	// WALRetries bounds how many times a failed WAL append or fsync is
+	// retried (with exponential backoff, off the query path) before the
+	// session degrades. Default 4; negative disables retries so the first
+	// failure degrades immediately.
+	WALRetries int
+	// WALRetryBackoff is the backoff before the first retry attempt,
+	// doubling per attempt (default 5ms).
+	WALRetryBackoff time.Duration
+	// ReattachInterval paces the degraded session's background
+	// checkpoint-and-reattach cycle (default 1s). Only meaningful when
+	// automatic checkpointing is enabled.
+	ReattachInterval time.Duration
+	// FS overrides the filesystem under the WAL and checkpoint files
+	// (default: the real one). Fault-injection tests pass a vfs.FaultFS to
+	// exercise the durability state machine deterministically.
+	FS vfs.FS
 }
 
 // defaults resolves every option exactly once (NewSession); call sites read
@@ -151,6 +176,21 @@ func (o *Options) defaults() {
 	}
 	if o.CheckpointBytes == 0 {
 		o.CheckpointBytes = 4 << 20
+	}
+	if o.WALRetries == 0 {
+		o.WALRetries = 4
+	}
+	if o.WALRetries < 0 {
+		o.WALRetries = 0
+	}
+	if o.WALRetryBackoff <= 0 {
+		o.WALRetryBackoff = 5 * time.Millisecond
+	}
+	if o.ReattachInterval <= 0 {
+		o.ReattachInterval = time.Second
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS{}
 	}
 }
 
@@ -232,7 +272,8 @@ func Open(opts Options) (*Session, error) {
 func newMemSession(opts Options) *Session {
 	opts.defaults()
 	instr := newSessionInstr()
-	s := &Session{opts: opts, w: newWriter(instr), instr: instr}
+	durCfg := durabilityConfig{attempts: opts.WALRetries, backoff: opts.WALRetryBackoff}
+	s := &Session{opts: opts, w: newWriter(instr, durCfg), instr: instr}
 	w := s.w
 	// Background sweeps yield to foreground traffic: the runner waits
 	// between chunks while query write-backs are queued on the writer.
@@ -299,9 +340,13 @@ func (s *Session) Checkpoint() error {
 	return s.ckpt.checkpoint()
 }
 
-// DurabilityError reports the first write-ahead-log or checkpoint failure
-// the session swallowed (the session degrades to in-memory operation rather
-// than failing queries); nil while healthy and for in-memory sessions.
+// DurabilityError reports the failure that opened the current unhealthy
+// durability period — the first append/fsync error while retrying or
+// degraded, or the last checkpoint-cycle failure. It clears when the
+// session recovers (a retry episode drains, or a checkpoint re-attaches the
+// log): nil therefore means "durable right now", not "never faulted" —
+// check DurabilityState for reattached if the history matters. Always nil
+// for in-memory sessions.
 func (s *Session) DurabilityError() error {
 	if err := s.w.durabilityErr(); err != nil {
 		return err
@@ -311,6 +356,14 @@ func (s *Session) DurabilityError() error {
 	}
 	return nil
 }
+
+// DurabilityState reports where the session sits in the durability state
+// machine (see the DurabilityState constants); DurabilityMemory for
+// in-memory sessions.
+func (s *Session) DurabilityState() DurabilityState { return s.w.durabilityState() }
+
+// DurabilityPolicy returns the session's configured degraded-mode policy.
+func (s *Session) DurabilityPolicy() DurabilityPolicy { return s.opts.Policy }
 
 // CleaningStatus reports every background full-clean job the session has
 // scheduled, in enqueue order: lifecycle state, chunk progress (each

@@ -271,7 +271,7 @@ type Snapshot struct {
 	Name  string  `json:"name"`
 	Kind  string  `json:"kind"`
 	Help  string  `json:"help,omitempty"`
-	Value int64   `json:"value"`          // counter / gauge
+	Value int64   `json:"value"`           // counter / gauge
 	Count int64   `json:"count,omitempty"` // histogram
 	Sum   float64 `json:"sum,omitempty"`
 	P50   float64 `json:"p50,omitempty"`

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"daisy/internal/core"
+	"daisy/internal/vfs"
+)
+
+const secondRule = "psi@cities: !(t1.city=t2.city & t1.zip!=t2.zip)"
+
+// diskFullFault fails every write to WAL logs and checkpoint files, for any
+// tenant sharing the FaultFS — a full disk. Covering checkpoints too keeps a
+// degraded tenant deterministically degraded: the background re-attach cycle
+// cannot take the fresh checkpoint it needs until the fault clears.
+func diskFullFault() vfs.Fault {
+	return vfs.Fault{
+		Count: -1,
+		Err:   vfs.ENOSPC("disk"),
+		Match: func(op vfs.Op, name string) bool {
+			base := filepath.Base(name)
+			return op == vfs.OpWrite &&
+				(strings.HasPrefix(base, "wal-") || strings.HasPrefix(base, "ckpt-"))
+		},
+	}
+}
+
+func decodeHealthz(t *testing.T, resp *http.Response) healthzReply {
+	t.Helper()
+	defer resp.Body.Close()
+	var h healthzReply
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode healthz body: %v", err)
+	}
+	return h
+}
+
+func decodeStatus(t *testing.T, resp *http.Response) statusReply {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint = %d, want 200", resp.StatusCode)
+	}
+	var s statusReply
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatalf("decode status body: %v", err)
+	}
+	return s
+}
+
+// TestDegradedDurabilityPolicy pins the serving contract around a durability
+// outage: a fail-closed tenant's mutating endpoints return 503 with a
+// Retry-After while its log is detached, a fail-open tenant keeps serving
+// from memory, /healthz and /v1/status report per-tenant state throughout,
+// and once the fault clears the re-attach cycle restores service without a
+// restart.
+func TestDegradedDurabilityPolicy(t *testing.T) {
+	ffs := vfs.NewFaultFS(vfs.OS{})
+	_, ts := newTestServer(t, Config{
+		Root: t.TempDir(),
+		Session: core.Options{
+			Workers:          1,
+			WALRetries:       -1, // degrade on the first failed append
+			ReattachInterval: 20 * time.Millisecond,
+			FS:               ffs,
+		},
+		PolicyFor: func(tenant string) core.DurabilityPolicy {
+			if tenant == "closed" {
+				return core.FailClosed
+			}
+			return core.FailOpen
+		},
+	})
+	seed(t, ts.URL, "closed")
+	seed(t, ts.URL, "open")
+
+	resp := doReq(t, ts.URL, "GET", "/healthz", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy healthz = %d, want 200", resp.StatusCode)
+	}
+	h := decodeHealthz(t, resp)
+	if h.Status != "ok" {
+		t.Fatalf("healthz status = %q, want ok", h.Status)
+	}
+	for _, name := range []string{"closed", "open"} {
+		ht, ok := h.Tenants[name]
+		if !ok {
+			t.Fatalf("healthz missing tenant %q: %+v", name, h)
+		}
+		if ht.DurabilityState != "healthy" {
+			t.Fatalf("tenant %q state = %q, want healthy", name, ht.DurabilityState)
+		}
+	}
+	if h.Tenants["closed"].DurabilityPolicy != "fail-closed" ||
+		h.Tenants["open"].DurabilityPolicy != "fail-open" {
+		t.Fatalf("healthz policies wrong: %+v", h.Tenants)
+	}
+
+	// Break the disk and trip both tenants with a mutation. The tripping
+	// request itself succeeds — the rule applies in memory and the tenant
+	// degrades while handling it, not before.
+	ffs.Arm(diskFullFault())
+	for _, name := range []string{"closed", "open"} {
+		resp := doReq(t, ts.URL, "POST", "/v1/rules", name, secondRule)
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("tripping mutation on %q = %d: %s", name, resp.StatusCode, b)
+		}
+		resp.Body.Close()
+	}
+
+	// Fail-closed tenant: every mutating endpoint refuses with 503 +
+	// Retry-After. Queries count — query-driven cleaning writes back.
+	for _, probe := range []struct{ method, path, body string }{
+		{"POST", "/v1/query", "SELECT zip, city FROM cities"},
+		{"POST", "/v1/tables?name=more", citiesCSV},
+		{"POST", "/v1/rules", citiesRule},
+		{"POST", "/v1/clean", ""},
+	} {
+		resp := doReq(t, ts.URL, probe.method, probe.path, "closed", probe.body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("degraded fail-closed %s = %d, want 503: %s", probe.path, resp.StatusCode, b)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s: degraded rejection missing Retry-After", probe.path)
+		}
+		if e := errBody(t, resp); e.Code != "durability_degraded" {
+			t.Fatalf("%s: code = %q, want durability_degraded", probe.path, e.Code)
+		}
+	}
+
+	// Fail-open tenant keeps serving the same query from memory.
+	resp = doReq(t, ts.URL, "POST", "/v1/query", "open", "SELECT zip, city FROM cities")
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("degraded fail-open query = %d, want 200: %s", resp.StatusCode, b)
+	}
+	resp.Body.Close()
+
+	// Status stays readable for both and reports state + policy.
+	st := decodeStatus(t, doReq(t, ts.URL, "GET", "/v1/status", "closed", ""))
+	if st.DurabilityState != "degraded" || st.DurabilityPolicy != "fail-closed" {
+		t.Fatalf("closed status = %q/%q, want degraded/fail-closed",
+			st.DurabilityState, st.DurabilityPolicy)
+	}
+	st = decodeStatus(t, doReq(t, ts.URL, "GET", "/v1/status", "open", ""))
+	if st.DurabilityState != "degraded" || st.DurabilityPolicy != "fail-open" {
+		t.Fatalf("open status = %q/%q, want degraded/fail-open",
+			st.DurabilityState, st.DurabilityPolicy)
+	}
+
+	// healthz: a fail-closed tenant in trouble makes the instance 503; the
+	// body still enumerates everyone.
+	resp = doReq(t, ts.URL, "GET", "/healthz", "", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded healthz missing Retry-After")
+	}
+	h = decodeHealthz(t, resp)
+	if h.Status != "degraded" {
+		t.Fatalf("healthz status = %q, want degraded", h.Status)
+	}
+	if h.Tenants["closed"].DurabilityState != "degraded" ||
+		h.Tenants["open"].DurabilityState != "degraded" {
+		t.Fatalf("healthz tenant states wrong: %+v", h.Tenants)
+	}
+
+	// Heal the disk: the background re-attach cycle takes fresh checkpoints
+	// and rotates to new logs; service recovers without a restart.
+	ffs.Disarm()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := doReq(t, ts.URL, "GET", "/healthz", "", "")
+		h = decodeHealthz(t, resp)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never recovered after fault cleared: %+v", h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st := h.Tenants["closed"].DurabilityState; st != "reattached" && st != "healthy" {
+		t.Fatalf("healed closed tenant state = %q, want reattached or healthy", st)
+	}
+	resp = doReq(t, ts.URL, "POST", "/v1/query", "closed", "SELECT zip, city FROM cities")
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("post-heal query = %d, want 200: %s", resp.StatusCode, b)
+	}
+	resp.Body.Close()
+}

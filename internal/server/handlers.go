@@ -144,6 +144,31 @@ func (s *Server) withTenant(w http.ResponseWriter, r *http.Request, fn func(t *t
 	fn(t)
 }
 
+// rejectDegraded enforces the fail-closed durability policy: while a
+// fail-closed tenant's session is degraded (the WAL is detached and every
+// mutation is memory-only), mutating requests are rejected with 503 +
+// Retry-After rather than acknowledged into state that a crash would lose.
+// Fail-open tenants — and non-mutating endpoints — are never gated. Queries
+// count as mutating: query-driven cleaning writes repairs back.
+func rejectDegraded(t *tenant) *apiError {
+	if t.s.DurabilityPolicy() != core.FailClosed {
+		return nil
+	}
+	if t.s.DurabilityState() != core.DurabilityDegraded {
+		return nil
+	}
+	msg := fmt.Sprintf("tenant %q is fail-closed and its durability is degraded", t.name)
+	if err := t.s.DurabilityError(); err != nil {
+		msg += ": " + err.Error()
+	}
+	return &apiError{
+		status:     http.StatusServiceUnavailable,
+		retryAfter: 5,
+		Code:       "durability_degraded",
+		Message:    msg,
+	}
+}
+
 // handleQuery is the streaming query path: admission gate, then NDJSON.
 // Once the schema line is out the HTTP status is committed — a later
 // failure is reported in the stream's trailer, never by a status rewrite.
@@ -155,6 +180,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	s.withTenant(w, r, func(t *tenant) {
+		if aerr := rejectDegraded(t); aerr != nil {
+			aerr.write(w)
+			return
+		}
 		body, aerr := s.readBody(w, r)
 		if aerr != nil {
 			aerr.write(w)
@@ -277,6 +306,10 @@ func valueJSON(v value.Value) any {
 // handleTables registers a relation from a CSV body (?name= names it).
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	s.withTenant(w, r, func(t *tenant) {
+		if aerr := rejectDegraded(t); aerr != nil {
+			aerr.write(w)
+			return
+		}
 		name := r.URL.Query().Get("name")
 		if name == "" {
 			(&apiError{status: http.StatusBadRequest, Code: "missing_name", Message: "?name= is required"}).write(w)
@@ -304,6 +337,10 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 // "phi@cities: !(t1.zip=t2.zip & t1.city!=t2.city)".
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	s.withTenant(w, r, func(t *tenant) {
+		if aerr := rejectDegraded(t); aerr != nil {
+			aerr.write(w)
+			return
+		}
 		body, aerr := s.readBody(w, r)
 		if aerr != nil {
 			aerr.write(w)
@@ -325,6 +362,10 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 // handleClean starts a background full clean of ?table= under ?rule=.
 func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	s.withTenant(w, r, func(t *tenant) {
+		if aerr := rejectDegraded(t); aerr != nil {
+			aerr.write(w)
+			return
+		}
 		tbl, rule := r.URL.Query().Get("table"), r.URL.Query().Get("rule")
 		if tbl == "" || rule == "" {
 			(&apiError{status: http.StatusBadRequest, Code: "missing_param", Message: "?table= and ?rule= are required"}).write(w)
@@ -347,8 +388,15 @@ type statusReply struct {
 	Rules    []string      `json:"rules"`
 	Cleaning []cleaningJob `json:"cleaning"`
 	Durable  bool          `json:"durable"`
-	// DurabilityError is the first swallowed WAL failure, if the session
-	// degraded to memory-only operation.
+	// DurabilityState is where the session sits in the durability lifecycle:
+	// memory, healthy, retrying, degraded, or reattached.
+	DurabilityState string `json:"durability_state"`
+	// DurabilityPolicy is the tenant's degraded-mode contract: fail-open
+	// (keep serving memory-only) or fail-closed (mutations rejected with
+	// 503 while degraded).
+	DurabilityPolicy string `json:"durability_policy"`
+	// DurabilityError is the failure that opened the current unhealthy
+	// durability period, empty once recovered.
 	DurabilityError string `json:"durability_error,omitempty"`
 	Draining        bool   `json:"draining"`
 	// Fingerprints maps table name to the full-precision fingerprint of its
@@ -371,13 +419,15 @@ type cleaningJob struct {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.withTenant(w, r, func(t *tenant) {
 		rep := statusReply{
-			Tenant:   t.name,
-			Epoch:    t.s.Epoch(),
-			Tables:   []string{},
-			Rules:    []string{},
-			Cleaning: []cleaningJob{},
-			Durable:  s.cfg.Root != "",
-			Draining: s.draining.Load(),
+			Tenant:           t.name,
+			Epoch:            t.s.Epoch(),
+			Tables:           []string{},
+			Rules:            []string{},
+			Cleaning:         []cleaningJob{},
+			Durable:          s.cfg.Root != "",
+			DurabilityState:  t.s.DurabilityState().String(),
+			DurabilityPolicy: t.s.DurabilityPolicy().String(),
+			Draining:         s.draining.Load(),
 		}
 		rep.Tables = append(rep.Tables, t.s.TableNames()...)
 		if r.URL.Query().Get("fingerprints") == "1" {
@@ -431,14 +481,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// healthzReply is the /healthz body: overall status plus the durability
+// state of every live tenant, so one probe shows which tenant is degraded
+// and under which policy.
+type healthzReply struct {
+	Status   string                   `json:"status"` // "ok", "degraded", or "draining"
+	Draining bool                     `json:"draining"`
+	Tenants  map[string]healthzTenant `json:"tenants"`
+}
+
+type healthzTenant struct {
+	DurabilityState  string `json:"durability_state"`
+	DurabilityPolicy string `json:"durability_policy"`
+}
+
+// handleHealthz reports 200 with a JSON body while serving. A degraded
+// tenant flips the body's status to "degraded" but only costs the 200 when
+// its policy is fail-closed — a fail-open tenant degrading is an alert, not
+// an outage, and restarting the process (what a failing liveness probe does)
+// would lose its memory-only state.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		w.Header().Set("Retry-After", "10")
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	rep := healthzReply{
+		Status:   "ok",
+		Draining: s.draining.Load(),
+		Tenants:  map[string]healthzTenant{},
 	}
-	w.WriteHeader(http.StatusOK)
-	_, _ = io.WriteString(w, "ok\n")
+	code := http.StatusOK
+	for _, t := range s.tenants.snapshotTenants() {
+		st, pol := t.s.DurabilityState(), t.s.DurabilityPolicy()
+		rep.Tenants[t.name] = healthzTenant{
+			DurabilityState:  st.String(),
+			DurabilityPolicy: pol.String(),
+		}
+		if st == core.DurabilityDegraded || st == core.DurabilityRetrying {
+			rep.Status = "degraded"
+			if pol == core.FailClosed {
+				code = http.StatusServiceUnavailable
+			}
+		}
+	}
+	if rep.Draining {
+		rep.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	if code != http.StatusOK {
+		w.Header().Set("Retry-After", "10")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(rep)
 }
 
 func writeOK(w http.ResponseWriter, body any) {

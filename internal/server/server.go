@@ -71,6 +71,11 @@ type Config struct {
 	// negative disables. In-memory tenants are never evicted — eviction
 	// would discard their state.
 	IdleTimeout time.Duration
+	// PolicyFor selects the durability policy per tenant; nil applies
+	// Session.Policy to every tenant. Fail-closed tenants have mutating
+	// requests rejected with 503 + Retry-After while their session is
+	// degraded (memory-only); fail-open tenants keep serving.
+	PolicyFor func(tenant string) core.DurabilityPolicy
 	// Logf, when set, receives one line per lifecycle event (tenant open,
 	// eviction, drain progress). Default discards.
 	Logf func(format string, args ...any)
@@ -95,6 +100,14 @@ func (c *Config) defaults() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+}
+
+// policyFor resolves one tenant's durability policy.
+func (c *Config) policyFor(tenant string) core.DurabilityPolicy {
+	if c.PolicyFor != nil {
+		return c.PolicyFor(tenant)
+	}
+	return c.Session.Policy
 }
 
 // Server is the HTTP front-end. Construct with New, mount Handler on an
@@ -320,6 +333,7 @@ func (r *tenantRegistry) acquire(name string) (*tenant, *apiError) {
 		} else {
 			opts.Dir = ""
 		}
+		opts.Policy = r.cfg.policyFor(name)
 		s, err := core.Open(opts)
 		if err != nil {
 			return nil, &apiError{

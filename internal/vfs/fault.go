@@ -1,0 +1,261 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Op classifies one filesystem operation for fault matching and counting.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRead
+	OpReadDir
+	OpStat
+	OpTruncate
+	OpRename
+	OpRemove
+	OpMkdirAll
+	OpSyncDir
+)
+
+var opNames = [...]string{
+	OpOpen: "open", OpWrite: "write", OpSync: "sync", OpClose: "close",
+	OpRead: "read", OpReadDir: "readdir", OpStat: "stat", OpTruncate: "truncate",
+	OpRename: "rename", OpRemove: "remove", OpMkdirAll: "mkdirall", OpSyncDir: "syncdir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// ErrInjected is the default error returned by an armed fault with no
+// explicit Err.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// ENOSPC builds the error a full disk would produce for the named path —
+// an *os.PathError wrapping syscall.ENOSPC, exactly what os.File.Write
+// returns when the filesystem runs out of space.
+func ENOSPC(name string) error {
+	return &os.PathError{Op: "write", Path: name, Err: syscall.ENOSPC}
+}
+
+// Fault is one injected failure plan. Operations are numbered 1, 2, 3, ...
+// in the order the FaultFS sees them (counting starts at NewFaultFS and
+// never resets, so op indices recorded during a clean run identify the same
+// call sites on an identical rerun). An operation is eligible when its
+// index is >= From and it satisfies Match (nil matches everything); each
+// eligible operation consumes one unit of Count and misbehaves. Count < 0
+// means every eligible operation misbehaves forever.
+//
+// What "misbehaves" means: if Delay > 0 the operation first sleeps (slow
+// I/O). Then, if Err is non-nil it fails with Err; if Err is nil and Delay
+// is 0 it fails with ErrInjected; if Err is nil and Delay > 0 it is slow
+// but succeeds. A failing write with Torn set first writes half the buffer
+// through to the inner filesystem — a torn/short write, the bytes-hit-disk
+// half of a power cut.
+type Fault struct {
+	From  int64
+	Count int64
+	Match func(op Op, name string) bool
+	Err   error
+	Torn  bool
+	Delay time.Duration
+}
+
+// FaultFS wraps an inner FS with operation counting and fault injection.
+// Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	ops      int64
+	armed    bool
+	fault    Fault
+	consumed int64
+	fired    int64
+}
+
+// NewFaultFS wraps inner with no fault armed; every operation is counted
+// from the first call on.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner}
+}
+
+// Ops returns how many operations have been observed so far.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Fired returns how many operations have misbehaved since the last Arm.
+func (f *FaultFS) Fired() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Arm installs the fault plan, replacing any previous one and resetting the
+// fired/consumed accounting (but not the operation counter).
+func (f *FaultFS) Arm(ft Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed, f.fault, f.consumed, f.fired = true, ft, 0, 0
+}
+
+// Disarm removes the fault plan; subsequent operations pass through.
+func (f *FaultFS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = false
+}
+
+// begin counts one operation, applies any injected delay, and decides
+// whether the op fails (and if a failing write should land torn).
+func (f *FaultFS) begin(op Op, name string) (fail, torn bool, err error) {
+	f.mu.Lock()
+	f.ops++
+	var delay time.Duration
+	if f.armed {
+		ft := &f.fault
+		eligible := f.ops >= ft.From &&
+			(ft.Match == nil || ft.Match(op, name)) &&
+			(ft.Count < 0 || f.consumed < ft.Count)
+		if eligible {
+			f.consumed++
+			f.fired++
+			delay = ft.Delay
+			switch {
+			case ft.Err != nil:
+				fail, err = true, ft.Err
+			case ft.Delay == 0:
+				fail, err = true, ErrInjected
+			}
+			torn = fail && ft.Torn
+		}
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return fail, torn, err
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if fail, _, err := f.begin(OpOpen, name); fail {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: inner}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if fail, _, err := f.begin(OpRead, name); fail {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if fail, _, err := f.begin(OpReadDir, name); fail {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if fail, _, err := f.begin(OpStat, name); fail {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if fail, _, err := f.begin(OpTruncate, name); fail {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if fail, _, err := f.begin(OpRename, oldpath); fail {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if fail, _, err := f.begin(OpRemove, name); fail {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(name string, perm os.FileMode) error {
+	if fail, _, err := f.begin(OpMkdirAll, name); fail {
+		return err
+	}
+	return f.inner.MkdirAll(name, perm)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	if fail, _, err := f.begin(OpSyncDir, name); fail {
+		return err
+	}
+	return f.inner.SyncDir(name)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fail, torn, err := f.fs.begin(OpWrite, f.name)
+	if !fail {
+		return f.inner.Write(p)
+	}
+	if torn && len(p) > 1 {
+		half := len(p) / 2
+		n, werr := f.inner.Write(p[:half:half])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return 0, err
+}
+
+func (f *faultFile) Sync() error {
+	if fail, _, err := f.fs.begin(OpSync, f.name); fail {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	fail, _, err := f.fs.begin(OpClose, f.name)
+	// Close the inner handle either way: a failed close still invalidates
+	// the descriptor on every real OS, and tests must not leak fds.
+	cerr := f.inner.Close()
+	if fail {
+		return err
+	}
+	return cerr
+}

@@ -1,0 +1,80 @@
+// Package vfs is the filesystem seam under Daisy's durability layer. The
+// WAL and checkpoint code in internal/wal perform a small, fixed vocabulary
+// of filesystem operations — open/append/sync/close, whole-file reads,
+// directory listings, truncate, rename, remove, mkdir, and directory fsync —
+// and this package abstracts exactly that vocabulary behind the FS
+// interface. Production code runs on OS (thin wrappers over the os package);
+// fault-injection tests run on FaultFS, which wraps any FS with a counted
+// fault plan so a test can fail the Nth I/O operation, simulate ENOSPC,
+// tear a write short, fail an fsync, or slow every call down.
+package vfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the writable handle the WAL needs from an open file. It is the
+// append side only — reads go through FS.ReadFile, which matches how the
+// log is actually accessed (appended live, read back whole on recovery).
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the os.* calls used by the durability layer. Implementations
+// must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the given flags.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the named file whole.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the named directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat returns file metadata.
+	Stat(name string) (fs.FileInfo, error)
+	// Truncate changes the size of the named file.
+	Truncate(name string, size int64) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs the named directory so renames and removals inside it
+	// are durable. Implementations return the raw error; policy about
+	// platforms that refuse directory fsync lives with the caller.
+	SyncDir(name string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (OS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,157 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	if err := fs.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sub", "a.log")
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(path)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := fs.Truncate(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := fs.Stat(path); err != nil || info.Size() != 5 {
+		t.Fatalf("Stat after truncate = %v, %v", info, err)
+	}
+	dst := filepath.Join(dir, "sub", "b.log")
+	if err := fs.Rename(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(filepath.Join(dir, "sub"))
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.log" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fs.SyncDir(filepath.Join(dir, "sub")); err != nil && !os.IsPermission(err) {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSCountsAndNthOp(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS{})
+	path := filepath.Join(dir, "x")
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("a")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if got := ffs.Ops(); got != 2 {
+		t.Fatalf("Ops = %d, want 2", got)
+	}
+	// Fail exactly op 4 (the second write below); op 3 passes.
+	ffs.Arm(Fault{From: 4, Count: 1})
+	if _, err := f.Write([]byte("b")); err != nil { // op 3
+		t.Fatalf("op 3 should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("c")); !errors.Is(err, ErrInjected) { // op 4
+		t.Fatalf("op 4 should fail injected, got %v", err)
+	}
+	if _, err := f.Write([]byte("d")); err != nil { // op 5: Count exhausted
+		t.Fatalf("op 5 should pass: %v", err)
+	}
+	if fired := ffs.Fired(); fired != 1 {
+		t.Fatalf("Fired = %d, want 1", fired)
+	}
+	f.Close()
+}
+
+func TestFaultFSPersistentAndMatch(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS{})
+	path := filepath.Join(dir, "x")
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Persistent ENOSPC on writes only; syncs keep working.
+	ffs.Arm(Fault{From: 0, Count: -1, Match: func(op Op, _ string) bool { return op == OpWrite }, Err: ENOSPC(path)})
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d: want ENOSPC, got %v", i, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync should pass: %v", err)
+	}
+	ffs.Disarm()
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatalf("after Disarm: %v", err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS{})
+	path := filepath.Join(dir, "x")
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm(Fault{From: 0, Count: 1, Match: func(op Op, _ string) bool { return op == OpWrite }, Torn: true})
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write reported n=%d, want 5", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "01234" {
+		t.Fatalf("on-disk bytes %q, want half the buffer", got)
+	}
+}
+
+func TestFaultFSSlowIO(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS{})
+	path := filepath.Join(dir, "x")
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.Arm(Fault{From: 0, Count: 1, Delay: 30 * time.Millisecond})
+	t0 := time.Now()
+	if _, err := f.Write([]byte("slow")); err != nil {
+		t.Fatalf("slow-only fault must not error: %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("write returned in %v, want >= 30ms delay", d)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "slow" {
+		t.Fatalf("on-disk %q", got)
+	}
+}

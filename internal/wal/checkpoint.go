@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"daisy/internal/vfs"
 )
 
 // Checkpoint files carry a full-state image covering every record with
@@ -20,9 +22,14 @@ var ckptMagic = [4]byte{'D', 'C', 'K', 'P'}
 
 const ckptHeader = 4 + 8 + 8 + 4
 
-// WriteCheckpoint atomically publishes a checkpoint covering records <= lsn.
+// WriteCheckpoint atomically publishes a checkpoint on the real filesystem.
 func WriteCheckpoint(dir string, lsn uint64, payload []byte) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteCheckpointFS(vfs.OS{}, dir, lsn, payload)
+}
+
+// WriteCheckpointFS atomically publishes a checkpoint covering records <= lsn.
+func WriteCheckpointFS(fsys vfs.FS, dir string, lsn uint64, payload []byte) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	final := filepath.Join(dir, ckptFileName(lsn))
@@ -33,42 +40,48 @@ func WriteCheckpoint(dir string, lsn uint64, payload []byte) error {
 	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(buf[20:24], crc32.Checksum(payload, crcTable))
 	buf = append(buf, payload...)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
-// LatestCheckpoint returns the newest valid checkpoint in dir. Invalid
+// LatestCheckpoint is LatestCheckpointFS on the real filesystem.
+func LatestCheckpoint(dir string) (lsn uint64, payload []byte, ok bool, err error) {
+	return LatestCheckpointFS(vfs.OS{}, dir)
+}
+
+// LatestCheckpointFS returns the newest valid checkpoint in dir. Invalid
 // candidates — torn payloads, CRC failures, leftover .tmp files — are
 // skipped, falling back to the next-newest, so a crash at any point of
-// checkpoint publication recovers from the previous one.
-func LatestCheckpoint(dir string) (lsn uint64, payload []byte, ok bool, err error) {
-	lsns, err := ckptLSNs(dir)
+// checkpoint publication (or bit rot in the newest image) recovers from the
+// previous one.
+func LatestCheckpointFS(fsys vfs.FS, dir string) (lsn uint64, payload []byte, ok bool, err error) {
+	lsns, err := ckptLSNs(fsys, dir)
 	if err != nil {
 		return 0, nil, false, err
 	}
 	for i := len(lsns) - 1; i >= 0; i-- {
-		payload, ok := readCheckpoint(filepath.Join(dir, ckptFileName(lsns[i])), lsns[i])
+		payload, ok := readCheckpoint(fsys, filepath.Join(dir, ckptFileName(lsns[i])), lsns[i])
 		if ok {
 			return lsns[i], payload, true, nil
 		}
@@ -78,8 +91,8 @@ func LatestCheckpoint(dir string) (lsn uint64, payload []byte, ok bool, err erro
 
 // readCheckpoint validates and decodes one checkpoint file; any structural
 // problem reports !ok rather than an error (the caller falls back).
-func readCheckpoint(path string, want uint64) ([]byte, bool) {
-	buf, err := os.ReadFile(path)
+func readCheckpoint(fsys vfs.FS, path string, want uint64) ([]byte, bool) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil || len(buf) < ckptHeader {
 		return nil, false
 	}
@@ -99,38 +112,111 @@ func readCheckpoint(path string, want uint64) ([]byte, bool) {
 	return payload, true
 }
 
-// Prune removes files made redundant by a valid checkpoint at lsn: older
-// checkpoints, leftover .tmp files, and every rotated log file whose records
-// are all covered (a file is covered when the next file's first LSN is
-// <= lsn+1, i.e. every record it holds has LSN <= lsn). The current tail
-// file is never removed. Best-effort: removal errors are ignored — a
-// leftover file only costs replay time, never correctness.
+// PruneStats reports what Prune removed and, crucially, what it could not:
+// a stuck file grows the directory forever, so removal failures are counted
+// and surfaced instead of silently ignored.
+type PruneStats struct {
+	Removed  int   // files successfully deleted
+	Failed   int   // deletions that errored
+	FirstErr error // the first deletion error, for logging/diagnostics
+}
+
+// Prune is PruneFS on the real filesystem, discarding the stats.
 func Prune(dir string, lsn uint64) error {
-	lsns, err := ckptLSNs(dir)
-	if err != nil {
-		return err
-	}
-	for _, l := range lsns {
-		if l < lsn {
-			os.Remove(filepath.Join(dir, ckptFileName(l)))
+	_, err := PruneFS(vfs.OS{}, dir, lsn)
+	return err
+}
+
+// PruneFS removes files made redundant by a valid checkpoint at lsn, while
+// retaining enough history that recovery can fall back one checkpoint: the
+// newest two checkpoints are kept (LatestCheckpoint skips a corrupt newest
+// image and replays the longer WAL suffix from the previous one), so log
+// files are pruned against the OLDER retained checkpoint's LSN — a rotated
+// file is removed only when the next file's first LSN is <= cover+1, i.e.
+// every record it holds is covered by the fallback checkpoint too. Leftover
+// .tmp files are always removed; the current tail log file never is.
+//
+// Removal failures do not abort the sweep; they are counted in the returned
+// stats. The returned error reflects listing/syncing problems only.
+func PruneFS(fsys vfs.FS, dir string, lsn uint64) (PruneStats, error) {
+	var st PruneStats
+	rm := func(path string) {
+		if err := fsys.Remove(path); err != nil {
+			st.Failed++
+			if st.FirstErr == nil {
+				st.FirstErr = err
+			}
+		} else {
+			st.Removed++
 		}
 	}
-	entries, _ := os.ReadDir(dir)
+	lsns, err := ckptLSNs(fsys, dir)
+	if err != nil {
+		return st, err
+	}
+	cover := lsn
+	if n := len(lsns); n >= 2 {
+		if prev := lsns[n-2]; prev < cover {
+			cover = prev
+		}
+		for _, l := range lsns[:n-2] {
+			rm(filepath.Join(dir, ckptFileName(l)))
+		}
+	}
+	entries, _ := fsys.ReadDir(dir)
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
-			os.Remove(filepath.Join(dir, e.Name()))
+			rm(filepath.Join(dir, e.Name()))
 		}
 	}
-	files, err := logFiles(dir)
+	files, err := logFiles(fsys, dir)
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i+1 < len(files); i++ {
+		if files[i+1].start <= cover+1 {
+			rm(files[i].path)
+		}
+	}
+	return st, syncDir(fsys, dir)
+}
+
+// TrimAfterFS deletes every record with LSN > lsn from the directory:
+// whole files starting past lsn are removed, and the boundary file is
+// truncated at the last covered record's frame end. The re-attach cycle runs
+// it before reopening the log: a degraded period can leave "zombie" frames
+// behind — fully written but never acknowledged, because the append failed
+// on fsync and the undo-truncate failed too — whose effects are inside the
+// superseding checkpoint image. A reader cannot tell them from real records,
+// so replaying them would double-apply; they must leave the directory before
+// journaling resumes.
+func TrimAfterFS(fsys vfs.FS, dir string, lsn uint64) error {
+	files, err := logFiles(fsys, dir)
 	if err != nil {
 		return err
 	}
-	for i := 0; i+1 < len(files); i++ {
-		if files[i+1].start <= lsn+1 {
-			os.Remove(files[i].path)
+	for _, lf := range files {
+		if lf.start > lsn {
+			if err := fsys.Remove(lf.path); err != nil {
+				return err
+			}
+			continue
+		}
+		recs, _, err := scanFile(fsys, lf.path, lsn)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		// Cut at the frame start of the first record past lsn.
+		first := recs[0]
+		cut := first.End - frameHeader - int64(len(first.Payload))
+		if err := fsys.Truncate(lf.path, cut); err != nil {
+			return err
 		}
 	}
-	return syncDir(dir)
+	return nil
 }
 
 func ckptFileName(lsn uint64) string {
@@ -138,8 +224,8 @@ func ckptFileName(lsn uint64) string {
 }
 
 // ckptLSNs lists checkpoint LSNs present in dir in ascending order.
-func ckptLSNs(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func ckptLSNs(fsys vfs.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -163,15 +249,8 @@ func ckptLSNs(dir string) ([]uint64, error) {
 }
 
 // syncDir fsyncs the directory so renames and removals are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
+func syncDir(fsys vfs.FS, dir string) error {
+	err := fsys.SyncDir(dir)
 	// Some platforms refuse fsync on directories; durability of the rename
 	// then rides the next file fsync, which is acceptable for SyncOS and a
 	// documented caveat for SyncAlways.

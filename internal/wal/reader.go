@@ -4,7 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
+
+	"daisy/internal/vfs"
 )
 
 // Record is one decoded log record. File and End expose the record's
@@ -17,24 +18,29 @@ type Record struct {
 	End     int64  // file offset just past the record's frame
 }
 
-// Records returns every valid record with LSN > after, in LSN order, across
-// all log files in dir. A torn or corrupt record in the final file marks the
-// crash point and scanning stops cleanly there; corruption in a rotated
-// (non-final) file is real data loss and returns an error, since rotated
-// files were fsynced whole.
+// Records is RecordsFS on the real filesystem.
 func Records(dir string, after uint64) ([]Record, error) {
-	files, err := logFiles(dir)
+	return RecordsFS(vfs.OS{}, dir, after)
+}
+
+// RecordsFS returns every valid record with LSN > after, in LSN order,
+// across all log files in dir. A torn or corrupt record in the final file
+// marks the crash point and scanning stops cleanly there; corruption in a
+// rotated (non-final) file is real data loss and returns an error, since
+// rotated files were fsynced whole.
+func RecordsFS(fsys vfs.FS, dir string, after uint64) ([]Record, error) {
+	files, err := logFiles(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	var out []Record
 	for i, lf := range files {
-		recs, valid, err := scanFile(lf.path, after)
+		recs, valid, err := scanFile(fsys, lf.path, after)
 		if err != nil {
 			return nil, err
 		}
 		if i < len(files)-1 {
-			if info, serr := os.Stat(lf.path); serr == nil && info.Size() > valid {
+			if info, serr := fsys.Stat(lf.path); serr == nil && info.Size() > valid {
 				return nil, fmt.Errorf("wal: corrupt record at %s offset %d (not the final file)", lf.path, valid)
 			}
 		}
@@ -46,8 +52,8 @@ func Records(dir string, after uint64) ([]Record, error) {
 // scanFile decodes records with LSN > after from one log file, returning
 // them plus the offset of the first invalid byte (== file size when the file
 // is wholly valid). Scanning stops at the first torn or CRC-failing frame.
-func scanFile(path string, after uint64) ([]Record, int64, error) {
-	buf, err := os.ReadFile(path)
+func scanFile(fsys vfs.FS, path string, after uint64) ([]Record, int64, error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -5,6 +5,11 @@
 // sets lives with the writer in internal/core — and owns only the framing,
 // torn-tail recovery, rotation, and file-retention mechanics.
 //
+// All filesystem access goes through a vfs.FS, so tests can inject faults
+// (ENOSPC, torn writes, fsync failures) at any call site; the *FS-suffixed
+// constructors take the filesystem explicitly and the plain ones run on the
+// real one.
+//
 // Layout of a durable session directory:
 //
 //	wal-<firstLSN>.log   append-only record files; rotated at checkpoints
@@ -14,7 +19,10 @@
 // payload]. LSNs start at 1 and increase by one per record across file
 // rotations. A crash can tear only the final record of the final file; the
 // reader detects the tear by length/CRC and the writer truncates it on open,
-// so the log always reopens at a record boundary.
+// so the log always reopens at a record boundary. A *failed* append is
+// likewise undone by truncating back to the pre-append boundary, so an I/O
+// error never consumes an LSN and the same record can be retried without
+// holing the journal.
 package wal
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"daisy/internal/metrics"
+	"daisy/internal/vfs"
 )
 
 // SyncMode selects how eagerly records reach stable storage.
@@ -54,6 +63,15 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrClosed is returned by Append and Sync after Close.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrDirtyTail is returned (wrapped) when an append failed mid-frame AND the
+// truncate that would have undone the partial frame also failed: the file
+// ends in a torn record that later appends would bury, making every record
+// after it unreachable to the reader. The log refuses further appends — the
+// caller must detach it and recover via a fresh checkpoint. Reopening the
+// directory remains safe: the tear is in the final file, where open-time
+// truncation removes it.
+var ErrDirtyTail = errors.New("wal: torn tail could not be repaired")
+
 // maxRecordLen bounds a single record payload (a full-relation replace image
 // is the largest legitimate record); anything above it in a frame header is
 // treated as corruption rather than allocated.
@@ -63,31 +81,29 @@ const maxRecordLen = 1 << 31
 // safe for concurrent use, though Daisy serializes appends under the writer
 // mutex anyway.
 type Log struct {
+	fs   vfs.FS
 	dir  string
 	mode SyncMode
 
 	mu      sync.Mutex
-	f       *os.File // current file; nil until the first append after open/rotate
+	f       vfs.File // current file; nil until the first append after open/rotate
+	fpath   string   // path of the current file
 	start   uint64   // first LSN of the current file
 	nextLSN uint64
 	tail    int64 // bytes appended since the last rotation (checkpoint trigger input)
 	closed  bool
-
-	// failAppend, when non-nil, fails the next Append without writing or
-	// consuming an LSN — the fault-injection hook behind the engine's
-	// degradation tests (an I/O error must detach the log, not hole the
-	// journal).
-	failAppend error
+	dirty   bool // an unrepaired torn tail exists; appends refuse
 
 	// instr are the optional metrics hooks; the zero value no-ops.
 	instr Instruments
 }
 
 // Instruments are the log's optional metrics hooks (nil instruments no-op):
-// append counts/bytes, fsync latency, and file rotations.
+// append counts/bytes/errors, fsync latency, and file rotations.
 type Instruments struct {
 	Appends       *metrics.Counter
 	AppendedBytes *metrics.Counter
+	AppendErrors  *metrics.Counter
 	Rotations     *metrics.Counter
 	SyncSec       *metrics.Histogram
 }
@@ -108,37 +124,35 @@ func (l *Log) syncTimed() error {
 	return err
 }
 
-// FailNextAppend arms the append fault injector: the next Append returns err
-// with nothing written. Testing hook.
-func (l *Log) FailNextAppend(err error) {
-	l.mu.Lock()
-	l.failAppend = err
-	l.mu.Unlock()
+// OpenLog opens (creating if needed) the log in dir for appending on the
+// real filesystem. See OpenLogFS.
+func OpenLog(dir string, mode SyncMode, minNext uint64) (*Log, error) {
+	return OpenLogFS(vfs.OS{}, dir, mode, minNext)
 }
 
-// OpenLog opens (creating if needed) the log in dir for appending. Existing
-// files are scanned; a torn final record is truncated away. minNext floors
-// the next LSN — pass the latest checkpoint's LSN so a fully pruned log
-// (all records covered by the checkpoint) does not reissue old LSNs.
-func OpenLog(dir string, mode SyncMode, minNext uint64) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// OpenLogFS opens (creating if needed) the log in dir for appending.
+// Existing files are scanned; a torn final record is truncated away. minNext
+// floors the next LSN — pass the latest checkpoint's LSN so a fully pruned
+// log (all records covered by the checkpoint) does not reissue old LSNs.
+func OpenLogFS(fsys vfs.FS, dir string, mode SyncMode, minNext uint64) (*Log, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	files, err := logFiles(dir)
+	files, err := logFiles(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, mode: mode, nextLSN: minNext + 1}
+	l := &Log{fs: fsys, dir: dir, mode: mode, nextLSN: minNext + 1}
 	if n := len(files); n > 0 {
 		last := files[n-1]
-		recs, valid, err := scanFile(last.path, 0)
+		recs, valid, err := scanFile(fsys, last.path, 0)
 		if err != nil {
 			return nil, err
 		}
-		if info, err := os.Stat(last.path); err == nil && info.Size() > valid {
+		if info, err := fsys.Stat(last.path); err == nil && info.Size() > valid {
 			// Torn tail from a crash mid-append: cut back to the last whole
 			// record so the file reopens at a frame boundary.
-			if err := os.Truncate(last.path, valid); err != nil {
+			if err := fsys.Truncate(last.path, valid); err != nil {
 				return nil, err
 			}
 		}
@@ -149,29 +163,35 @@ func OpenLog(dir string, mode SyncMode, minNext uint64) (*Log, error) {
 		if next > l.nextLSN {
 			l.nextLSN = next
 		}
-		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, err
 		}
-		l.f, l.start, l.tail = f, last.start, valid
+		l.f, l.fpath, l.start, l.tail = f, last.path, last.start, valid
 	}
 	return l, nil
 }
 
 // Append frames payload as the next record and writes it, returning the
 // record's LSN. Under SyncAlways the record is fsynced before return.
+//
+// On failure no LSN is consumed: the partial frame (write failures) or the
+// unsynced frame (fsync failures) is truncated away so the file stays at a
+// record boundary and the caller may retry the same payload. If that undo
+// truncate itself fails, the error wraps ErrDirtyTail and the log refuses
+// all further appends.
 func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
 	}
-	if err := l.failAppend; err != nil {
-		l.failAppend = nil
-		return 0, err
+	if l.dirty {
+		return 0, fmt.Errorf("%w (previous append)", ErrDirtyTail)
 	}
 	if l.f == nil {
 		if err := l.openFileLocked(l.nextLSN); err != nil {
+			l.instr.AppendErrors.Inc()
 			return 0, err
 		}
 	}
@@ -182,11 +202,13 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	binary.LittleEndian.PutUint32(frame[12:16], crc32.Checksum(payload, crcTable))
 	frame = append(frame, payload...)
 	if _, err := l.f.Write(frame); err != nil {
-		return 0, err
+		l.instr.AppendErrors.Inc()
+		return 0, l.undoAppendLocked(err)
 	}
 	if l.mode == SyncAlways {
 		if err := l.syncTimed(); err != nil {
-			return 0, err
+			l.instr.AppendErrors.Inc()
+			return 0, l.undoAppendLocked(err)
 		}
 	}
 	l.nextLSN++
@@ -194,6 +216,21 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.instr.Appends.Inc()
 	l.instr.AppendedBytes.Add(int64(len(frame)))
 	return lsn, nil
+}
+
+// undoAppendLocked repairs the file after a failed append by truncating back
+// to the pre-append boundary (l.tail bytes — the file size before the failed
+// write, since a rotated-in file starts at its scanned valid length and each
+// successful append adds its frame length). Returns cause when the repair
+// succeeds; marks the log dirty and wraps ErrDirtyTail when it does not.
+func (l *Log) undoAppendLocked(cause error) error {
+	if terr := l.fs.Truncate(l.fpath, l.tail); terr != nil {
+		l.dirty = true
+		l.f.Close()
+		l.f = nil
+		return fmt.Errorf("%w: truncate to %d: %v (append error: %v)", ErrDirtyTail, l.tail, terr, cause)
+	}
+	return cause
 }
 
 // LastLSN returns the LSN of the most recently appended record (0 if none
@@ -269,11 +306,14 @@ func (l *Log) Close() error {
 
 func (l *Log) openFileLocked(start uint64) error {
 	path := filepath.Join(l.dir, logFileName(start))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	// O_APPEND matters beyond convention: after a failed append is undone by
+	// truncating the file, the next write must land at the new end, not at
+	// the fd's stale offset (which would leave a hole of zero bytes).
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	l.f, l.start, l.tail = f, start, 0
+	l.f, l.fpath, l.start, l.tail = f, path, start, 0
 	return nil
 }
 
@@ -287,8 +327,8 @@ type logFile struct {
 }
 
 // logFiles lists the directory's wal files ordered by first LSN.
-func logFiles(dir string) ([]logFile, error) {
-	entries, err := os.ReadDir(dir)
+func logFiles(fsys vfs.FS, dir string) ([]logFile, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil

@@ -2,10 +2,13 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"daisy/internal/vfs"
 )
 
 // TestAppendReadRoundTrip: records come back in order with their LSNs and
@@ -179,7 +182,7 @@ func TestRotateAndPrune(t *testing.T) {
 	if err := Prune(dir, ckLSN); err != nil {
 		t.Fatal(err)
 	}
-	files, err := logFiles(dir)
+	files, err := logFiles(vfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,5 +290,200 @@ func TestRecordBoundaries(t *testing.T) {
 		if len(got) != k+1 || got[k].LSN != recs[k].LSN {
 			t.Fatalf("truncation at record %d read %d records", k, len(got))
 		}
+	}
+}
+
+// TestAppendFailureUndoneAndRetryable: a failed write (even a torn one that
+// left half a frame on disk) consumes no LSN; retrying the same payload
+// succeeds and the log reads back contiguous, including under SyncAlways
+// with an fsync failure (bytes hit disk but weren't durable — the frame is
+// truncated away so the retry doesn't duplicate the LSN).
+func TestAppendFailureUndoneAndRetryable(t *testing.T) {
+	isWrite := func(op vfs.Op, _ string) bool { return op == vfs.OpWrite }
+	isSync := func(op vfs.Op, _ string) bool { return op == vfs.OpSync }
+	cases := []struct {
+		name  string
+		mode  SyncMode
+		fault vfs.Fault
+	}{
+		{"write-enospc", SyncOS, vfs.Fault{Count: 1, Match: isWrite, Err: vfs.ENOSPC("wal")}},
+		{"write-torn", SyncOS, vfs.Fault{Count: 1, Match: isWrite, Torn: true}},
+		{"fsync", SyncAlways, vfs.Fault{Count: 1, Match: isSync}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(vfs.OS{})
+			l, err := OpenLogFS(ffs, dir, tc.mode, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Append([]byte("first")); err != nil {
+				t.Fatal(err)
+			}
+			ffs.Arm(tc.fault)
+			if _, err := l.Append([]byte("second")); err == nil {
+				t.Fatal("faulted append should error")
+			}
+			// The failed append consumed no LSN; the retry gets LSN 2.
+			lsn, err := l.Append([]byte("second"))
+			if err != nil {
+				t.Fatalf("retry failed: %v", err)
+			}
+			if lsn != 2 {
+				t.Fatalf("retry lsn = %d, want 2", lsn)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			recs, err := Records(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 2 || recs[1].LSN != 2 || string(recs[1].Payload) != "second" {
+				t.Fatalf("post-retry records = %v", recs)
+			}
+		})
+	}
+}
+
+// TestDirtyTailRefusesAppends: when the undo-truncate after a torn write
+// also fails, Append reports ErrDirtyTail, further appends refuse, and a
+// clean reopen truncates the tear back to the last whole record.
+func TestDirtyTailRefusesAppends(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS{})
+	l, err := OpenLogFS(ffs, dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	// Everything from the next write on fails: the torn write lands half a
+	// frame, and the repair truncate fails too.
+	ffs.Arm(vfs.Fault{Count: -1, Torn: true, Match: func(op vfs.Op, _ string) bool {
+		return op == vfs.OpWrite || op == vfs.OpTruncate
+	}})
+	if _, err := l.Append([]byte("torn")); !errors.Is(err, ErrDirtyTail) {
+		t.Fatalf("want ErrDirtyTail, got %v", err)
+	}
+	if _, err := l.Append([]byte("after")); !errors.Is(err, ErrDirtyTail) {
+		t.Fatalf("append after dirty tail: want ErrDirtyTail, got %v", err)
+	}
+	l.Close()
+	ffs.Disarm()
+	// The tear is in the final file: reopen truncates it and the surviving
+	// prefix reads back exactly.
+	l2, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := Records(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "keep-me" {
+		t.Fatalf("post-dirty-tail records = %v", recs)
+	}
+	if lsn, err := l2.Append([]byte("fresh")); err != nil || lsn != 2 {
+		t.Fatalf("append after reopen: lsn=%d err=%v", lsn, err)
+	}
+}
+
+// TestPruneKeepsFallbackCheckpoint: Prune retains the newest two checkpoints
+// and the log files the older one needs, so recovery can survive corruption
+// of the newest image; a third checkpoint retires the oldest.
+func TestPruneKeepsFallbackCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := l.Append([]byte("r")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ckpt := func() uint64 {
+		lsn := l.LastLSN()
+		if err := WriteCheckpoint(dir, lsn, []byte("state")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := Prune(dir, lsn); err != nil {
+			t.Fatal(err)
+		}
+		return lsn
+	}
+	appendN(3)
+	ck1 := ckpt()
+	appendN(3)
+	ck2 := ckpt()
+	appendN(1)
+
+	lsns, err := ckptLSNs(vfs.OS{}, dir)
+	if err != nil || len(lsns) != 2 || lsns[0] != ck1 || lsns[1] != ck2 {
+		t.Fatalf("checkpoints after second prune = %v (want [%d %d])", lsns, ck1, ck2)
+	}
+	// Records between ck1 and ck2 must still be replayable (the fallback
+	// path if ck2's image is corrupted).
+	recs, err := Records(dir, ck1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0].LSN != ck1+1 {
+		t.Fatalf("fallback replay records = %v", recs)
+	}
+	appendN(3)
+	ck3 := ckpt()
+	lsns, _ = ckptLSNs(vfs.OS{}, dir)
+	if len(lsns) != 2 || lsns[0] != ck2 || lsns[1] != ck3 {
+		t.Fatalf("checkpoints after third prune = %v (want [%d %d])", lsns, ck2, ck3)
+	}
+	if recs, err := Records(dir, ck2); err != nil || len(recs) != 4 {
+		t.Fatalf("replay from ck2 = %v, %v", recs, err)
+	}
+}
+
+// TestPruneCountsRemoveFailures: a stuck file no longer disappears silently —
+// PruneFS reports how many removals failed and the first error.
+func TestPruneCountsRemoveFailures(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := l.Append([]byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-junk.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := vfs.NewFaultFS(vfs.OS{})
+	ffs.Arm(vfs.Fault{Count: -1, Match: func(op vfs.Op, _ string) bool { return op == vfs.OpRemove }})
+	st, err := PruneFS(ffs, dir, l.LastLSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failed != 1 || st.FirstErr == nil {
+		t.Fatalf("PruneStats = %+v, want 1 counted failure", st)
+	}
+	if _, serr := os.Stat(filepath.Join(dir, "ckpt-junk.tmp")); serr != nil {
+		t.Fatalf("tmp should have survived the failed removal: %v", serr)
+	}
+	// With the fault gone the same prune succeeds and the tmp goes away.
+	st, err = PruneFS(vfs.OS{}, dir, l.LastLSN())
+	if err != nil || st.Failed != 0 || st.Removed != 1 {
+		t.Fatalf("clean PruneStats = %+v, %v", st, err)
 	}
 }
