@@ -41,6 +41,7 @@ func main() {
 	in := flag.String("in", "", "dirty CSV file (header row required)")
 	strategy := flag.String("strategy", "auto", "cleaning strategy: auto, incremental, full")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+	traceFlag := flag.Bool("trace", false, "print each query's span tree (EXPLAIN ANALYZE-style) after its rows")
 	var rules ruleList
 	flag.Var(&rules, "rule", "denial constraint (repeatable)")
 	flag.Parse()
@@ -99,6 +100,9 @@ func main() {
 	if *timeout > 0 {
 		qopts = append(qopts, daisy.WithTimeout(*timeout))
 	}
+	if *traceFlag {
+		qopts = append(qopts, daisy.WithTrace())
+	}
 	completed := 0
 	for _, q := range queries {
 		start := time.Now()
@@ -119,6 +123,9 @@ func main() {
 		fmt.Printf("-- %s\n-- plan: %s (%d rows, %s)\n", q, rows.Plan(), rows.Len(),
 			time.Since(start).Round(time.Microsecond))
 		printRows(rows)
+		if tr := rows.Trace(); tr != nil {
+			fmt.Print(tr.Render())
+		}
 		if err := rows.Err(); err != nil {
 			rows.Close()
 			fmt.Printf("-- interrupted enumerating %q\n", q)

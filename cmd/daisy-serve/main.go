@@ -15,6 +15,10 @@
 // while the WAL is detached); -fail-closed instead rejects mutating requests
 // with 503 + Retry-After until the background re-attach cycle restores
 // logging. /healthz reports per-tenant durability state either way.
+//
+// Observability: -slow-query logs queries over the threshold (with span
+// trees, served on /v1/debug/slow), -trace-sample traces a fraction of all
+// queries, and -debug-addr exposes net/http/pprof on a separate listener.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,10 +49,13 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time for graceful drain on SIGTERM")
 		workers      = flag.Int("workers", 0, "per-query worker parallelism (0: all CPUs)")
 		failClosed   = flag.Bool("fail-closed", false, "reject mutating requests with 503 while a tenant's durability is degraded (default: keep serving from memory)")
+		debugAddr    = flag.String("debug-addr", "", "listen address for the pprof debug server (empty: disabled)")
+		slowQuery    = flag.Duration("slow-query", 0, "log queries slower than this and serve them on /v1/debug/slow (0: disabled)")
+		traceSample  = flag.Float64("trace-sample", 0, "probability [0,1] of tracing a query not explicitly asking via ?trace=1")
 	)
 	flag.Parse()
 
-	opts := core.Options{Workers: *workers}
+	opts := core.Options{Workers: *workers, TraceSampleRate: *traceSample}
 	if *failClosed {
 		opts.Policy = core.FailClosed
 	}
@@ -61,15 +69,33 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Root:         *root,
-		Session:      opts,
-		MaxInflight:  *maxInflight,
-		MaxQueue:     *maxQueue,
-		QueueTimeout: *queueTimeout,
-		IdleTimeout:  *idleTimeout,
-		Logf:         log.Printf,
+		Root:               *root,
+		Session:            opts,
+		MaxInflight:        *maxInflight,
+		MaxQueue:           *maxQueue,
+		QueueTimeout:       *queueTimeout,
+		IdleTimeout:        *idleTimeout,
+		SlowQueryThreshold: *slowQuery,
+		Logf:               log.Printf,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		// pprof on its own listener and mux: profiling stays off the serving
+		// address, so exposing it is an explicit operator decision.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("daisy-serve: pprof debug server on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("daisy-serve: debug server: %v", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -43,8 +43,8 @@
 // Query remains as a thin materializing wrapper over QueryContext with a
 // background context — existing callers keep working unchanged; prefer
 // QueryContext for anything serving traffic. Per-query options
-// (WithStrategy, WithWorkers, WithoutCleaning, WithExplain, WithTimeout)
-// override the session Options for one call.
+// (WithStrategy, WithWorkers, WithoutCleaning, WithExplain, WithTimeout,
+// WithTrace) override the session Options for one call.
 //
 // Queries are safe for any number of concurrent callers: each executes
 // against an immutable snapshot epoch of the session state, repairs route
@@ -68,6 +68,7 @@ import (
 	"daisy/internal/server"
 	"daisy/internal/sql"
 	"daisy/internal/table"
+	"daisy/internal/trace"
 	"daisy/internal/uncertain"
 	"daisy/internal/value"
 	"daisy/internal/vfs"
@@ -161,6 +162,25 @@ func WithExplain() QueryOption { return core.WithExplain() }
 // WithTimeout gives one query a deadline; on expiry it aborts mid-clean with
 // an error wrapping context.DeadlineExceeded and publishes nothing.
 func WithTimeout(d time.Duration) QueryOption { return core.WithTimeout(d) }
+
+// WithTrace records a span tree for one query — parse, plan, admission wait,
+// every plan operator with row counts, violation detection with
+// segments-skipped counts, the §5.2.3 strategy decision with the cost
+// inequality's operands, repair, and publish (including WAL append/fsync
+// timing from the writer goroutine). Read it with Rows.Trace after the query
+// returns; untraced queries pay nothing. Options.TraceSampleRate traces a
+// random fraction of queries instead.
+func WithTrace() QueryOption { return core.WithTrace() }
+
+// Trace is a completed query's recorded span collection; Tree renders it as a
+// nested TraceNode, Render as indented text (EXPLAIN ANALYZE-style), JSON as
+// a serializable tree. Obtained from Rows.Trace on queries run with
+// WithTrace.
+type Trace = trace.Trace
+
+// TraceNode is one span in a rendered trace tree: name, start offset,
+// duration, typed attributes, and children.
+type TraceNode = trace.Node
 
 // Table is an in-memory deterministic relation.
 type Table = table.Table

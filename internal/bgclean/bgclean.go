@@ -133,6 +133,12 @@ type Status struct {
 	// ETA estimates the remaining sweep time from the per-chunk pace; zero
 	// until the first chunk completes and once the job is terminal.
 	ETA time.Duration
+	// LastChunkDuration is how long the most recent chunk took; zero before
+	// the first chunk completes. Compared against TargetChunkTime — the
+	// adaptive controller's per-chunk latency target — it shows whether the
+	// controller is currently growing or shrinking ChunkRows.
+	LastChunkDuration time.Duration
+	TargetChunkTime   time.Duration
 
 	// Err describes the failure of a Failed job.
 	Err string
@@ -247,6 +253,9 @@ type job struct {
 	// backpressure waits are excluded, so ETA extrapolates sweep pace, not
 	// wall time spent parked.
 	elapsed time.Duration
+	// lastChunk is the duration of the most recent chunk — the controller's
+	// latest input signal, surfaced in Status.
+	lastChunk time.Duration
 
 	paused   bool
 	canceled bool // cancel requested; honored at the next chunk boundary
@@ -364,6 +373,7 @@ func (s *Scheduler) statusLocked(j *job) Status {
 		ChunksDone: j.chunksDone, ChunkRows: j.chunkRows,
 		GroupsCleaned: j.groups, CellsUpdated: j.cells,
 		BackpressureWaits: j.bpWaits, Enqueued: j.enqueued, Elapsed: j.elapsed,
+		LastChunkDuration: j.lastChunk, TargetChunkTime: s.opts.TargetChunkTime,
 	}
 	// j.elapsed can be 0 with chunks done (coarse clock, same pathology
 	// nextChunkRows guards): no pace signal exists yet, so leave ETA at its
@@ -503,6 +513,7 @@ func (s *Scheduler) runJob(j *job) {
 		s.opts.Instr.ChunkSec.ObserveDuration(took)
 		s.mu.Lock()
 		j.elapsed += took
+		j.lastChunk = took
 		if err != nil {
 			if errors.Is(err, ErrObsolete) || errors.Is(err, context.Canceled) {
 				s.finishLocked(j, Canceled, nil)

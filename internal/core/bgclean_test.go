@@ -13,6 +13,7 @@ import (
 	"daisy/internal/repair"
 	"daisy/internal/schema"
 	"daisy/internal/table"
+	"daisy/internal/trace"
 	"daisy/internal/value"
 )
 
@@ -417,7 +418,7 @@ func TestCostModelReadsCoalescedCounters(t *testing.T) {
 			rows = append(rows, r)
 		}
 		var m detect.Metrics
-		if _, err := qc.cleanFD(st, "lineorder", sweepRule(), fd, rows, nil, &m); err != nil {
+		if _, err := qc.cleanFD(st, "lineorder", sweepRule(), fd, rows, nil, &m, trace.Span{}); err != nil {
 			t.Fatal(err)
 		}
 		for _, d := range qc.decisions {

@@ -9,6 +9,7 @@ import (
 	"daisy/internal/expr"
 	"daisy/internal/repair"
 	"daisy/internal/thetajoin"
+	"daisy/internal/trace"
 	"daisy/internal/value"
 )
 
@@ -17,7 +18,7 @@ import (
 // the query's epoch (plus its local overlay); the computed delta applies to
 // the overlay immediately and to the canonical state through the
 // single-writer loop before returning.
-func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, rows []int, pred expr.Pred, m *detect.Metrics) ([]int, error) {
+func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, rows []int, pred expr.Pred, m *detect.Metrics, parent trace.Span) ([]int, error) {
 	idx := qc.fdIndexFor(st, tableName, rule.Name, fd)
 	snapChecked := st.checkedGroups[rule.Name]
 	localChecked := qc.checkedLocal(tableName, rule.Name)
@@ -26,6 +27,7 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 	// Statistics-driven pruning (Fig 9): only rows in dirty, unchecked
 	// groups need cleaning work. Row keys come from the persistent group
 	// index — O(1) per row, no per-query key building.
+	detectSp := parent.Start("detect")
 	var scope []int
 	for ri, r := range rows {
 		if ri%ctxCheckEvery == 0 {
@@ -42,6 +44,12 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 		}
 		scope = append(scope, r)
 	}
+	if detectSp.Active() {
+		skipped, total := idx.vioSegStats()
+		detectSp.End(trace.Str("rule", rule.Name), trace.Int("rows_in", len(rows)),
+			trace.Int("scope", len(scope)),
+			trace.Int("segments_skipped", skipped), trace.Int("segments_total", total))
+	}
 	if len(scope) == 0 {
 		qc.decisions = append(qc.decisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "skip"})
 		return nil, nil
@@ -55,14 +63,34 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 	// switch point under concurrency). The model update itself lands with
 	// the delta through the writer.
 	strategy := qc.opts.Strategy
+	var costDec Decision // operand snapshot of the §5.2.3 consult, if one ran
 	if strategy == StrategyAuto && st.cost != nil {
+		decSp := parent.Start("decision")
 		qi := len(rows)
 		epsi := len(scope)
 		ei := estimateExtras(st, rule.Name, epsi)
-		if qc.latestState(tableName, st).cost.ShouldSwitchToFull(qi, ei, epsi) {
+		model := qc.latestState(tableName, st).cost
+		if model.ShouldSwitchToFull(qi, ei, epsi) {
 			strategy = StrategyFull
 		} else {
 			strategy = StrategyIncremental
+		}
+		// Snapshot the inequality's actual operands: cumulative incremental
+		// spend + projected next query vs the offline alternative.
+		costDec = Decision{
+			Qi: qi, Ei: ei, Epsi: epsi,
+			CostNext:       model.IncrementalQueryCost(qi, ei, epsi),
+			CostCumulative: model.CumulativeIncremental(),
+			CostOffline:    model.OfflineCost(model.Queries() + 1),
+		}
+		if decSp.Active() {
+			decSp.End(
+				trace.Str("strategy", strategyName(strategy)),
+				trace.Int("qi", qi), trace.Int("ei", ei), trace.Int("epsi", epsi),
+				trace.Float("cost_next", costDec.CostNext),
+				trace.Float("cost_cumulative", costDec.CostCumulative),
+				trace.Float("cost_offline", costDec.CostOffline),
+			)
 		}
 	}
 	background := false
@@ -76,10 +104,12 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 			background = true
 			qc.deferFullClean(tableName, st.ident, rule, fd)
 		} else {
-			if err := qc.fullCleanFD(st, tableName, rule, fd, idx, checked, localChecked, m); err != nil {
+			if err := qc.fullCleanFD(st, tableName, rule, fd, idx, checked, localChecked, m, parent); err != nil {
 				return nil, err
 			}
-			qc.decisions = append(qc.decisions, Decision{Table: tableName, Rule: rule.Name, Strategy: "full"})
+			dec := costDec
+			dec.Table, dec.Rule, dec.Strategy = tableName, rule.Name, "full"
+			qc.decisions = append(qc.decisions, dec)
 			// After a full clean, relaxation extras are the other members of
 			// the result's dirty groups (they may qualify probabilistically).
 			return groupPartners(idx, scope, rows), nil
@@ -89,6 +119,7 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 	// Incremental: relax the result (Algorithm 1) through the group index.
 	// A filter on the lhs requires the transitive closure (Lemma 2);
 	// otherwise one pass suffices (Lemma 1).
+	repairSp := parent.Start("repair")
 	extra := idx.relax(scope, predTouchesLHS(pred, fd), m)
 	if err := qc.ctxErr(); err != nil {
 		return nil, err
@@ -122,7 +153,13 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 		// The repair was computed but never applied anywhere: drop it.
 		return nil, err
 	}
-	m.Updates += int64(qc.applyLocal(tableName, delta))
+	updated := qc.applyLocal(tableName, delta)
+	m.Updates += int64(updated)
+	if repairSp.Active() {
+		repairSp.End(trace.Str("rule", rule.Name),
+			trace.Int("fix", len(fix)), trace.Int("consult", len(consult)),
+			trace.Int("relaxed", len(extra)), trace.Int("cells_updated", updated))
+	}
 
 	// Mark the repaired groups checked locally and buffer the delta plus
 	// bookkeeping for the flush at query end (duplicates from racing queries
@@ -141,7 +178,8 @@ func (qc *queryCtx) cleanFD(st *tableState, tableName string, rule *dc.Constrain
 		costRecord: st.cost != nil,
 		costQi:     len(rows), costEi: len(extra), costEpsi: len(repairScope),
 	})
-	dec := Decision{Table: tableName, Rule: rule.Name, Strategy: "incremental"}
+	dec := costDec
+	dec.Table, dec.Rule, dec.Strategy = tableName, rule.Name, "incremental"
 	if background {
 		dec.Strategy = "background"
 	}
@@ -196,12 +234,14 @@ func predTouchesLHS(pred expr.Pred, fd dc.FDSpec) bool {
 // incremental path computes, so per-group fixes are identical bytes whether
 // a group is cleaned incrementally, by this inline pass, or by a background
 // sweep chunk — the invariant the async switch's convergence rests on.
-func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, idx *fdIndex, checked func(value.MapKey) bool, localChecked map[value.MapKey]bool, m *detect.Metrics) error {
+func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Constraint, fd dc.FDSpec, idx *fdIndex, checked func(value.MapKey) bool, localChecked map[value.MapKey]bool, m *detect.Metrics, parent trace.Span) error {
 	if err := qc.ctxErr(); err != nil {
 		return err
 	}
+	repairSp := parent.Start("repair")
 	scope := idx.violatingScope(checked)
 	var groups []value.MapKey
+	updated := 0
 	req := &applyReq{table: tableName, rule: rule.Name, isFD: true, ident: st.ident, markSwitched: st.cost != nil}
 	if len(scope) > 0 {
 		support := idx.relax(scope, false, m)
@@ -214,7 +254,8 @@ func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Const
 		if err := qc.ctxErr(); err != nil {
 			return err
 		}
-		m.Updates += int64(qc.applyLocal(tableName, d))
+		updated = qc.applyLocal(tableName, d)
+		m.Updates += int64(updated)
 		for _, r := range scope {
 			key := idx.keyOf(r)
 			if !localChecked[key] {
@@ -226,6 +267,10 @@ func (qc *queryCtx) fullCleanFD(st *tableState, tableName string, rule *dc.Const
 		req.base = base
 		req.applied = qc.pt(tableName)
 		req.groups = groups
+	}
+	if repairSp.Active() {
+		repairSp.End(trace.Str("rule", rule.Name), trace.Bool("full", true),
+			trace.Int("fix", len(scope)), trace.Int("cells_updated", updated))
 	}
 	qc.submit(req)
 	return nil
@@ -268,7 +313,7 @@ func groupPartners(idx *fdIndex, scope, rows []int) []int {
 // section reads the latest published epoch's checked set (not the query's —
 // a racing DC query may have advanced it) while detection and repair still
 // evaluate original values, which every epoch shares.
-func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constraint, rows []int, m *detect.Metrics) ([]int, error) {
+func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constraint, rows []int, m *detect.Metrics, parent trace.Span) ([]int, error) {
 	s := qc.s
 	if err := qc.ctxErr(); err != nil {
 		return nil, err
@@ -301,6 +346,7 @@ func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constrain
 		est = thetajoin.EstimateErrors(view, rule, qc.opts.Partitions)
 		freshEst = est
 	}
+	decSp := parent.Start("decision")
 	errors := estimateResultErrors(view, rule, rows, est)
 	support := dcSupport(latest, checked)
 	decision := cost.DecideDC(errors, len(rows), support, qc.opts.DCThreshold)
@@ -312,6 +358,12 @@ func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constrain
 		} else {
 			strategy = StrategyIncremental
 		}
+	}
+	if decSp.Active() {
+		decSp.End(trace.Str("strategy", strategyName(strategy)),
+			trace.Float("errors", errors), trace.Float("dirtiness", decision.Dirtiness),
+			trace.Float("support", support), trace.Float("threshold", qc.opts.DCThreshold),
+			trace.Bool("full", decision.FullClean))
 	}
 	dec := Decision{Table: tableName, Rule: rule.Name,
 		Accuracy: 1 - decision.Dirtiness, Support: support}
@@ -353,23 +405,38 @@ func (qc *queryCtx) cleanDC(st *tableState, tableName string, rule *dc.Constrain
 
 	// Cancellable detection: the theta-join partition loops poll ctx and the
 	// whole rule aborts cleanly — no fixes applied, no tuples marked checked.
+	detectSp := parent.Start("detect")
+	cmpBefore := m.Comparisons
 	deltaView := detect.SubsetView{Base: view, Idx: delta}
 	var pairs []thetajoin.Pair
 	var err error
 	if len(rest) > 0 {
 		restView := detect.SubsetView{Base: view, Idx: rest}
-		pairs, err = thetajoin.DetectPartialWorkersCtx(qc.ctx, deltaView, restView, rule, qc.opts.Partitions, qc.opts.Workers, m)
+		pairs, err = thetajoin.DetectPartialWorkersSpan(qc.ctx, detectSp, deltaView, restView, rule, qc.opts.Partitions, qc.opts.Workers, m)
 	} else {
-		pairs, err = thetajoin.DetectWorkersCtx(qc.ctx, deltaView, rule, qc.opts.Partitions, qc.opts.Workers, m)
+		pairs, err = thetajoin.DetectWorkersSpan(qc.ctx, detectSp, deltaView, rule, qc.opts.Partitions, qc.opts.Workers, m)
+	}
+	if detectSp.Active() {
+		detectSp.End(trace.Str("rule", rule.Name),
+			trace.Int("delta", len(delta)), trace.Int("rest", len(rest)),
+			trace.Int("pairs", len(pairs)),
+			trace.Int64("comparisons", m.Comparisons-cmpBefore),
+			trace.Int("workers", qc.opts.Workers), trace.Int("partitions", qc.opts.Partitions))
 	}
 	if err != nil {
 		return nil, err
 	}
+	repairSp := parent.Start("repair")
 	fixes := repair.DCFixes(view, pairs, rule, view.P.Schema.MustIndex, m)
 	if err := qc.ctxErr(); err != nil {
 		return nil, err
 	}
-	m.Updates += int64(qc.applyLocal(tableName, fixes))
+	updated := qc.applyLocal(tableName, fixes)
+	m.Updates += int64(updated)
+	if repairSp.Active() {
+		repairSp.End(trace.Str("rule", rule.Name),
+			trace.Int("pairs", len(pairs)), trace.Int("cells_updated", updated))
+	}
 
 	// Mark the delta tuples checked (full clean marks everything) and buffer
 	// the write-back; dcMu (held to query end) guarantees no duplicate can

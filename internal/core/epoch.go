@@ -12,6 +12,7 @@ import (
 	"daisy/internal/ptable"
 	"daisy/internal/stats"
 	"daisy/internal/thetajoin"
+	"daisy/internal/trace"
 	"daisy/internal/value"
 	"daisy/internal/wal"
 )
@@ -142,6 +143,10 @@ type applyReq struct {
 	// replaced in the meantime.
 	ident uint64
 
+	// span, when active, is the submitting query's publish span; the apply
+	// loop attaches wal.append/wal.fsync children to it before acking done.
+	span trace.Span
+
 	done chan struct{}
 }
 
@@ -228,22 +233,30 @@ func newWriter(instr *sessionInstr, durCfg durabilityConfig) *writer {
 // detaches, the directory keeps its last consistent prefix, and the
 // checkpointer later re-attaches via a fresh full checkpoint.
 func (w *writer) appendLocked(rec []byte) uint64 {
+	lsn, _ := w.appendStatsLocked(rec)
+	return lsn
+}
+
+// appendStatsLocked is appendLocked exposing the WAL's append statistics
+// (frame size, fsync latency) so the apply loop can trace them. A buffered,
+// failed, or no-op append returns the zero AppendResult.
+func (w *writer) appendStatsLocked(rec []byte) (uint64, wal.AppendResult) {
 	if w.wlog == nil || len(rec) == 0 {
-		return 0
+		return 0, wal.AppendResult{}
 	}
 	if w.durState == DurabilityRetrying {
 		w.pending = append(w.pending, rec)
-		return 0
+		return 0, wal.AppendResult{}
 	}
-	lsn, err := w.wlog.Append(rec)
+	res, err := w.wlog.AppendStats(rec)
 	if err != nil {
 		if !errors.Is(err, wal.ErrClosed) {
 			w.failAppendLocked(rec, err)
 		}
-		return 0
+		return 0, wal.AppendResult{}
 	}
-	w.lastLSN = lsn
-	return lsn
+	w.lastLSN = res.LSN
+	return res.LSN, res
 }
 
 // logSweep appends a sweep-enqueued record so recovery can resume the
@@ -415,8 +428,13 @@ func (w *writer) applyBatch(batch []*applyReq) {
 	}
 	marks.flush()
 	var lsn uint64
+	var walStats wal.AppendResult
+	var walStart time.Time
+	var walDur time.Duration
 	if len(logged) > 0 {
-		lsn = w.appendLocked(encodeApplyRecord(logged))
+		walStart = time.Now()
+		lsn, walStats = w.appendStatsLocked(encodeApplyRecord(logged))
+		walDur = time.Since(walStart)
 	}
 	w.snap.Store(next)
 	w.instr.epoch.Set(int64(next.epoch))
@@ -425,6 +443,16 @@ func (w *writer) applyBatch(batch []*applyReq) {
 	}
 	w.mu.Unlock()
 	for _, req := range batch {
+		// Attach the batch's WAL timing under every traced submitter's publish
+		// span — each sees the append its write-back rode on — strictly before
+		// the ack, so the span lands before the query renders its trace.
+		if req.span.Active() && walStats.Bytes > 0 {
+			asp := req.span.Child("wal.append", walStart, walDur,
+				trace.Int("bytes", walStats.Bytes), trace.Int64("lsn", int64(lsn)))
+			if walStats.Sync > 0 {
+				asp.Child("wal.fsync", walStart.Add(walDur-walStats.Sync), walStats.Sync)
+			}
+		}
 		close(req.done)
 	}
 	w.instr.applyBatches.Inc()

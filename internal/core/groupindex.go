@@ -223,6 +223,19 @@ func (ix *fdIndex) violatingScope(checked func(value.MapKey) bool) []int {
 	return scope
 }
 
+// vioSegStats reports how the segment-skip fast path sees the relation
+// right now: skipped is the number of storage segments holding no
+// violating-group anchor (skipped wholesale by violatingScopeIn), total the
+// segment count. Read-only; used for trace attributes.
+func (ix *fdIndex) vioSegStats() (skipped, total int) {
+	for _, c := range ix.vioSeg {
+		if c == 0 {
+			skipped++
+		}
+	}
+	return skipped, len(ix.vioSeg)
+}
+
 // violatingScopeIn collects the members and lhs keys of every violating,
 // unchecked group whose first member lies in [lo, hi) — one chunk of a
 // background full-clean sweep. Anchoring a group at its first (lowest)

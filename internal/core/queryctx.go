@@ -9,6 +9,7 @@ import (
 	"daisy/internal/expr"
 	"daisy/internal/ptable"
 	"daisy/internal/schema"
+	"daisy/internal/trace"
 	"daisy/internal/uncertain"
 	"daisy/internal/value"
 )
@@ -51,6 +52,11 @@ type queryCtx struct {
 	// write-backs publish only at query end.
 	dcHeld bool
 
+	// span is the query's root trace span; the zero Span when untraced.
+	// Cleaning spans attach under the engine's per-operator span instead
+	// (threaded through CleanSelect); this one anchors flush's publish span.
+	span trace.Span
+
 	decisions []Decision
 }
 
@@ -90,8 +96,20 @@ func (qc *queryCtx) deferFullClean(table string, ident uint64, rule *dc.Constrai
 // background sweeps against the just-published state, and releases the DC
 // section.
 func (qc *queryCtx) flush() {
+	pub := qc.span.Start("publish")
+	if pub.Active() {
+		// Tag each write-back so the apply loop can attach its WAL spans
+		// (append + fsync latency) under this query's publish span.
+		for _, req := range qc.pending {
+			req.span = pub
+		}
+	}
+	n := len(qc.pending)
 	qc.s.w.submitAll(qc.pending)
 	qc.pending = nil
+	if pub.Active() {
+		pub.End(trace.Int("requests", n))
+	}
 	for _, j := range qc.bgJobs {
 		qc.s.enqueueSweep(j.table, j.ident, j.rule, j.fd)
 	}
@@ -179,8 +197,10 @@ func (qc *queryCtx) checkedLocal(table, rule string) map[value.MapKey]bool {
 // CleanSelect implements engine.Cleaner: the cleanσ operator. It cleans
 // against the query's snapshot, applies fixes to the query-local overlay
 // (returned so downstream operators read them), and routes the same delta
-// through the session's single-writer apply loop.
-func (qc *queryCtx) CleanSelect(tableName string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) (*ptable.PTable, []int, error) {
+// through the session's single-writer apply loop. sp is the engine's
+// cleanselect operator span (zero when untraced); detect/decision/repair
+// spans for each rule nest under it.
+func (qc *queryCtx) CleanSelect(tableName string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics, sp trace.Span) (*ptable.PTable, []int, error) {
 	if err := qc.ctxErr(); err != nil {
 		return nil, nil, err
 	}
@@ -200,9 +220,9 @@ func (qc *queryCtx) CleanSelect(tableName string, rows []int, pred expr.Pred, ru
 		var extra []int
 		var err error
 		if fd, isFD := rule.AsFD(); isFD {
-			extra, err = qc.cleanFD(st, tableName, rule, fd, current, pred, m)
+			extra, err = qc.cleanFD(st, tableName, rule, fd, current, pred, m, sp)
 		} else {
-			extra, err = qc.cleanDC(st, tableName, rule, current, m)
+			extra, err = qc.cleanDC(st, tableName, rule, current, m, sp)
 		}
 		if err != nil {
 			return nil, nil, err

@@ -12,6 +12,7 @@ import (
 	"daisy/internal/ptable"
 	"daisy/internal/schema"
 	"daisy/internal/table"
+	"daisy/internal/trace"
 	"daisy/internal/uncertain"
 	"daisy/internal/value"
 	"daisy/internal/workload"
@@ -155,7 +156,7 @@ func TestBatchedWriteBacksCoalesceIdempotently(t *testing.T) {
 	singleSnap := single.w.current()
 	singleQC := &queryCtx{s: single, snap: singleSnap, opts: single.opts}
 	var sm detect.Metrics
-	if _, err := singleQC.cleanFD(singleSnap.tables["cities"], "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &sm); err != nil {
+	if _, err := singleQC.cleanFD(singleSnap.tables["cities"], "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &sm, trace.Span{}); err != nil {
 		t.Fatal(err)
 	}
 	singleQC.flush()
@@ -169,7 +170,7 @@ func TestBatchedWriteBacksCoalesceIdempotently(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		qc := &queryCtx{s: s, snap: snap, opts: s.opts}
 		var m detect.Metrics
-		if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m); err != nil {
+		if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m, trace.Span{}); err != nil {
 			t.Fatal(err)
 		}
 		reqs = append(reqs, qc.pending...)
@@ -379,7 +380,7 @@ func TestInFlightWriteBackAfterClose(t *testing.T) {
 	st := snap.tables["cities"]
 	qc := &queryCtx{s: s, snap: snap, opts: s.opts}
 	var m detect.Metrics
-	if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m); err != nil {
+	if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m, trace.Span{}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -409,7 +410,7 @@ func TestStaleWriteBackDroppedAfterReplaceTable(t *testing.T) {
 	// request the way a finishing query would.
 	qc := &queryCtx{s: s, snap: snap, opts: s.opts}
 	var m detect.Metrics
-	if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m); err != nil {
+	if _, err := qc.cleanFD(st, "cities", stRule(t), mustFD(t), []int{0, 1, 2}, nil, &m, trace.Span{}); err != nil {
 		t.Fatal(err)
 	}
 	qc.flush()

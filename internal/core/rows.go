@@ -10,6 +10,7 @@ import (
 	"daisy/internal/metrics"
 	"daisy/internal/ptable"
 	"daisy/internal/schema"
+	"daisy/internal/trace"
 )
 
 // Rows is a streaming cursor over a cleaned query result. It enumerates the
@@ -53,6 +54,7 @@ type Rows struct {
 	plan      string
 	decisions []Decision
 	metrics   detect.Metrics
+	trace     *trace.Trace
 }
 
 // Next advances to the next result tuple. It returns false when the result
@@ -147,6 +149,12 @@ func (r *Rows) Decisions() []Decision { return r.decisions }
 
 // Metrics returns the query's work counters.
 func (r *Rows) Metrics() detect.Metrics { return r.metrics }
+
+// Trace returns the query's span tree, or nil unless the query ran under
+// WithTrace (or was sampled via Options.TraceSampleRate). The trace is
+// complete by the time Rows is returned — rendering it does not race the
+// writer.
+func (r *Rows) Trace() *trace.Trace { return r.trace }
 
 // Result materializes the remaining full result into the classic Result
 // shape and closes the cursor. Query/Run are thin wrappers over this.

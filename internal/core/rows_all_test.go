@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRowsAllEnumeratesEverything pins the iter.Seq2 adapter against the
+// Next/Row contract: All yields every result tuple exactly once with dense
+// indices, and a drained cursor reports no error.
+func TestRowsAllEnumeratesEverything(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental})
+	defer s.Close()
+
+	rows, err := s.QueryContext(context.Background(), "SELECT zip, city FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+
+	want := rows.Len()
+	next := 0
+	for i, tup := range rows.All() {
+		if i != next {
+			t.Fatalf("index %d, want %d (All must yield dense indices)", i, next)
+		}
+		if tup == nil {
+			t.Fatalf("nil tuple at index %d", i)
+		}
+		next++
+	}
+	if next != want {
+		t.Fatalf("All yielded %d tuples, want %d", next, want)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("drained cursor reports error: %v", err)
+	}
+}
+
+// TestRowsAllEarlyBreakReleasesSlot is the slot-leak pin for the All path —
+// the PR 8 fix covered Close and Next, this covers range-over-func: breaking
+// out of the loop early and closing the cursor must return the admission
+// slot, and the broken-out cursor must still be resumable before Close.
+func TestRowsAllEarlyBreakReleasesSlot(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental, MaxConcurrentQueries: 1})
+	defer s.Close()
+
+	rows, err := s.QueryContext(context.Background(), "SELECT zip, city FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for range rows.All() {
+		seen++
+		break
+	}
+	if seen != 1 {
+		t.Fatalf("saw %d tuples before break, want 1", seen)
+	}
+	// Breaking out only pauses enumeration: a second range resumes where the
+	// first stopped instead of restarting.
+	resumed := 0
+	for range rows.All() {
+		resumed++
+	}
+	if seen+resumed != rows.Len() {
+		t.Fatalf("resumed range saw %d tuples after %d, want %d total", resumed, seen, rows.Len())
+	}
+	rows.Close()
+	drainSem(t, s)
+
+	// With the slot back, the next query admits without blocking.
+	again, err := s.QueryContext(context.Background(), "SELECT zip, city FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.Close()
+	drainSem(t, s)
+}
+
+// TestRowsAllCancelMidIteration pins the third release path under All: a
+// context canceled mid-range stops the loop through Next's guard, surfaces
+// on Err, and returns the slot without the caller ever calling Close.
+func TestRowsAllCancelMidIteration(t *testing.T) {
+	s := newCitySession(t, Options{Strategy: StrategyIncremental, MaxConcurrentQueries: 1})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := s.QueryContext(ctx, "SELECT zip, city FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for range rows.All() {
+		seen++
+		cancel() // the next Next observes the dead context and releases the slot
+	}
+	if seen == 0 || seen == rows.Len() {
+		t.Fatalf("saw %d of %d tuples, want a mid-stream stop", seen, rows.Len())
+	}
+	if rows.Err() == nil {
+		t.Fatal("Err must report the cancellation that stopped All")
+	}
+	drainSem(t, s)
+}

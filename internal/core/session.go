@@ -32,6 +32,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sort"
 	"sync"
@@ -48,6 +49,7 @@ import (
 	"daisy/internal/schema"
 	"daisy/internal/sql"
 	"daisy/internal/table"
+	"daisy/internal/trace"
 	"daisy/internal/vfs"
 	"daisy/internal/wal"
 )
@@ -74,6 +76,18 @@ const (
 	StrategyIncremental
 	StrategyFull
 )
+
+// strategyName renders a resolved strategy for decisions and trace attrs.
+func strategyName(s Strategy) string {
+	switch s {
+	case StrategyIncremental:
+		return "incremental"
+	case StrategyFull:
+		return "full"
+	default:
+		return "auto"
+	}
+}
 
 // Options configure a Session. All defaults resolve once in NewSession; the
 // zero value of every field selects the documented default.
@@ -154,6 +168,13 @@ type Options struct {
 	// (default: the real one). Fault-injection tests pass a vfs.FaultFS to
 	// exercise the durability state machine deterministically.
 	FS vfs.FS
+	// TraceSampleRate traces this fraction of queries (0..1) even without
+	// WithTrace, so always-on production tracing stays cheap: sampled-out
+	// queries pay nothing, sampled-in queries record an operator-granular
+	// span tree retrievable from Rows.Trace (the serving layer feeds it to
+	// the slow-query log). 0 (default) samples nothing; >= 1 traces every
+	// query.
+	TraceSampleRate float64
 }
 
 // defaults resolves every option exactly once (NewSession); call sites read
@@ -204,6 +225,15 @@ type Decision struct {
 	Strategy string  // "incremental", "full", "background", "skip"
 	Accuracy float64 // 1 − estimated dirtiness (DC rules only)
 	Support  float64 // diagonal coverage (DC rules only)
+
+	// Cost-inequality operands (§5.2.3), populated when StrategyAuto
+	// consulted the FD cost model: the projections the inequality was
+	// evaluated with (Qi result rows, Ei estimated relaxation extras, Epsi
+	// dirty scope) and the actual operand values compared — the projected
+	// next-query incremental cost, the cumulative incremental spend so far,
+	// and the offline-pass cost the sum is measured against.
+	Qi, Ei, Epsi                          int
+	CostNext, CostCumulative, CostOffline float64
 }
 
 // Result is a cleaned query answer.
@@ -549,25 +579,56 @@ func (s *Session) Run(q *sql.Query) (*Result, error) {
 // of the offending token (errors.As), and wrapped context.Canceled /
 // context.DeadlineExceeded for aborted queries.
 func (s *Session) QueryContext(ctx context.Context, text string, opts ...QueryOption) (*Rows, error) {
+	cfg := s.resolveConfig(opts)
+	tr := newQueryTrace(&cfg)
 	t0 := time.Now()
 	q, err := sql.Parse(text)
-	s.instr.parseSec.ObserveDuration(time.Since(t0))
+	d := time.Since(t0)
+	s.instr.parseSec.ObserveDuration(d)
+	if tr != nil {
+		tr.Root().Child("parse", t0, d, trace.Int("bytes", len(text)))
+	}
 	if err != nil {
 		s.instr.queryErrors.Inc()
 		return nil, err
 	}
-	return s.RunContext(ctx, q, opts...)
+	return s.runResolved(ctx, q, cfg, tr)
 }
 
-// RunContext is QueryContext for an already parsed query.
+// RunContext is QueryContext for an already parsed query. A traced run's
+// span tree has no parse span — parsing happened before the call.
 func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOption) (*Rows, error) {
-	if s.w.closed.Load() {
-		return nil, ErrSessionClosed
-	}
+	cfg := s.resolveConfig(opts)
+	return s.runResolved(ctx, q, cfg, newQueryTrace(&cfg))
+}
+
+// resolveConfig overlays the caller's per-query options on the session
+// defaults.
+func (s *Session) resolveConfig(opts []QueryOption) queryConfig {
 	cfg := queryConfig{opts: s.opts}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return cfg
+}
+
+// newQueryTrace decides whether this query records a span tree: explicitly
+// via WithTrace, or probabilistically via Options.TraceSampleRate. Returns
+// nil — the zero-cost untraced query — otherwise.
+func newQueryTrace(cfg *queryConfig) *trace.Trace {
+	if cfg.trace || (cfg.opts.TraceSampleRate > 0 && rand.Float64() < cfg.opts.TraceSampleRate) {
+		return trace.New("query")
+	}
+	return nil
+}
+
+// runResolved plans and executes a parsed query against resolved options,
+// instrumenting the pipeline onto tr (nil: untraced) as it goes.
+func (s *Session) runResolved(ctx context.Context, q *sql.Query, cfg queryConfig, tr *trace.Trace) (*Rows, error) {
+	if s.w.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	root := tr.Root()
 	cancel := context.CancelFunc(func() {})
 	if cfg.timeout != 0 {
 		// A non-positive timeout yields an already-expired context: the query
@@ -578,7 +639,11 @@ func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOpt
 		wait := time.Now()
 		select {
 		case s.sem <- struct{}{}:
-			s.instr.admissionSec.ObserveDuration(time.Since(wait))
+			d := time.Since(wait)
+			s.instr.admissionSec.ObserveDuration(d)
+			if root.Active() {
+				root.Child("admission", wait, d)
+			}
 		case <-ctx.Done():
 			cancel()
 			s.instr.recordQueryError(ctx.Err())
@@ -610,7 +675,7 @@ func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOpt
 		}
 	}()
 	snap := s.w.current()
-	qc := &queryCtx{s: s, snap: snap, ctx: ctx, opts: cfg.opts}
+	qc := &queryCtx{s: s, snap: snap, ctx: ctx, opts: cfg.opts, span: root}
 	// abort is idempotent and a no-op after flush; deferring it guarantees
 	// dcMu and the pending buffer are released even if execution panics
 	// (e.g. a schema-resolution panic in the engine) and the caller recovers
@@ -618,7 +683,11 @@ func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOpt
 	defer qc.abort()
 	t0 := time.Now()
 	node, err := plan.Build(q, qc, snap.rules)
-	s.instr.planSec.ObserveDuration(time.Since(t0))
+	planDur := time.Since(t0)
+	s.instr.planSec.ObserveDuration(planDur)
+	if root.Active() {
+		root.Child("plan", t0, planDur)
+	}
 	if err != nil {
 		cancel()
 		s.instr.recordQueryError(err)
@@ -627,15 +696,27 @@ func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOpt
 	if cfg.explain {
 		cancel()
 		handedOff = true
-		return &Rows{plan: node.String(), release: release}, nil
+		if root.Active() {
+			root.End(trace.Str("mode", "explain"))
+		}
+		return &Rows{plan: node.String(), release: release, trace: tr}, nil
 	}
 	ex := &engine.Executor{Tables: qc.ptables(), Workers: cfg.opts.Workers, Ctx: ctx}
 	if !cfg.opts.DisableCleaning {
 		ex.Cleaner = qc
 	}
+	execSp := root.Start("exec")
+	ex.Span = execSp
 	t0 = time.Now()
 	fr, err := ex.RunFrame(node)
 	s.instr.execSec.ObserveDuration(time.Since(t0))
+	if execSp.Active() {
+		n := 0
+		if fr != nil {
+			n = len(fr.Rows)
+		}
+		execSp.End(trace.Int("rows_out", n))
+	}
 	if err == nil {
 		// Last poll before committing: a cancellation that raced the final
 		// operator must still abort without publishing.
@@ -657,10 +738,13 @@ func (s *Session) RunContext(ctx context.Context, q *sql.Query, opts ...QueryOpt
 	s.Metrics.Add(ex.Metrics)
 	s.metricsMu.Unlock()
 	handedOff = true
+	if root.Active() {
+		root.End(trace.Int("rows", len(fr.Rows)))
+	}
 	rows := &Rows{
 		fr: fr, pos: -1, ctx: ctx, cancel: cancel,
 		plan: node.String(), decisions: qc.decisions, metrics: ex.Metrics,
-		release: release, streamed: s.instr.rowsStreamed,
+		release: release, streamed: s.instr.rowsStreamed, trace: tr,
 	}
 	// An abandoned stream must not pin its slot: a context canceled or timed
 	// out mid-stream releases even if the caller never calls Close.

@@ -20,6 +20,7 @@ import (
 	"daisy/internal/ptable"
 	"daisy/internal/schema"
 	"daisy/internal/sql"
+	"daisy/internal/trace"
 	"daisy/internal/uncertain"
 	"daisy/internal/value"
 )
@@ -29,9 +30,11 @@ import (
 // generation downstream operators must read (under snapshot isolation the
 // fixes land on a copy-on-write overlay, not the executor's input table)
 // together with the final qualifying row positions (the relaxed, corrected
-// result). A nil returned table means "unchanged".
+// result). A nil returned table means "unchanged". sp is the cleanσ
+// operator's trace span (the zero Span when untraced); implementations nest
+// their detection/decision/repair spans under it.
 type Cleaner interface {
-	CleanSelect(table string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) (*ptable.PTable, []int, error)
+	CleanSelect(table string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics, sp trace.Span) (*ptable.PTable, []int, error)
 }
 
 // Executor runs plans against a set of probabilistic relations.
@@ -48,6 +51,10 @@ type Executor struct {
 	// with an error wrapping Ctx.Err().
 	Ctx     context.Context
 	Metrics detect.Metrics
+	// Span, when active, is the parent span operator spans record under
+	// (one per plan node, with rows-in/rows-out counts). The zero Span
+	// disables operator tracing at no cost.
+	Span trace.Span
 }
 
 // ctxCheckEvery is how many rows the sequential hot loops process between
@@ -128,35 +135,39 @@ func (e *Executor) Run(n plan.Node) (*ptable.PTable, error) {
 
 // RunFrame executes the plan and returns the unmaterialized result frame.
 func (e *Executor) RunFrame(n plan.Node) (*Frame, error) {
-	f, err := e.exec(n)
+	f, err := e.exec(n, e.Span)
 	if err != nil {
 		return nil, err
 	}
 	return &Frame{PT: f.pt, Rows: f.rows, isBase: f.isBase}, nil
 }
 
-func (e *Executor) exec(n plan.Node) (*frame, error) {
+// exec dispatches one plan node. parent is the span the node's operator span
+// records under; each operator starts its own span and hands it to its
+// children, so the span tree mirrors the plan tree.
+func (e *Executor) exec(n plan.Node, parent trace.Span) (*frame, error) {
 	if err := e.ctxErr(); err != nil {
 		return nil, err
 	}
 	switch node := n.(type) {
 	case *plan.Scan:
-		return e.execScan(node)
+		return e.execScan(node, parent)
 	case *plan.Select:
-		return e.execSelect(node)
+		return e.execSelect(node, parent)
 	case *plan.CleanSelect:
-		return e.execCleanSelect(node)
+		return e.execCleanSelect(node, parent)
 	case *plan.Join:
-		return e.execJoin(node)
+		return e.execJoin(node, parent)
 	case *plan.GroupBy:
-		return e.execGroupBy(node)
+		return e.execGroupBy(node, parent)
 	case *plan.Project:
-		return e.execProject(node)
+		return e.execProject(node, parent)
 	}
 	return nil, fmt.Errorf("engine: unknown plan node %T", n)
 }
 
-func (e *Executor) execScan(node *plan.Scan) (*frame, error) {
+func (e *Executor) execScan(node *plan.Scan, parent trace.Span) (*frame, error) {
+	sp := parent.Start("scan")
 	pt, ok := e.Tables[node.Table]
 	if !ok {
 		return nil, fmt.Errorf("engine: %w %q", plan.ErrUnknownTable, node.Table)
@@ -166,15 +177,27 @@ func (e *Executor) execScan(node *plan.Scan) (*frame, error) {
 		rows[i] = i
 	}
 	e.Metrics.Scanned += int64(pt.Len())
+	if sp.Active() {
+		sp.End(trace.Str("table", node.Table), trace.Int("rows_out", len(rows)))
+	}
 	return &frame{pt: pt, rows: rows, table: node.Table, isBase: true}, nil
 }
 
-func (e *Executor) execSelect(node *plan.Select) (*frame, error) {
-	f, err := e.exec(node.Child)
+func (e *Executor) execSelect(node *plan.Select, parent trace.Span) (*frame, error) {
+	f, err := e.exec(node.Child, parent)
 	if err != nil {
 		return nil, err
 	}
-	return e.filter(f, node.Pred)
+	sp := parent.Start("filter")
+	out, err := e.filter(f, node.Pred)
+	if sp.Active() {
+		n := 0
+		if out != nil {
+			n = len(out.rows)
+		}
+		sp.End(trace.Int("rows_in", len(f.rows)), trace.Int("rows_out", n))
+	}
+	return out, err
 }
 
 // parallelism returns the worker count to use for an operator over n items:
@@ -340,8 +363,8 @@ func (e *Executor) cellGetter(f *frame) func(row int, ref expr.ColRef) *uncertai
 	}
 }
 
-func (e *Executor) execCleanSelect(node *plan.CleanSelect) (*frame, error) {
-	f, err := e.exec(node.Child)
+func (e *Executor) execCleanSelect(node *plan.CleanSelect, parent trace.Span) (*frame, error) {
+	f, err := e.exec(node.Child, parent)
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +378,12 @@ func (e *Executor) execCleanSelect(node *plan.CleanSelect) (*frame, error) {
 	if sel, ok := node.Child.(*plan.Select); ok {
 		pred = sel.Pred
 	}
-	pt, rows, err := e.Cleaner.CleanSelect(node.Table, f.rows, pred, node.Rules, &e.Metrics)
+	sp := parent.Start("cleanselect")
+	pt, rows, err := e.Cleaner.CleanSelect(node.Table, f.rows, pred, node.Rules, &e.Metrics, sp)
+	if sp.Active() {
+		sp.End(trace.Str("table", node.Table), trace.Int("rules", len(node.Rules)),
+			trace.Int("rows_in", len(f.rows)), trace.Int("rows_out", len(rows)))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -369,16 +397,25 @@ func (e *Executor) execCleanSelect(node *plan.CleanSelect) (*frame, error) {
 	return &frame{pt: pt, rows: rows, table: f.table, isBase: true}, nil
 }
 
-func (e *Executor) execJoin(node *plan.Join) (*frame, error) {
-	lf, err := e.exec(node.Left)
+func (e *Executor) execJoin(node *plan.Join, parent trace.Span) (*frame, error) {
+	lf, err := e.exec(node.Left, parent)
 	if err != nil {
 		return nil, err
 	}
-	rf, err := e.exec(node.Right)
+	rf, err := e.exec(node.Right, parent)
 	if err != nil {
 		return nil, err
 	}
-	joined, err := e.hashJoin(lf, rf, node)
+	sp := parent.Start("join")
+	joined, err := e.hashJoin(lf, rf, node, sp)
+	if sp.Active() {
+		n := 0
+		if joined != nil {
+			n = len(joined.rows)
+		}
+		sp.End(trace.Int("rows_left", len(lf.rows)), trace.Int("rows_right", len(rf.rows)),
+			trace.Int("rows_out", n))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +426,7 @@ func (e *Executor) execJoin(node *plan.Join) (*frame, error) {
 // keyed by every candidate value, probe with every candidate value of the
 // left key, and emit each overlapping pair once. Lineage from both sides is
 // merged so clean⋈ can split the result back (§4.4).
-func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
+func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join, sp trace.Span) (*frame, error) {
 	rightSchema := rf.pt.Schema
 	joinedSchema, err := lf.pt.Schema.Concat(rightSchema, node.RightTable+".")
 	if err != nil {
@@ -402,6 +439,7 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 	if err := e.ctxErr(); err != nil {
 		return nil, err
 	}
+	msp := sp.Start("materialize")
 	out.Reserve(len(matches))
 	tuples := make([]ptable.Tuple, len(matches))
 	if w := e.parallelism(len(matches)); w > 1 {
@@ -424,6 +462,9 @@ func (e *Executor) hashJoin(lf, rf *frame, node *plan.Join) (*frame, error) {
 	}
 	for i := range tuples {
 		out.Append(&tuples[i])
+	}
+	if msp.Active() {
+		msp.End(trace.Int("rows", len(matches)))
 	}
 	return &frame{pt: out, rows: seq(out.Len())}, nil
 }
@@ -559,11 +600,24 @@ func seq(n int) []int {
 	return out
 }
 
-func (e *Executor) execGroupBy(node *plan.GroupBy) (*frame, error) {
-	f, err := e.exec(node.Child)
+func (e *Executor) execGroupBy(node *plan.GroupBy, parent trace.Span) (*frame, error) {
+	f, err := e.exec(node.Child, parent)
 	if err != nil {
 		return nil, err
 	}
+	sp := parent.Start("groupby")
+	out, err := e.groupBy(node, f)
+	if sp.Active() {
+		n := 0
+		if out != nil {
+			n = len(out.rows)
+		}
+		sp.End(trace.Int("rows_in", len(f.rows)), trace.Int("groups", n))
+	}
+	return out, err
+}
+
+func (e *Executor) groupBy(node *plan.GroupBy, f *frame) (*frame, error) {
 	get := e.cellGetter(f)
 
 	type group struct {
@@ -704,8 +758,8 @@ func (e *Executor) aggregate(get func(int, expr.ColRef) *uncertain.Cell, rows []
 	return value.Value{}, fmt.Errorf("engine: unsupported aggregate %v", it.Agg)
 }
 
-func (e *Executor) execProject(node *plan.Project) (*frame, error) {
-	f, err := e.exec(node.Child)
+func (e *Executor) execProject(node *plan.Project, parent trace.Span) (*frame, error) {
+	f, err := e.exec(node.Child, parent)
 	if err != nil {
 		return nil, err
 	}
@@ -715,6 +769,12 @@ func (e *Executor) execProject(node *plan.Project) (*frame, error) {
 			return f, nil
 		}
 	}
+	sp := parent.Start("project")
+	defer func() {
+		if sp.Active() {
+			sp.End(trace.Int("rows", len(f.rows)), trace.Int("cols", len(node.Items)))
+		}
+	}()
 	var cols []schema.Column
 	var idxs []int
 	for _, it := range node.Items {

@@ -11,6 +11,7 @@ import (
 	"daisy/internal/schema"
 	"daisy/internal/sql"
 	"daisy/internal/table"
+	"daisy/internal/trace"
 	"daisy/internal/uncertain"
 	"daisy/internal/value"
 )
@@ -216,7 +217,7 @@ type fakeCleaner struct {
 	extraRows   []int
 }
 
-func (f *fakeCleaner) CleanSelect(tbl string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics) (*ptable.PTable, []int, error) {
+func (f *fakeCleaner) CleanSelect(tbl string, rows []int, pred expr.Pred, rules []*dc.Constraint, m *detect.Metrics, sp trace.Span) (*ptable.PTable, []int, error) {
 	f.calledTable = tbl
 	f.calledRows = rows
 	return nil, append(append([]int{}, rows...), f.extraRows...), nil
@@ -265,7 +266,7 @@ func TestCleanSelectNilCleanerPassesThrough(t *testing.T) {
 
 func TestUnknownTableError(t *testing.T) {
 	e := &Executor{Tables: map[string]*ptable.PTable{}}
-	_, err := e.exec(&plan.Scan{Table: "ghost"})
+	_, err := e.exec(&plan.Scan{Table: "ghost"}, trace.Span{})
 	if err == nil {
 		t.Error("unknown table must error")
 	}

@@ -152,13 +152,16 @@ func (h *Histogram) Sum() float64 {
 
 // Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
 // within the bucket holding the target rank. Values in the +Inf bucket
-// resolve to the highest finite bound; an empty histogram reports 0.
+// resolve to the highest finite bound — the estimate saturates rather than
+// inventing a value past the ladder, so an overflow-heavy distribution pins
+// every quantile at the top bound. An empty histogram, or one with no finite
+// bounds, reports 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
 	total := h.count.Load()
-	if total == 0 {
+	if total == 0 || len(h.bounds) == 0 {
 		return 0
 	}
 	rank := q * float64(total)

@@ -78,6 +78,30 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestQuantileOverflowClamp(t *testing.T) {
+	// Overflow-heavy distribution: most mass past the highest finite bound.
+	// Every quantile whose rank lands in the +Inf bucket must saturate at the
+	// top bound, never interpolate past it or panic.
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0.5) // one in-range observation
+	for i := 0; i < 99; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Fatalf("overflow p99 = %v, want clamped top bound 4", got)
+	}
+	if got := h.Quantile(0.50); got != 4 {
+		t.Fatalf("overflow p50 = %v, want clamped top bound 4", got)
+	}
+	// A boundless histogram with observations has nowhere to clamp to; it
+	// reports 0 instead of indexing bounds[-1].
+	empty := NewHistogram(nil)
+	empty.Observe(7)
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("boundless histogram p99 = %v, want 0", got)
+	}
+}
+
 func TestHistogramConcurrentSum(t *testing.T) {
 	h := NewHistogram(SizeBuckets)
 	var wg sync.WaitGroup

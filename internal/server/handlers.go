@@ -17,6 +17,7 @@ import (
 	"daisy/internal/ptable"
 	"daisy/internal/sql"
 	"daisy/internal/table"
+	"daisy/internal/trace"
 	"daisy/internal/uncertain"
 	"daisy/internal/value"
 )
@@ -205,20 +206,62 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(d)*time.Millisecond)
 			defer cancel()
 		}
-		rows, err := t.s.QueryContext(ctx, query)
+		// ?trace=1 asks for the span tree in the trailer; a configured slow
+		// log traces every query so an offender's entry always has one.
+		wantTrace := r.URL.Query().Get("trace") == "1"
+		var opts []core.QueryOption
+		if wantTrace || s.slow != nil {
+			opts = append(opts, core.WithTrace())
+		}
+		t0 := time.Now()
+		rows, err := t.s.QueryContext(ctx, query, opts...)
 		if err != nil {
 			mapQueryError(err, query).write(w)
 			return
 		}
 		defer rows.Close()
-		streamRows(w, rows)
+		n := streamRows(w, rows, wantTrace)
+		if dur := time.Since(t0); s.slow != nil && dur >= s.cfg.SlowQueryThreshold {
+			s.recordSlow(t.name, query, dur, n, rows.Trace())
+		}
+	})
+}
+
+// recordSlow appends one slow-query event to the ring and emits its
+// structured log line with the compacted span tree.
+func (s *Server) recordSlow(tenant, query string, dur time.Duration, rows int, tr *trace.Trace) {
+	e := slowEntry{
+		Time: time.Now(), Tenant: tenant, Query: query,
+		DurationMS: float64(dur) / float64(time.Millisecond), Rows: rows,
+	}
+	compact := ""
+	if tr != nil {
+		e.Trace = tr.Tree()
+		compact = tr.Compact()
+	}
+	s.slow.record(e)
+	s.cfg.Logf("slow query: tenant=%q dur=%v rows=%d query=%q trace=%s",
+		tenant, dur.Round(time.Microsecond), rows, query, compact)
+}
+
+// handleDebugSlow serves the slow-query ring, newest first.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	if s.slow == nil {
+		writeOK(w, map[string]any{"enabled": false, "slow": []slowEntry{}})
+		return
+	}
+	writeOK(w, map[string]any{
+		"enabled":      true,
+		"threshold_ms": float64(s.cfg.SlowQueryThreshold) / float64(time.Millisecond),
+		"slow":         s.slow.entries(),
 	})
 }
 
 // streamRows writes the NDJSON protocol: schema header, one line per row,
-// mandatory trailer. Flushed per line batch so long streams progress through
-// proxies and slow readers.
-func streamRows(w http.ResponseWriter, rows *core.Rows) {
+// mandatory trailer, and returns the number of rows streamed. Flushed per
+// line batch so long streams progress through proxies and slow readers.
+// includeTrace embeds the query's span tree in the success trailer.
+func streamRows(w http.ResponseWriter, rows *core.Rows, includeTrace bool) int {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -236,7 +279,7 @@ func streamRows(w http.ResponseWriter, rows *core.Rows) {
 	for rows.Next() {
 		if err := enc.Encode(rowJSON(sch.Names(), rows.Row())); err != nil {
 			// The client went away mid-write; nothing more to send.
-			return
+			return n
 		}
 		n++
 		if flusher != nil && n%64 == 0 {
@@ -246,11 +289,16 @@ func streamRows(w http.ResponseWriter, rows *core.Rows) {
 	if err := rows.Err(); err != nil {
 		_ = enc.Encode(map[string]any{"error": mapQueryError(err, "")})
 	} else {
-		_ = enc.Encode(map[string]any{"done": true, "rows": n})
+		trailer := map[string]any{"done": true, "rows": n}
+		if tr := rows.Trace(); includeTrace && tr != nil {
+			trailer["trace"] = tr.Tree()
+		}
+		_ = enc.Encode(trailer)
 	}
 	if flusher != nil {
 		flusher.Flush()
 	}
+	return n
 }
 
 // rowJSON renders one probabilistic tuple: "row" maps columns to their
@@ -414,6 +462,13 @@ type cleaningJob struct {
 	RowsTotal int     `json:"rows_total"`
 	Progress  float64 `json:"progress"`
 	ETASec    float64 `json:"eta_seconds"`
+	// Adaptive chunk controller state: current chunk size, chunks run so
+	// far, the latest chunk's latency, and the latency target the controller
+	// steers toward.
+	ChunkRows   int     `json:"chunk_rows"`
+	ChunksDone  int     `json:"chunks_done"`
+	LastChunkMS float64 `json:"last_chunk_ms"`
+	TargetMS    float64 `json:"target_chunk_ms"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -446,12 +501,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, job := range t.s.CleaningStatus() {
 			cj := cleaningJob{
-				Table:     job.Table,
-				Rule:      job.Rule,
-				State:     job.State.String(),
-				RowsDone:  job.RowsDone,
-				RowsTotal: job.RowsTotal,
-				ETASec:    job.ETA.Seconds(),
+				Table:       job.Table,
+				Rule:        job.Rule,
+				State:       job.State.String(),
+				RowsDone:    job.RowsDone,
+				RowsTotal:   job.RowsTotal,
+				ETASec:      job.ETA.Seconds(),
+				ChunkRows:   job.ChunkRows,
+				ChunksDone:  job.ChunksDone,
+				LastChunkMS: float64(job.LastChunkDuration) / float64(time.Millisecond),
+				TargetMS:    float64(job.TargetChunkTime) / float64(time.Millisecond),
 			}
 			if job.RowsTotal > 0 {
 				cj.Progress = float64(job.RowsDone) / float64(job.RowsTotal)

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"daisy/internal/core"
+	"daisy/internal/trace"
 )
 
 // Config tunes a Server. The zero value serves in-memory tenants with
@@ -79,6 +80,15 @@ type Config struct {
 	// Logf, when set, receives one line per lifecycle event (tenant open,
 	// eviction, drain progress). Default discards.
 	Logf func(format string, args ...any)
+	// SlowQueryThreshold, when positive, makes every query slower than this
+	// a slow-query event: recorded in the in-memory ring served by
+	// GET /v1/debug/slow plus one structured Logf line with the compacted
+	// span tree. Whether a query will be slow is unknowable up front, so a
+	// positive threshold traces every query — that is the cost of always
+	// having the span tree on the offender. Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize bounds the slow-query ring buffer (default 128).
+	SlowQueryLogSize int
 }
 
 func (c *Config) defaults() {
@@ -96,6 +106,9 @@ func (c *Config) defaults() {
 	}
 	if c.IdleTimeout == 0 {
 		c.IdleTimeout = 10 * time.Minute
+	}
+	if c.SlowQueryLogSize <= 0 {
+		c.SlowQueryLogSize = 128
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -124,6 +137,48 @@ type Server struct {
 
 	draining atomic.Bool
 	tenants  *tenantRegistry
+	slow     *slowLog // nil unless SlowQueryThreshold > 0
+}
+
+// slowLog is a fixed-size ring of the most recent slow-query events.
+type slowLog struct {
+	mu   sync.Mutex
+	buf  []slowEntry
+	next int // write position
+	n    int // entries recorded (saturates at len(buf))
+}
+
+// slowEntry is one offending query as served by /v1/debug/slow.
+type slowEntry struct {
+	Time       time.Time   `json:"time"`
+	Tenant     string      `json:"tenant"`
+	Query      string      `json:"query"`
+	DurationMS float64     `json:"duration_ms"`
+	Rows       int         `json:"rows"`
+	Trace      *trace.Node `json:"trace,omitempty"`
+}
+
+func newSlowLog(size int) *slowLog { return &slowLog{buf: make([]slowEntry, size)} }
+
+func (l *slowLog) record(e slowEntry) {
+	l.mu.Lock()
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// entries returns the recorded events, newest first.
+func (l *slowLog) entries() []slowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]slowEntry, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
 }
 
 // New builds a Server. It performs no I/O: tenant sessions open lazily on
@@ -134,6 +189,9 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		inflight: make(chan struct{}, cfg.MaxInflight),
 	}
+	if cfg.SlowQueryThreshold > 0 {
+		s.slow = newSlowLog(cfg.SlowQueryLogSize)
+	}
 	s.tenants = newTenantRegistry(&s.cfg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -141,6 +199,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/rules", s.handleRules)
 	s.mux.HandleFunc("POST /v1/clean", s.handleClean)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/debug/slow", s.handleDebugSlow)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// findSpan walks a decoded trace tree (the NDJSON trailer's "trace" object)
+// for a span by name, pre-order.
+func findSpan(node map[string]any, name string) map[string]any {
+	if node == nil {
+		return nil
+	}
+	if node["name"] == name {
+		return node
+	}
+	children, _ := node["spans"].([]any)
+	for _, c := range children {
+		if m, ok := c.(map[string]any); ok {
+			if f := findSpan(m, name); f != nil {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// TestQueryTraceTrailer pins the ?trace=1 contract: the NDJSON trailer gains
+// a "trace" object — a span tree whose root is the query span and which
+// includes the writer's publish span — while a plain query's trailer stays
+// trace-free.
+func TestQueryTraceTrailer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	seed(t, ts.URL, "")
+
+	lines := queryLines(t, ts.URL, "",
+		"SELECT zip, city FROM cities WHERE city = 'Los Angeles'")
+	if _, ok := lines[len(lines)-1]["trace"]; ok {
+		t.Fatal("untraced query trailer must not carry a trace")
+	}
+
+	resp := doReq(t, ts.URL, "POST", "/v1/query?trace=1", "",
+		"SELECT zip, city FROM cities WHERE city = 'Los Angeles'")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("traced query status = %d: %s", resp.StatusCode, b)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linesRaw := splitNDJSON(t, body)
+	trailer := linesRaw[len(linesRaw)-1]
+	if trailer["done"] != true {
+		t.Fatalf("missing done trailer: %v", trailer)
+	}
+	tree, ok := trailer["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("traced trailer lacks trace object: %v", trailer)
+	}
+	if tree["name"] != "query" {
+		t.Fatalf("trace root = %v, want query", tree["name"])
+	}
+	for _, name := range []string{"parse", "plan", "exec", "publish"} {
+		if findSpan(tree, name) == nil {
+			t.Errorf("trace trailer missing %q span: %v", name, tree)
+		}
+	}
+}
+
+func splitNDJSON(t *testing.T, body []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	dec := json.NewDecoder(bytes.NewReader(body))
+	for dec.More() {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("bad NDJSON: %v", err)
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty NDJSON body")
+	}
+	return out
+}
+
+// TestSlowQueryLog pins the slow-query ring: with a zero threshold every
+// query is an offender, /v1/debug/slow serves entries newest-first with span
+// trees attached, and a server without the feature reports enabled=false.
+func TestSlowQueryLog(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		SlowQueryLogSize:   2,
+	})
+	seed(t, ts.URL, "")
+
+	queryLines(t, ts.URL, "", "SELECT zip, city FROM cities WHERE zip = 9001")
+	queryLines(t, ts.URL, "", "SELECT zip, city FROM cities WHERE zip = 10001")
+	queryLines(t, ts.URL, "", "SELECT zip, city FROM cities")
+
+	resp := doReq(t, ts.URL, "GET", "/v1/debug/slow", "", "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/debug/slow status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Enabled bool        `json:"enabled"`
+		Slow    []slowEntry `json:"slow"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Enabled {
+		t.Fatal("slow log must report enabled")
+	}
+	// Ring of 2: the first query was evicted, newest first.
+	if len(out.Slow) != 2 {
+		t.Fatalf("slow log holds %d entries, want ring size 2", len(out.Slow))
+	}
+	if out.Slow[0].Query != "SELECT zip, city FROM cities" {
+		t.Fatalf("entries not newest-first: %q", out.Slow[0].Query)
+	}
+	for _, e := range out.Slow {
+		if e.Trace == nil {
+			t.Fatalf("slow entry %q lacks a span tree", e.Query)
+		}
+		if e.Trace.Find("publish") == nil {
+			t.Fatalf("slow entry %q trace lacks publish span", e.Query)
+		}
+		if e.DurationMS <= 0 {
+			t.Fatalf("slow entry %q has non-positive duration", e.Query)
+		}
+	}
+
+	// Feature off: the endpoint still answers, reporting disabled.
+	_, ts2 := newTestServer(t, Config{})
+	resp2 := doReq(t, ts2.URL, "GET", "/v1/debug/slow", "", "")
+	defer resp2.Body.Close()
+	var off struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&off); err != nil {
+		t.Fatal(err)
+	}
+	if off.Enabled {
+		t.Fatal("slow log must report disabled when no threshold is set")
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"daisy/internal/dc"
 	"daisy/internal/detect"
+	"daisy/internal/trace"
 	"daisy/internal/value"
 )
 
@@ -283,7 +284,7 @@ func scanTask(ctx context.Context, cc compiled, la, ra axis, t pairTask, m *dete
 // workers <= 0 uses all CPUs; metrics accumulate into m. A done ctx makes
 // workers skip their remaining tasks and the call return an error wrapping
 // ctx.Err() — partial pair sets are never returned.
-func runTasks(ctx context.Context, cc compiled, la, ra axis, tasks []pairTask, workers int, m *detect.Metrics) ([]Pair, error) {
+func runTasks(ctx context.Context, sp trace.Span, cc compiled, la, ra axis, tasks []pairTask, workers int, m *detect.Metrics) ([]Pair, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -291,12 +292,20 @@ func runTasks(ctx context.Context, cc compiled, la, ra axis, tasks []pairTask, w
 		workers = len(tasks)
 	}
 	if workers <= 1 {
+		wsp := sp.Start("worker")
+		var lm detect.Metrics
 		var out []Pair
 		for _, t := range tasks {
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}
-			out = append(out, scanTask(ctx, cc, la, ra, t, m)...)
+			out = append(out, scanTask(ctx, cc, la, ra, t, &lm)...)
+		}
+		if m != nil {
+			m.Add(lm)
+		}
+		if wsp.Active() {
+			wsp.End(trace.Int("tasks", len(tasks)), trace.Int64("comparisons", lm.Comparisons))
 		}
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
@@ -311,12 +320,18 @@ func runTasks(ctx context.Context, cc compiled, la, ra axis, tasks []pairTask, w
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wsp := sp.Start("worker")
+			ran := 0
 			lm := &locals[w]
 			for ti := range next {
 				if ctx != nil && ctx.Err() != nil {
 					continue
 				}
 				results[ti] = scanTask(ctx, cc, la, ra, tasks[ti], lm)
+				ran++
+			}
+			if wsp.Active() {
+				wsp.End(trace.Int("tasks", ran), trace.Int64("comparisons", lm.Comparisons))
 			}
 		}(w)
 	}
@@ -371,6 +386,13 @@ func DetectWorkers(v detect.RowView, c *dc.Constraint, p, workers int, m *detect
 // inside a task) and returns an error wrapping ctx.Err() once it is done.
 // A nil ctx disables the checks.
 func DetectWorkersCtx(ctx context.Context, v detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) ([]Pair, error) {
+	return DetectWorkersSpan(ctx, trace.Span{}, v, c, p, workers, m)
+}
+
+// DetectWorkersSpan is DetectWorkersCtx with tracing: each detection worker
+// records a child span under sp with its task and comparison counts. The
+// zero Span disables tracing at no cost.
+func DetectWorkersSpan(ctx context.Context, sp trace.Span, v detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) ([]Pair, error) {
 	cc := compile(c)
 	ax := buildAxis(v, cc)
 	blocks := blocksOf(ax, p, cc)
@@ -386,7 +408,7 @@ func DetectWorkersCtx(ctx context.Context, v detect.RowView, c *dc.Constraint, p
 			tasks = append(tasks, pairTask{lb: lb, rb: rb, fwd: fwd, rev: rev, diag: bj == bi})
 		}
 	}
-	return runTasks(ctx, cc, ax, ax, tasks, workers, m)
+	return runTasks(ctx, sp, cc, ax, ax, tasks, workers, m)
 }
 
 // DetectPartial runs the incremental theta-join: it checks (delta × rest) in
@@ -407,6 +429,12 @@ func DetectPartialWorkers(delta, rest detect.RowView, c *dc.Constraint, p, worke
 // DetectPartialWorkersCtx is DetectPartialWorkers with cooperative
 // cancellation (see DetectWorkersCtx).
 func DetectPartialWorkersCtx(ctx context.Context, delta, rest detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) ([]Pair, error) {
+	return DetectPartialWorkersSpan(ctx, trace.Span{}, delta, rest, c, p, workers, m)
+}
+
+// DetectPartialWorkersSpan is DetectPartialWorkersCtx with tracing (see
+// DetectWorkersSpan).
+func DetectPartialWorkersSpan(ctx context.Context, sp trace.Span, delta, rest detect.RowView, c *dc.Constraint, p, workers int, m *detect.Metrics) ([]Pair, error) {
 	cc := compile(c)
 	da := buildAxis(delta, cc)
 	ra := buildAxis(rest, cc)
@@ -425,12 +453,12 @@ func DetectPartialWorkersCtx(ctx context.Context, delta, rest detect.RowView, c 
 			tasks = append(tasks, pairTask{lb: db, rb: rb, fwd: fwd, rev: rev})
 		}
 	}
-	out, err := runTasks(ctx, cc, da, ra, tasks, workers, m)
+	out, err := runTasks(ctx, sp, cc, da, ra, tasks, workers, m)
 	if err != nil {
 		return nil, err
 	}
 	// delta × delta (upper triangle).
-	dd, err := DetectWorkersCtx(ctx, delta, c, p, workers, m)
+	dd, err := DetectWorkersSpan(ctx, sp, delta, c, p, workers, m)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	sp := tr.Root()
+	if sp.Active() {
+		t.Fatal("nil trace handed out an active span")
+	}
+	child := sp.Start("x")
+	if child.Active() {
+		t.Fatal("zero span handed out an active child")
+	}
+	child.End(Int("n", 1))
+	child.Annotate(Str("k", "v"))
+	child.Child("y", time.Now(), time.Millisecond)
+	if tr.Tree() != nil || tr.Render() != "" || tr.Compact() != "" || tr.JSON() != nil {
+		t.Fatal("nil trace rendered something")
+	}
+	if tr.Dropped() != 0 || tr.SpanCount() != 0 {
+		t.Fatal("nil trace reported counts")
+	}
+}
+
+func TestZeroSpanAllocatesNothing(t *testing.T) {
+	var sp Span
+	allocs := testing.AllocsPerRun(100, func() {
+		c := sp.Start("child")
+		if c.Active() {
+			c.End(Int("n", 1))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("zero-span Start/Active guard allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTreeStructureAndAttrs(t *testing.T) {
+	tr := New("query")
+	root := tr.Root()
+	a := root.Start("parse")
+	a.End(Int("bytes", 42))
+	b := root.Start("exec")
+	c := b.Start("filter")
+	c.End(Int("rows_in", 10), Int("rows_out", 3), Bool("parallel", false))
+	b.End()
+	root.End(Float("x", 1.5), Str("kind", "select"))
+
+	n := tr.Tree()
+	if n.Name != "query" || len(n.Nodes) != 2 {
+		t.Fatalf("root = %q with %d children, want query with 2", n.Name, len(n.Nodes))
+	}
+	if n.Nodes[0].Name != "parse" || n.Nodes[1].Name != "exec" {
+		t.Fatalf("children = %q, %q", n.Nodes[0].Name, n.Nodes[1].Name)
+	}
+	if got := n.Nodes[0].Attrs["bytes"]; got != int64(42) {
+		t.Fatalf("parse bytes attr = %v (%T)", got, got)
+	}
+	f := n.Find("filter")
+	if f == nil {
+		t.Fatal("Find(filter) = nil")
+	}
+	if f.Attrs["rows_out"] != int64(3) || f.Attrs["parallel"] != false {
+		t.Fatalf("filter attrs = %v", f.Attrs)
+	}
+	if n.Attrs["kind"] != "select" || n.Attrs["x"] != 1.5 {
+		t.Fatalf("root attrs = %v", n.Attrs)
+	}
+	// JSON round-trips as a tree with a "spans" key.
+	var decoded map[string]any
+	if err := json.Unmarshal(tr.JSON(), &decoded); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if decoded["name"] != "query" {
+		t.Fatalf("JSON name = %v", decoded["name"])
+	}
+	if _, ok := decoded["spans"].([]any); !ok {
+		t.Fatalf("JSON spans = %T", decoded["spans"])
+	}
+}
+
+func TestUnendedSpansClampToRoot(t *testing.T) {
+	tr := New("query")
+	root := tr.Root()
+	_ = root.Start("leaked") // never ended
+	time.Sleep(2 * time.Millisecond)
+	root.End()
+	n := tr.Tree()
+	leaked := n.Find("leaked")
+	if leaked == nil {
+		t.Fatal("leaked span missing from tree")
+	}
+	if leaked.DurUS > n.DurUS {
+		t.Fatalf("unended span duration %dus exceeds root %dus", leaked.DurUS, n.DurUS)
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	tr := New("query")
+	root := tr.Root()
+	for i := 0; i < MaxSpans+10; i++ {
+		sp := root.Start("s")
+		sp.End()
+	}
+	if got := tr.SpanCount(); got != MaxSpans {
+		t.Fatalf("span count = %d, want cap %d", got, MaxSpans)
+	}
+	// New("query") consumed one slot for the root.
+	if got, want := tr.Dropped(), MaxSpans+10-(MaxSpans-1); got != want {
+		t.Fatalf("dropped = %d, want %d", got, want)
+	}
+	// A dropped span's handle is inert, and Child past the cap drops too.
+	if sp := root.Start("over"); sp.Active() {
+		t.Fatal("span past cap is active")
+	}
+	before := tr.Dropped()
+	root.Child("over", time.Now(), time.Millisecond)
+	if tr.Dropped() != before+1 {
+		t.Fatal("Child past cap not counted as dropped")
+	}
+	if !strings.Contains(tr.Render(), "dropped") {
+		t.Fatal("Render does not mention dropped spans")
+	}
+}
+
+func TestFirstEndWinsDuration(t *testing.T) {
+	tr := New("query")
+	sp := tr.Root().Start("op")
+	sp.End()
+	n1 := tr.Tree().Find("op").DurUS
+	time.Sleep(2 * time.Millisecond)
+	sp.End(Int("late", 1)) // appends attrs only
+	n := tr.Tree().Find("op")
+	if n.DurUS != n1 {
+		t.Fatalf("second End changed duration: %d -> %d", n1, n.DurUS)
+	}
+	if n.Attrs["late"] != int64(1) {
+		t.Fatal("second End did not append attrs")
+	}
+}
+
+func TestRenderAndCompact(t *testing.T) {
+	tr := New("query")
+	root := tr.Root()
+	p := root.Start("parse")
+	p.End(Int("bytes", 9))
+	root.End()
+	text := tr.Render()
+	if !strings.Contains(text, "query") || !strings.Contains(text, "parse") {
+		t.Fatalf("Render missing spans:\n%s", text)
+	}
+	if !strings.Contains(text, "bytes=9") {
+		t.Fatalf("Render missing attrs:\n%s", text)
+	}
+	if !strings.HasPrefix(strings.Split(text, "\n")[1], "  parse") {
+		t.Fatalf("child not indented:\n%s", text)
+	}
+	compact := tr.Compact()
+	if !strings.Contains(compact, "query=") || !strings.Contains(compact, "[parse=") {
+		t.Fatalf("Compact = %q", compact)
+	}
+	if strings.Contains(compact, "\n") {
+		t.Fatalf("Compact is not a single line: %q", compact)
+	}
+}
+
+// TestConcurrentSpans exercises the apply-loop scenario: many goroutines
+// attach spans and children to one trace concurrently (run under -race).
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("query")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sp := root.Start("op")
+				sp.Annotate(Int("i", i))
+				sp.End()
+				root.Child("measured", time.Now(), time.Microsecond, Int64("lsn", int64(i)))
+				_ = tr.Tree() // concurrent reads
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	n := tr.Tree()
+	if tr.SpanCount()+tr.Dropped() != 1+8*20*2 {
+		t.Fatalf("span accounting off: count=%d dropped=%d", tr.SpanCount(), tr.Dropped())
+	}
+	if len(n.Nodes) == 0 {
+		t.Fatal("no children recorded")
+	}
+}

@@ -116,12 +116,13 @@ func (l *Log) SetInstruments(in Instruments) {
 	l.mu.Unlock()
 }
 
-// syncTimed fsyncs the current file, observing the latency.
-func (l *Log) syncTimed() error {
+// syncTimed fsyncs the current file, observing and returning the latency.
+func (l *Log) syncTimed() (time.Duration, error) {
 	t0 := time.Now()
 	err := l.f.Sync()
-	l.instr.SyncSec.ObserveDuration(time.Since(t0))
-	return err
+	d := time.Since(t0)
+	l.instr.SyncSec.ObserveDuration(d)
+	return d, err
 }
 
 // OpenLog opens (creating if needed) the log in dir for appending on the
@@ -172,6 +173,16 @@ func OpenLogFS(fsys vfs.FS, dir string, mode SyncMode, minNext uint64) (*Log, er
 	return l, nil
 }
 
+// AppendResult is one successful Append's accounting: the consumed LSN, the
+// framed bytes written, and the time spent in fsync (zero unless the log
+// runs under SyncAlways). The tracing layer turns it into wal.append /
+// wal.fsync spans on the submitting query's publish span.
+type AppendResult struct {
+	LSN   uint64
+	Bytes int
+	Sync  time.Duration
+}
+
 // Append frames payload as the next record and writes it, returning the
 // record's LSN. Under SyncAlways the record is fsynced before return.
 //
@@ -181,18 +192,24 @@ func OpenLogFS(fsys vfs.FS, dir string, mode SyncMode, minNext uint64) (*Log, er
 // truncate itself fails, the error wraps ErrDirtyTail and the log refuses
 // all further appends.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	res, err := l.AppendStats(payload)
+	return res.LSN, err
+}
+
+// AppendStats is Append returning the full per-record accounting.
+func (l *Log) AppendStats(payload []byte) (AppendResult, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, ErrClosed
+		return AppendResult{}, ErrClosed
 	}
 	if l.dirty {
-		return 0, fmt.Errorf("%w (previous append)", ErrDirtyTail)
+		return AppendResult{}, fmt.Errorf("%w (previous append)", ErrDirtyTail)
 	}
 	if l.f == nil {
 		if err := l.openFileLocked(l.nextLSN); err != nil {
 			l.instr.AppendErrors.Inc()
-			return 0, err
+			return AppendResult{}, err
 		}
 	}
 	lsn := l.nextLSN
@@ -203,19 +220,21 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	frame = append(frame, payload...)
 	if _, err := l.f.Write(frame); err != nil {
 		l.instr.AppendErrors.Inc()
-		return 0, l.undoAppendLocked(err)
+		return AppendResult{}, l.undoAppendLocked(err)
 	}
+	var syncDur time.Duration
 	if l.mode == SyncAlways {
-		if err := l.syncTimed(); err != nil {
+		var err error
+		if syncDur, err = l.syncTimed(); err != nil {
 			l.instr.AppendErrors.Inc()
-			return 0, l.undoAppendLocked(err)
+			return AppendResult{}, l.undoAppendLocked(err)
 		}
 	}
 	l.nextLSN++
 	l.tail += int64(len(frame))
 	l.instr.Appends.Inc()
 	l.instr.AppendedBytes.Add(int64(len(frame)))
-	return lsn, nil
+	return AppendResult{LSN: lsn, Bytes: len(frame), Sync: syncDur}, nil
 }
 
 // undoAppendLocked repairs the file after a failed append by truncating back
@@ -259,7 +278,8 @@ func (l *Log) Sync() error {
 	if l.f == nil {
 		return nil
 	}
-	return l.syncTimed()
+	_, err := l.syncTimed()
+	return err
 }
 
 // Rotate fsyncs and closes the current file; the next Append starts a fresh
@@ -273,7 +293,7 @@ func (l *Log) Rotate() error {
 	if l.f == nil {
 		return nil
 	}
-	if err := l.syncTimed(); err != nil {
+	if _, err := l.syncTimed(); err != nil {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
